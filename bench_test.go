@@ -1,0 +1,376 @@
+package dexlego_test
+
+import (
+	"testing"
+
+	root "dexlego"
+	"dexlego/internal/art"
+	"dexlego/internal/collector"
+	"dexlego/internal/dex"
+	"dexlego/internal/dexgen"
+	"dexlego/internal/droidbench"
+	"dexlego/internal/experiments"
+	"dexlego/internal/reassembler"
+	"dexlego/internal/taint"
+)
+
+// --- one benchmark per table and figure of the paper's evaluation ----------
+
+// BenchmarkTable1Packers regenerates Table I: the five packers over the four
+// AOSP applications, each revealed by DexLego and behavior-checked.
+func BenchmarkTable1Packers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Apps) != 4 {
+			b.Fatal("unexpected app count")
+		}
+	}
+}
+
+// BenchmarkTable2Static regenerates Table II: the three static tools on the
+// 134 DroidBench samples, original versus DexLego-revealed.
+func BenchmarkTable2Static(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDroidBench()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := res.Original["HornDroid"].TP; got != 98 {
+			b.Fatalf("HornDroid original TP = %d, want 98", got)
+		}
+	}
+}
+
+// BenchmarkTable3Packed regenerates Table III: DexHunter/AppSpear versus
+// DexLego on the 360-packed suite.
+func BenchmarkTable3Packed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDroidBench()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := res.Dumped["FlowDroid"].TP; got != 84 {
+			b.Fatalf("DexHunter FlowDroid TP = %d, want 84", got)
+		}
+	}
+}
+
+// BenchmarkTable4Dynamic regenerates Table IV: TaintDroid/TaintART versus
+// DexLego+HornDroid on the five named samples.
+func BenchmarkTable4Dynamic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkFigure5FMeasure regenerates Figure 5's F-measures.
+func BenchmarkFigure5FMeasure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDroidBench()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := experiments.Figure5(res)
+		if len(rows) != 3 {
+			b.Fatal("unexpected tool count")
+		}
+	}
+}
+
+// BenchmarkTable5RealWorld regenerates Table V: the nine packed market
+// applications before and after DexLego.
+func BenchmarkTable5RealWorld(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 9 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkTable6Dumps regenerates Table VI: collection-file sizes for the
+// five F-Droid applications.
+func BenchmarkTable6Dumps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable6(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// BenchmarkTable7Coverage regenerates Table VII: Sapienz versus
+// Sapienz+DexLego coverage (the heaviest experiment).
+func BenchmarkTable7Coverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Forced.Instruction.Covered <= res.Sapienz.Instruction.Covered {
+			b.Fatal("force execution did not improve coverage")
+		}
+	}
+}
+
+// BenchmarkFigure6CFBench regenerates Figure 6: the CF-Bench comparison of
+// the unmodified and instrumented runtimes.
+func BenchmarkFigure6CFBench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if j, _, _ := res.Slowdowns(); j < 1 {
+			b.Fatal("collection cannot be free")
+		}
+	}
+}
+
+// BenchmarkTable8Launch regenerates Table VIII: launch times of the three
+// popular applications (fewer repetitions than the paper's 30 to keep the
+// harness snappy; cmd/perfbench runs the full count).
+func BenchmarkTable8Launch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable8(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+// --- micro-benchmarks for the substrates ------------------------------------
+
+func buildBenchApp(b *testing.B) *art.Runtime {
+	b.Helper()
+	p := dexgen.New()
+	p.Class("Lb/W;", "").Static("spin", "I", []string{"I"}, func(a *dexgen.Asm) {
+		a.Const(0, 1)
+		a.Const(1, 0)
+		a.Label("l")
+		a.If(0x35, 1, a.P(0), "d")
+		a.BinopLit8(0xda, 0, 0, 31)
+		a.BinopLit8(0xd8, 0, 0, 7)
+		a.AddLit(1, 1, 1)
+		a.Goto("l")
+		a.Label("d")
+		a.Return(0)
+	})
+	f, err := p.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := art.NewRuntime(art.DefaultPhone())
+	rt.MaxSteps = 1 << 62
+	if _, err := rt.LoadDex(f); err != nil {
+		b.Fatal(err)
+	}
+	return rt
+}
+
+// BenchmarkInterpreter measures raw bytecode interpretation throughput.
+func BenchmarkInterpreter(b *testing.B) {
+	rt := buildBenchApp(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Call("Lb/W;", "spin", "(I)I", nil,
+			[]art.Value{art.IntVal(1000)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterpreterWithCollection measures the same workload under JIT
+// collection — the per-instruction cost behind Figure 6's Java slowdown.
+func BenchmarkInterpreterWithCollection(b *testing.B) {
+	rt := buildBenchApp(b)
+	col := collector.New()
+	rt.AddHooks(col.Hooks())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Call("Lb/W;", "spin", "(I)I", nil,
+			[]art.Value{art.IntVal(1000)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDexRoundTrip measures DEX serialization and parsing.
+func BenchmarkDexRoundTrip(b *testing.B) {
+	s := droidbench.ByName("SelfModifying1")
+	pkg, err := s.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := pkg.Dex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := dex.Read(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Write(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRevealPipeline measures the full collect-and-reassemble pipeline
+// on the paper's Code 1 sample.
+func BenchmarkRevealPipeline(b *testing.B) {
+	s := droidbench.ByName("SelfModifying1")
+	pkg, err := s.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := root.Reveal(pkg, root.Options{Natives: s.Natives()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Divergences == 0 {
+			b.Fatal("no self-modification captured")
+		}
+	}
+}
+
+// BenchmarkReassembleOnly isolates the offline reassembling phase.
+func BenchmarkReassembleOnly(b *testing.B) {
+	s := droidbench.ByName("SelfModifying1")
+	pkg, err := s.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := art.NewRuntime(art.DefaultPhone())
+	s.InstallNatives(rt)
+	col := collector.New()
+	rt.AddHooks(col.Hooks())
+	if err := rt.LoadAPK(pkg); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := rt.LaunchActivity(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := reassembler.Reassemble(col.Result()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStaticAnalysis measures one HornDroid pass over a sample.
+func BenchmarkStaticAnalysis(b *testing.B) {
+	s := droidbench.ByName("ImplicitFlow1")
+	pkg, err := s.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := pkg.Dex()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := dex.Read(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := taint.Analyze([]*dex.File{f}, taint.HornDroid())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Leaky() {
+			b.Fatal("flow lost")
+		}
+	}
+}
+
+// BenchmarkAblationTreeDedup quantifies Algorithm 1's deduplication: the
+// ratio between raw executed-instruction events and the unique instructions
+// the collection tree retains (the paper's code-scale argument against
+// naive trace listing).
+func BenchmarkAblationTreeDedup(b *testing.B) {
+	p := dexgen.New()
+	p.Class("Lab/T;", "").Static("spin", "I", []string{"I"}, func(a *dexgen.Asm) {
+		a.Const(0, 0)
+		a.Const(1, 0)
+		a.Label("loop")
+		a.If(0x35, 1, a.P(0), "done")
+		a.Binop(0x90, 0, 0, 1)
+		a.BinopLit8(0xd8, 1, 1, 1)
+		a.Goto("loop")
+		a.Label("done")
+		a.Return(0)
+	})
+	f, err := p.Finish()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var events, unique int
+	for i := 0; i < b.N; i++ {
+		rt := art.NewRuntime(art.DefaultPhone())
+		col := collector.New()
+		events = 0
+		rt.AddHooks(&art.Hooks{Instruction: func(m *art.Method, pc int, insns []uint16) {
+			events++ // the naive trace length
+		}})
+		rt.AddHooks(col.Hooks())
+		if _, err := rt.LoadDex(f); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rt.Call("Lab/T;", "spin", "(I)I", nil,
+			[]art.Value{art.IntVal(500)}); err != nil {
+			b.Fatal(err)
+		}
+		unique = col.Result().ExecutedInstructionCount()
+	}
+	b.ReportMetric(float64(events), "trace-insns")
+	b.ReportMetric(float64(unique), "tree-insns")
+	b.ReportMetric(float64(events)/float64(unique), "dedup-ratio")
+}
+
+// BenchmarkAblationUnionMerge quantifies the reassembler's compatible-tree
+// union: without it, every distinct execution path would become a method
+// variant.
+func BenchmarkAblationUnionMerge(b *testing.B) {
+	s := droidbench.ByName("SwitchFlow1")
+	pkg, err := s.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := root.Reveal(pkg, root.Options{Fuzz: true, FuzzSeed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.Variants != 0 {
+			b.Fatalf("union merge failed: %d variants", res.Stats.Variants)
+		}
+	}
+}

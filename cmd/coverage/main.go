@@ -1,0 +1,60 @@
+// Command coverage runs the code-coverage experiments of the paper's
+// Section V-D: Table VI (collection dump sizes of the F-Droid samples) and
+// Table VII (Sapienz vs Sapienz+DexLego coverage).
+//
+// Usage:
+//
+//	coverage -table 6 [-dir out]
+//	coverage -table 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dexlego/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "coverage:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("coverage", flag.ContinueOnError)
+	table := fs.Int("table", 7, "table to regenerate (6 or 7)")
+	dir := fs.String("dir", "", "directory for collection dumps (table 6; default temp)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *table {
+	case 6:
+		out := *dir
+		if out == "" {
+			tmp, err := os.MkdirTemp("", "dexlego-dumps")
+			if err != nil {
+				return err
+			}
+			out = tmp
+		}
+		rows, err := experiments.RunTable6(out)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Table6String(rows))
+		fmt.Printf("collection files under %s\n", out)
+	case 7:
+		res, err := experiments.RunTable7()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Table7String(res))
+	default:
+		fs.Usage()
+		return fmt.Errorf("pick -table 6 or -table 7")
+	}
+	return nil
+}

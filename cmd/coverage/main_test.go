@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunTable6(t *testing.T) {
+	if err := run([]string{"-table", "6", "-dir", t.TempDir()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadTable(t *testing.T) {
+	if err := run([]string{"-table", "9"}); err == nil {
+		t.Error("unknown table must fail")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dexlego/internal/dexgen"
+)
+
+func TestRunOnGeneratedFiles(t *testing.T) {
+	p := dexgen.New()
+	cls := p.Class("Ldump/Main;", "Landroid/app/Activity;")
+	cls.Ctor("Landroid/app/Activity;", nil)
+	cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		a.ReturnVoid()
+	})
+	dexBytes, err := p.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dexPath := filepath.Join(dir, "classes.dex")
+	if err := os.WriteFile(dexPath, dexBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", dexPath, "-verify"}); err != nil {
+		t.Errorf("dexdump on dex: %v", err)
+	}
+	if err := run([]string{"-in", dexPath, "-class", "Ldump/Main;", "-method", "onCreate"}); err != nil {
+		t.Errorf("dexdump with filters: %v", err)
+	}
+	pkg, err := dexgen.New().BuildAPK("d", "1", "")
+	if err == nil {
+		apkPath := filepath.Join(dir, "app.apk")
+		data, err := pkg.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apkPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run([]string{"-in", apkPath}); err != nil {
+			t.Errorf("dexdump on apk: %v", err)
+		}
+	}
+	if err := run([]string{"-in", filepath.Join(dir, "missing.dex")}); err == nil {
+		t.Error("missing input must fail")
+	}
+	if err := run(nil); err == nil {
+		t.Error("missing -in must fail")
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dexlego/internal/dexgen"
+	"dexlego/internal/packer"
+)
+
+func TestRunRevealsPackedAPK(t *testing.T) {
+	p := dexgen.New()
+	cls := p.Class("Lcli/Main;", "Landroid/app/Activity;")
+	cls.Ctor("Landroid/app/Activity;", nil)
+	cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		a.GetIMEI(0, 1)
+		a.LogLeak("cli", 0, 2)
+		a.ReturnVoid()
+	})
+	pkg, err := p.BuildAPK("cli", "1.0", "Lcli/Main;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := packer.ByName("360")
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := pk.Pack(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "packed.apk")
+	out := filepath.Join(dir, "revealed.apk")
+	data, err := packed.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	collectDir := filepath.Join(dir, "collect")
+	if err := run([]string{"-apk", in, "-out", out, "-collect", collectDir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("revealed apk missing: %v", err)
+	}
+	entries, err := os.ReadDir(collectDir)
+	if err != nil || len(entries) != 5 {
+		t.Errorf("collection files = %d (%v), want 5", len(entries), err)
+	}
+	if err := run([]string{"-apk", in}); err == nil {
+		t.Error("missing -out must fail")
+	}
+}

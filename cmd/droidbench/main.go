@@ -1,0 +1,78 @@
+// Command droidbench runs the DroidBench experiments of the paper's
+// Section V-B: Tables II and III, Figure 5, and Table IV.
+//
+// Usage:
+//
+//	droidbench -table 2      # static tools, original vs DexLego
+//	droidbench -table 3      # packed samples: DexHunter/AppSpear vs DexLego
+//	droidbench -figure 5     # F-measures
+//	droidbench -table 4      # dynamic tools vs DexLego+HornDroid
+//	droidbench -list         # enumerate the 134 samples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dexlego/internal/droidbench"
+	"dexlego/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "droidbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("droidbench", flag.ContinueOnError)
+	table := fs.Int("table", 0, "table to regenerate (2, 3 or 4)")
+	figure := fs.Int("figure", 0, "figure to regenerate (5)")
+	list := fs.Bool("list", false, "list the benchmark samples")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		total, malware := droidbench.Counts()
+		fmt.Printf("%d samples (%d leaky)\n", total, malware)
+		for _, s := range droidbench.Suite() {
+			kind := "benign"
+			if s.Leaky {
+				kind = fmt.Sprintf("leaky x%d", s.LeakCount)
+			}
+			tag := ""
+			if s.Contributed {
+				tag = " [contributed]"
+			}
+			fmt.Printf("  %-22s %-18s %s%s\n", s.Name, s.Category, kind, tag)
+		}
+		return nil
+	}
+	switch {
+	case *table == 2 || *table == 3 || *figure == 5:
+		res, err := experiments.RunDroidBench()
+		if err != nil {
+			return err
+		}
+		switch {
+		case *table == 2:
+			fmt.Print(res.Table2String())
+		case *table == 3:
+			fmt.Print(res.Table3String())
+		default:
+			fmt.Print(experiments.Figure5String(experiments.Figure5(res)))
+		}
+	case *table == 4:
+		rows, err := experiments.RunTable4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Table4String(rows))
+	default:
+		fs.Usage()
+		return fmt.Errorf("pick -table 2|3|4, -figure 5, or -list")
+	}
+	return nil
+}

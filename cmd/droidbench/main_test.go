@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable4(t *testing.T) {
+	if err := run([]string{"-table", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoSelection(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no selection must fail")
+	}
+}
+
+func TestRunFigure5(t *testing.T) {
+	if err := run([]string{"-figure", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+// Command packbench runs the packing experiments: Table I (packer matrix
+// over the AOSP applications) and Table V (packed market applications).
+// It can also pack an APK on disk with a chosen packer.
+//
+// Usage:
+//
+//	packbench -table 1
+//	packbench -table 5
+//	packbench -pack app.apk -packer 360 -out packed.apk
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/experiments"
+	"dexlego/internal/packer"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "packbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("packbench", flag.ContinueOnError)
+	table := fs.Int("table", 0, "table to regenerate (1 or 5)")
+	packPath := fs.String("pack", "", "APK to pack")
+	packerName := fs.String("packer", "360", "packer name (360, Alibaba, Tencent, Baidu, Bangcle)")
+	out := fs.String("out", "", "output path for -pack")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *table == 1:
+		res, err := experiments.RunTable1()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Table1String())
+	case *table == 5:
+		rows, err := experiments.RunTable5()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Table5String(rows))
+	case *packPath != "":
+		if *out == "" {
+			fs.Usage()
+			return fmt.Errorf("-out is required with -pack")
+		}
+		data, err := os.ReadFile(*packPath)
+		if err != nil {
+			return err
+		}
+		pkg, err := apk.Read(data)
+		if err != nil {
+			return err
+		}
+		pk, err := packer.ByName(*packerName)
+		if err != nil {
+			return err
+		}
+		packed, err := pk.Pack(pkg)
+		if err != nil {
+			return err
+		}
+		outData, err := packed.Bytes()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, outData, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("packed %s with %s -> %s\n", *packPath, pk.Name(), *out)
+	default:
+		fs.Usage()
+		return fmt.Errorf("pick -table 1|5 or -pack")
+	}
+	return nil
+}

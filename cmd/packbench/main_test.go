@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dexlego/internal/dexgen"
+)
+
+func TestPackFile(t *testing.T) {
+	p := dexgen.New()
+	cls := p.Class("Lpb/Main;", "Landroid/app/Activity;")
+	cls.Ctor("Landroid/app/Activity;", nil)
+	pkg, err := p.BuildAPK("pb", "1", "Lpb/Main;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.apk")
+	out := filepath.Join(dir, "out.apk")
+	data, err := pkg.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(in, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-pack", in, "-packer", "Alibaba", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Error(err)
+	}
+	if err := run([]string{"-pack", in, "-packer", "NetQin", "-out", out}); err == nil {
+		t.Error("unavailable packer must fail")
+	}
+	if err := run([]string{"-pack", in}); err == nil {
+		t.Error("missing -out must fail")
+	}
+	if err := run(nil); err == nil {
+		t.Error("no selection must fail")
+	}
+}

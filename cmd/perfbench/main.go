@@ -1,0 +1,52 @@
+// Command perfbench runs the performance experiments of the paper's
+// Section V-E: the CF-Bench comparison of Figure 6 and the launch-time
+// measurements of Table VIII.
+//
+// Usage:
+//
+//	perfbench -figure 6
+//	perfbench -table 8 [-runs 30]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dexlego/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("perfbench", flag.ContinueOnError)
+	figure := fs.Int("figure", 0, "figure to regenerate (6)")
+	table := fs.Int("table", 0, "table to regenerate (8)")
+	runs := fs.Int("runs", 30, "launch repetitions per app (table 8)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *figure == 6:
+		res, err := experiments.RunFigure6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Figure6String())
+	case *table == 8:
+		rows, err := experiments.RunTable8(*runs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.Table8String(rows))
+	default:
+		fs.Usage()
+		return fmt.Errorf("pick -figure 6 or -table 8")
+	}
+	return nil
+}

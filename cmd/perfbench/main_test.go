@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunTable8(t *testing.T) {
+	if err := run([]string{"-table", "8", "-runs", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoSelection(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no selection must fail")
+	}
+}

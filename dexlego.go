@@ -1,0 +1,193 @@
+// Package dexlego is a reproduction of DexLego (Ning & Zhang, DSN 2018):
+// reassembleable bytecode extraction for aiding static analysis of Android
+// applications.
+//
+// The pipeline mirrors Fig. 1 of the paper: the target APK is executed in an
+// instrumented Android Runtime substrate where just-in-time collection
+// extracts every executed instruction (at dex_pc granularity, surviving
+// packing and self-modifying code) together with the DEX metadata used by
+// the class linker; an optional force-execution module improves code
+// coverage; and the collected pieces are reassembled offline into a new,
+// valid DEX file that replaces classes.dex in the original APK. The
+// revealed APK is then suitable for any static analysis tool.
+//
+//	result, err := dexlego.Reveal(pkg, dexlego.Options{})
+//	...
+//	flows, _ := taint.Analyze([]*dex.File{result.RevealedDex}, taint.HornDroid())
+package dexlego
+
+import (
+	"fmt"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/art"
+	"dexlego/internal/collector"
+	"dexlego/internal/coverage"
+	"dexlego/internal/dex"
+	"dexlego/internal/forceexec"
+	"dexlego/internal/fuzzer"
+	"dexlego/internal/reassembler"
+)
+
+// Options configures a Reveal run.
+type Options struct {
+	// Device is the execution environment; the default is the paper's
+	// Nexus 5X phone.
+	Device *art.Device
+
+	// Natives registers JNI stand-ins by method key (self-modifying
+	// samples' tamper functions and similar).
+	Natives map[string]art.NativeFunc
+
+	// InstallNatives registers packer shell libraries with the runtime.
+	InstallNatives func(*art.Runtime)
+
+	// Driver runs the app during collection. The default launches the main
+	// activity and clicks every registered click listener.
+	Driver func(*art.Runtime) error
+
+	// Fuzz additionally runs the Sapienz-style fuzzer as the input
+	// generation stage of the code coverage improvement module.
+	Fuzz bool
+	// FuzzSeed seeds the fuzzer deterministically.
+	FuzzSeed int64
+
+	// ForceExecution enables the iterative force-execution module on top of
+	// the driver, steering uncovered conditional branches.
+	ForceExecution bool
+
+	// CollectDir, when set, receives the five collection files.
+	CollectDir string
+}
+
+// Result is the outcome of a Reveal run.
+type Result struct {
+	// Revealed is the original APK with classes.dex replaced by the
+	// reassembled DEX.
+	Revealed *apk.APK
+	// RevealedDex is the parsed reassembled DEX.
+	RevealedDex *dex.File
+	// Collection is the raw collection result.
+	Collection *collector.Result
+	// Stats summarizes the reassembly.
+	Stats *reassembler.Stats
+	// Sinks are the sink events observed while executing the app.
+	Sinks []art.SinkEvent
+	// Coverage reports the achieved coverage (force-execution runs only).
+	Coverage *coverage.Report
+}
+
+// DefaultDriver drives the launch lifecycle, clicks every registered
+// listener once, and finishes the activity (running the teardown
+// lifecycle).
+func DefaultDriver(rt *art.Runtime) error {
+	activity, err := rt.LaunchActivity()
+	if err != nil {
+		return err
+	}
+	for _, id := range rt.Clickables() {
+		if err := rt.PerformClick(id); err != nil {
+			return err
+		}
+	}
+	return rt.FinishActivity(activity)
+}
+
+// Reveal executes the application under JIT collection and reassembles the
+// revealed APK.
+func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
+	device := art.DefaultPhone()
+	if opts.Device != nil {
+		device = *opts.Device
+	}
+	driver := opts.Driver
+	if driver == nil {
+		driver = DefaultDriver
+	}
+	col := collector.New()
+	res := &Result{}
+
+	setup := func(rt *art.Runtime) {
+		for key, fn := range opts.Natives {
+			rt.RegisterNative(key, fn)
+		}
+		if opts.InstallNatives != nil {
+			opts.InstallNatives(rt)
+		}
+	}
+
+	runPlain := func(dr func(*art.Runtime) error) error {
+		rt := art.NewRuntime(device)
+		setup(rt)
+		rt.AddHooks(col.Hooks())
+		if err := rt.LoadAPK(pkg); err != nil {
+			return err
+		}
+		_ = dr(rt) // app-level crashes do not abort collection
+		res.Sinks = append(res.Sinks, rt.Sinks()...)
+		return nil
+	}
+
+	if err := runPlain(driver); err != nil {
+		return nil, fmt.Errorf("dexlego: collection run: %w", err)
+	}
+	if opts.Fuzz {
+		fz := fuzzer.New(opts.FuzzSeed)
+		if err := runPlain(func(rt *art.Runtime) error {
+			return fz.Drive(rt, nil)
+		}); err != nil {
+			return nil, fmt.Errorf("dexlego: fuzzing run: %w", err)
+		}
+	}
+	if opts.ForceExecution {
+		data, err := pkg.Dex()
+		if err != nil {
+			return nil, err
+		}
+		f, err := dex.Read(data)
+		if err != nil {
+			return nil, fmt.Errorf("dexlego: force execution needs a parsable classes.dex: %w", err)
+		}
+		files := []*dex.File{f}
+		tracker, err := coverage.NewTracker(files)
+		if err != nil {
+			return nil, err
+		}
+		eng := forceexec.New(pkg, files)
+		eng.InstallNatives = func(rt *art.Runtime) { setup(rt) }
+		eng.Driver = driver
+		eng.ExtraHooks = []*art.Hooks{col.Hooks()}
+		if _, err := eng.Run(tracker); err != nil {
+			return nil, fmt.Errorf("dexlego: force execution: %w", err)
+		}
+		rep := tracker.Report()
+		res.Coverage = &rep
+	}
+
+	if opts.CollectDir != "" {
+		if err := col.Result().WriteFiles(opts.CollectDir); err != nil {
+			return nil, err
+		}
+	}
+	revealed, stats, err := reassembler.ReassembleAPK(pkg, col.Result())
+	if err != nil {
+		return nil, fmt.Errorf("dexlego: reassemble: %w", err)
+	}
+	data, err := revealed.Dex()
+	if err != nil {
+		return nil, err
+	}
+	parsed, err := dex.Read(data)
+	if err != nil {
+		return nil, fmt.Errorf("dexlego: revealed dex did not re-parse: %w", err)
+	}
+	if errs := dex.Verify(parsed); len(errs) > 0 {
+		return nil, fmt.Errorf("dexlego: revealed dex has %d structural defects, first: %w",
+			len(errs), errs[0])
+	}
+	res.Revealed = revealed
+	res.RevealedDex = parsed
+	res.Collection = col.Result()
+	res.Stats = stats
+	return res, nil
+}

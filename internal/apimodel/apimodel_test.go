@@ -1,0 +1,63 @@
+package apimodel
+
+import "testing"
+
+func TestCatalogConsistency(t *testing.T) {
+	for _, s := range Sources() {
+		if !IsSource(s.Method) {
+			t.Errorf("%s: IsSource false", s.Method)
+		}
+		if SourceKind(s.Method) != s.Kind {
+			t.Errorf("%s: kind mismatch", s.Method)
+		}
+		if IsSink(s.Method) {
+			t.Errorf("%s: is both source and sink", s.Method)
+		}
+	}
+	for _, s := range Sinks() {
+		if !IsSink(s.Method) {
+			t.Errorf("%s: IsSink false", s.Method)
+		}
+		if SinkOf(s.Method) != s.Kind {
+			t.Errorf("%s: kind mismatch", s.Method)
+		}
+		if start := SinkArgStart(s.Method); start < 0 {
+			t.Errorf("%s: negative arg start", s.Method)
+		}
+	}
+	if IsSource("Lno/Such;->api()V") || IsSink("Lno/Such;->api()V") {
+		t.Error("unknown method classified")
+	}
+	if SinkArgStart("Lno/Such;->api()V") != 0 {
+		t.Error("unknown sink arg start should be 0")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if TaintIMEI.String() != "imei" || TaintLocation.String() != "location" {
+		t.Error("taint kind names broken")
+	}
+	if (TaintIMEI | TaintSIM).String() != "mixed" {
+		t.Errorf("combined kind = %q", (TaintIMEI | TaintSIM).String())
+	}
+	for _, k := range []SinkKind{SinkSMS, SinkLog, SinkNetwork, SinkFile} {
+		if k.String() == "unknown" {
+			t.Errorf("sink kind %d has no name", k)
+		}
+	}
+	if SinkKind(99).String() != "unknown" {
+		t.Error("unknown sink kind mislabeled")
+	}
+}
+
+func TestSinkArgStarts(t *testing.T) {
+	// The SMS text is the third argument; log messages the second.
+	sms := "Landroid/telephony/SmsManager;->sendTextMessage(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/Object;Ljava/lang/Object;)V"
+	if SinkArgStart(sms) != 2 {
+		t.Errorf("sms arg start = %d", SinkArgStart(sms))
+	}
+	logKey := "Landroid/util/Log;->i(Ljava/lang/String;Ljava/lang/String;)I"
+	if SinkArgStart(logKey) != 1 {
+		t.Errorf("log arg start = %d", SinkArgStart(logKey))
+	}
+}

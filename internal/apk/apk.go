@@ -1,0 +1,223 @@
+// Package apk implements the Android application package container used by
+// DexLego: a zip archive holding an AndroidManifest.xml stand-in, the
+// classes.dex payload, assets and native libraries. Packers hide encrypted
+// payloads in assets/ and lib/, and the reassembler swaps classes.dex for
+// the revealed DEX, mirroring the paper's use of the Android Asset
+// Packaging Tool.
+package apk
+
+import (
+	"archive/zip"
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DexEntry is the archive path of the primary DEX file.
+const DexEntry = "classes.dex"
+
+const manifestEntry = "AndroidManifest.xml"
+
+// ErrNoDex is returned when an APK has no classes.dex entry.
+var ErrNoDex = errors.New("apk: missing classes.dex")
+
+// Manifest is the subset of AndroidManifest.xml the runtime consumes.
+type Manifest struct {
+	XMLName      xml.Name `xml:"manifest"`
+	Package      string   `xml:"package,attr"`
+	Version      string   `xml:"versionName,attr"`
+	MainActivity string   `xml:"application>activity"` // class descriptor
+	MinSDK       int      `xml:"uses-sdk,attr,omitempty"`
+}
+
+// APK is an Android application package.
+type APK struct {
+	Manifest Manifest
+	files    map[string][]byte
+}
+
+// New returns an empty APK with the given manifest identity.
+func New(pkg, version, mainActivity string) *APK {
+	return &APK{
+		Manifest: Manifest{
+			Package:      pkg,
+			Version:      version,
+			MainActivity: mainActivity,
+			MinSDK:       23, // Android 6.0, as in the paper's prototype
+		},
+		files: make(map[string][]byte),
+	}
+}
+
+// SetDex replaces the primary classes.dex payload.
+func (a *APK) SetDex(data []byte) {
+	a.put(DexEntry, data)
+}
+
+// Dex returns the primary classes.dex payload.
+func (a *APK) Dex() ([]byte, error) {
+	d, ok := a.files[DexEntry]
+	if !ok {
+		return nil, ErrNoDex
+	}
+	return append([]byte(nil), d...), nil
+}
+
+// AddAsset stores data under assets/name.
+func (a *APK) AddAsset(name string, data []byte) {
+	a.put("assets/"+name, data)
+}
+
+// Asset returns the contents of assets/name.
+func (a *APK) Asset(name string) ([]byte, bool) {
+	d, ok := a.files["assets/"+name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+// AddNativeLib stores data under lib/arm64-v8a/name, standing in for a
+// packer's libshell.so.
+func (a *APK) AddNativeLib(name string, data []byte) {
+	a.put("lib/arm64-v8a/"+name, data)
+}
+
+// NativeLib returns the contents of lib/arm64-v8a/name.
+func (a *APK) NativeLib(name string) ([]byte, bool) {
+	d, ok := a.files["lib/arm64-v8a/"+name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+// Put stores an arbitrary entry.
+func (a *APK) Put(path string, data []byte) {
+	a.put(path, data)
+}
+
+// File returns an arbitrary entry's contents.
+func (a *APK) File(path string) ([]byte, bool) {
+	d, ok := a.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+// Entries returns all archive paths in sorted order (manifest included).
+func (a *APK) Entries() []string {
+	out := make([]string, 0, len(a.files)+1)
+	out = append(out, manifestEntry)
+	for name := range a.files {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Assets lists the names of all assets.
+func (a *APK) Assets() []string {
+	var out []string
+	for name := range a.files {
+		if rest, ok := strings.CutPrefix(name, "assets/"); ok {
+			out = append(out, rest)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (a *APK) put(path string, data []byte) {
+	if a.files == nil {
+		a.files = make(map[string][]byte)
+	}
+	a.files[path] = append([]byte(nil), data...)
+}
+
+// Clone returns a deep copy of the APK.
+func (a *APK) Clone() *APK {
+	out := &APK{Manifest: a.Manifest, files: make(map[string][]byte, len(a.files))}
+	for k, v := range a.files {
+		out.files[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// Bytes serializes the APK as a zip archive with deterministic entry order.
+func (a *APK) Bytes() ([]byte, error) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	manifest, err := xml.MarshalIndent(&a.Manifest, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("apk: marshal manifest: %w", err)
+	}
+	names := make([]string, 0, len(a.files))
+	for name := range a.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	write := func(name string, data []byte) error {
+		w, err := zw.Create(name)
+		if err != nil {
+			return fmt.Errorf("apk: create %s: %w", name, err)
+		}
+		if _, err := w.Write(data); err != nil {
+			return fmt.Errorf("apk: write %s: %w", name, err)
+		}
+		return nil
+	}
+	if err := write(manifestEntry, manifest); err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		if err := write(name, a.files[name]); err != nil {
+			return nil, err
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("apk: close archive: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Read parses a zip archive produced by Bytes.
+func Read(data []byte) (*APK, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("apk: open archive: %w", err)
+	}
+	out := &APK{files: make(map[string][]byte, len(zr.File))}
+	sawManifest := false
+	for _, zf := range zr.File {
+		rc, err := zf.Open()
+		if err != nil {
+			return nil, fmt.Errorf("apk: open %s: %w", zf.Name, err)
+		}
+		contents, err := io.ReadAll(rc)
+		closeErr := rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("apk: read %s: %w", zf.Name, err)
+		}
+		if closeErr != nil {
+			return nil, fmt.Errorf("apk: close %s: %w", zf.Name, closeErr)
+		}
+		if zf.Name == manifestEntry {
+			if err := xml.Unmarshal(contents, &out.Manifest); err != nil {
+				return nil, fmt.Errorf("apk: parse manifest: %w", err)
+			}
+			sawManifest = true
+			continue
+		}
+		out.files[zf.Name] = contents
+	}
+	if !sawManifest {
+		return nil, errors.New("apk: missing AndroidManifest.xml")
+	}
+	return out, nil
+}

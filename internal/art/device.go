@@ -1,0 +1,65 @@
+package art
+
+// Device models the execution environment's identity: whether the runtime
+// "runs" on a real phone, a tablet, or an emulator, and the sensitive data
+// the source APIs hand out. Emulator-detecting malware reads the Build
+// properties; tablet-only leaks consult the screen configuration.
+type Device struct {
+	Emulator bool
+	Tablet   bool
+
+	Model       string
+	Brand       string
+	Hardware    string
+	Fingerprint string
+
+	IMEI     string
+	SIM      string
+	SSID     string
+	Location string
+}
+
+// DefaultPhone returns the paper's experiment device: an LG Nexus 5X phone.
+func DefaultPhone() Device {
+	return Device{
+		Model:       "Nexus 5X",
+		Brand:       "google",
+		Hardware:    "bullhead",
+		Fingerprint: "google/bullhead/bullhead:6.0/MDB08L/2343525:user/release-keys",
+		IMEI:        "356938035643809",
+		SIM:         "8901260862291834779",
+		SSID:        "\"CompassLab-5G\"",
+		Location:    "42.3584,-83.0665",
+	}
+}
+
+// EmulatorDevice returns a stock emulator environment, as used by
+// TaintDroid in the paper's Table IV comparison.
+func EmulatorDevice() Device {
+	d := DefaultPhone()
+	d.Emulator = true
+	d.Model = "sdk_gphone"
+	d.Brand = "generic"
+	d.Hardware = "goldfish"
+	d.Fingerprint = "generic/sdk_gphone/generic:6.0/MASTER/0:eng/test-keys"
+	d.IMEI = "000000000000000"
+	return d
+}
+
+// TabletDevice returns a tablet environment (large screen layout).
+func TabletDevice() Device {
+	d := DefaultPhone()
+	d.Tablet = true
+	d.Model = "Pixel C"
+	d.Hardware = "dragon"
+	return d
+}
+
+// screenLayout mirrors Configuration.screenLayout size bits:
+// 2 = NORMAL (phone), 4 = XLARGE (tablet).
+func (d Device) screenLayout() int64 {
+	if d.Tablet {
+		return 4
+	}
+	return 2
+}

@@ -1,0 +1,160 @@
+package art_test
+
+import (
+	"errors"
+	"testing"
+
+	"dexlego/internal/art"
+	"dexlego/internal/dexgen"
+)
+
+// frameworkRT loads a tiny app exposing reflective helpers.
+func frameworkRT(t *testing.T) *art.Runtime {
+	t.Helper()
+	p := dexgen.New()
+	cls := p.Class("Lfw/T;", "")
+	cls.Ctor("Ljava/lang/Object;", nil)
+	cls.Virtual("ping", "I", nil, func(a *dexgen.Asm) {
+		a.Const(0, 99)
+		a.Return(0)
+	})
+	// name(): forName("fw.T").getName()
+	cls.Static("name", "Ljava/lang/String;", nil, func(a *dexgen.Asm) {
+		a.ConstString(0, "fw.T")
+		a.InvokeStatic("Ljava/lang/Class;", "forName",
+			"(Ljava/lang/String;)Ljava/lang/Class;", 0)
+		a.MoveResultObject(0)
+		a.InvokeVirtual("Ljava/lang/Class;", "getName", "()Ljava/lang/String;", 0)
+		a.MoveResultObject(0)
+		a.ReturnObj(0)
+	})
+	// fresh(): forName("fw.T").newInstance().ping() via reflection
+	cls.Static("fresh", "I", nil, func(a *dexgen.Asm) {
+		a.ConstString(0, "fw.T")
+		a.InvokeStatic("Ljava/lang/Class;", "forName",
+			"(Ljava/lang/String;)Ljava/lang/Class;", 0)
+		a.MoveResultObject(0)
+		a.InvokeVirtual("Ljava/lang/Class;", "newInstance", "()Ljava/lang/Object;", 0)
+		a.MoveResultObject(1)
+		a.CheckCast(1, "Lfw/T;")
+		a.InvokeVirtual("Lfw/T;", "ping", "()I", 1)
+		a.MoveResult(2)
+		a.Return(2)
+	})
+	// badClass(): forName of a ghost, catching ClassNotFoundException.
+	cls.Static("badClass", "I", nil, func(a *dexgen.Asm) {
+		a.Label("ts")
+		a.ConstString(0, "no.such.Klass")
+		a.InvokeStatic("Ljava/lang/Class;", "forName",
+			"(Ljava/lang/String;)Ljava/lang/Class;", 0)
+		a.MoveResultObject(0)
+		a.Label("te")
+		a.Const(1, 0)
+		a.Return(1)
+		a.Label("h")
+		a.MoveException(2)
+		a.InvokeVirtual("Ljava/lang/Throwable;", "getMessage", "()Ljava/lang/String;", 2)
+		a.MoveResultObject(3)
+		a.InvokeVirtual("Ljava/lang/String;", "length", "()I", 3)
+		a.MoveResult(1)
+		a.Return(1)
+		a.Catch("ts", "te", "Ljava/lang/ClassNotFoundException;", "h")
+	})
+	// methName(): getDeclaredMethods()[i].getName() length sum.
+	cls.Static("methCount", "I", nil, func(a *dexgen.Asm) {
+		a.ConstString(0, "fw.T")
+		a.InvokeStatic("Ljava/lang/Class;", "forName",
+			"(Ljava/lang/String;)Ljava/lang/Class;", 0)
+		a.MoveResultObject(0)
+		a.InvokeVirtual("Ljava/lang/Class;", "getDeclaredMethods",
+			"()[Ljava/lang/reflect/Method;", 0)
+		a.MoveResultObject(1)
+		a.ArrayLength(2, 1)
+		a.Return(2)
+	})
+	f, err := p.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := art.NewRuntime(art.DefaultPhone())
+	if _, err := rt.LoadDex(f); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func TestClassGetName(t *testing.T) {
+	rt := frameworkRT(t)
+	res, err := rt.Call("Lfw/T;", "name", "()Ljava/lang/String;", nil, nil)
+	if err != nil || res.Ref == nil || res.Ref.Str != "fw.T" {
+		t.Errorf("name() = %v, %v", res, err)
+	}
+}
+
+func TestClassNewInstance(t *testing.T) {
+	rt := frameworkRT(t)
+	res, err := rt.Call("Lfw/T;", "fresh", "()I", nil, nil)
+	if err != nil || res.Int != 99 {
+		t.Errorf("fresh() = %v, %v; want 99", res, err)
+	}
+}
+
+func TestForNameFailureIsCatchable(t *testing.T) {
+	rt := frameworkRT(t)
+	res, err := rt.Call("Lfw/T;", "badClass", "()I", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Int != int64(len("no.such.Klass")) {
+		t.Errorf("badClass() = %d, want message length %d", res.Int, len("no.such.Klass"))
+	}
+}
+
+func TestGetDeclaredMethodsCount(t *testing.T) {
+	rt := frameworkRT(t)
+	res, err := rt.Call("Lfw/T;", "methCount", "()I", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// <init>, ping, name, fresh, badClass, methCount = 6 declared methods.
+	if res.Int != 6 {
+		t.Errorf("methCount() = %d, want 6", res.Int)
+	}
+}
+
+func TestStringFrameworkEdgeCases(t *testing.T) {
+	rt := frameworkRT(t)
+	s := rt.NewString("hello")
+	// charAt out of bounds throws.
+	_, err := rt.Call("Ljava/lang/String;", "charAt", "(I)C", s,
+		[]art.Value{art.IntVal(99)})
+	var thrown *art.ThrownError
+	if !errors.As(err, &thrown) {
+		t.Errorf("charAt(99): got %v", err)
+	}
+	// substring bounds check.
+	_, err = rt.Call("Ljava/lang/String;", "substring", "(II)Ljava/lang/String;", s,
+		[]art.Value{art.IntVal(3), art.IntVal(1)})
+	if !errors.As(err, &thrown) {
+		t.Errorf("substring(3,1): got %v", err)
+	}
+	res, err := rt.Call("Ljava/lang/String;", "substring", "(II)Ljava/lang/String;", s,
+		[]art.Value{art.IntVal(1), art.IntVal(4)})
+	if err != nil || res.Ref.Str != "ell" {
+		t.Errorf("substring(1,4) = %v, %v", res, err)
+	}
+	// Integer.parseInt failure throws NumberFormatException.
+	bad := rt.NewString("not-a-number")
+	_, err = rt.Call("Ljava/lang/Integer;", "parseInt", "(Ljava/lang/String;)I", nil,
+		[]art.Value{art.RefVal(bad)})
+	if !errors.As(err, &thrown) ||
+		thrown.Obj.Class.Descriptor != "Ljava/lang/NumberFormatException;" {
+		t.Errorf("parseInt: got %v", err)
+	}
+	ok := rt.NewString(" 42 ")
+	res, err = rt.Call("Ljava/lang/Integer;", "parseInt", "(Ljava/lang/String;)I", nil,
+		[]art.Value{art.RefVal(ok)})
+	if err != nil || res.Int != 42 {
+		t.Errorf("parseInt(' 42 ') = %v, %v", res, err)
+	}
+}

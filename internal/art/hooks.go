@@ -1,0 +1,66 @@
+package art
+
+import (
+	"dexlego/internal/apimodel"
+	"dexlego/internal/bytecode"
+	"dexlego/internal/dex"
+)
+
+// Hooks is the instrumentation surface of the runtime. Each field is
+// optional; nil hooks cost nothing. DexLego's collector, the coverage
+// tracker, the force-execution engine and the dynamic taint analyses are all
+// implemented as Hooks instances, mirroring the paper's modifications to
+// ART's class linker and interpretation functions.
+type Hooks struct {
+	// ClassLoaded fires when the class linker defines a class.
+	ClassLoaded func(c *Class)
+	// ClassInitialized fires after <clinit> and static value initialization.
+	ClassInitialized func(c *Class)
+	// StaticFieldInit fires for every declared static value during class
+	// initialization, before <clinit> runs.
+	StaticFieldInit func(c *Class, f *Field, v Value)
+	// MethodEntered fires when a bytecode method's frame is set up.
+	MethodEntered func(m *Method)
+	// MethodExited fires when a bytecode method returns, throws out, or is
+	// abandoned.
+	MethodExited func(m *Method)
+	// Instruction fires before each instruction executes. insns is the live
+	// instruction array — self-modified code is visible here, which is what
+	// makes instruction-level JIT collection possible.
+	Instruction func(m *Method, pc int, insns []uint16)
+	// Branch fires for each conditional branch with the evaluated outcome;
+	// returning override=true forces newTaken instead (force execution).
+	Branch func(m *Method, pc int, in bytecode.Inst, taken bool) (override, newTaken bool)
+	// ReflectiveCall fires when Method.invoke resolves its target, exposing
+	// the reflection target the paper rewrites into a direct call.
+	ReflectiveCall func(caller *Method, callerPC int, target *Method)
+	// DynamicDex fires when a DEX file is defined at runtime (packers,
+	// DexClassLoader).
+	DynamicDex func(f *dex.File, classes []*Class)
+	// Unhandled fires when an exception is about to propagate out of a
+	// method with no matching handler; returning true clears the exception
+	// and resumes after the faulting instruction (force-execution
+	// tolerance).
+	Unhandled func(m *Method, pc int, ex *Object) bool
+	// InjectException, when it returns a non-empty exception class
+	// descriptor, makes the interpreter throw at this dex_pc instead of
+	// executing the instruction. The force-execution extension uses it to
+	// treat try/catch edges as forceable branches (the paper's future work
+	// for its third coverage-loss category).
+	InjectException func(m *Method, pc int) string
+	// SinkCall fires when a framework sink API executes.
+	SinkCall func(ev SinkEvent)
+}
+
+// SinkEvent records one execution of a sink API.
+type SinkEvent struct {
+	Sink     apimodel.SinkKind
+	Method   string // sink method key
+	Caller   string // bytecode caller method key ("" at top level)
+	CallerPC int
+	Taint    Taint // union of data-argument taints
+	Args     []string
+}
+
+// Leaky reports whether tainted data reached the sink.
+func (ev SinkEvent) Leaky() bool { return ev.Taint != 0 }

@@ -1,0 +1,743 @@
+package art
+
+import (
+	"fmt"
+
+	"dexlego/internal/bytecode"
+)
+
+// execState carries the per-top-level-call interpreter state: the frame
+// stack (for caller introspection by natives), the step budget, and depth
+// accounting.
+type execState struct {
+	rt     *Runtime
+	steps  int
+	budget int
+	frames []*frame
+}
+
+type frame struct {
+	method  *Method
+	regs    []Value
+	pc      int
+	result  Value
+	hasRes  bool
+	pending *Object // caught exception awaiting move-exception
+}
+
+func (rt *Runtime) newExecState() *execState {
+	return &execState{rt: rt, budget: rt.MaxSteps}
+}
+
+// callerFrame returns the innermost bytecode frame, which for a native
+// method is its caller.
+func (st *execState) callerFrame() *frame {
+	if len(st.frames) == 0 {
+		return nil
+	}
+	return st.frames[len(st.frames)-1]
+}
+
+// invoke dispatches a method call: native bridge or bytecode frame.
+func (rt *Runtime) invoke(st *execState, m *Method, recv *Object, args []Value) (Value, error) {
+	for _, fn := range rt.methodEnter {
+		fn(m)
+	}
+	defer func() {
+		for _, fn := range rt.methodExit {
+			fn(m)
+		}
+	}()
+
+	if native := rt.nativeFor(m); native != nil {
+		env := &Env{rt: rt, st: st, current: m}
+		return native(env, recv, args)
+	}
+	if m.Insns == nil {
+		// Abstract or unresolved-native method.
+		return Value{}, rt.Throw("Ljava/lang/RuntimeException;",
+			fmt.Sprintf("no implementation for %s", m.Key()))
+	}
+	if len(st.frames) >= defaultMaxDepth {
+		return Value{}, ErrStackOverfl
+	}
+
+	f := &frame{method: m, regs: make([]Value, m.RegistersSize)}
+	// Parameters occupy the highest registers (ins).
+	base := m.RegistersSize - m.InsSize
+	if base < 0 {
+		return Value{}, fmt.Errorf("art: %s: ins %d exceed registers %d",
+			m.Key(), m.InsSize, m.RegistersSize)
+	}
+	idx := base
+	if !m.IsStatic() {
+		if idx < len(f.regs) {
+			f.regs[idx] = RefVal(recv)
+		}
+		idx++
+	}
+	for _, a := range args {
+		if idx >= len(f.regs) {
+			break
+		}
+		f.regs[idx] = a
+		idx++
+	}
+
+	st.frames = append(st.frames, f)
+	for _, h := range rt.hooks {
+		if h.MethodEntered != nil {
+			h.MethodEntered(m)
+		}
+	}
+	v, err := rt.run(st, f)
+	st.frames = st.frames[:len(st.frames)-1]
+	for _, h := range rt.hooks {
+		if h.MethodExited != nil {
+			h.MethodExited(m)
+		}
+	}
+	return v, err
+}
+
+// nativeFor resolves the native implementation of m, if any: framework
+// methods carry it directly; application methods declared native resolve
+// through the registry at call time (JNI symbol lookup).
+func (rt *Runtime) nativeFor(m *Method) NativeFunc {
+	if m.Native != nil {
+		return m.Native
+	}
+	if m.AccessFlags&0x0100 != 0 { // AccNative
+		return rt.natives[m.Key()]
+	}
+	return nil
+}
+
+// throwInApp wraps err so bytecode-level handlers can catch it: ThrownError
+// values pass through, infrastructure errors (budget, stack) do not.
+func (rt *Runtime) handleThrow(f *frame, ex *Object) bool {
+	for _, t := range f.method.Tries {
+		if !t.Covers(f.pc) {
+			continue
+		}
+		for _, h := range t.Handlers {
+			desc := f.method.Class.File.TypeName(h.Type)
+			cls, err := rt.FindClass(desc)
+			if err != nil {
+				continue
+			}
+			if ex.Class.IsSubclassOf(cls) {
+				f.pending = ex
+				f.pc = int(h.Addr)
+				return true
+			}
+		}
+		if t.CatchAll >= 0 {
+			f.pending = ex
+			f.pc = int(t.CatchAll)
+			return true
+		}
+	}
+	return false
+}
+
+// run executes a bytecode frame to completion.
+func (rt *Runtime) run(st *execState, f *frame) (Value, error) {
+	m := f.method
+	for {
+		st.steps++
+		if st.steps > st.budget {
+			return Value{}, ErrStepBudget
+		}
+		if f.pc < 0 || f.pc >= len(m.Insns) {
+			return Value{}, fmt.Errorf("art: %s: pc %d out of bounds", m.Key(), f.pc)
+		}
+		for _, h := range rt.hooks {
+			if h.Instruction != nil {
+				h.Instruction(m, f.pc, m.Insns)
+			}
+		}
+		in, width, err := bytecode.Decode(m.Insns, f.pc)
+		if err != nil {
+			return Value{}, fmt.Errorf("art: %s: %w", m.Key(), err)
+		}
+
+		// Forced exception edges: a hook may demand that this instruction
+		// throws instead of executing.
+		var injected error
+		for _, h := range rt.hooks {
+			if h.InjectException == nil {
+				continue
+			}
+			if desc := h.InjectException(m, f.pc); desc != "" {
+				injected = rt.Throw(desc, "forced exception edge")
+				break
+			}
+		}
+		var v Value
+		var done bool
+		if injected != nil {
+			err = injected
+		} else {
+			v, done, err = rt.step(st, f, in, width)
+		}
+		if err != nil {
+			var thrown *ThrownError
+			if asThrown(err, &thrown) {
+				if rt.handleThrow(f, thrown.Obj) {
+					continue
+				}
+				cleared := false
+				for _, h := range rt.hooks {
+					if h.Unhandled != nil && h.Unhandled(m, f.pc, thrown.Obj) {
+						cleared = true
+					}
+				}
+				if cleared {
+					// Tolerate: resume after the faulting instruction with a
+					// zeroed invoke result (force-execution crash avoidance).
+					// Falling off the end becomes an implicit return.
+					f.hasRes = false
+					f.result = Value{Kind: KindInt}
+					f.pc += width
+					if f.pc >= len(m.Insns) {
+						return Value{Kind: KindInt}, nil
+					}
+					continue
+				}
+			}
+			return Value{}, err
+		}
+		if done {
+			return v, nil
+		}
+	}
+}
+
+func asThrown(err error, out **ThrownError) bool {
+	t, ok := err.(*ThrownError)
+	if ok {
+		*out = t
+	}
+	return ok
+}
+
+// step executes one decoded instruction. It returns done=true with the
+// method result for returns.
+func (rt *Runtime) step(st *execState, f *frame, in bytecode.Inst, width int) (Value, bool, error) {
+	m := f.method
+	regs := f.regs
+	// Format-aware bounds check over every register operand (A is a count,
+	// not a register, for invoke formats; MapRegisters knows the layout).
+	maxReg := int32(-1)
+	bytecode.MapRegisters(in, func(r int32) int32 {
+		if r > maxReg {
+			maxReg = r
+		}
+		return r
+	})
+	if int(maxReg) >= len(regs) {
+		return Value{}, false, fmt.Errorf("art: %s: register v%d out of range at pc %d",
+			m.Key(), maxReg, f.pc)
+	}
+	next := func() { f.pc += width }
+
+	switch in.Op {
+	case bytecode.OpNop:
+		next()
+
+	case bytecode.OpMove, bytecode.OpMoveFrom16,
+		bytecode.OpMoveObject, bytecode.OpMoveObject16:
+		regs[in.A] = regs[in.B]
+		next()
+
+	case bytecode.OpMoveResult, bytecode.OpMoveResultObj:
+		regs[in.A] = f.result
+		f.hasRes = false
+		next()
+
+	case bytecode.OpMoveException:
+		if f.pending == nil {
+			regs[in.A] = NullVal()
+		} else {
+			regs[in.A] = RefVal(f.pending)
+		}
+		f.pending = nil
+		next()
+
+	case bytecode.OpReturnVoid:
+		return Value{Kind: KindInt}, true, nil
+	case bytecode.OpReturn, bytecode.OpReturnObject:
+		return regs[in.A], true, nil
+
+	case bytecode.OpConst4, bytecode.OpConst16, bytecode.OpConst,
+		bytecode.OpConstHigh16:
+		regs[in.A] = IntVal(in.Lit)
+		next()
+
+	case bytecode.OpConstString:
+		regs[in.A] = RefVal(rt.NewString(m.Class.File.String(in.Index)))
+		next()
+
+	case bytecode.OpConstClass:
+		desc := m.Class.File.TypeName(in.Index)
+		cls, err := rt.FindClass(desc)
+		if err != nil {
+			return Value{}, false, rt.Throw("Ljava/lang/ClassNotFoundException;", desc)
+		}
+		regs[in.A] = RefVal(rt.classObject(cls))
+		next()
+
+	case bytecode.OpCheckCast:
+		if err := rt.checkCast(regs[in.A], m.Class.File.TypeName(in.Index)); err != nil {
+			return Value{}, false, err
+		}
+		next()
+
+	case bytecode.OpInstanceOf:
+		regs[in.A] = BoolVal(rt.instanceOf(regs[in.B], m.Class.File.TypeName(in.Index)))
+		next()
+
+	case bytecode.OpArrayLength:
+		arr := regs[in.B]
+		if arr.IsNull() {
+			return Value{}, false, rt.Throw("Ljava/lang/NullPointerException;", "array-length on null")
+		}
+		regs[in.A] = IntVal(int64(len(arr.Ref.Elems))).WithTaint(arr.Taint)
+		next()
+
+	case bytecode.OpNewInstance:
+		desc := m.Class.File.TypeName(in.Index)
+		cls, err := rt.FindClass(desc)
+		if err != nil {
+			return Value{}, false, rt.Throw("Ljava/lang/ClassNotFoundException;", desc)
+		}
+		if err := rt.ensureInitialized(st, cls); err != nil {
+			return Value{}, false, err
+		}
+		regs[in.A] = RefVal(rt.NewInstance(cls))
+		next()
+
+	case bytecode.OpNewArray:
+		n := regs[in.B].Int
+		if n < 0 {
+			return Value{}, false, rt.Throw("Ljava/lang/RuntimeException;", "negative array size")
+		}
+		arr, err := rt.NewArray(m.Class.File.TypeName(in.Index), int(n))
+		if err != nil {
+			return Value{}, false, err
+		}
+		regs[in.A] = RefVal(arr)
+		next()
+
+	case bytecode.OpThrow:
+		if regs[in.A].IsNull() {
+			return Value{}, false, rt.Throw("Ljava/lang/NullPointerException;", "throw null")
+		}
+		return Value{}, false, &ThrownError{Obj: regs[in.A].Ref}
+
+	case bytecode.OpGoto, bytecode.OpGoto16, bytecode.OpGoto32:
+		f.pc += int(in.Off)
+
+	case bytecode.OpPackedSwitch, bytecode.OpSparseSwitch:
+		key := int32(regs[in.A].Int)
+		target := width // fall through past the 31t instruction
+		for i, k := range in.Keys {
+			if k == key {
+				target = int(in.Targets[i])
+				break
+			}
+		}
+		f.pc += target
+
+	case bytecode.OpIfEq, bytecode.OpIfNe, bytecode.OpIfLt,
+		bytecode.OpIfGe, bytecode.OpIfGt, bytecode.OpIfLe:
+		taken := evalBranch(in.Op, regs[in.A], regs[in.B])
+		taken = rt.branchHook(m, f.pc, in, taken)
+		if taken {
+			f.pc += int(in.Off)
+		} else {
+			next()
+		}
+
+	case bytecode.OpIfEqz, bytecode.OpIfNez, bytecode.OpIfLtz,
+		bytecode.OpIfGez, bytecode.OpIfGtz, bytecode.OpIfLez:
+		// The z-form opcodes mirror the two-register forms shifted by 6.
+		taken := evalBranch(in.Op-6, regs[in.A], IntVal(0))
+		taken = rt.branchHook(m, f.pc, in, taken)
+		if taken {
+			f.pc += int(in.Off)
+		} else {
+			next()
+		}
+
+	case bytecode.OpAGet, bytecode.OpAGetObject:
+		v, err := rt.arrayGet(regs[in.B], regs[in.C])
+		if err != nil {
+			return Value{}, false, err
+		}
+		regs[in.A] = v
+		next()
+
+	case bytecode.OpAPut, bytecode.OpAPutObject:
+		if err := rt.arrayPut(regs[in.B], regs[in.C], regs[in.A]); err != nil {
+			return Value{}, false, err
+		}
+		next()
+
+	case bytecode.OpIGet, bytecode.OpIGetObject, bytecode.OpIGetBoolean:
+		obj := regs[in.B]
+		if obj.IsNull() {
+			return Value{}, false, rt.Throw("Ljava/lang/NullPointerException;",
+				"iget on null in "+m.Key())
+		}
+		ref := m.Class.File.FieldAt(in.Index)
+		regs[in.A] = obj.Ref.Field(ref.Name)
+		next()
+
+	case bytecode.OpIPut, bytecode.OpIPutObject, bytecode.OpIPutBoolean:
+		obj := regs[in.B]
+		if obj.IsNull() {
+			return Value{}, false, rt.Throw("Ljava/lang/NullPointerException;",
+				"iput on null in "+m.Key())
+		}
+		ref := m.Class.File.FieldAt(in.Index)
+		obj.Ref.SetField(ref.Name, regs[in.A])
+		next()
+
+	case bytecode.OpSGet, bytecode.OpSGetObject, bytecode.OpSGetBoolean:
+		v, err := rt.staticGet(st, m, in.Index)
+		if err != nil {
+			return Value{}, false, err
+		}
+		regs[in.A] = v
+		next()
+
+	case bytecode.OpSPut, bytecode.OpSPutObject, bytecode.OpSPutBoolean:
+		if err := rt.staticPut(st, m, in.Index, regs[in.A]); err != nil {
+			return Value{}, false, err
+		}
+		next()
+
+	case bytecode.OpInvokeVirtual, bytecode.OpInvokeSuper, bytecode.OpInvokeDirect,
+		bytecode.OpInvokeStatic, bytecode.OpInvokeInterface,
+		bytecode.OpInvokeVirtualR, bytecode.OpInvokeSuperR, bytecode.OpInvokeDirectR,
+		bytecode.OpInvokeStaticR, bytecode.OpInvokeInterR:
+		if err := rt.doInvoke(st, f, in); err != nil {
+			return Value{}, false, err
+		}
+		next()
+
+	case bytecode.OpNegInt:
+		regs[in.A] = IntVal(int64(-int32(regs[in.B].Int))).WithTaint(regs[in.B].Taint)
+		next()
+	case bytecode.OpNotInt:
+		regs[in.A] = IntVal(int64(^int32(regs[in.B].Int))).WithTaint(regs[in.B].Taint)
+		next()
+
+	case bytecode.OpAddInt, bytecode.OpSubInt, bytecode.OpMulInt,
+		bytecode.OpDivInt, bytecode.OpRemInt, bytecode.OpAndInt,
+		bytecode.OpOrInt, bytecode.OpXorInt, bytecode.OpShlInt,
+		bytecode.OpShrInt, bytecode.OpUshrInt:
+		r, err := rt.binop(in.Op, regs[in.B], regs[in.C])
+		if err != nil {
+			return Value{}, false, err
+		}
+		regs[in.A] = r
+		next()
+
+	case bytecode.OpAddIntLit16:
+		r, err := rt.binop(bytecode.OpAddInt, regs[in.B], IntVal(in.Lit))
+		if err != nil {
+			return Value{}, false, err
+		}
+		regs[in.A] = r
+		next()
+
+	case bytecode.OpAddIntLit8, bytecode.OpMulIntLit8, bytecode.OpDivIntLit8,
+		bytecode.OpRemIntLit8, bytecode.OpAndIntLit8, bytecode.OpOrIntLit8,
+		bytecode.OpXorIntLit8, bytecode.OpShlIntLit8, bytecode.OpShrIntLit8:
+		r, err := rt.binop(lit8Base(in.Op), regs[in.B], IntVal(in.Lit))
+		if err != nil {
+			return Value{}, false, err
+		}
+		regs[in.A] = r
+		next()
+
+	case bytecode.OpRsubIntLit8:
+		r, err := rt.binop(bytecode.OpSubInt, IntVal(in.Lit), regs[in.B])
+		if err != nil {
+			return Value{}, false, err
+		}
+		regs[in.A] = r
+		next()
+
+	default:
+		return Value{}, false, fmt.Errorf("art: %s: unimplemented opcode %s", m.Key(), in.Op)
+	}
+	return Value{}, false, nil
+}
+
+func lit8Base(op bytecode.Opcode) bytecode.Opcode {
+	switch op {
+	case bytecode.OpAddIntLit8:
+		return bytecode.OpAddInt
+	case bytecode.OpMulIntLit8:
+		return bytecode.OpMulInt
+	case bytecode.OpDivIntLit8:
+		return bytecode.OpDivInt
+	case bytecode.OpRemIntLit8:
+		return bytecode.OpRemInt
+	case bytecode.OpAndIntLit8:
+		return bytecode.OpAndInt
+	case bytecode.OpOrIntLit8:
+		return bytecode.OpOrInt
+	case bytecode.OpXorIntLit8:
+		return bytecode.OpXorInt
+	case bytecode.OpShlIntLit8:
+		return bytecode.OpShlInt
+	case bytecode.OpShrIntLit8:
+		return bytecode.OpShrInt
+	default:
+		return op
+	}
+}
+
+func (rt *Runtime) branchHook(m *Method, pc int, in bytecode.Inst, taken bool) bool {
+	for _, h := range rt.hooks {
+		if h.Branch == nil {
+			continue
+		}
+		if override, forced := h.Branch(m, pc, in, taken); override {
+			taken = forced
+		}
+	}
+	return taken
+}
+
+// evalBranch evaluates an if-test over two register values. References
+// compare by identity (a null reference also compares equal to integer 0,
+// matching the verifier-tolerated null-check idiom).
+func evalBranch(op bytecode.Opcode, a, b Value) bool {
+	if a.Kind == KindRef || b.Kind == KindRef {
+		eq := refEqual(a, b)
+		switch op {
+		case bytecode.OpIfEq:
+			return eq
+		case bytecode.OpIfNe:
+			return !eq
+		default:
+			return false // ordered comparison on references is undefined
+		}
+	}
+	return compare(op, a.Int, b.Int)
+}
+
+func refEqual(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	return a.Kind == KindRef && b.Kind == KindRef && a.Ref == b.Ref
+}
+
+func compare(op bytecode.Opcode, a, b int64) bool {
+	switch op {
+	case bytecode.OpIfEq:
+		return a == b
+	case bytecode.OpIfNe:
+		return a != b
+	case bytecode.OpIfLt:
+		return a < b
+	case bytecode.OpIfGe:
+		return a >= b
+	case bytecode.OpIfGt:
+		return a > b
+	case bytecode.OpIfLe:
+		return a <= b
+	default:
+		return false
+	}
+}
+
+func (rt *Runtime) binop(op bytecode.Opcode, a, b Value) (Value, error) {
+	x, y := int32(a.Int), int32(b.Int)
+	var r int32
+	switch op {
+	case bytecode.OpAddInt:
+		r = x + y
+	case bytecode.OpSubInt:
+		r = x - y
+	case bytecode.OpMulInt:
+		r = x * y
+	case bytecode.OpDivInt, bytecode.OpRemInt:
+		if y == 0 {
+			return Value{}, rt.Throw("Ljava/lang/ArithmeticException;", "divide by zero")
+		}
+		if op == bytecode.OpDivInt {
+			r = x / y
+		} else {
+			r = x % y
+		}
+	case bytecode.OpAndInt:
+		r = x & y
+	case bytecode.OpOrInt:
+		r = x | y
+	case bytecode.OpXorInt:
+		r = x ^ y
+	case bytecode.OpShlInt:
+		r = x << (uint32(y) & 31)
+	case bytecode.OpShrInt:
+		r = x >> (uint32(y) & 31)
+	case bytecode.OpUshrInt:
+		r = int32(uint32(x) >> (uint32(y) & 31))
+	default:
+		return Value{}, fmt.Errorf("art: bad binop %s", op)
+	}
+	return IntVal(int64(r)).WithTaint(a.Taint | b.Taint), nil
+}
+
+func (rt *Runtime) arrayGet(arr, idx Value) (Value, error) {
+	if arr.IsNull() {
+		return Value{}, rt.Throw("Ljava/lang/NullPointerException;", "aget on null")
+	}
+	i := idx.Int
+	if i < 0 || int(i) >= len(arr.Ref.Elems) {
+		return Value{}, rt.Throw("Ljava/lang/ArrayIndexOutOfBoundsException;",
+			fmt.Sprintf("index %d length %d", i, len(arr.Ref.Elems)))
+	}
+	v := arr.Ref.Elems[i]
+	v.Taint |= arr.Taint | arr.Ref.Taint
+	return v, nil
+}
+
+func (rt *Runtime) arrayPut(arr, idx, val Value) error {
+	if arr.IsNull() {
+		return rt.Throw("Ljava/lang/NullPointerException;", "aput on null")
+	}
+	i := idx.Int
+	if i < 0 || int(i) >= len(arr.Ref.Elems) {
+		return rt.Throw("Ljava/lang/ArrayIndexOutOfBoundsException;",
+			fmt.Sprintf("index %d length %d", i, len(arr.Ref.Elems)))
+	}
+	arr.Ref.Elems[i] = val
+	return nil
+}
+
+func (rt *Runtime) staticGet(st *execState, m *Method, fieldIdx uint32) (Value, error) {
+	ref := m.Class.File.FieldAt(fieldIdx)
+	c, err := rt.FindClass(ref.Class)
+	if err != nil {
+		return Value{}, rt.Throw("Ljava/lang/ClassNotFoundException;", ref.Class)
+	}
+	if err := rt.ensureInitialized(st, c); err != nil {
+		return Value{}, err
+	}
+	for k := c; k != nil; k = k.Super {
+		if v, ok := k.Statics[ref.Name]; ok {
+			return v, nil
+		}
+	}
+	return Value{}, rt.Throw("Ljava/lang/RuntimeException;", "no such static field "+ref.Key())
+}
+
+func (rt *Runtime) staticPut(st *execState, m *Method, fieldIdx uint32, v Value) error {
+	ref := m.Class.File.FieldAt(fieldIdx)
+	c, err := rt.FindClass(ref.Class)
+	if err != nil {
+		return rt.Throw("Ljava/lang/ClassNotFoundException;", ref.Class)
+	}
+	if err := rt.ensureInitialized(st, c); err != nil {
+		return err
+	}
+	for k := c; k != nil; k = k.Super {
+		if _, ok := k.Statics[ref.Name]; ok {
+			k.Statics[ref.Name] = v
+			return nil
+		}
+	}
+	c.Statics[ref.Name] = v
+	return nil
+}
+
+func (rt *Runtime) checkCast(v Value, desc string) error {
+	if v.IsNull() {
+		return nil
+	}
+	if !rt.instanceOf(v, desc) {
+		return rt.Throw("Ljava/lang/ClassCastException;",
+			v.Ref.Class.Descriptor+" cannot be cast to "+desc)
+	}
+	return nil
+}
+
+func (rt *Runtime) instanceOf(v Value, desc string) bool {
+	if v.Kind != KindRef || v.Ref == nil {
+		return false
+	}
+	if desc == "Ljava/lang/Object;" {
+		return true
+	}
+	target, err := rt.FindClass(desc)
+	if err != nil {
+		return false
+	}
+	return v.Ref.Class.IsSubclassOf(target)
+}
+
+func (rt *Runtime) doInvoke(st *execState, f *frame, in bytecode.Inst) error {
+	m := f.method
+	ref := m.Class.File.MethodAt(in.Index)
+	instance := in.Op != bytecode.OpInvokeStatic && in.Op != bytecode.OpInvokeStaticR
+
+	var recv *Object
+	argRegs := in.Args
+	if instance {
+		if len(argRegs) == 0 {
+			return fmt.Errorf("art: %s: instance invoke without receiver", m.Key())
+		}
+		rv := f.regs[argRegs[0]]
+		if rv.IsNull() {
+			return rt.Throw("Ljava/lang/NullPointerException;",
+				"invoke "+ref.Key()+" on null in "+m.Key())
+		}
+		recv = rv.Ref
+		argRegs = argRegs[1:]
+	}
+	args := make([]Value, len(argRegs))
+	for i, r := range argRegs {
+		if int(r) >= len(f.regs) {
+			return fmt.Errorf("art: %s: arg register v%d out of range", m.Key(), r)
+		}
+		args[i] = f.regs[r]
+	}
+
+	var target *Method
+	switch in.Op {
+	case bytecode.OpInvokeVirtual, bytecode.OpInvokeInterface,
+		bytecode.OpInvokeVirtualR, bytecode.OpInvokeInterR:
+		target = recv.Class.FindMethod(ref.Name, ref.Signature)
+	case bytecode.OpInvokeSuper, bytecode.OpInvokeSuperR:
+		if m.Class.Super != nil {
+			target = m.Class.Super.FindMethod(ref.Name, ref.Signature)
+		}
+	default: // direct, static
+		c, err := rt.FindClass(ref.Class)
+		if err != nil {
+			return rt.Throw("Ljava/lang/ClassNotFoundException;", ref.Class)
+		}
+		if err := rt.ensureInitialized(st, c); err != nil {
+			return err
+		}
+		target = c.FindMethod(ref.Name, ref.Signature)
+	}
+	if target == nil {
+		return rt.Throw("Ljava/lang/NoSuchMethodException;", ref.Key())
+	}
+	res, err := rt.invoke(st, target, recv, args)
+	if err != nil {
+		return err
+	}
+	f.result = res
+	f.hasRes = true
+	return nil
+}

@@ -1,0 +1,72 @@
+package art
+
+import "fmt"
+
+// Object is a heap object: a class instance, string, array, or a
+// native-backed framework object.
+type Object struct {
+	Class  *Class
+	Fields map[string]Value // instance fields by name
+	Elems  []Value          // array elements (nil for non-arrays)
+	Str    string           // java/lang/String payload
+	Data   any              // native payload (e.g. *Class, *Method, handles)
+	Taint  Taint            // object-level taint (used by strings)
+}
+
+// SetField stores an instance field value.
+func (o *Object) SetField(name string, v Value) {
+	if o.Fields == nil {
+		o.Fields = make(map[string]Value)
+	}
+	o.Fields[name] = v
+}
+
+// Field loads an instance field value; absent fields read as their zero
+// value (null for references is indistinguishable here, which matches the
+// interpreter's needs).
+func (o *Object) Field(name string) Value {
+	if v, ok := o.Fields[name]; ok {
+		return v
+	}
+	return Value{Kind: KindInt}
+}
+
+// IsArray reports whether the object is an array.
+func (o *Object) IsArray() bool { return o.Elems != nil }
+
+// IsString reports whether the object is a java/lang/String.
+func (o *Object) IsString() bool {
+	return o.Class != nil && o.Class.Descriptor == "Ljava/lang/String;"
+}
+
+func (o *Object) String() string {
+	if o == nil {
+		return "null"
+	}
+	switch {
+	case o.IsString():
+		return fmt.Sprintf("%q", o.Str)
+	case o.IsArray():
+		return fmt.Sprintf("%s[%d]", o.Class.Descriptor, len(o.Elems))
+	default:
+		return fmt.Sprintf("%s@%p", o.Class.Descriptor, o)
+	}
+}
+
+// Pretty renders the value for logging and sink-event capture.
+func Pretty(v Value) string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindRef:
+		if v.Ref == nil {
+			return "null"
+		}
+		if v.Ref.IsString() {
+			return v.Ref.Str
+		}
+		return v.Ref.String()
+	default:
+		return "<uninit>"
+	}
+}

@@ -1,0 +1,404 @@
+package bytecode
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assembler builds a method body from instructions and symbolic labels and
+// resolves branch offsets and switch payloads into a final code-unit array.
+//
+// The zero value is ready to use. All mutating methods record the first
+// error and subsequent calls become no-ops; Assemble returns that error.
+type Assembler struct {
+	items []asmItem
+	err   error
+}
+
+type asmItem struct {
+	labels  []string // labels bound to this position
+	inst    Inst
+	branch  string   // label for Off-based formats
+	targets []string // labels for switch targets
+	present bool     // false for a trailing label-only item
+}
+
+func (a *Assembler) fail(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf("bytecode: asm: "+format, args...)
+	}
+}
+
+// Label binds name to the next emitted instruction.
+func (a *Assembler) Label(name string) *Assembler {
+	if a.err != nil {
+		return a
+	}
+	if len(a.items) > 0 && !a.items[len(a.items)-1].present {
+		a.items[len(a.items)-1].labels = append(a.items[len(a.items)-1].labels, name)
+		return a
+	}
+	a.items = append(a.items, asmItem{labels: []string{name}})
+	return a
+}
+
+func (a *Assembler) push(it asmItem) *Assembler {
+	if a.err != nil {
+		return a
+	}
+	it.present = true
+	if len(a.items) > 0 && !a.items[len(a.items)-1].present {
+		it.labels = append(a.items[len(a.items)-1].labels, it.labels...)
+		a.items[len(a.items)-1] = it
+		return a
+	}
+	a.items = append(a.items, it)
+	return a
+}
+
+// Raw emits a fully formed instruction with no label operands.
+func (a *Assembler) Raw(in Inst) *Assembler {
+	return a.push(asmItem{inst: in})
+}
+
+// RawBranch emits an instruction whose Off operand is resolved from label.
+func (a *Assembler) RawBranch(in Inst, label string) *Assembler {
+	return a.push(asmItem{inst: in, branch: label})
+}
+
+// RawSwitch emits a switch instruction whose case targets are resolved from
+// labels; in.Keys must already hold the case keys.
+func (a *Assembler) RawSwitch(in Inst, labels []string) *Assembler {
+	if len(in.Keys) != len(labels) {
+		a.fail("%s: %d keys but %d labels", in.Op, len(in.Keys), len(labels))
+		return a
+	}
+	return a.push(asmItem{inst: in, targets: append([]string(nil), labels...)})
+}
+
+// Nop emits a nop.
+func (a *Assembler) Nop() *Assembler { return a.Raw(Inst{Op: OpNop}) }
+
+// Move emits move vA, vB.
+func (a *Assembler) Move(dst, src int32) *Assembler {
+	if dst <= 0xf && src <= 0xf {
+		return a.Raw(Inst{Op: OpMove, A: dst, B: src})
+	}
+	return a.Raw(Inst{Op: OpMoveFrom16, A: dst, B: src})
+}
+
+// MoveObject emits move-object vA, vB.
+func (a *Assembler) MoveObject(dst, src int32) *Assembler {
+	if dst <= 0xf && src <= 0xf {
+		return a.Raw(Inst{Op: OpMoveObject, A: dst, B: src})
+	}
+	return a.Raw(Inst{Op: OpMoveObject16, A: dst, B: src})
+}
+
+// MoveResult emits move-result vAA.
+func (a *Assembler) MoveResult(dst int32) *Assembler {
+	return a.Raw(Inst{Op: OpMoveResult, A: dst})
+}
+
+// MoveResultObject emits move-result-object vAA.
+func (a *Assembler) MoveResultObject(dst int32) *Assembler {
+	return a.Raw(Inst{Op: OpMoveResultObj, A: dst})
+}
+
+// MoveException emits move-exception vAA.
+func (a *Assembler) MoveException(dst int32) *Assembler {
+	return a.Raw(Inst{Op: OpMoveException, A: dst})
+}
+
+// ReturnVoid emits return-void.
+func (a *Assembler) ReturnVoid() *Assembler { return a.Raw(Inst{Op: OpReturnVoid}) }
+
+// Return emits return vAA.
+func (a *Assembler) Return(v int32) *Assembler { return a.Raw(Inst{Op: OpReturn, A: v}) }
+
+// ReturnObject emits return-object vAA.
+func (a *Assembler) ReturnObject(v int32) *Assembler {
+	return a.Raw(Inst{Op: OpReturnObject, A: v})
+}
+
+// Const emits the narrowest const variant that holds lit.
+func (a *Assembler) Const(dst int32, lit int64) *Assembler {
+	switch {
+	case dst <= 0xf && fitsS(lit, 4):
+		return a.Raw(Inst{Op: OpConst4, A: dst, Lit: lit})
+	case fitsS(lit, 16):
+		return a.Raw(Inst{Op: OpConst16, A: dst, Lit: lit})
+	case lit&0xffff == 0 && fitsS(lit>>16, 16):
+		return a.Raw(Inst{Op: OpConstHigh16, A: dst, Lit: lit})
+	default:
+		return a.Raw(Inst{Op: OpConst, A: dst, Lit: lit})
+	}
+}
+
+// ConstString emits const-string vAA, string@idx.
+func (a *Assembler) ConstString(dst int32, idx uint32) *Assembler {
+	return a.Raw(Inst{Op: OpConstString, A: dst, Index: idx})
+}
+
+// ConstClass emits const-class vAA, type@idx.
+func (a *Assembler) ConstClass(dst int32, idx uint32) *Assembler {
+	return a.Raw(Inst{Op: OpConstClass, A: dst, Index: idx})
+}
+
+// CheckCast emits check-cast vAA, type@idx.
+func (a *Assembler) CheckCast(v int32, idx uint32) *Assembler {
+	return a.Raw(Inst{Op: OpCheckCast, A: v, Index: idx})
+}
+
+// InstanceOf emits instance-of vA, vB, type@idx.
+func (a *Assembler) InstanceOf(dst, src int32, idx uint32) *Assembler {
+	return a.Raw(Inst{Op: OpInstanceOf, A: dst, B: src, Index: idx})
+}
+
+// ArrayLength emits array-length vA, vB.
+func (a *Assembler) ArrayLength(dst, arr int32) *Assembler {
+	return a.Raw(Inst{Op: OpArrayLength, A: dst, B: arr})
+}
+
+// NewInstance emits new-instance vAA, type@idx.
+func (a *Assembler) NewInstance(dst int32, idx uint32) *Assembler {
+	return a.Raw(Inst{Op: OpNewInstance, A: dst, Index: idx})
+}
+
+// NewArray emits new-array vA, vB, type@idx.
+func (a *Assembler) NewArray(dst, size int32, idx uint32) *Assembler {
+	return a.Raw(Inst{Op: OpNewArray, A: dst, B: size, Index: idx})
+}
+
+// Throw emits throw vAA.
+func (a *Assembler) Throw(v int32) *Assembler { return a.Raw(Inst{Op: OpThrow, A: v}) }
+
+// Goto emits an unconditional jump to label (16-bit reach).
+func (a *Assembler) Goto(label string) *Assembler {
+	return a.RawBranch(Inst{Op: OpGoto16}, label)
+}
+
+// If emits a two-register conditional branch (if-eq .. if-le) to label.
+func (a *Assembler) If(op Opcode, va, vb int32, label string) *Assembler {
+	if op < OpIfEq || op > OpIfLe {
+		a.fail("If: %s is not an if-test opcode", op)
+		return a
+	}
+	return a.RawBranch(Inst{Op: op, A: va, B: vb}, label)
+}
+
+// IfZ emits a single-register zero-test branch (if-eqz .. if-lez) to label.
+func (a *Assembler) IfZ(op Opcode, v int32, label string) *Assembler {
+	if op < OpIfEqz || op > OpIfLez {
+		a.fail("IfZ: %s is not an if-testz opcode", op)
+		return a
+	}
+	return a.RawBranch(Inst{Op: op, A: v}, label)
+}
+
+// Binop emits a three-register arithmetic instruction.
+func (a *Assembler) Binop(op Opcode, dst, va, vb int32) *Assembler {
+	return a.Raw(Inst{Op: op, A: dst, B: va, C: vb})
+}
+
+// BinopLit8 emits an arithmetic instruction with an 8-bit literal.
+func (a *Assembler) BinopLit8(op Opcode, dst, src int32, lit int64) *Assembler {
+	return a.Raw(Inst{Op: op, A: dst, B: src, Lit: lit})
+}
+
+// Unop emits a one-operand arithmetic instruction (neg-int, not-int).
+func (a *Assembler) Unop(op Opcode, dst, src int32) *Assembler {
+	return a.Raw(Inst{Op: op, A: dst, B: src})
+}
+
+// Invoke emits a 35c invoke with up to five argument registers.
+func (a *Assembler) Invoke(op Opcode, method uint32, regs ...int) *Assembler {
+	return a.Raw(Inst{Op: op, Index: method, Args: append([]int(nil), regs...), A: int32(len(regs))})
+}
+
+// InvokeRange emits a 3rc invoke covering count registers from start.
+func (a *Assembler) InvokeRange(op Opcode, method uint32, start, count int) *Assembler {
+	args := make([]int, count)
+	for i := range args {
+		args[i] = start + i
+	}
+	return a.Raw(Inst{Op: op, Index: method, Args: args, A: int32(count)})
+}
+
+// IGet emits an instance field read; op selects the iget variant.
+func (a *Assembler) IGet(op Opcode, dst, obj int32, field uint32) *Assembler {
+	return a.Raw(Inst{Op: op, A: dst, B: obj, Index: field})
+}
+
+// IPut emits an instance field write; op selects the iput variant.
+func (a *Assembler) IPut(op Opcode, src, obj int32, field uint32) *Assembler {
+	return a.Raw(Inst{Op: op, A: src, B: obj, Index: field})
+}
+
+// SGet emits a static field read; op selects the sget variant.
+func (a *Assembler) SGet(op Opcode, dst int32, field uint32) *Assembler {
+	return a.Raw(Inst{Op: op, A: dst, Index: field})
+}
+
+// SPut emits a static field write; op selects the sput variant.
+func (a *Assembler) SPut(op Opcode, src int32, field uint32) *Assembler {
+	return a.Raw(Inst{Op: op, A: src, Index: field})
+}
+
+// AGet emits an array element read; op selects the aget variant.
+func (a *Assembler) AGet(op Opcode, dst, arr, idx int32) *Assembler {
+	return a.Raw(Inst{Op: op, A: dst, B: arr, C: idx})
+}
+
+// APut emits an array element write; op selects the aput variant.
+func (a *Assembler) APut(op Opcode, src, arr, idx int32) *Assembler {
+	return a.Raw(Inst{Op: op, A: src, B: arr, C: idx})
+}
+
+// PackedSwitch emits packed-switch vAA with consecutive keys starting at
+// firstKey; one label per case.
+func (a *Assembler) PackedSwitch(v int32, firstKey int32, labels []string) *Assembler {
+	keys := make([]int32, len(labels))
+	for i := range keys {
+		keys[i] = firstKey + int32(i)
+	}
+	return a.RawSwitch(Inst{Op: OpPackedSwitch, A: v, Keys: keys}, labels)
+}
+
+// SparseSwitch emits sparse-switch vAA with explicit keys (sorted
+// internally); one label per case.
+func (a *Assembler) SparseSwitch(v int32, keys []int32, labels []string) *Assembler {
+	if len(keys) != len(labels) {
+		a.fail("SparseSwitch: %d keys but %d labels", len(keys), len(labels))
+		return a
+	}
+	type kv struct {
+		k int32
+		l string
+	}
+	pairs := make([]kv, len(keys))
+	for i := range keys {
+		pairs[i] = kv{keys[i], labels[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	sk := make([]int32, len(pairs))
+	sl := make([]string, len(pairs))
+	for i, p := range pairs {
+		sk[i] = p.k
+		sl[i] = p.l
+	}
+	return a.RawSwitch(Inst{Op: OpSparseSwitch, A: v, Keys: sk}, sl)
+}
+
+// Assemble lays out the program, resolves labels and switch payloads, and
+// returns the final code-unit array.
+func (a *Assembler) Assemble() ([]uint16, error) {
+	insns, _, err := a.AssembleWithLabels()
+	return insns, err
+}
+
+// AssembleWithLabels is Assemble plus the resolved dex_pc of every label
+// (used to anchor try/catch ranges).
+func (a *Assembler) AssembleWithLabels() ([]uint16, map[string]int, error) {
+	if a.err != nil {
+		return nil, nil, a.err
+	}
+	// First pass: assign dex_pc to every instruction and label.
+	pcOf := make(map[string]int)
+	pc := 0
+	type placedItem struct {
+		pc int
+		it asmItem
+	}
+	placed := make([]placedItem, 0, len(a.items))
+	for _, it := range a.items {
+		for _, l := range it.labels {
+			if _, dup := pcOf[l]; dup {
+				return nil, nil, fmt.Errorf("bytecode: asm: duplicate label %q", l)
+			}
+			pcOf[l] = pc
+		}
+		if !it.present {
+			continue
+		}
+		placed = append(placed, placedItem{pc, it})
+		pc += it.inst.Width()
+	}
+	bodyLen := pc
+
+	// Second pass: place switch payloads after the body, 4-byte aligned.
+	payloadPC := make([]int, len(placed))
+	for i, p := range placed {
+		if !p.it.inst.Op.IsSwitch() {
+			continue
+		}
+		if pc%2 != 0 {
+			pc++ // nop pad
+		}
+		payloadPC[i] = pc
+		pc += p.it.inst.PayloadWidth()
+	}
+
+	out := make([]uint16, 0, pc)
+	emitTo := func(want int) {
+		for len(out) < want {
+			out = append(out, uint16(OpNop))
+		}
+	}
+	resolve := func(label string, at int) (int32, error) {
+		t, ok := pcOf[label]
+		if !ok {
+			return 0, fmt.Errorf("bytecode: asm: undefined label %q", label)
+		}
+		return int32(t - at), nil
+	}
+	for i, p := range placed {
+		in := p.it.inst
+		if p.it.branch != "" {
+			off, err := resolve(p.it.branch, p.pc)
+			if err != nil {
+				return nil, nil, err
+			}
+			in.Off = off
+		}
+		if len(p.it.targets) > 0 {
+			in.Targets = make([]int32, len(p.it.targets))
+			for j, l := range p.it.targets {
+				off, err := resolve(l, p.pc)
+				if err != nil {
+					return nil, nil, err
+				}
+				in.Targets[j] = off
+			}
+			in.Off = int32(payloadPC[i] - p.pc)
+		}
+		units, err := Encode(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		emitTo(p.pc)
+		out = append(out, units...)
+	}
+	emitTo(bodyLen)
+	for i, p := range placed {
+		if !p.it.inst.Op.IsSwitch() {
+			continue
+		}
+		in := p.it.inst
+		in.Targets = make([]int32, len(p.it.targets))
+		for j, l := range p.it.targets {
+			off, err := resolve(l, p.pc)
+			if err != nil {
+				return nil, nil, err
+			}
+			in.Targets[j] = off
+		}
+		payload, err := EncodePayload(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		emitTo(payloadPC[i])
+		out = append(out, payload...)
+	}
+	return out, pcOf, nil
+}

@@ -1,0 +1,25 @@
+package bytecode
+
+// MapRegisters returns a copy of in with every register operand transformed
+// by f. Non-register fields (literals, indices, branch offsets) are left
+// untouched. The reassembler uses this to open a scratch-register slot
+// between a method's locals and its parameter window.
+func MapRegisters(in Inst, f func(reg int32) int32) Inst {
+	out := in.Clone()
+	switch in.Op.Format() {
+	case Fmt12x, Fmt22x, Fmt22b, Fmt22t, Fmt22s, Fmt22c:
+		out.A = f(in.A)
+		out.B = f(in.B)
+	case Fmt11n, Fmt11x, Fmt21t, Fmt21s, Fmt21h, Fmt21c, Fmt31i, Fmt31t:
+		out.A = f(in.A)
+	case Fmt23x:
+		out.A = f(in.A)
+		out.B = f(in.B)
+		out.C = f(in.C)
+	case Fmt35c, Fmt3rc:
+		for i, r := range in.Args {
+			out.Args[i] = int(f(int32(r)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+// Package cfbench implements the CF-Bench stand-in of the paper's Fig. 6
+// and the ActivityManager launch timing of Table VIII. The Java score
+// measures bytecode interpretation throughput, the native score measures
+// JNI-side work, and the overall score averages the two after normalizing
+// their units — the same shape CF-Bench reports. Running the identical
+// workloads with and without DexLego's collection hooks yields the
+// slowdown ratios.
+package cfbench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/art"
+	"dexlego/internal/collector"
+	"dexlego/internal/dexgen"
+)
+
+// Scores are benchmark scores in operations per millisecond (higher is
+// better); Overall is the mean of Java and the unit-normalized Native.
+type Scores struct {
+	Java    float64
+	Native  float64
+	Overall float64
+}
+
+// Comparison pairs the unmodified-runtime scores with the instrumented
+// ones.
+type Comparison struct {
+	Unmodified Scores
+	DexLego    Scores
+}
+
+// Slowdowns returns the Java, native and overall slowdown factors.
+func (c Comparison) Slowdowns() (java, native, overall float64) {
+	return c.Unmodified.Java / c.DexLego.Java,
+		c.Unmodified.Native / c.DexLego.Native,
+		c.Unmodified.Overall / c.DexLego.Overall
+}
+
+// benchAPK builds the benchmark application: a bytecode spin loop and a
+// native spin entry.
+func benchAPK() (*apk.APK, error) {
+	p := dexgen.New()
+	cls := p.Class("Lbench/Work;", "")
+	// spin(n): n iterations of mixed 32-bit arithmetic.
+	cls.Static("spin", "I", []string{"I"}, func(a *dexgen.Asm) {
+		a.Const(0, 0x1234)
+		a.Const(1, 0)
+		a.Label("loop")
+		a.If(0x35 /* if-ge */, 1, a.P(0), "done")
+		a.BinopLit8(0x0da /* mul-int/lit8 */, 0, 0, 31)
+		a.BinopLit8(0x0d8 /* add-int/lit8 */, 0, 0, 7)
+		a.BinopLit8(0x0df /* xor-int/lit8 */, 0, 0, 55)
+		a.AddLit(1, 1, 1)
+		a.Goto("loop")
+		a.Label("done")
+		a.Return(0)
+	})
+	cls.Native("nativeSpin", "I", "I")
+	return p.BuildAPK("bench.cf", "1.0", "")
+}
+
+func installBenchNatives(rt *art.Runtime) {
+	rt.RegisterNative("Lbench/Work;->nativeSpin(I)I",
+		func(env *art.Env, recv *art.Object, args []art.Value) (art.Value, error) {
+			n := int(args[0].Int)
+			x := uint32(0x9e3779b9)
+			for i := 0; i < n; i++ {
+				x = x*1664525 + 1013904223
+				x ^= x >> 13
+			}
+			return art.IntVal(int64(int32(x))), nil
+		})
+}
+
+// Config sizes the benchmark workloads.
+type Config struct {
+	JavaIters   int // bytecode loop iterations per round
+	NativeIters int // native loop iterations per round
+	Rounds      int
+}
+
+// DefaultConfig returns workload sizes that run in well under a second per
+// mode on commodity hardware.
+func DefaultConfig() Config {
+	return Config{JavaIters: 60_000, NativeIters: 4_000_000, Rounds: 3}
+}
+
+// Run executes the CF-Bench pair: once on the unmodified runtime and once
+// with DexLego's JIT collection attached.
+func Run(cfg Config) (Comparison, error) {
+	pkg, err := benchAPK()
+	if err != nil {
+		return Comparison{}, err
+	}
+	measure := func(withCollector bool) (Scores, error) {
+		rt := art.NewRuntime(art.DefaultPhone())
+		rt.MaxSteps = 1 << 62
+		installBenchNatives(rt)
+		if withCollector {
+			col := collector.New()
+			rt.AddHooks(col.Hooks())
+		}
+		if err := rt.LoadAPK(pkg); err != nil {
+			return Scores{}, err
+		}
+		var javaBest, nativeBest float64
+		for r := 0; r < cfg.Rounds; r++ {
+			start := time.Now()
+			if _, err := rt.Call("Lbench/Work;", "spin", "(I)I", nil,
+				[]art.Value{art.IntVal(int64(cfg.JavaIters))}); err != nil {
+				return Scores{}, err
+			}
+			javaOps := float64(cfg.JavaIters) / (float64(time.Since(start).Microseconds()) / 1000)
+			if javaOps > javaBest {
+				javaBest = javaOps
+			}
+			start = time.Now()
+			if _, err := rt.Call("Lbench/Work;", "nativeSpin", "(I)I", nil,
+				[]art.Value{art.IntVal(int64(cfg.NativeIters))}); err != nil {
+				return Scores{}, err
+			}
+			nativeOps := float64(cfg.NativeIters) / (float64(time.Since(start).Microseconds()) / 1000)
+			if nativeOps > nativeBest {
+				nativeBest = nativeOps
+			}
+		}
+		return Scores{Java: javaBest, Native: nativeBest}, nil
+	}
+	base, err := measure(false)
+	if err != nil {
+		return Comparison{}, err
+	}
+	lego, err := measure(true)
+	if err != nil {
+		return Comparison{}, err
+	}
+	// Normalize native units so the unmodified runtime's Java and native
+	// scores coincide, then Overall is their mean (CF-Bench style).
+	norm := base.Java / base.Native
+	base.Native *= norm
+	lego.Native *= norm
+	base.Overall = (base.Java + base.Native) / 2
+	lego.Overall = (lego.Java + lego.Native) / 2
+	return Comparison{Unmodified: base, DexLego: lego}, nil
+}
+
+// LaunchSample is a mean/std launch-time measurement.
+type LaunchSample struct {
+	Mean time.Duration
+	Std  time.Duration
+}
+
+// MeasureLaunch times LaunchActivity over the given number of runs, with
+// and without DexLego collection, on a fresh runtime per run (cold start).
+func MeasureLaunch(pkg *apk.APK, runs int, withCollector bool) (LaunchSample, error) {
+	if runs < 1 {
+		return LaunchSample{}, fmt.Errorf("cfbench: runs must be positive")
+	}
+	durations := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		rt := art.NewRuntime(art.DefaultPhone())
+		rt.MaxSteps = 1 << 62
+		if withCollector {
+			col := collector.New()
+			rt.AddHooks(col.Hooks())
+		}
+		start := time.Now()
+		if err := rt.LoadAPK(pkg); err != nil {
+			return LaunchSample{}, err
+		}
+		if _, err := rt.LaunchActivity(); err != nil {
+			return LaunchSample{}, err
+		}
+		durations = append(durations, float64(time.Since(start).Nanoseconds()))
+	}
+	var sum float64
+	for _, d := range durations {
+		sum += d
+	}
+	mean := sum / float64(len(durations))
+	var varsum float64
+	for _, d := range durations {
+		varsum += (d - mean) * (d - mean)
+	}
+	std := math.Sqrt(varsum / float64(len(durations)))
+	return LaunchSample{
+		Mean: time.Duration(mean),
+		Std:  time.Duration(std),
+	}, nil
+}

@@ -1,0 +1,54 @@
+package cfbench_test
+
+import (
+	"testing"
+
+	"dexlego/internal/cfbench"
+	"dexlego/internal/workload"
+)
+
+func TestRunSmallConfig(t *testing.T) {
+	cmp, err := cfbench.Run(cfbench.Config{
+		JavaIters: 2000, NativeIters: 50_000, Rounds: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Unmodified.Java <= 0 || cmp.Unmodified.Native <= 0 {
+		t.Fatalf("non-positive baseline scores: %+v", cmp.Unmodified)
+	}
+	java, native, overall := cmp.Slowdowns()
+	if java < 1 {
+		t.Errorf("collection sped up interpretation? java slowdown = %.2f", java)
+	}
+	// After unit normalization, baseline overall equals both components.
+	if cmp.Unmodified.Overall <= 0 {
+		t.Errorf("overall = %f", cmp.Unmodified.Overall)
+	}
+	_ = native
+	_ = overall
+}
+
+func TestMeasureLaunch(t *testing.T) {
+	apps, err := workload.PopularApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := cfbench.MeasureLaunch(apps[2].APK, 3, false) // WhatsApp: smallest
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean <= 0 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	withCol, err := cfbench.MeasureLaunch(apps[2].APK, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCol.Mean <= s.Mean {
+		t.Errorf("collection launch %v not slower than baseline %v", withCol.Mean, s.Mean)
+	}
+	if _, err := cfbench.MeasureLaunch(apps[2].APK, 0, false); err == nil {
+		t.Error("zero runs must fail")
+	}
+}

@@ -1,0 +1,510 @@
+// Package collector implements DexLego's just-in-time collection: the
+// instruction-level tracing of Algorithm 1 with the paper's collection-tree
+// model (Fig. 3), plus DEX metadata collection at class initialization.
+//
+// A Collector attaches to the runtime through art.Hooks. Per execution of a
+// method it maintains a tree of TreeNodes; re-executing the same instruction
+// at the same dex_pc is deduplicated through the node's Instruction Index
+// Map, a *different* instruction at a recorded dex_pc forks a child node (a
+// layer of self-modifying code), and re-encountering a parent instruction
+// converges back. Constant-pool operands are resolved to symbolic form at
+// collection time so the offline reassembler is independent of the original
+// DEX's index space.
+package collector
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dexlego/internal/art"
+	"dexlego/internal/bytecode"
+	"dexlego/internal/dex"
+)
+
+// Symbol is a constant-pool operand resolved at collection time.
+type Symbol struct {
+	Kind   bytecode.IndexKind `json:"kind"`
+	Str    string             `json:"str,omitempty"`
+	Type   string             `json:"type,omitempty"`
+	Field  dex.FieldRef       `json:"field,omitempty"`
+	Method dex.MethodRef      `json:"method,omitempty"`
+}
+
+// Entry is one collected instruction: its dex_pc, the decoded instruction,
+// and its resolved constant-pool operand (if any).
+type Entry struct {
+	DexPC int           `json:"pc"`
+	Inst  bytecode.Inst `json:"inst"`
+	Sym   *Symbol       `json:"sym,omitempty"`
+}
+
+// TreeNode is a node of the collection tree (Fig. 3): the Instruction List
+// (IL) in first-execution order, the Instruction Index Map (IIM) from
+// dex_pc to IL index, the divergence bounds, and child links.
+type TreeNode struct {
+	IL       []Entry     `json:"il"`
+	IIM      map[int]int `json:"iim"`
+	SmStart  int         `json:"smStart"` // divergence dex_pc; -1 for the root
+	SmEnd    int         `json:"smEnd"`   // convergence dex_pc; -1 if none
+	Children []*TreeNode `json:"children,omitempty"`
+	Parent   *TreeNode   `json:"-"`
+}
+
+func newNode(parent *TreeNode, smStart int) *TreeNode {
+	return &TreeNode{
+		IIM:     make(map[int]int),
+		SmStart: smStart,
+		SmEnd:   -1,
+		Parent:  parent,
+	}
+}
+
+// push records an instruction in the node (Algorithm 1 lines 29-31).
+func (n *TreeNode) push(e Entry) {
+	n.IIM[e.DexPC] = len(n.IL)
+	n.IL = append(n.IL, e)
+}
+
+// Size returns the total number of instructions in the subtree.
+func (n *TreeNode) Size() int {
+	total := len(n.IL)
+	for _, c := range n.Children {
+		total += c.Size()
+	}
+	return total
+}
+
+// Depth returns the number of self-modification layers below this node.
+func (n *TreeNode) Depth() int {
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// fingerprint canonically identifies a tree's contents for deduplication.
+func (n *TreeNode) fingerprint(sb *strings.Builder) {
+	fmt.Fprintf(sb, "N(%d,%d)[", n.SmStart, n.SmEnd)
+	for _, e := range n.IL {
+		fmt.Fprintf(sb, "%d:%02x:%d:%d:%d:%d:%d:%v:%v;",
+			e.DexPC, uint8(e.Inst.Op), e.Inst.A, e.Inst.B, e.Inst.C,
+			e.Inst.Lit, e.Inst.Off, e.Inst.Args, symKey(e.Sym))
+	}
+	sb.WriteByte(']')
+	kids := append([]*TreeNode(nil), n.Children...)
+	sort.Slice(kids, func(i, j int) bool { return kids[i].SmStart < kids[j].SmStart })
+	for _, c := range kids {
+		c.fingerprint(sb)
+	}
+}
+
+func symKey(s *Symbol) string {
+	if s == nil {
+		return ""
+	}
+	switch s.Kind {
+	case bytecode.IndexString:
+		return "s:" + s.Str
+	case bytecode.IndexType:
+		return "t:" + s.Type
+	case bytecode.IndexField:
+		return "f:" + s.Field.Key()
+	case bytecode.IndexMethod:
+		return "m:" + s.Method.Key()
+	default:
+		return ""
+	}
+}
+
+// Fingerprint returns the canonical identity of the tree.
+func (n *TreeNode) Fingerprint() string {
+	var sb strings.Builder
+	n.fingerprint(&sb)
+	return sb.String()
+}
+
+// MethodRecord aggregates everything collected about one method.
+type MethodRecord struct {
+	Class         string `json:"class"`
+	Name          string `json:"name"`
+	Signature     string `json:"signature"`
+	AccessFlags   uint32 `json:"accessFlags"`
+	Virtual       bool   `json:"virtual"`
+	RegistersSize int    `json:"registersSize"`
+	InsSize       int    `json:"insSize"`
+
+	// Trees holds the unique collection trees, one per distinct execution.
+	Trees []*TreeNode `json:"trees,omitempty"`
+	// Tries is the method's try/catch table with original dex_pc anchors and
+	// exception types resolved to descriptors.
+	Tries []TryRecord `json:"tries,omitempty"`
+	// ReflTargets maps a call-site dex_pc of Method.invoke to the resolved
+	// direct-call targets observed there.
+	ReflTargets map[int][]ReflTarget `json:"reflTargets,omitempty"`
+
+	seen map[string]bool
+}
+
+// Key returns the canonical method key.
+func (r *MethodRecord) Key() string { return r.Class + "->" + r.Name + r.Signature }
+
+// Executed reports whether any bytecode was collected for the method.
+func (r *MethodRecord) Executed() bool { return len(r.Trees) > 0 }
+
+// TryRecord is a try/catch range anchored at original dex_pcs.
+type TryRecord struct {
+	StartPC    int        `json:"startPC"`
+	Count      int        `json:"count"`
+	Handlers   []TryCatch `json:"handlers,omitempty"`
+	CatchAllPC int        `json:"catchAllPC"` // -1 when absent
+}
+
+// TryCatch is one typed handler of a TryRecord.
+type TryCatch struct {
+	Type      string `json:"type"`
+	HandlerPC int    `json:"handlerPC"`
+}
+
+// ValueRecord serializes a static field value.
+type ValueRecord struct {
+	Kind string `json:"kind"` // "int", "string", "null", "bool"
+	Int  int64  `json:"int,omitempty"`
+	Str  string `json:"str,omitempty"`
+}
+
+// FieldRecord is collected field metadata.
+type FieldRecord struct {
+	Name        string       `json:"name"`
+	Type        string       `json:"type"`
+	AccessFlags uint32       `json:"accessFlags"`
+	Value       *ValueRecord `json:"value,omitempty"`
+}
+
+// MethodShell is a declared method observed at class initialization.
+type MethodShell struct {
+	Name        string `json:"name"`
+	Signature   string `json:"signature"`
+	AccessFlags uint32 `json:"accessFlags"`
+	Virtual     bool   `json:"virtual"`
+	Native      bool   `json:"native"`
+}
+
+// ClassRecord is collected class metadata.
+type ClassRecord struct {
+	Descriptor     string        `json:"descriptor"`
+	Superclass     string        `json:"superclass"`
+	Interfaces     []string      `json:"interfaces,omitempty"`
+	SourceFile     string        `json:"sourceFile,omitempty"`
+	AccessFlags    uint32        `json:"accessFlags"`
+	StaticFields   []FieldRecord `json:"staticFields,omitempty"`
+	InstanceFields []FieldRecord `json:"instanceFields,omitempty"`
+	Methods        []MethodShell `json:"methods,omitempty"`
+}
+
+// Result is the complete collection output, the in-memory form of the
+// paper's five collection files.
+type Result struct {
+	Classes []ClassRecord            `json:"classes"`
+	Methods map[string]*MethodRecord `json:"methods"`
+}
+
+// Method returns the record for a method key, creating it if needed.
+func (r *Result) method(m *art.Method) *MethodRecord {
+	key := m.Key()
+	if rec, ok := r.Methods[key]; ok {
+		return rec
+	}
+	rec := &MethodRecord{
+		Class:         m.Class.Descriptor,
+		Name:          m.Name,
+		Signature:     m.Signature,
+		AccessFlags:   m.AccessFlags,
+		Virtual:       m.Virtual,
+		RegistersSize: m.RegistersSize,
+		InsSize:       m.InsSize,
+		seen:          make(map[string]bool),
+	}
+	r.Methods[key] = rec
+	return rec
+}
+
+// Class returns the recorded class metadata, or nil.
+func (r *Result) Class(descriptor string) *ClassRecord {
+	for i := range r.Classes {
+		if r.Classes[i].Descriptor == descriptor {
+			return &r.Classes[i]
+		}
+	}
+	return nil
+}
+
+// ExecutedInstructionCount sums unique collected instructions over all
+// methods (the paper's dump-size proxy).
+func (r *Result) ExecutedInstructionCount() int {
+	total := 0
+	for _, rec := range r.Methods {
+		for _, tr := range rec.Trees {
+			total += tr.Size()
+		}
+	}
+	return total
+}
+
+// methodExec is one in-flight execution of one method.
+type methodExec struct {
+	method *art.Method
+	root   *TreeNode
+	cur    *TreeNode
+}
+
+// Collector performs JIT collection over an instrumented runtime.
+type Collector struct {
+	res   *Result
+	stack []*methodExec
+	hooks *art.Hooks
+}
+
+// New returns an empty collector.
+func New() *Collector {
+	c := &Collector{
+		res: &Result{Methods: make(map[string]*MethodRecord)},
+	}
+	c.hooks = &art.Hooks{
+		MethodEntered:    c.methodEntered,
+		MethodExited:     c.methodExited,
+		Instruction:      c.instruction,
+		ClassInitialized: c.classInitialized,
+		ReflectiveCall:   c.reflectiveCall,
+	}
+	return c
+}
+
+// Hooks returns the instrumentation to attach via Runtime.AddHooks.
+func (c *Collector) Hooks() *art.Hooks { return c.hooks }
+
+// Result returns the collection result accumulated so far.
+func (c *Collector) Result() *Result { return c.res }
+
+func appMethod(m *art.Method) bool { return m.Class != nil && m.Class.File != nil }
+
+func (c *Collector) methodEntered(m *art.Method) {
+	if !appMethod(m) {
+		return
+	}
+	root := newNode(nil, -1)
+	c.stack = append(c.stack, &methodExec{method: m, root: root, cur: root})
+	// Record shape on first sight; a method may be entered before its class
+	// record exists (e.g. <clinit>).
+	rec := c.res.method(m)
+	rec.RegistersSize = m.RegistersSize
+	rec.InsSize = m.InsSize
+	if rec.Tries == nil && len(m.Tries) > 0 && m.Class.File != nil {
+		for _, t := range m.Tries {
+			tr := TryRecord{
+				StartPC:    int(t.Start),
+				Count:      int(t.Count),
+				CatchAllPC: int(t.CatchAll),
+			}
+			for _, h := range t.Handlers {
+				tr.Handlers = append(tr.Handlers, TryCatch{
+					Type:      m.Class.File.TypeName(h.Type),
+					HandlerPC: int(h.Addr),
+				})
+			}
+			rec.Tries = append(rec.Tries, tr)
+		}
+	}
+}
+
+func (c *Collector) methodExited(m *art.Method) {
+	if !appMethod(m) || len(c.stack) == 0 {
+		return
+	}
+	top := c.stack[len(c.stack)-1]
+	if top.method != m {
+		return // unbalanced (native transitions); keep the stack sane
+	}
+	c.stack = c.stack[:len(c.stack)-1]
+	if len(top.root.IL) == 0 {
+		return
+	}
+	rec := c.res.method(m)
+	fp := top.root.Fingerprint()
+	if rec.seen[fp] {
+		return // keep only unique trees
+	}
+	rec.seen[fp] = true
+	rec.Trees = append(rec.Trees, top.root)
+}
+
+// instruction implements Algorithm 1 (BytecodeCollection).
+func (c *Collector) instruction(m *art.Method, pc int, insns []uint16) {
+	if !appMethod(m) || len(c.stack) == 0 {
+		return
+	}
+	top := c.stack[len(c.stack)-1]
+	if top.method != m {
+		return
+	}
+	in, _, err := bytecode.Decode(insns, pc)
+	if err != nil {
+		return // malformed live code; the interpreter will surface it
+	}
+	entry := Entry{DexPC: pc, Inst: in, Sym: resolveSym(m, in)}
+
+	cur := top.cur
+	if ilIdx, ok := cur.IIM[pc]; ok {
+		old := cur.IL[ilIdx]
+		if old.Inst.Equal(in) {
+			return // same instruction at same dex_pc: deduplicate
+		}
+		// Divergence: a runtime modification happened here.
+		child := newNode(cur, pc)
+		cur.Children = append(cur.Children, child)
+		top.cur = child
+		child.push(entry)
+		return
+	}
+	if cur.Parent != nil {
+		if pIdx, ok := cur.Parent.IIM[pc]; ok && cur.Parent.IL[pIdx].Inst.Equal(in) {
+			// Convergence: this self-modification layer ended.
+			cur.SmEnd = pc
+			top.cur = cur.Parent
+			return
+		}
+	}
+	cur.push(entry)
+}
+
+func resolveSym(m *art.Method, in bytecode.Inst) *Symbol {
+	kind := in.Op.Index()
+	if kind == bytecode.IndexNone || m.Class.File == nil {
+		return nil
+	}
+	f := m.Class.File
+	s := &Symbol{Kind: kind}
+	switch kind {
+	case bytecode.IndexString:
+		s.Str = f.String(in.Index)
+	case bytecode.IndexType:
+		s.Type = f.TypeName(in.Index)
+	case bytecode.IndexField:
+		s.Field = f.FieldAt(in.Index)
+	case bytecode.IndexMethod:
+		s.Method = f.MethodAt(in.Index)
+	}
+	return s
+}
+
+func (c *Collector) classInitialized(cl *art.Class) {
+	c.recordClass(cl)
+}
+
+// recordClass records class metadata at initialization time. Superclasses
+// initialize first (and are recorded by their own events), but interfaces do
+// not, so their metadata is pulled in recursively — the reassembled DEX must
+// be able to re-link every recorded class.
+func (c *Collector) recordClass(cl *art.Class) {
+	if cl == nil || cl.File == nil || c.res.Class(cl.Descriptor) != nil {
+		return
+	}
+	rec := ClassRecord{
+		Descriptor:  cl.Descriptor,
+		AccessFlags: cl.AccessFlags,
+	}
+	if cl.Super != nil {
+		rec.Superclass = cl.Super.Descriptor
+	}
+	for _, i := range cl.Interfaces {
+		rec.Interfaces = append(rec.Interfaces, i.Descriptor)
+	}
+	if cl.Def != nil && cl.Def.SourceFile != dex.NoIndex {
+		rec.SourceFile = cl.File.String(cl.Def.SourceFile)
+	}
+	for _, f := range cl.StaticMeta {
+		fr := FieldRecord{Name: f.Name, Type: f.Type, AccessFlags: f.AccessFlags}
+		if v, ok := cl.Statics[f.Name]; ok && cl.Initialized() {
+			fr.Value = valueRecord(v)
+		} else if f.Init != nil {
+			fr.Value = encodedValueRecord(cl, *f.Init)
+		}
+		rec.StaticFields = append(rec.StaticFields, fr)
+	}
+	for _, f := range cl.InstanceMeta {
+		rec.InstanceFields = append(rec.InstanceFields,
+			FieldRecord{Name: f.Name, Type: f.Type, AccessFlags: f.AccessFlags})
+	}
+	for _, m := range cl.Methods {
+		rec.Methods = append(rec.Methods, MethodShell{
+			Name:        m.Name,
+			Signature:   m.Signature,
+			AccessFlags: m.AccessFlags,
+			Virtual:     m.Virtual,
+			Native:      m.AccessFlags&dex.AccNative != 0,
+		})
+	}
+	c.res.Classes = append(c.res.Classes, rec)
+	for _, i := range cl.Interfaces {
+		c.recordClass(i)
+	}
+	c.recordClass(cl.Super)
+}
+
+func encodedValueRecord(cl *art.Class, v dex.Value) *ValueRecord {
+	switch v.Kind {
+	case dex.ValueString:
+		return &ValueRecord{Kind: "string", Str: cl.File.String(v.Index)}
+	case dex.ValueNull:
+		return &ValueRecord{Kind: "null"}
+	default:
+		return &ValueRecord{Kind: "int", Int: v.Int}
+	}
+}
+
+func valueRecord(v art.Value) *ValueRecord {
+	switch {
+	case v.Kind == art.KindRef && v.Ref != nil && v.Ref.IsString():
+		return &ValueRecord{Kind: "string", Str: v.Ref.Str}
+	case v.Kind == art.KindRef:
+		return &ValueRecord{Kind: "null"}
+	default:
+		return &ValueRecord{Kind: "int", Int: v.Int}
+	}
+}
+
+// ReflTarget describes one observed reflective-invocation target.
+type ReflTarget struct {
+	Class     string `json:"class"`
+	Name      string `json:"name"`
+	Signature string `json:"signature"`
+	Static    bool   `json:"static"`
+}
+
+// Key returns the canonical method key of the target.
+func (t ReflTarget) Key() string { return t.Class + "->" + t.Name + t.Signature }
+
+func (c *Collector) reflectiveCall(caller *art.Method, pc int, target *art.Method) {
+	if caller == nil || !appMethod(caller) {
+		return
+	}
+	rec := c.res.method(caller)
+	if rec.ReflTargets == nil {
+		rec.ReflTargets = make(map[int][]ReflTarget)
+	}
+	ref := ReflTarget{
+		Class:     target.Class.Descriptor,
+		Name:      target.Name,
+		Signature: target.Signature,
+		Static:    target.IsStatic(),
+	}
+	for _, existing := range rec.ReflTargets[pc] {
+		if existing == ref {
+			return
+		}
+	}
+	rec.ReflTargets[pc] = append(rec.ReflTargets[pc], ref)
+}

@@ -1,0 +1,244 @@
+// Package coverage implements the JaCoCo stand-in: an instrumentation-based
+// coverage tracker reporting the five granularities of the paper's
+// Table VII — class, method, line, branch and instruction coverage. Line
+// information is synthesized deterministically from instruction positions
+// (our DEX files carry no debug info).
+package coverage
+
+import (
+	"fmt"
+	"sort"
+
+	"dexlego/internal/art"
+	"dexlego/internal/bytecode"
+	"dexlego/internal/dex"
+)
+
+// unitsPerLine groups instruction dex_pcs into synthetic source lines.
+const unitsPerLine = 4
+
+// Ratio is covered/total for one granularity.
+type Ratio struct {
+	Covered int
+	Total   int
+}
+
+// Percent returns the percentage (0 when the total is zero).
+func (r Ratio) Percent() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return 100 * float64(r.Covered) / float64(r.Total)
+}
+
+func (r Ratio) String() string {
+	return fmt.Sprintf("%d/%d (%.0f%%)", r.Covered, r.Total, r.Percent())
+}
+
+// Report is a coverage snapshot across all granularities.
+type Report struct {
+	Class       Ratio
+	Method      Ratio
+	Line        Ratio
+	Branch      Ratio
+	Instruction Ratio
+}
+
+type branchEdge struct {
+	method string
+	pc     int
+	taken  bool
+}
+
+type lineKey struct {
+	method string
+	line   int
+}
+
+type insnKey struct {
+	method string
+	pc     int
+}
+
+// HandlerSite identifies one try/catch edge: throwing anywhere inside the
+// try range transfers control to HandlerPC.
+type HandlerSite struct {
+	Method    string
+	TryStart  int
+	HandlerPC int
+	Type      string // exception descriptor; catch-all sites use Throwable
+}
+
+// Tracker accumulates coverage across any number of runs (its hooks can be
+// attached to several runtimes in turn).
+type Tracker struct {
+	totalClasses  map[string]bool
+	totalMethods  map[string]bool
+	totalInsns    map[insnKey]bool
+	totalLines    map[lineKey]bool
+	totalEdges    map[branchEdge]bool
+	totalHandlers map[HandlerSite]bool
+	methodClass   map[string]string
+
+	classes  map[string]bool
+	methods  map[string]bool
+	insns    map[insnKey]bool
+	lines    map[lineKey]bool
+	edges    map[branchEdge]bool
+	handlers map[insnKey]bool // covered handler entry pcs
+
+	hooks *art.Hooks
+}
+
+// NewTracker computes static totals from the application's DEX files.
+func NewTracker(files []*dex.File) (*Tracker, error) {
+	t := &Tracker{
+		totalClasses:  make(map[string]bool),
+		totalMethods:  make(map[string]bool),
+		totalInsns:    make(map[insnKey]bool),
+		totalLines:    make(map[lineKey]bool),
+		totalEdges:    make(map[branchEdge]bool),
+		totalHandlers: make(map[HandlerSite]bool),
+		methodClass:   make(map[string]string),
+		classes:       make(map[string]bool),
+		methods:       make(map[string]bool),
+		insns:         make(map[insnKey]bool),
+		lines:         make(map[lineKey]bool),
+		edges:         make(map[branchEdge]bool),
+		handlers:      make(map[insnKey]bool),
+	}
+	for _, f := range files {
+		for ci := range f.Classes {
+			cd := &f.Classes[ci]
+			desc := f.TypeName(cd.Class)
+			t.totalClasses[desc] = true
+			for _, list := range [][]dex.EncodedMethod{cd.DirectMeths, cd.VirtualMeths} {
+				for mi := range list {
+					em := &list[mi]
+					key := f.MethodAt(em.Method).Key()
+					t.totalMethods[key] = true
+					t.methodClass[key] = desc
+					if em.Code == nil {
+						continue
+					}
+					for _, tr := range em.Code.Tries {
+						for _, h := range tr.Handlers {
+							t.totalHandlers[HandlerSite{
+								Method:    key,
+								TryStart:  int(tr.Start),
+								HandlerPC: int(h.Addr),
+								Type:      f.TypeName(h.Type),
+							}] = true
+						}
+						if tr.CatchAll >= 0 {
+							t.totalHandlers[HandlerSite{
+								Method:    key,
+								TryStart:  int(tr.Start),
+								HandlerPC: int(tr.CatchAll),
+								Type:      "Ljava/lang/RuntimeException;",
+							}] = true
+						}
+					}
+					placed, err := bytecode.DecodeAll(em.Code.Insns)
+					if err != nil {
+						return nil, fmt.Errorf("coverage: %s: %w", key, err)
+					}
+					for _, p := range placed {
+						t.totalInsns[insnKey{key, p.PC}] = true
+						t.totalLines[lineKey{key, p.PC / unitsPerLine}] = true
+						if p.Inst.Op.IsBranch() {
+							t.totalEdges[branchEdge{key, p.PC, true}] = true
+							t.totalEdges[branchEdge{key, p.PC, false}] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	t.hooks = &art.Hooks{
+		Instruction: func(m *art.Method, pc int, insns []uint16) {
+			key := m.Key()
+			ik := insnKey{key, pc}
+			if !t.totalInsns[ik] {
+				return // dynamically loaded or modified code outside totals
+			}
+			t.insns[ik] = true
+			t.lines[lineKey{key, pc / unitsPerLine}] = true
+			t.methods[key] = true
+			t.classes[t.methodClass[key]] = true
+			t.handlers[ik] = true
+		},
+		Branch: func(m *art.Method, pc int, in bytecode.Inst, taken bool) (bool, bool) {
+			e := branchEdge{m.Key(), pc, taken}
+			if t.totalEdges[e] {
+				t.edges[e] = true
+			}
+			return false, false
+		},
+	}
+	return t, nil
+}
+
+// Hooks returns the instrumentation to attach to a runtime.
+func (t *Tracker) Hooks() *art.Hooks { return t.hooks }
+
+// Report returns the current coverage snapshot.
+func (t *Tracker) Report() Report {
+	return Report{
+		Class:       Ratio{len(t.classes), len(t.totalClasses)},
+		Method:      Ratio{len(t.methods), len(t.totalMethods)},
+		Line:        Ratio{len(t.lines), len(t.totalLines)},
+		Branch:      Ratio{len(t.edges), len(t.totalEdges)},
+		Instruction: Ratio{len(t.insns), len(t.totalInsns)},
+	}
+}
+
+// UncoveredBranches returns, per method, the dex_pcs of conditional branch
+// edges that have not been taken: the paper's UCB set. A branch appears with
+// the edge direction(s) still missing.
+func (t *Tracker) UncoveredBranches() []UCB {
+	var out []UCB
+	for e := range t.totalEdges {
+		if !t.edges[e] {
+			out = append(out, UCB{Method: e.method, PC: e.pc, Taken: e.taken})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.PC != b.PC {
+			return a.PC < b.PC
+		}
+		return !a.Taken && b.Taken
+	})
+	return out
+}
+
+// UCB identifies one uncovered conditional-branch edge.
+type UCB struct {
+	Method string
+	PC     int
+	Taken  bool
+}
+
+// UncoveredHandlers returns the try/catch edges whose handler entry never
+// executed. The force-execution extension treats these like uncovered
+// branches and injects the matching exception inside the try range.
+func (t *Tracker) UncoveredHandlers() []HandlerSite {
+	var out []HandlerSite
+	for site := range t.totalHandlers {
+		if !t.handlers[insnKey{site.Method, site.HandlerPC}] {
+			out = append(out, site)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		return a.HandlerPC < b.HandlerPC
+	})
+	return out
+}

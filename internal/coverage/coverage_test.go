@@ -1,0 +1,114 @@
+package coverage_test
+
+import (
+	"testing"
+
+	"dexlego/internal/art"
+	"dexlego/internal/bytecode"
+	"dexlego/internal/coverage"
+	"dexlego/internal/dex"
+	"dexlego/internal/dexgen"
+)
+
+func buildCovApp(t *testing.T) (*dex.File, *art.Runtime) {
+	t.Helper()
+	p := dexgen.New()
+	cls := p.Class("Lcov/C;", "")
+	cls.Static("f", "I", []string{"I"}, func(a *dexgen.Asm) {
+		a.Label("ts")
+		a.IfZ(bytecode.OpIfLtz, a.P(0), "neg")
+		a.Const(0, 1)
+		a.Label("te")
+		a.Return(0)
+		a.Label("neg")
+		a.Const(0, -1)
+		a.Return(0)
+		a.Label("h")
+		a.MoveException(1)
+		a.Const(0, 9)
+		a.Return(0)
+		a.Catch("ts", "te", "Ljava/lang/ArithmeticException;", "h")
+	})
+	cls.Static("unused", "V", nil, func(a *dexgen.Asm) {
+		a.Nop()
+		a.ReturnVoid()
+	})
+	f, err := p.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := art.NewRuntime(art.DefaultPhone())
+	if _, err := rt.LoadDex(f); err != nil {
+		t.Fatal(err)
+	}
+	return f, rt
+}
+
+func TestTrackerAccumulation(t *testing.T) {
+	f, rt := buildCovApp(t)
+	tracker, err := coverage.NewTracker([]*dex.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.AddHooks(tracker.Hooks())
+
+	rep := tracker.Report()
+	if rep.Method.Total != 2 || rep.Branch.Total != 2 {
+		t.Fatalf("totals = %+v", rep)
+	}
+	if len(tracker.UncoveredBranches()) != 2 {
+		t.Errorf("fresh tracker UCBs = %d, want 2", len(tracker.UncoveredBranches()))
+	}
+	if len(tracker.UncoveredHandlers()) != 1 {
+		t.Errorf("fresh tracker handlers = %d, want 1", len(tracker.UncoveredHandlers()))
+	}
+
+	if _, err := rt.Call("Lcov/C;", "f", "(I)I", nil, []art.Value{art.IntVal(5)}); err != nil {
+		t.Fatal(err)
+	}
+	rep = tracker.Report()
+	if rep.Method.Covered != 1 {
+		t.Errorf("methods covered = %d", rep.Method.Covered)
+	}
+	if rep.Branch.Covered != 1 {
+		t.Errorf("branch edges covered = %d, want 1 (only not-taken)", rep.Branch.Covered)
+	}
+	// The other edge covers after a negative input; accumulation must
+	// persist across runtimes.
+	rt2 := art.NewRuntime(art.DefaultPhone())
+	rt2.AddHooks(tracker.Hooks())
+	if _, err := rt2.LoadDex(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt2.Call("Lcov/C;", "f", "(I)I", nil, []art.Value{art.IntVal(-5)}); err != nil {
+		t.Fatal(err)
+	}
+	rep = tracker.Report()
+	if rep.Branch.Covered != 2 {
+		t.Errorf("branch edges covered = %d, want 2", rep.Branch.Covered)
+	}
+	if got := len(tracker.UncoveredBranches()); got != 0 {
+		t.Errorf("UCBs after both edges = %d", got)
+	}
+	// The handler never executed.
+	if got := len(tracker.UncoveredHandlers()); got != 1 {
+		t.Errorf("uncovered handlers = %d, want 1", got)
+	}
+	// unused() never ran.
+	if rep.Method.Covered != 1 || rep.Class.Covered != 1 {
+		t.Errorf("coverage over-counts: %+v", rep)
+	}
+}
+
+func TestRatioFormatting(t *testing.T) {
+	r := coverage.Ratio{Covered: 3, Total: 12}
+	if r.Percent() != 25 {
+		t.Errorf("percent = %f", r.Percent())
+	}
+	if r.String() != "3/12 (25%)" {
+		t.Errorf("string = %q", r.String())
+	}
+	if (coverage.Ratio{}).Percent() != 0 {
+		t.Error("zero-total percent must be 0")
+	}
+}

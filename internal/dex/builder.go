@@ -1,0 +1,553 @@
+package dex
+
+import (
+	"fmt"
+	"sort"
+
+	"dexlego/internal/bytecode"
+)
+
+// Builder constructs a DEX file programmatically. Strings, types, protos,
+// fields and methods are interned on first use and receive provisional
+// indices; Finish sorts every table into the canonical DEX order, remaps all
+// cross-references — including index operands inside assembled bytecode —
+// and returns the finished File.
+type Builder struct {
+	file      File
+	stringIdx map[string]uint32
+	typeIdx   map[string]uint32
+	protoIdx  map[string]uint32
+	fieldIdx  map[string]uint32
+	methodIdx map[string]uint32
+	classIdx  map[string]int
+	finished  bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		stringIdx: make(map[string]uint32),
+		typeIdx:   make(map[string]uint32),
+		protoIdx:  make(map[string]uint32),
+		fieldIdx:  make(map[string]uint32),
+		methodIdx: make(map[string]uint32),
+		classIdx:  make(map[string]int),
+	}
+}
+
+// String interns s and returns its provisional string index.
+func (b *Builder) String(s string) uint32 {
+	if idx, ok := b.stringIdx[s]; ok {
+		return idx
+	}
+	idx := uint32(len(b.file.Strings))
+	b.file.Strings = append(b.file.Strings, s)
+	b.stringIdx[s] = idx
+	return idx
+}
+
+// Type interns a type descriptor and returns its provisional type index.
+func (b *Builder) Type(descriptor string) uint32 {
+	if idx, ok := b.typeIdx[descriptor]; ok {
+		return idx
+	}
+	s := b.String(descriptor)
+	idx := uint32(len(b.file.Types))
+	b.file.Types = append(b.file.Types, s)
+	b.typeIdx[descriptor] = idx
+	return idx
+}
+
+// Proto interns a prototype and returns its provisional proto index.
+func (b *Builder) Proto(ret string, params ...string) uint32 {
+	key := protoKey(ret, params)
+	if idx, ok := b.protoIdx[key]; ok {
+		return idx
+	}
+	p := Proto{
+		Shorty: b.String(ShortyOf(ret, params)),
+		Return: b.Type(ret),
+	}
+	for _, t := range params {
+		p.Params = append(p.Params, b.Type(t))
+	}
+	idx := uint32(len(b.file.Protos))
+	b.file.Protos = append(b.file.Protos, p)
+	b.protoIdx[key] = idx
+	return idx
+}
+
+func protoKey(ret string, params []string) string {
+	key := "(" // mirrors the signature syntax
+	for _, p := range params {
+		key += p
+	}
+	return key + ")" + ret
+}
+
+// Field interns a field reference and returns its provisional field index.
+func (b *Builder) Field(class, name, typ string) uint32 {
+	key := class + "->" + name + ":" + typ
+	if idx, ok := b.fieldIdx[key]; ok {
+		return idx
+	}
+	fd := FieldID{Class: b.Type(class), Type: b.Type(typ), Name: b.String(name)}
+	idx := uint32(len(b.file.Fields))
+	b.file.Fields = append(b.file.Fields, fd)
+	b.fieldIdx[key] = idx
+	return idx
+}
+
+// Method interns a method reference and returns its provisional index.
+func (b *Builder) Method(class, name, ret string, params ...string) uint32 {
+	key := class + "->" + name + protoKey(ret, params)
+	if idx, ok := b.methodIdx[key]; ok {
+		return idx
+	}
+	m := MethodID{Class: b.Type(class), Proto: b.Proto(ret, params...), Name: b.String(name)}
+	idx := uint32(len(b.file.Methods))
+	b.file.Methods = append(b.file.Methods, m)
+	b.methodIdx[key] = idx
+	return idx
+}
+
+// MethodSig interns a method reference given a (params)ret signature.
+func (b *Builder) MethodSig(class, name, sig string) (uint32, error) {
+	params, ret, err := ParseSignature(sig)
+	if err != nil {
+		return 0, err
+	}
+	return b.Method(class, name, ret, params...), nil
+}
+
+// ClassBuilder accumulates members of one class definition.
+type ClassBuilder struct {
+	b   *Builder
+	idx int
+}
+
+// Class starts (or resumes) the definition of a class. The superclass
+// descriptor may be empty for java/lang/Object-level roots.
+func (b *Builder) Class(descriptor string, flags uint32, super string, interfaces ...string) *ClassBuilder {
+	if i, ok := b.classIdx[descriptor]; ok {
+		return &ClassBuilder{b: b, idx: i}
+	}
+	cd := ClassDef{
+		Class:       b.Type(descriptor),
+		AccessFlags: flags,
+		Superclass:  NoIndex,
+		SourceFile:  NoIndex,
+	}
+	if super != "" {
+		cd.Superclass = b.Type(super)
+	}
+	for _, ifc := range interfaces {
+		cd.Interfaces = append(cd.Interfaces, b.Type(ifc))
+	}
+	b.classIdx[descriptor] = len(b.file.Classes)
+	b.file.Classes = append(b.file.Classes, cd)
+	return &ClassBuilder{b: b, idx: len(b.file.Classes) - 1}
+}
+
+func (cb *ClassBuilder) def() *ClassDef { return &cb.b.file.Classes[cb.idx] }
+
+// Descriptor returns the class type descriptor.
+func (cb *ClassBuilder) Descriptor() string {
+	return cb.b.file.TypeName(cb.def().Class)
+}
+
+// SourceFile records the class source file name.
+func (cb *ClassBuilder) SourceFile(name string) *ClassBuilder {
+	cb.def().SourceFile = cb.b.String(name)
+	return cb
+}
+
+// StaticField declares a static field with an optional initial value.
+func (cb *ClassBuilder) StaticField(name, typ string, flags uint32, init *Value) *ClassBuilder {
+	d := cb.def()
+	idx := cb.b.Field(cb.Descriptor(), name, typ)
+	d.StaticFields = append(d.StaticFields, EncodedField{Field: idx, AccessFlags: flags | AccStatic})
+	v := defaultValue(typ)
+	if init != nil {
+		v = *init
+	}
+	d.StaticValues = append(d.StaticValues, v)
+	return cb
+}
+
+// InstanceField declares an instance field.
+func (cb *ClassBuilder) InstanceField(name, typ string, flags uint32) *ClassBuilder {
+	d := cb.def()
+	idx := cb.b.Field(cb.Descriptor(), name, typ)
+	d.InstFields = append(d.InstFields, EncodedField{Field: idx, AccessFlags: flags})
+	return cb
+}
+
+// DirectMethod declares a direct (static, private or constructor) method.
+func (cb *ClassBuilder) DirectMethod(name, ret string, params []string, flags uint32, code *Code) *ClassBuilder {
+	d := cb.def()
+	idx := cb.b.Method(cb.Descriptor(), name, ret, params...)
+	d.DirectMeths = append(d.DirectMeths, EncodedMethod{Method: idx, AccessFlags: flags, Code: code})
+	return cb
+}
+
+// VirtualMethod declares a virtual method.
+func (cb *ClassBuilder) VirtualMethod(name, ret string, params []string, flags uint32, code *Code) *ClassBuilder {
+	d := cb.def()
+	idx := cb.b.Method(cb.Descriptor(), name, ret, params...)
+	d.VirtualMeths = append(d.VirtualMeths, EncodedMethod{Method: idx, AccessFlags: flags, Code: code})
+	return cb
+}
+
+// NativeMethod declares a native method (no code item).
+func (cb *ClassBuilder) NativeMethod(name, ret string, params []string, flags uint32) *ClassBuilder {
+	d := cb.def()
+	idx := cb.b.Method(cb.Descriptor(), name, ret, params...)
+	d.DirectMeths = append(d.DirectMeths, EncodedMethod{
+		Method: idx, AccessFlags: flags | AccNative,
+	})
+	return cb
+}
+
+func defaultValue(typ string) Value {
+	switch typ {
+	case "Z":
+		return Value{Kind: ValueBoolean}
+	case "B":
+		return Value{Kind: ValueByte}
+	case "S":
+		return Value{Kind: ValueShort}
+	case "I", "C":
+		return Value{Kind: ValueInt}
+	case "J":
+		return Value{Kind: ValueLong}
+	default:
+		return NullValue()
+	}
+}
+
+// Finish canonicalizes the file: sorts every id table into the order the
+// DEX specification requires, remaps all cross-references including
+// bytecode index operands, topologically orders class definitions, and
+// returns the File. The Builder must not be reused afterwards.
+func (b *Builder) Finish() (*File, error) {
+	if b.finished {
+		return nil, fmt.Errorf("dex: builder already finished")
+	}
+	b.finished = true
+	f := &b.file
+
+	stringMap := sortPerm(len(f.Strings), func(i, j int) bool {
+		return f.Strings[i] < f.Strings[j]
+	})
+	applyPermStrings(f, stringMap)
+
+	for i := range f.Types {
+		f.Types[i] = stringMap[f.Types[i]]
+	}
+	typeMap := sortPerm(len(f.Types), func(i, j int) bool {
+		return f.Types[i] < f.Types[j]
+	})
+	applyPermU32(f.Types, typeMap)
+
+	for i := range f.Protos {
+		p := &f.Protos[i]
+		p.Shorty = stringMap[p.Shorty]
+		p.Return = typeMap[p.Return]
+		for j := range p.Params {
+			p.Params[j] = typeMap[p.Params[j]]
+		}
+	}
+	protoMap := sortPerm(len(f.Protos), func(i, j int) bool {
+		pi, pj := f.Protos[i], f.Protos[j]
+		if pi.Return != pj.Return {
+			return pi.Return < pj.Return
+		}
+		for k := 0; k < len(pi.Params) && k < len(pj.Params); k++ {
+			if pi.Params[k] != pj.Params[k] {
+				return pi.Params[k] < pj.Params[k]
+			}
+		}
+		return len(pi.Params) < len(pj.Params)
+	})
+	applyPermProtos(f, protoMap)
+
+	for i := range f.Fields {
+		fd := &f.Fields[i]
+		fd.Class = typeMap[fd.Class]
+		fd.Type = typeMap[fd.Type]
+		fd.Name = stringMap[fd.Name]
+	}
+	fieldMap := sortPerm(len(f.Fields), func(i, j int) bool {
+		fi, fj := f.Fields[i], f.Fields[j]
+		if fi.Class != fj.Class {
+			return fi.Class < fj.Class
+		}
+		if fi.Name != fj.Name {
+			return fi.Name < fj.Name
+		}
+		return fi.Type < fj.Type
+	})
+	applyPermFields(f, fieldMap)
+
+	for i := range f.Methods {
+		m := &f.Methods[i]
+		m.Class = typeMap[m.Class]
+		m.Proto = protoMap[m.Proto]
+		m.Name = stringMap[m.Name]
+	}
+	methodMap := sortPerm(len(f.Methods), func(i, j int) bool {
+		mi, mj := f.Methods[i], f.Methods[j]
+		if mi.Class != mj.Class {
+			return mi.Class < mj.Class
+		}
+		if mi.Name != mj.Name {
+			return mi.Name < mj.Name
+		}
+		return mi.Proto < mj.Proto
+	})
+	applyPermMethods(f, methodMap)
+
+	// Rewrite class definitions with the new indices.
+	for ci := range f.Classes {
+		cd := &f.Classes[ci]
+		cd.Class = typeMap[cd.Class]
+		if cd.Superclass != NoIndex {
+			cd.Superclass = typeMap[cd.Superclass]
+		}
+		if cd.SourceFile != NoIndex {
+			cd.SourceFile = stringMap[cd.SourceFile]
+		}
+		for i := range cd.Interfaces {
+			cd.Interfaces[i] = typeMap[cd.Interfaces[i]]
+		}
+		// Sort members by new index; static values track their fields.
+		sortFieldsWithValues(cd, fieldMap)
+		for i := range cd.InstFields {
+			cd.InstFields[i].Field = fieldMap[cd.InstFields[i].Field]
+		}
+		sort.Slice(cd.InstFields, func(i, j int) bool {
+			return cd.InstFields[i].Field < cd.InstFields[j].Field
+		})
+		for _, list := range [][]EncodedMethod{cd.DirectMeths, cd.VirtualMeths} {
+			for i := range list {
+				list[i].Method = methodMap[list[i].Method]
+			}
+		}
+		sort.Slice(cd.DirectMeths, func(i, j int) bool {
+			return cd.DirectMeths[i].Method < cd.DirectMeths[j].Method
+		})
+		sort.Slice(cd.VirtualMeths, func(i, j int) bool {
+			return cd.VirtualMeths[i].Method < cd.VirtualMeths[j].Method
+		})
+		// Remap encoded static values that reference strings or types.
+		for i := range cd.StaticValues {
+			v := &cd.StaticValues[i]
+			switch v.Kind {
+			case ValueString:
+				v.Index = stringMap[v.Index]
+			case ValueType:
+				v.Index = typeMap[v.Index]
+			}
+		}
+	}
+
+	// Rewrite bytecode index operands.
+	if err := remapCode(f, stringMap, typeMap, fieldMap, methodMap); err != nil {
+		return nil, err
+	}
+
+	if err := topoSortClasses(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// sortPerm returns a mapping old index → new index induced by sorting
+// indices [0,n) with the given less function over *old* indices.
+func sortPerm(n int, less func(i, j int) bool) []uint32 {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return less(order[a], order[b]) })
+	perm := make([]uint32, n)
+	for newIdx, oldIdx := range order {
+		perm[oldIdx] = uint32(newIdx)
+	}
+	return perm
+}
+
+func applyPermStrings(f *File, perm []uint32) {
+	out := make([]string, len(f.Strings))
+	for old, s := range f.Strings {
+		out[perm[old]] = s
+	}
+	f.Strings = out
+}
+
+func applyPermU32(xs []uint32, perm []uint32) {
+	out := make([]uint32, len(xs))
+	for old, v := range xs {
+		out[perm[old]] = v
+	}
+	copy(xs, out)
+}
+
+func applyPermProtos(f *File, perm []uint32) {
+	out := make([]Proto, len(f.Protos))
+	for old, p := range f.Protos {
+		out[perm[old]] = p
+	}
+	f.Protos = out
+}
+
+func applyPermFields(f *File, perm []uint32) {
+	out := make([]FieldID, len(f.Fields))
+	for old, fd := range f.Fields {
+		out[perm[old]] = fd
+	}
+	f.Fields = out
+}
+
+func applyPermMethods(f *File, perm []uint32) {
+	out := make([]MethodID, len(f.Methods))
+	for old, m := range f.Methods {
+		out[perm[old]] = m
+	}
+	f.Methods = out
+}
+
+func sortFieldsWithValues(cd *ClassDef, fieldMap []uint32) {
+	type pair struct {
+		f EncodedField
+		v Value
+	}
+	pairs := make([]pair, len(cd.StaticFields))
+	for i := range cd.StaticFields {
+		pairs[i].f = cd.StaticFields[i]
+		pairs[i].f.Field = fieldMap[pairs[i].f.Field]
+		if i < len(cd.StaticValues) {
+			pairs[i].v = cd.StaticValues[i]
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].f.Field < pairs[j].f.Field })
+	for i := range pairs {
+		cd.StaticFields[i] = pairs[i].f
+		if i < len(cd.StaticValues) {
+			cd.StaticValues[i] = pairs[i].v
+		}
+	}
+}
+
+func remapCode(f *File, stringMap, typeMap, fieldMap, methodMap []uint32) error {
+	for ci := range f.Classes {
+		cd := &f.Classes[ci]
+		for _, list := range [][]EncodedMethod{cd.DirectMeths, cd.VirtualMeths} {
+			for mi := range list {
+				code := list[mi].Code
+				if code == nil {
+					continue
+				}
+				for ti := range code.Tries {
+					for hi := range code.Tries[ti].Handlers {
+						h := &code.Tries[ti].Handlers[hi]
+						if int(h.Type) >= len(typeMap) {
+							return fmt.Errorf("dex: remap: catch type %d out of range", h.Type)
+						}
+						h.Type = typeMap[h.Type]
+					}
+				}
+				placed, err := bytecode.DecodeAll(code.Insns)
+				if err != nil {
+					return fmt.Errorf("dex: remap %s: %w",
+						f.MethodAt(list[mi].Method).Key(), err)
+				}
+				for _, p := range placed {
+					var m []uint32
+					switch p.Inst.Op.Index() {
+					case bytecode.IndexString:
+						m = stringMap
+					case bytecode.IndexType:
+						m = typeMap
+					case bytecode.IndexField:
+						m = fieldMap
+					case bytecode.IndexMethod:
+						m = methodMap
+					default:
+						continue
+					}
+					if int(p.Inst.Index) >= len(m) {
+						return fmt.Errorf("dex: remap: index %d out of range at pc %d",
+							p.Inst.Index, p.PC)
+					}
+					in := p.Inst
+					in.Index = m[p.Inst.Index]
+					units, err := bytecode.Encode(in)
+					if err != nil {
+						return fmt.Errorf("dex: remap re-encode: %w", err)
+					}
+					copy(code.Insns[p.PC:], units)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// topoSortClasses orders class definitions so that superclasses and
+// implemented interfaces defined in this file come first, as the DEX
+// specification requires.
+func topoSortClasses(f *File) error {
+	byType := make(map[uint32]int, len(f.Classes))
+	for i := range f.Classes {
+		if _, dup := byType[f.Classes[i].Class]; dup {
+			return fmt.Errorf("dex: duplicate class %s", f.TypeName(f.Classes[i].Class))
+		}
+		byType[f.Classes[i].Class] = i
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(f.Classes))
+	order := make([]int, 0, len(f.Classes))
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch color[i] {
+		case gray:
+			return fmt.Errorf("dex: class hierarchy cycle involving %s",
+				f.TypeName(f.Classes[i].Class))
+		case black:
+			return nil
+		}
+		color[i] = gray
+		deps := make([]uint32, 0, 1+len(f.Classes[i].Interfaces))
+		if f.Classes[i].Superclass != NoIndex {
+			deps = append(deps, f.Classes[i].Superclass)
+		}
+		deps = append(deps, f.Classes[i].Interfaces...)
+		for _, d := range deps {
+			if j, ok := byType[d]; ok {
+				if err := visit(j); err != nil {
+					return err
+				}
+			}
+		}
+		color[i] = black
+		order = append(order, i)
+		return nil
+	}
+	for i := range f.Classes {
+		if err := visit(i); err != nil {
+			return err
+		}
+	}
+	out := make([]ClassDef, len(f.Classes))
+	for pos, idx := range order {
+		out[pos] = f.Classes[idx]
+	}
+	f.Classes = out
+	return nil
+}

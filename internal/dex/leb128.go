@@ -1,0 +1,70 @@
+package dex
+
+import "errors"
+
+var errLEB = errors.New("dex: malformed LEB128 value")
+
+// appendULEB128 appends the unsigned LEB128 encoding of v to b.
+func appendULEB128(b []byte, v uint32) []byte {
+	for {
+		c := byte(v & 0x7f)
+		v >>= 7
+		if v != 0 {
+			b = append(b, c|0x80)
+			continue
+		}
+		return append(b, c)
+	}
+}
+
+// readULEB128 decodes an unsigned LEB128 value from b starting at off and
+// returns the value and the offset just past it.
+func readULEB128(b []byte, off int) (uint32, int, error) {
+	var v uint32
+	for shift := 0; shift < 36; shift += 7 {
+		if off >= len(b) {
+			return 0, off, errLEB
+		}
+		c := b[off]
+		off++
+		v |= uint32(c&0x7f) << shift
+		if c&0x80 == 0 {
+			return v, off, nil
+		}
+	}
+	return 0, off, errLEB
+}
+
+// appendSLEB128 appends the signed LEB128 encoding of v to b.
+func appendSLEB128(b []byte, v int32) []byte {
+	for {
+		c := byte(v & 0x7f)
+		v >>= 7
+		if (v == 0 && c&0x40 == 0) || (v == -1 && c&0x40 != 0) {
+			return append(b, c)
+		}
+		b = append(b, c|0x80)
+	}
+}
+
+// readSLEB128 decodes a signed LEB128 value from b starting at off.
+func readSLEB128(b []byte, off int) (int32, int, error) {
+	var v int32
+	var shift int
+	for shift < 36 {
+		if off >= len(b) {
+			return 0, off, errLEB
+		}
+		c := b[off]
+		off++
+		v |= int32(c&0x7f) << shift
+		shift += 7
+		if c&0x80 == 0 {
+			if shift < 32 && c&0x40 != 0 {
+				v |= -1 << shift
+			}
+			return v, off, nil
+		}
+	}
+	return 0, off, errLEB
+}

@@ -1,0 +1,190 @@
+package dex
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestULEB128RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		b := appendULEB128(nil, v)
+		got, off, err := readULEB128(b, 0)
+		return err == nil && got == v && off == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSLEB128RoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		b := appendSLEB128(nil, v)
+		got, off, err := readSLEB128(b, 0)
+		return err == nil && got == v && off == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLEB128Boundaries(t *testing.T) {
+	for _, v := range []uint32{0, 1, 127, 128, 1<<14 - 1, 1 << 14, 1<<28 - 1, 1 << 28, 0xffffffff} {
+		b := appendULEB128(nil, v)
+		got, _, err := readULEB128(b, 0)
+		if err != nil || got != v {
+			t.Errorf("uleb %d: got %d, err %v", v, got, err)
+		}
+	}
+	for _, v := range []int32{0, -1, 63, 64, -64, -65, 1 << 30, -(1 << 30), 1<<31 - 1, -(1 << 31)} {
+		b := appendSLEB128(nil, v)
+		got, _, err := readSLEB128(b, 0)
+		if err != nil || got != v {
+			t.Errorf("sleb %d: got %d, err %v", v, got, err)
+		}
+	}
+}
+
+func TestLEB128Truncated(t *testing.T) {
+	if _, _, err := readULEB128([]byte{0x80}, 0); err == nil {
+		t.Error("uleb truncated: want error")
+	}
+	if _, _, err := readULEB128(nil, 0); err == nil {
+		t.Error("uleb empty: want error")
+	}
+	if _, _, err := readSLEB128([]byte{0xff, 0xff}, 0); err == nil {
+		t.Error("sleb truncated: want error")
+	}
+	// Over-long encodings must be rejected, not wrapped.
+	if _, _, err := readULEB128([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x80}, 0); err == nil {
+		t.Error("uleb overlong: want error")
+	}
+}
+
+func TestMUTF8RoundTrip(t *testing.T) {
+	cases := []string{
+		"", "hello", "Lcom/test/Main;", "800-123-456",
+		"uniécode", "中文", "tab\tnewline\n", "nul\x00embedded",
+	}
+	for _, s := range cases {
+		enc, _ := encodeMUTF8(s)
+		got, err := decodeMUTF8(enc)
+		if err != nil {
+			t.Errorf("%q: decode: %v", s, err)
+			continue
+		}
+		if got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+}
+
+func TestMUTF8EmbeddedNul(t *testing.T) {
+	enc, _ := encodeMUTF8("a\x00b")
+	for _, b := range enc {
+		if b == 0 {
+			t.Fatal("MUTF-8 encoding contains a raw NUL byte")
+		}
+	}
+}
+
+func TestMUTF8Quick(t *testing.T) {
+	f := func(s string) bool {
+		enc, _ := encodeMUTF8(s)
+		got, err := decodeMUTF8(enc)
+		return err == nil && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMUTF8Malformed(t *testing.T) {
+	bad := [][]byte{
+		{0x00},                   // raw NUL
+		{0xc0},                   // truncated 2-byte
+		{0xe0, 0x80},             // truncated 3-byte
+		{0xc0, 0x00},             // bad continuation
+		{0xf0, 0x90, 0x80, 0x80}, // 4-byte UTF-8 is not MUTF-8
+	}
+	for _, b := range bad {
+		if _, err := decodeMUTF8(b); err == nil {
+			t.Errorf("decodeMUTF8(% x): want error", b)
+		}
+	}
+}
+
+func TestEncodedValueRoundTrip(t *testing.T) {
+	vals := []Value{
+		{Kind: ValueByte, Int: -5},
+		{Kind: ValueByte, Int: 127},
+		{Kind: ValueShort, Int: -300},
+		{Kind: ValueInt, Int: 0},
+		{Kind: ValueInt, Int: 1},
+		{Kind: ValueInt, Int: -1},
+		{Kind: ValueInt, Int: 0x1234},
+		{Kind: ValueInt, Int: -0x12345678},
+		{Kind: ValueInt, Int: 1<<31 - 1},
+		{Kind: ValueLong, Int: 1 << 40},
+		{Kind: ValueLong, Int: -(1 << 55)},
+		{Kind: ValueString, Index: 0},
+		{Kind: ValueString, Index: 300},
+		{Kind: ValueString, Index: 1 << 20},
+		{Kind: ValueType, Index: 7},
+		{Kind: ValueNull},
+		{Kind: ValueBoolean, Int: 0},
+		{Kind: ValueBoolean, Int: 1},
+	}
+	for _, v := range vals {
+		b, err := appendEncodedValue(nil, v)
+		if err != nil {
+			t.Errorf("%+v: encode: %v", v, err)
+			continue
+		}
+		got, off, err := readEncodedValue(b, 0)
+		if err != nil {
+			t.Errorf("%+v: decode: %v", v, err)
+			continue
+		}
+		if off != len(b) {
+			t.Errorf("%+v: trailing bytes", v)
+		}
+		if got != v {
+			t.Errorf("round trip %+v -> %+v", v, got)
+		}
+	}
+}
+
+func TestEncodedValueQuickInt(t *testing.T) {
+	f := func(v int32) bool {
+		b, err := appendEncodedValue(nil, IntValue(int64(v)))
+		if err != nil {
+			return false
+		}
+		got, _, err := readEncodedValue(b, 0)
+		return err == nil && got.Int == int64(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodedValueErrors(t *testing.T) {
+	if _, err := appendEncodedValue(nil, Value{Kind: ValueByte, Int: 1000}); err == nil {
+		t.Error("byte overflow: want error")
+	}
+	if _, err := appendEncodedValue(nil, Value{Kind: ValueInt, Int: 1 << 40}); err == nil {
+		t.Error("int overflow: want error")
+	}
+	if _, err := appendEncodedValue(nil, Value{Kind: 0x1d}); err == nil {
+		t.Error("unsupported kind: want error")
+	}
+	if _, _, err := readEncodedValue(nil, 0); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, _, err := readEncodedValue([]byte{byte(ValueInt) | 3<<5}, 0); err == nil {
+		t.Error("truncated payload: want error")
+	}
+	if _, _, err := readEncodedValue([]byte{0x1d}, 0); err == nil {
+		t.Error("unsupported read kind: want error")
+	}
+}

@@ -1,0 +1,68 @@
+package dex
+
+import (
+	"errors"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+var errMUTF8 = errors.New("dex: malformed MUTF-8 string data")
+
+// encodeMUTF8 encodes s as Modified UTF-8 (U+0000 becomes 0xC0 0x80,
+// supplementary code points become surrogate pairs encoded independently)
+// and returns the bytes plus the UTF-16 length that DEX string_data_items
+// record.
+func encodeMUTF8(s string) (data []byte, utf16Len int) {
+	units := utf16.Encode([]rune(s))
+	data = make([]byte, 0, len(s))
+	for _, u := range units {
+		switch {
+		case u == 0:
+			data = append(data, 0xc0, 0x80)
+		case u < 0x80:
+			data = append(data, byte(u))
+		case u < 0x800:
+			data = append(data, 0xc0|byte(u>>6), 0x80|byte(u&0x3f))
+		default:
+			data = append(data, 0xe0|byte(u>>12), 0x80|byte(u>>6&0x3f), 0x80|byte(u&0x3f))
+		}
+	}
+	return data, len(units)
+}
+
+// decodeMUTF8 decodes Modified UTF-8 bytes into a Go string.
+func decodeMUTF8(data []byte) (string, error) {
+	units := make([]uint16, 0, len(data))
+	for i := 0; i < len(data); {
+		c := data[i]
+		switch {
+		case c&0x80 == 0:
+			if c == 0 {
+				return "", errMUTF8 // embedded NUL must be 0xC0 0x80
+			}
+			units = append(units, uint16(c))
+			i++
+		case c&0xe0 == 0xc0:
+			if i+1 >= len(data) || data[i+1]&0xc0 != 0x80 {
+				return "", errMUTF8
+			}
+			units = append(units, uint16(c&0x1f)<<6|uint16(data[i+1]&0x3f))
+			i += 2
+		case c&0xf0 == 0xe0:
+			if i+2 >= len(data) || data[i+1]&0xc0 != 0x80 || data[i+2]&0xc0 != 0x80 {
+				return "", errMUTF8
+			}
+			units = append(units,
+				uint16(c&0x0f)<<12|uint16(data[i+1]&0x3f)<<6|uint16(data[i+2]&0x3f))
+			i += 3
+		default:
+			return "", errMUTF8
+		}
+	}
+	runes := utf16.Decode(units)
+	out := make([]byte, 0, len(data))
+	for _, r := range runes {
+		out = utf8.AppendRune(out, r)
+	}
+	return string(out), nil
+}

@@ -1,0 +1,159 @@
+package dex
+
+import (
+	"fmt"
+
+	"dexlego/internal/bytecode"
+)
+
+// VerifyError reports a structural defect found by Verify.
+type VerifyError struct {
+	Where  string
+	Reason string
+}
+
+func (e *VerifyError) Error() string {
+	return fmt.Sprintf("dex: verify %s: %s", e.Where, e.Reason)
+}
+
+// Verify performs the structural checks a loader relies on, beyond what
+// Write validates: canonical table ordering, class-definition topology,
+// and per-method bytecode sanity (decodability, register bounds, branch
+// and switch targets landing on instruction starts, try ranges and handler
+// addresses within the body). It returns every defect found.
+func Verify(f *File) []error {
+	var errs []error
+	report := func(where, format string, args ...any) {
+		errs = append(errs, &VerifyError{Where: where, Reason: fmt.Sprintf(format, args...)})
+	}
+
+	if err := f.validate(); err != nil {
+		report("tables", "%v", err)
+	}
+	for i := 1; i < len(f.Strings); i++ {
+		if f.Strings[i-1] >= f.Strings[i] {
+			report("string_ids", "not sorted/unique at %d", i)
+			break
+		}
+	}
+	for i := 1; i < len(f.Types); i++ {
+		if f.Types[i-1] >= f.Types[i] {
+			report("type_ids", "not sorted/unique at %d", i)
+			break
+		}
+	}
+
+	// Superclasses defined in this file must precede their subclasses.
+	pos := make(map[uint32]int, len(f.Classes))
+	for i := range f.Classes {
+		if prev, dup := pos[f.Classes[i].Class]; dup {
+			report("class_defs", "class %s defined at %d and %d",
+				f.TypeName(f.Classes[i].Class), prev, i)
+		}
+		pos[f.Classes[i].Class] = i
+	}
+	for i := range f.Classes {
+		cd := &f.Classes[i]
+		if cd.Superclass == NoIndex {
+			continue
+		}
+		if j, ok := pos[cd.Superclass]; ok && j > i {
+			report("class_defs", "class %s precedes its superclass %s",
+				f.TypeName(cd.Class), f.TypeName(cd.Superclass))
+		}
+	}
+
+	for ci := range f.Classes {
+		cd := &f.Classes[ci]
+		for _, list := range [][]EncodedMethod{cd.DirectMeths, cd.VirtualMeths} {
+			for mi := range list {
+				em := &list[mi]
+				if em.Code == nil {
+					continue
+				}
+				where := f.MethodAt(em.Method).Key()
+				verifyCode(f, where, em.Code, report)
+			}
+		}
+	}
+	return errs
+}
+
+func verifyCode(f *File, where string, code *Code, report func(where, format string, args ...any)) {
+	placed, err := bytecode.DecodeAll(code.Insns)
+	if err != nil {
+		report(where, "undecodable body: %v", err)
+		return
+	}
+	if len(placed) == 0 {
+		report(where, "empty instruction array")
+		return
+	}
+	starts := make(map[int]bool, len(placed))
+	for _, p := range placed {
+		starts[p.PC] = true
+	}
+	if int(code.InsSize) > int(code.RegistersSize) {
+		report(where, "ins %d exceed registers %d", code.InsSize, code.RegistersSize)
+	}
+	// The last reachable instruction must not fall off the end. Trailing
+	// alignment nops before switch payloads are unreachable padding and are
+	// exempt.
+	lastIdx := len(placed) - 1
+	for lastIdx > 0 && placed[lastIdx].Inst.Op == bytecode.OpNop {
+		lastIdx--
+	}
+	if last := placed[lastIdx]; !last.Inst.Op.IsTerminator() &&
+		!last.Inst.Op.IsSwitch() && !last.Inst.Op.IsBranch() {
+		report(where, "control can fall off the end (last op %s)", last.Inst.Op)
+	}
+	for _, p := range placed {
+		maxReg := int32(-1)
+		bytecode.MapRegisters(p.Inst, func(r int32) int32 {
+			if r > maxReg {
+				maxReg = r
+			}
+			return r
+		})
+		if maxReg >= int32(code.RegistersSize) {
+			report(where, "pc %#x: register v%d exceeds registers_size %d",
+				p.PC, maxReg, code.RegistersSize)
+		}
+		for _, off := range p.Inst.BranchTargets() {
+			target := p.PC + int(off)
+			if !starts[target] {
+				report(where, "pc %#x: %s targets %#x, not an instruction start",
+					p.PC, p.Inst.Op, target)
+			}
+		}
+		if kind := p.Inst.Op.Index(); kind != bytecode.IndexNone {
+			limit := map[bytecode.IndexKind]int{
+				bytecode.IndexString: len(f.Strings),
+				bytecode.IndexType:   len(f.Types),
+				bytecode.IndexField:  len(f.Fields),
+				bytecode.IndexMethod: len(f.Methods),
+			}[kind]
+			if int(p.Inst.Index) >= limit {
+				report(where, "pc %#x: %s index %d out of range",
+					p.PC, p.Inst.Op, p.Inst.Index)
+			}
+		}
+	}
+	for ti, tr := range code.Tries {
+		if int(tr.Start)+int(tr.Count) > len(code.Insns) {
+			report(where, "try %d: range [%d,%d) exceeds body %d",
+				ti, tr.Start, tr.Start+tr.Count, len(code.Insns))
+		}
+		for _, h := range tr.Handlers {
+			if !starts[int(h.Addr)] {
+				report(where, "try %d: handler %#x not an instruction start", ti, h.Addr)
+			}
+			if int(h.Type) >= len(f.Types) {
+				report(where, "try %d: handler type %d out of range", ti, h.Type)
+			}
+		}
+		if tr.CatchAll >= 0 && !starts[int(tr.CatchAll)] {
+			report(where, "try %d: catch-all %#x not an instruction start", ti, tr.CatchAll)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package dex
+
+import (
+	"strings"
+	"testing"
+
+	"dexlego/internal/bytecode"
+)
+
+func TestVerifyCleanFile(t *testing.T) {
+	f := buildSampleFile(t)
+	if errs := Verify(f); len(errs) != 0 {
+		t.Errorf("clean file reported %d defects: %v", len(errs), errs)
+	}
+}
+
+func mustAsm(t *testing.T, build func(a *bytecode.Assembler)) []uint16 {
+	t.Helper()
+	var a bytecode.Assembler
+	build(&a)
+	insns, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return insns
+}
+
+// rawFile assembles a file bypassing Builder.Finish so defects survive.
+func rawFile(t *testing.T, code *Code) *File {
+	t.Helper()
+	b := NewBuilder()
+	cb := b.Class("Lv/C;", AccPublic, "Ljava/lang/Object;")
+	cb.DirectMethod("f", "V", nil, AccPublic|AccStatic, code)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestVerifyFindsDefects(t *testing.T) {
+	cases := []struct {
+		name string
+		code *Code
+		want string
+	}{
+		{
+			"register overflow",
+			&Code{RegistersSize: 1, Insns: mustAsm(t, func(a *bytecode.Assembler) {
+				a.Const(5, 1) // v5 in a 1-register frame
+				a.ReturnVoid()
+			})},
+			"exceeds registers_size",
+		},
+		{
+			"fall off the end",
+			&Code{RegistersSize: 2, Insns: mustAsm(t, func(a *bytecode.Assembler) {
+				a.Const(0, 1)
+			})},
+			"fall off the end",
+		},
+		{
+			"ins exceed registers",
+			&Code{RegistersSize: 1, InsSize: 3, Insns: mustAsm(t, func(a *bytecode.Assembler) {
+				a.ReturnVoid()
+			})},
+			"ins 3 exceed registers",
+		},
+		{
+			"try range overflow",
+			&Code{
+				RegistersSize: 2,
+				Insns: mustAsm(t, func(a *bytecode.Assembler) {
+					a.ReturnVoid()
+				}),
+				Tries: []Try{{Start: 0, Count: 99, CatchAll: 0}},
+			},
+			"exceeds body",
+		},
+		{
+			"handler into the void",
+			&Code{
+				RegistersSize: 2,
+				Insns: mustAsm(t, func(a *bytecode.Assembler) {
+					a.Const(0, 1)
+					a.ReturnVoid()
+				}),
+				Tries: []Try{{Start: 0, Count: 1, CatchAll: 55}},
+			},
+			"not an instruction start",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := rawFile(t, tc.code)
+			errs := Verify(f)
+			found := false
+			for _, err := range errs {
+				if strings.Contains(err.Error(), tc.want) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("defect %q not reported; got %v", tc.want, errs)
+			}
+		})
+	}
+}
+
+func TestVerifyBranchIntoMidInstruction(t *testing.T) {
+	// A hand-crafted branch landing in the middle of a 2-unit instruction.
+	insns := []uint16{
+		uint16(bytecode.OpIfEqz), 2, // if-eqz v0, +2 -> lands at pc 2
+		0x000e, // return-void at pc 2 is FINE; craft a worse one below
+	}
+	// Make pc 2 the second unit of a const/16 instead.
+	insns = []uint16{
+		uint16(bytecode.OpIfEqz), 3, // branch to pc 3 = middle of const/16
+		uint16(bytecode.OpConst16), 7, // pc 2..3
+		0x000e, // pc 4
+	}
+	f := rawFile(t, &Code{RegistersSize: 2, Insns: insns})
+	errs := Verify(f)
+	found := false
+	for _, err := range errs {
+		if strings.Contains(err.Error(), "not an instruction start") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mid-instruction branch not reported: %v", errs)
+	}
+}

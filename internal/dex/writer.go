@@ -1,0 +1,464 @@
+package dex
+
+import (
+	"crypto/sha1"
+	"fmt"
+	"hash/adler32"
+	"sort"
+	"strings"
+)
+
+// Magic is the DEX file magic including the format version.
+const Magic = "dex\n035\x00"
+
+const (
+	headerSize = 0x70
+	endianTag  = 0x12345678
+)
+
+// Map-list item type codes from the DEX specification.
+const (
+	mapHeader       = 0x0000
+	mapStringID     = 0x0001
+	mapTypeID       = 0x0002
+	mapProtoID      = 0x0003
+	mapFieldID      = 0x0004
+	mapMethodID     = 0x0005
+	mapClassDef     = 0x0006
+	mapMapList      = 0x1000
+	mapTypeList     = 0x1001
+	mapClassData    = 0x2000
+	mapCode         = 0x2001
+	mapStringData   = 0x2002
+	mapEncodedArray = 0x2005
+)
+
+type byteWriter struct {
+	buf []byte
+}
+
+func (w *byteWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *byteWriter) u16(v uint16) { w.buf = append(w.buf, byte(v), byte(v>>8)) }
+func (w *byteWriter) u32(v uint32) {
+	w.buf = append(w.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+func (w *byteWriter) uleb(v uint32) { w.buf = appendULEB128(w.buf, v) }
+func (w *byteWriter) sleb(v int32)  { w.buf = appendSLEB128(w.buf, v) }
+func (w *byteWriter) align4() {
+	for len(w.buf)%4 != 0 {
+		w.buf = append(w.buf, 0)
+	}
+}
+func (w *byteWriter) len() int { return len(w.buf) }
+
+// Write serializes the file to the DEX binary format, computing the header
+// checksum and SHA-1 signature.
+func (f *File) Write() ([]byte, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	// Fixed-size index sections determine where data starts.
+	stringIDsOff := headerSize
+	typeIDsOff := stringIDsOff + 4*len(f.Strings)
+	protoIDsOff := typeIDsOff + 4*len(f.Types)
+	fieldIDsOff := protoIDsOff + 12*len(f.Protos)
+	methodIDsOff := fieldIDsOff + 8*len(f.Fields)
+	classDefsOff := methodIDsOff + 8*len(f.Methods)
+	dataOff := classDefsOff + 32*len(f.Classes)
+
+	data := &byteWriter{}
+	abs := func() uint32 { return uint32(dataOff + data.len()) }
+
+	type mapEntry struct {
+		kind   uint16
+		size   uint32
+		offset uint32
+	}
+	var mapEntries []mapEntry
+	addMap := func(kind uint16, size int, offset uint32) {
+		if size > 0 {
+			mapEntries = append(mapEntries, mapEntry{kind, uint32(size), offset})
+		}
+	}
+	addMap(mapHeader, 1, 0)
+	addMap(mapStringID, len(f.Strings), uint32(stringIDsOff))
+	addMap(mapTypeID, len(f.Types), uint32(typeIDsOff))
+	addMap(mapProtoID, len(f.Protos), uint32(protoIDsOff))
+	addMap(mapFieldID, len(f.Fields), uint32(fieldIDsOff))
+	addMap(mapMethodID, len(f.Methods), uint32(methodIDsOff))
+	addMap(mapClassDef, len(f.Classes), uint32(classDefsOff))
+
+	// Type lists (proto parameters and class interfaces), deduplicated.
+	typeListOff := make(map[string]uint32)
+	listKey := func(ts []uint32) string {
+		var sb strings.Builder
+		for _, t := range ts {
+			fmt.Fprintf(&sb, "%d,", t)
+		}
+		return sb.String()
+	}
+	var typeListCount int
+	var typeListFirst uint32
+	writeTypeList := func(ts []uint32) uint32 {
+		if len(ts) == 0 {
+			return 0
+		}
+		key := listKey(ts)
+		if off, ok := typeListOff[key]; ok {
+			return off
+		}
+		data.align4()
+		off := abs()
+		if typeListCount == 0 {
+			typeListFirst = off
+		}
+		typeListCount++
+		data.u32(uint32(len(ts)))
+		for _, t := range ts {
+			data.u16(uint16(t))
+		}
+		typeListOff[key] = off
+		return off
+	}
+	protoParamsOff := make([]uint32, len(f.Protos))
+	for i := range f.Protos {
+		protoParamsOff[i] = writeTypeList(f.Protos[i].Params)
+	}
+	classIfaceOff := make([]uint32, len(f.Classes))
+	for i := range f.Classes {
+		classIfaceOff[i] = writeTypeList(f.Classes[i].Interfaces)
+	}
+	addMap(mapTypeList, typeListCount, typeListFirst)
+
+	// Code items.
+	type methodKey struct{ class, list, idx int }
+	codeOffs := make(map[methodKey]uint32)
+	var codeCount int
+	var codeFirst uint32
+	for ci := range f.Classes {
+		cd := &f.Classes[ci]
+		for li, list := range [][]EncodedMethod{cd.DirectMeths, cd.VirtualMeths} {
+			for mi := range list {
+				code := list[mi].Code
+				if code == nil {
+					continue
+				}
+				data.align4()
+				off := abs()
+				if codeCount == 0 {
+					codeFirst = off
+				}
+				codeCount++
+				codeOffs[methodKey{ci, li, mi}] = off
+				if err := writeCodeItem(data, code); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	addMap(mapCode, codeCount, codeFirst)
+
+	// Class data items.
+	classDataOff := make([]uint32, len(f.Classes))
+	var classDataCount int
+	var classDataFirst uint32
+	for ci := range f.Classes {
+		cd := &f.Classes[ci]
+		if len(cd.StaticFields)+len(cd.InstFields)+
+			len(cd.DirectMeths)+len(cd.VirtualMeths) == 0 {
+			continue
+		}
+		off := abs()
+		if classDataCount == 0 {
+			classDataFirst = off
+		}
+		classDataCount++
+		classDataOff[ci] = off
+		data.uleb(uint32(len(cd.StaticFields)))
+		data.uleb(uint32(len(cd.InstFields)))
+		data.uleb(uint32(len(cd.DirectMeths)))
+		data.uleb(uint32(len(cd.VirtualMeths)))
+		writeFields := func(fields []EncodedField) error {
+			if !sort.SliceIsSorted(fields, func(i, j int) bool {
+				return fields[i].Field < fields[j].Field
+			}) {
+				return fmt.Errorf("dex: class %s fields not sorted by index",
+					f.TypeName(cd.Class))
+			}
+			prev := uint32(0)
+			for i, ef := range fields {
+				diff := ef.Field - prev
+				if i == 0 {
+					diff = ef.Field
+				}
+				data.uleb(diff)
+				data.uleb(ef.AccessFlags)
+				prev = ef.Field
+			}
+			return nil
+		}
+		if err := writeFields(cd.StaticFields); err != nil {
+			return nil, err
+		}
+		if err := writeFields(cd.InstFields); err != nil {
+			return nil, err
+		}
+		writeMethods := func(li int, meths []EncodedMethod) error {
+			if !sort.SliceIsSorted(meths, func(i, j int) bool {
+				return meths[i].Method < meths[j].Method
+			}) {
+				return fmt.Errorf("dex: class %s methods not sorted by index",
+					f.TypeName(cd.Class))
+			}
+			prev := uint32(0)
+			for i, em := range meths {
+				diff := em.Method - prev
+				if i == 0 {
+					diff = em.Method
+				}
+				data.uleb(diff)
+				data.uleb(em.AccessFlags)
+				data.uleb(codeOffs[methodKey{ci, li, i}])
+				prev = em.Method
+			}
+			return nil
+		}
+		if err := writeMethods(0, cd.DirectMeths); err != nil {
+			return nil, err
+		}
+		if err := writeMethods(1, cd.VirtualMeths); err != nil {
+			return nil, err
+		}
+	}
+	addMap(mapClassData, classDataCount, classDataFirst)
+
+	// Static value arrays.
+	staticValsOff := make([]uint32, len(f.Classes))
+	var arrCount int
+	var arrFirst uint32
+	for ci := range f.Classes {
+		vals := f.Classes[ci].StaticValues
+		if len(vals) == 0 {
+			continue
+		}
+		off := abs()
+		if arrCount == 0 {
+			arrFirst = off
+		}
+		arrCount++
+		staticValsOff[ci] = off
+		data.uleb(uint32(len(vals)))
+		for _, v := range vals {
+			var err error
+			data.buf, err = appendEncodedValue(data.buf, v)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	addMap(mapEncodedArray, arrCount, arrFirst)
+
+	// String data.
+	stringDataOff := make([]uint32, len(f.Strings))
+	var strFirst uint32
+	for i, s := range f.Strings {
+		off := abs()
+		if i == 0 {
+			strFirst = off
+		}
+		stringDataOff[i] = off
+		enc, u16len := encodeMUTF8(s)
+		data.uleb(uint32(u16len))
+		data.buf = append(data.buf, enc...)
+		data.u8(0)
+	}
+	addMap(mapStringData, len(f.Strings), strFirst)
+
+	// Map list.
+	data.align4()
+	mapOff := abs()
+	addMap(mapMapList, 1, mapOff)
+	sort.SliceStable(mapEntries, func(i, j int) bool {
+		return mapEntries[i].offset < mapEntries[j].offset
+	})
+	data.u32(uint32(len(mapEntries)))
+	for _, e := range mapEntries {
+		data.u16(e.kind)
+		data.u16(0)
+		data.u32(e.size)
+		data.u32(e.offset)
+	}
+
+	// Assemble the final file.
+	total := dataOff + data.len()
+	out := &byteWriter{buf: make([]byte, 0, total)}
+	out.buf = append(out.buf, Magic...)
+	out.u32(0)                                     // checksum, patched below
+	out.buf = append(out.buf, make([]byte, 20)...) // signature, patched below
+	out.u32(uint32(total))
+	out.u32(headerSize)
+	out.u32(endianTag)
+	out.u32(0) // link_size
+	out.u32(0) // link_off
+	out.u32(mapOff)
+	out.u32(uint32(len(f.Strings)))
+	out.u32(offOrZero(len(f.Strings), stringIDsOff))
+	out.u32(uint32(len(f.Types)))
+	out.u32(offOrZero(len(f.Types), typeIDsOff))
+	out.u32(uint32(len(f.Protos)))
+	out.u32(offOrZero(len(f.Protos), protoIDsOff))
+	out.u32(uint32(len(f.Fields)))
+	out.u32(offOrZero(len(f.Fields), fieldIDsOff))
+	out.u32(uint32(len(f.Methods)))
+	out.u32(offOrZero(len(f.Methods), methodIDsOff))
+	out.u32(uint32(len(f.Classes)))
+	out.u32(offOrZero(len(f.Classes), classDefsOff))
+	out.u32(uint32(data.len()))
+	out.u32(uint32(dataOff))
+
+	for _, off := range stringDataOff {
+		out.u32(off)
+	}
+	for _, t := range f.Types {
+		out.u32(t)
+	}
+	for i, p := range f.Protos {
+		out.u32(p.Shorty)
+		out.u32(p.Return)
+		out.u32(protoParamsOff[i])
+	}
+	for _, fd := range f.Fields {
+		out.u16(uint16(fd.Class))
+		out.u16(uint16(fd.Type))
+		out.u32(fd.Name)
+	}
+	for _, m := range f.Methods {
+		out.u16(uint16(m.Class))
+		out.u16(uint16(m.Proto))
+		out.u32(m.Name)
+	}
+	for ci := range f.Classes {
+		cd := &f.Classes[ci]
+		out.u32(cd.Class)
+		out.u32(cd.AccessFlags)
+		out.u32(cd.Superclass)
+		out.u32(classIfaceOff[ci])
+		out.u32(cd.SourceFile)
+		out.u32(0) // annotations_off
+		out.u32(classDataOff[ci])
+		out.u32(staticValsOff[ci])
+	}
+	out.buf = append(out.buf, data.buf...)
+
+	// Signature over everything after it, checksum over everything after it.
+	sig := sha1.Sum(out.buf[32:])
+	copy(out.buf[12:32], sig[:])
+	sum := adler32.Checksum(out.buf[12:])
+	out.buf[8] = byte(sum)
+	out.buf[9] = byte(sum >> 8)
+	out.buf[10] = byte(sum >> 16)
+	out.buf[11] = byte(sum >> 24)
+	return out.buf, nil
+}
+
+func offOrZero(n, off int) uint32 {
+	if n == 0 {
+		return 0
+	}
+	return uint32(off)
+}
+
+func writeCodeItem(w *byteWriter, code *Code) error {
+	w.u16(code.RegistersSize)
+	w.u16(code.InsSize)
+	w.u16(code.OutsSize)
+	w.u16(uint16(len(code.Tries)))
+	w.u32(0) // debug_info_off
+	w.u32(uint32(len(code.Insns)))
+	for _, u := range code.Insns {
+		w.u16(u)
+	}
+	if len(code.Tries) == 0 {
+		return nil
+	}
+	if len(code.Insns)%2 != 0 {
+		w.u16(0) // padding
+	}
+	// Each try gets its own encoded_catch_handler. Handler offsets are
+	// relative to the start of the encoded_catch_handler_list.
+	handlers := &byteWriter{}
+	handlers.uleb(uint32(len(code.Tries)))
+	handlerOff := make([]uint32, len(code.Tries))
+	for i, t := range code.Tries {
+		handlerOff[i] = uint32(handlers.len())
+		size := int32(len(t.Handlers))
+		if t.CatchAll >= 0 {
+			size = -size
+		}
+		handlers.sleb(size)
+		for _, h := range t.Handlers {
+			handlers.uleb(h.Type)
+			handlers.uleb(h.Addr)
+		}
+		if t.CatchAll >= 0 {
+			handlers.uleb(uint32(t.CatchAll))
+		}
+	}
+	for i, t := range code.Tries {
+		if handlerOff[i] > 0xffff {
+			return fmt.Errorf("dex: handler offset overflow")
+		}
+		w.u32(t.Start)
+		w.u16(uint16(t.Count))
+		w.u16(uint16(handlerOff[i]))
+	}
+	w.buf = append(w.buf, handlers.buf...)
+	return nil
+}
+
+func (f *File) validate() error {
+	for i, t := range f.Types {
+		if int(t) >= len(f.Strings) {
+			return fmt.Errorf("dex: type %d references string %d out of range", i, t)
+		}
+	}
+	for i, p := range f.Protos {
+		if int(p.Shorty) >= len(f.Strings) || int(p.Return) >= len(f.Types) {
+			return fmt.Errorf("dex: proto %d has out-of-range references", i)
+		}
+		for _, t := range p.Params {
+			if int(t) >= len(f.Types) {
+				return fmt.Errorf("dex: proto %d param type %d out of range", i, t)
+			}
+		}
+	}
+	for i, fd := range f.Fields {
+		if int(fd.Class) >= len(f.Types) || int(fd.Type) >= len(f.Types) ||
+			int(fd.Name) >= len(f.Strings) {
+			return fmt.Errorf("dex: field %d has out-of-range references", i)
+		}
+	}
+	for i, m := range f.Methods {
+		if int(m.Class) >= len(f.Types) || int(m.Proto) >= len(f.Protos) ||
+			int(m.Name) >= len(f.Strings) {
+			return fmt.Errorf("dex: method %d has out-of-range references", i)
+		}
+	}
+	for i := range f.Classes {
+		cd := &f.Classes[i]
+		if int(cd.Class) >= len(f.Types) {
+			return fmt.Errorf("dex: class %d type out of range", i)
+		}
+		if cd.Superclass != NoIndex && int(cd.Superclass) >= len(f.Types) {
+			return fmt.Errorf("dex: class %d superclass out of range", i)
+		}
+		if cd.SourceFile != NoIndex && int(cd.SourceFile) >= len(f.Strings) {
+			return fmt.Errorf("dex: class %d source file out of range", i)
+		}
+		if len(cd.StaticValues) > len(cd.StaticFields) {
+			return fmt.Errorf("dex: class %s has %d static values for %d static fields",
+				f.TypeName(cd.Class), len(cd.StaticValues), len(cd.StaticFields))
+		}
+	}
+	return nil
+}

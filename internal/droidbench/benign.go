@@ -1,0 +1,202 @@
+package droidbench
+
+import (
+	"fmt"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/bytecode"
+	"dexlego/internal/dexgen"
+)
+
+// benignSamples returns the 20 benign release samples. Several are crafted
+// around known over-approximations — dead callbacks, aliasing,
+// widget-state conflation, rare lifecycle callbacks, implicit-flow noise —
+// so each tool accumulates its characteristic false positives.
+func benignSamples() []*Sample {
+	var out []*Sample
+	out = append(out, cleanSamples()...)        // 6
+	out = append(out, deadCallbackSamples()...) // 2
+	out = append(out, aliasingSamples()...)     // 4
+	out = append(out, widgetConfusion()...)     // 3
+	out = append(out, lowMemorySample())        // 1
+	out = append(out, implicitNoise()...)       // 4
+	return out
+}
+
+func benignSample(name, category string, build func() (*apk.APK, error)) *Sample {
+	return &Sample{Name: name, Category: category, build: build}
+}
+
+func cleanSamples() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 6; i++ {
+		name := fmt.Sprintf("Clean%d", i)
+		out = append(out, benignSample(name, "clean",
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					// Reads a source but logs an unrelated constant.
+					emitSource(a, sourceKinds[i%len(sourceKinds)], 0, 1)
+					a.ConstString(2, "status: ok")
+					a.LogLeak("clean", 2, 3)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+// deadCallbackSamples declare an OnClickListener with a leaking onClick
+// that is never registered: callback-modeling static tools flag it; at
+// runtime the class never loads, so the revealed APK drops it.
+func deadCallbackSamples() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 2; i++ {
+		name := fmt.Sprintf("DeadCallback%d", i)
+		out = append(out, benignSample(name, "dead-callback",
+			func() (*apk.APK, error) {
+				p := dexgen.New()
+				desc := activityDesc(name)
+				ldesc := fmt.Sprintf("Lde/droidbench/%s$Dead;", name)
+				dead := p.Class(ldesc, "", "Landroid/view/View$OnClickListener;")
+				dead.Ctor("Ljava/lang/Object;", nil)
+				dead.Field("act", "Landroid/app/Activity;")
+				dead.Virtual("onClick", "V", []string{"Landroid/view/View;"}, func(a *dexgen.Asm) {
+					a.IGetObject(6, a.This(), ldesc, "act", "Landroid/app/Activity;")
+					a.ConstString(7, "phone")
+					a.InvokeVirtual("Landroid/app/Activity;", "getSystemService",
+						"(Ljava/lang/String;)Ljava/lang/Object;", 6, 7)
+					a.MoveResultObject(7)
+					a.CheckCast(7, "Landroid/telephony/TelephonyManager;")
+					a.InvokeVirtual("Landroid/telephony/TelephonyManager;", "getDeviceId",
+						"()Ljava/lang/String;", 7)
+					a.MoveResultObject(0)
+					a.LogLeak("dead", 0, 1)
+					a.ReturnVoid()
+				})
+				cls := p.Class(desc, "Landroid/app/Activity;")
+				cls.Ctor("Landroid/app/Activity;", nil)
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					a.ConstString(0, "nothing to see")
+					a.LogLeak("main", 0, 1)
+					a.ReturnVoid()
+				})
+				return p.BuildAPK("de.droidbench."+name, "1.0", desc)
+			}))
+	}
+	return out
+}
+
+// aliasingSamples store tainted data in one object and sink from a second,
+// distinct object of the same class: field-insensitive analyses conflate
+// them (FlowDroid, DroidSafe false positive); value-sensitive HornDroid
+// does not.
+func aliasingSamples() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 4; i++ {
+		name := fmt.Sprintf("Aliasing%d", i)
+		src := sourceKinds[i%len(sourceKinds)]
+		sink := sinkKinds[i%len(sinkKinds)]
+		out = append(out, benignSample(name, "aliasing",
+			func() (*apk.APK, error) {
+				p := dexgen.New()
+				desc := activityDesc(name)
+				hdesc := fmt.Sprintf("Lde/droidbench/%s$Holder;", name)
+				holder := p.Class(hdesc, "")
+				holder.Ctor("Ljava/lang/Object;", nil)
+				holder.Field("data", "Ljava/lang/String;")
+				cls := p.Class(desc, "Landroid/app/Activity;")
+				cls.Ctor("Landroid/app/Activity;", nil)
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					a.NewInstance(0, hdesc)
+					a.InvokeDirect(hdesc, "<init>", "()V", 0)
+					a.NewInstance(1, hdesc)
+					a.InvokeDirect(hdesc, "<init>", "()V", 1)
+					emitSource(a, src, 2, 3)
+					a.IPutObject(2, 0, hdesc, "data", "Ljava/lang/String;")
+					a.ConstString(4, "empty")
+					a.IPutObject(4, 1, hdesc, "data", "Ljava/lang/String;")
+					a.IGetObject(5, 1, hdesc, "data", "Ljava/lang/String;")
+					emitSink(a, sink, 5, 6)
+					a.ReturnVoid()
+				})
+				return p.BuildAPK("de.droidbench."+name, "1.0", desc)
+			}))
+	}
+	return out
+}
+
+// widgetConfusion writes taint into one TextView and sinks the text of
+// another: only a deep-but-object-insensitive framework model (DroidSafe)
+// conflates the two.
+func widgetConfusion() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("WidgetConfusion%d", i)
+		src := sourceKinds[(i+1)%len(sourceKinds)]
+		sink := sinkKinds[(i+1)%len(sinkKinds)]
+		out = append(out, benignSample(name, "widget-confusion",
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					a.NewInstance(0, "Landroid/widget/TextView;")
+					a.InvokeDirect("Landroid/widget/TextView;", "<init>", "()V", 0)
+					a.NewInstance(1, "Landroid/widget/TextView;")
+					a.InvokeDirect("Landroid/widget/TextView;", "<init>", "()V", 1)
+					emitSource(a, src, 2, 3)
+					a.InvokeVirtual("Landroid/widget/TextView;", "setText",
+						"(Ljava/lang/String;)V", 0, 2)
+					a.ConstString(4, "hello world")
+					a.InvokeVirtual("Landroid/widget/TextView;", "setText",
+						"(Ljava/lang/String;)V", 1, 4)
+					a.InvokeVirtual("Landroid/widget/TextView;", "getText",
+						"()Ljava/lang/String;", 1)
+					a.MoveResultObject(5)
+					emitSink(a, sink, 5, 6)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+// lowMemorySample leaks only inside onLowMemory, which never fires:
+// FlowDroid's exhaustive lifecycle model flags it anyway.
+func lowMemorySample() *Sample {
+	name := "LowMemory1"
+	return benignSample(name, "rare-lifecycle",
+		newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+			cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+				a.ConstString(0, "booted")
+				a.LogLeak("main", 0, 1)
+				a.ReturnVoid()
+			})
+			cls.Virtual("onLowMemory", "V", nil, func(a *dexgen.Asm) {
+				emitSource(a, "imei", 0, 1)
+				emitSink(a, "http", 0, 1)
+				a.ReturnVoid()
+			})
+		}))
+}
+
+// implicitNoise guards a constant-only sink with a tainted condition:
+// implicit-flow tracking (HornDroid) over-approximates it into a finding.
+func implicitNoise() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 4; i++ {
+		name := fmt.Sprintf("ImplicitNoise%d", i)
+		src := sourceKinds[(i+3)%len(sourceKinds)]
+		out = append(out, benignSample(name, "implicit-noise",
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					emitSource(a, src, 0, 1)
+					a.InvokeVirtual("Ljava/lang/String;", "isEmpty", "()Z", 0)
+					a.MoveResult(2)
+					a.IfZ(bytecode.OpIfNez, 2, "skip")
+					a.ConstString(3, "device ready")
+					a.LogLeak("noise", 3, 4)
+					a.Label("skip")
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}

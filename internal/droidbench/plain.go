@@ -1,0 +1,457 @@
+package droidbench
+
+import (
+	"fmt"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/bytecode"
+	"dexlego/internal/dexgen"
+)
+
+// plainSamples returns the 81 release samples whose flows every evaluated
+// static tool detects: direct, interprocedural, field-mediated, string- and
+// array-obfuscated, callback-triggered, lifecycle-split, switch- and
+// exception-routed leaks, plus EmulatorDetection1 and PrivateDataLeak3.
+func plainSamples() []*Sample {
+	var out []*Sample
+	out = append(out, directLeaks()...)        // 12
+	out = append(out, interprocLeaks()...)     // 10
+	out = append(out, fieldFlows()...)         // 8
+	out = append(out, staticFieldFlows()...)   // 5
+	out = append(out, loopStringFlows()...)    // 8
+	out = append(out, arrayFlows()...)         // 6
+	out = append(out, builderFlows()...)       // 5
+	out = append(out, callbackLeaks()...)      // 6
+	out = append(out, switchFlows()...)        // 4
+	out = append(out, catchFlows()...)         // 4
+	out = append(out, lifecycleFlows()...)     // 6
+	out = append(out, branchingFlows()...)     // 5
+	out = append(out, emulatorDetection1()...) // 1
+	out = append(out, privateDataLeak3()...)   // 1
+	return out
+}
+
+func leakySample(name, category string, count int, build func() (*apk.APK, error)) *Sample {
+	return &Sample{
+		Name: name, Category: category, Leaky: true, LeakCount: count,
+		build: build,
+	}
+}
+
+func directLeaks() []*Sample {
+	var out []*Sample
+	for idx := 0; len(out) < 12; idx++ {
+		if idx%5 == 1 {
+			continue // deterministic thinning of the 5x4 source/sink grid
+		}
+		srcKind := sourceKinds[idx/len(sinkKinds)%len(sourceKinds)]
+		sinkKind := sinkKinds[idx%len(sinkKinds)]
+		name := fmt.Sprintf("DirectLeak%d", len(out)+1)
+		out = append(out, leakySample(name, "direct", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					emitSource(a, srcKind, 0, 1)
+					emitSink(a, sinkKind, 0, 1)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+func interprocLeaks() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 10; i++ {
+		name := fmt.Sprintf("Interproc%d", i)
+		depth := i%4 + 1
+		sink := sinkKinds[i%len(sinkKinds)]
+		src := sourceKinds[i%len(sourceKinds)]
+		out = append(out, leakySample(name, "interproc", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				desc := activityDesc(name)
+				// hop0..hop{depth-1}: each passes the data one level down.
+				for h := 0; h < depth; h++ {
+					hop := h
+					cls.Virtual(fmt.Sprintf("hop%d", hop), "V",
+						[]string{"Ljava/lang/String;"}, func(a *dexgen.Asm) {
+							if hop == depth-1 {
+								emitSink(a, sink, a.P(0), 0)
+							} else {
+								a.InvokeVirtual(desc, fmt.Sprintf("hop%d", hop+1),
+									"(Ljava/lang/String;)V", a.This(), a.P(0))
+							}
+							a.ReturnVoid()
+						})
+				}
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					emitSource(a, src, 0, 1)
+					a.InvokeVirtual(desc, "hop0", "(Ljava/lang/String;)V", a.This(), 0)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+func fieldFlows() []*Sample {
+	readers := []string{"onStart", "onResume", "onPause", "onStop"}
+	var out []*Sample
+	for i := 1; i <= 8; i++ {
+		name := fmt.Sprintf("FieldFlow%d", i)
+		reader := readers[i%len(readers)]
+		src := sourceKinds[i%len(sourceKinds)]
+		sink := sinkKinds[i%len(sinkKinds)]
+		out = append(out, leakySample(name, "field", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				desc := activityDesc(name)
+				cls.Field("secret", "Ljava/lang/String;")
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					emitSource(a, src, 0, 1)
+					a.IPutObject(0, a.This(), desc, "secret", "Ljava/lang/String;")
+					a.ReturnVoid()
+				})
+				cls.Virtual(reader, "V", nil, func(a *dexgen.Asm) {
+					a.IGetObject(0, a.This(), desc, "secret", "Ljava/lang/String;")
+					emitSink(a, sink, 0, 1)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+func staticFieldFlows() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 5; i++ {
+		name := fmt.Sprintf("StaticField%d", i)
+		src := sourceKinds[(i+1)%len(sourceKinds)]
+		sink := sinkKinds[(i+2)%len(sinkKinds)]
+		out = append(out, leakySample(name, "staticfield", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				desc := activityDesc(name)
+				cls.StaticField("stash", "Ljava/lang/String;")
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					emitSource(a, src, 0, 1)
+					a.SPutObject(0, desc, "stash", "Ljava/lang/String;")
+					a.ReturnVoid()
+				})
+				cls.Virtual("onResume", "V", nil, func(a *dexgen.Asm) {
+					a.SGetObject(0, desc, "stash", "Ljava/lang/String;")
+					emitSink(a, sink, 0, 1)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+// loopStringFlows rebuild the tainted string character by character, the
+// classic "looped obfuscation" DroidBench pattern.
+func loopStringFlows() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 8; i++ {
+		name := fmt.Sprintf("LoopString%d", i)
+		src := sourceKinds[i%len(sourceKinds)]
+		sink := sinkKinds[(i+1)%len(sinkKinds)]
+		out = append(out, leakySample(name, "loop", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					emitSource(a, src, 0, 1)
+					a.NewInstance(1, "Ljava/lang/StringBuilder;")
+					a.InvokeDirect("Ljava/lang/StringBuilder;", "<init>", "()V", 1)
+					a.Const(2, 0) // i
+					a.Label("loop")
+					a.InvokeVirtual("Ljava/lang/String;", "length", "()I", 0)
+					a.MoveResult(3)
+					a.If(bytecode.OpIfGe, 2, 3, "done")
+					a.InvokeVirtual("Ljava/lang/String;", "charAt", "(I)C", 0, 2)
+					a.MoveResult(4)
+					a.InvokeVirtual("Ljava/lang/StringBuilder;", "append",
+						"(C)Ljava/lang/StringBuilder;", 1, 4)
+					a.AddLit(2, 2, 1)
+					a.Goto("loop")
+					a.Label("done")
+					a.InvokeVirtual("Ljava/lang/StringBuilder;", "toString",
+						"()Ljava/lang/String;", 1)
+					a.MoveResultObject(5)
+					emitSink(a, sink, 5, 0)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+func arrayFlows() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 6; i++ {
+		name := fmt.Sprintf("ArrayFlow%d", i)
+		src := sourceKinds[(i+2)%len(sourceKinds)]
+		sink := sinkKinds[i%len(sinkKinds)]
+		slot := int64(i % 3)
+		out = append(out, leakySample(name, "array", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					emitSource(a, src, 0, 1)
+					a.Const(1, 4)
+					a.NewArray(2, 1, "[Ljava/lang/String;")
+					a.Const(3, slot)
+					a.APut(bytecode.OpAPutObject, 0, 2, 3)
+					a.AGet(bytecode.OpAGetObject, 4, 2, 3)
+					emitSink(a, sink, 4, 0)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+func builderFlows() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 5; i++ {
+		name := fmt.Sprintf("Builder%d", i)
+		src := sourceKinds[(i+3)%len(sourceKinds)]
+		sink := sinkKinds[(i+3)%len(sinkKinds)]
+		out = append(out, leakySample(name, "builder", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					emitSource(a, src, 0, 1)
+					a.NewInstance(1, "Ljava/lang/StringBuilder;")
+					a.InvokeDirect("Ljava/lang/StringBuilder;", "<init>", "()V", 1)
+					a.ConstString(2, "data=")
+					a.InvokeVirtual("Ljava/lang/StringBuilder;", "append",
+						"(Ljava/lang/String;)Ljava/lang/StringBuilder;", 1, 2)
+					a.MoveResultObject(1)
+					a.InvokeVirtual("Ljava/lang/StringBuilder;", "append",
+						"(Ljava/lang/String;)Ljava/lang/StringBuilder;", 1, 0)
+					a.MoveResultObject(1)
+					a.InvokeVirtual("Ljava/lang/StringBuilder;", "toString",
+						"()Ljava/lang/String;", 1)
+					a.MoveResultObject(3)
+					emitSink(a, sink, 3, 0)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+// callbackLeaks includes Button1 and Button3 from Table IV: the leaks fire
+// only when a click listener runs.
+func callbackLeaks() []*Sample {
+	mk := func(name string, buttons int, sink string) *Sample {
+		return leakySample(name, "callback", buttons, func() (*apk.APK, error) {
+			p := dexgen.New()
+			desc := activityDesc(name)
+			for b := 0; b < buttons; b++ {
+				ldesc := fmt.Sprintf("Lde/droidbench/%s$L%d;", name, b)
+				listener := p.Class(ldesc, "", "Landroid/view/View$OnClickListener;")
+				listener.Ctor("Ljava/lang/Object;", nil)
+				listener.Field("act", "Landroid/app/Activity;")
+				sinkKind := sink
+				listener.Virtual("onClick", "V", []string{"Landroid/view/View;"}, func(a *dexgen.Asm) {
+					a.IGetObject(6, a.This(), ldesc, "act", "Landroid/app/Activity;")
+					a.ConstString(7, "phone")
+					a.InvokeVirtual("Landroid/app/Activity;", "getSystemService",
+						"(Ljava/lang/String;)Ljava/lang/Object;", 6, 7)
+					a.MoveResultObject(7)
+					a.CheckCast(7, "Landroid/telephony/TelephonyManager;")
+					a.InvokeVirtual("Landroid/telephony/TelephonyManager;", "getDeviceId",
+						"()Ljava/lang/String;", 7)
+					a.MoveResultObject(0)
+					emitSink(a, sinkKind, 0, 1)
+					a.ReturnVoid()
+				})
+			}
+			cls := p.Class(desc, "Landroid/app/Activity;")
+			cls.Ctor("Landroid/app/Activity;", nil)
+			cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+				for b := 0; b < buttons; b++ {
+					ldesc := fmt.Sprintf("Lde/droidbench/%s$L%d;", name, b)
+					a.Const(0, int64(100+b))
+					a.InvokeVirtual("Landroid/app/Activity;", "findViewById",
+						"(I)Landroid/view/View;", a.This(), 0)
+					a.MoveResultObject(1)
+					a.NewInstance(2, ldesc)
+					a.InvokeDirect(ldesc, "<init>", "()V", 2)
+					a.IPutObject(a.This(), 2, ldesc, "act", "Landroid/app/Activity;")
+					a.InvokeVirtual("Landroid/view/View;", "setOnClickListener",
+						"(Landroid/view/View$OnClickListener;)V", 1, 2)
+				}
+				a.ReturnVoid()
+			})
+			return p.BuildAPK("de.droidbench."+name, "1.0", desc)
+		})
+	}
+	return []*Sample{
+		mk("Button1", 1, "log"),
+		mk("Button3", 2, "sms"),
+		mk("Callback3", 1, "http"),
+		mk("Callback4", 1, "file"),
+		mk("Callback5", 1, "log"),
+		mk("Callback6", 1, "sms"),
+	}
+}
+
+func switchFlows() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 4; i++ {
+		name := fmt.Sprintf("SwitchFlow%d", i)
+		src := sourceKinds[i%len(sourceKinds)]
+		out = append(out, leakySample(name, "switch", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					emitSource(a, src, 0, 1)
+					a.InvokeVirtual("Ljava/lang/String;", "length", "()I", 0)
+					a.MoveResult(1)
+					a.BinopLit8(bytecode.OpRemIntLit8, 1, 1, 3)
+					a.SparseSwitch(1, []int32{0, 1, 2}, []string{"s0", "s1", "s2"})
+					a.ReturnVoid()
+					a.Label("s0")
+					emitSink(a, "log", 0, 2)
+					a.ReturnVoid()
+					a.Label("s1")
+					emitSink(a, "http", 0, 2)
+					a.ReturnVoid()
+					a.Label("s2")
+					emitSink(a, "file", 0, 2)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+// catchFlows route the tainted data through exception handlers.
+func catchFlows() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 4; i++ {
+		name := fmt.Sprintf("CatchFlow%d", i)
+		src := sourceKinds[(i+1)%len(sourceKinds)]
+		sink := sinkKinds[(i+1)%len(sinkKinds)]
+		out = append(out, leakySample(name, "catch", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					emitSource(a, src, 0, 1)
+					a.Label("try_start")
+					a.Const(1, 0)
+					a.Const(2, 1)
+					a.Binop(bytecode.OpDivInt, 3, 2, 1) // always throws
+					a.Label("try_end")
+					a.ReturnVoid()
+					a.Label("handler")
+					a.MoveException(4)
+					emitSink(a, sink, 0, 1)
+					a.ReturnVoid()
+					a.Catch("try_start", "try_end", "Ljava/lang/ArithmeticException;", "handler")
+				})
+			})))
+	}
+	return out
+}
+
+func lifecycleFlows() []*Sample {
+	pairs := [][2]string{
+		{"onCreate", "onStart"}, {"onCreate", "onResume"}, {"onStart", "onResume"},
+		{"onCreate", "onPause"}, {"onResume", "onPause"}, {"onCreate", "onStop"},
+	}
+	var out []*Sample
+	for i, pr := range pairs {
+		name := fmt.Sprintf("Lifecycle%d", i+1)
+		writer, reader := pr[0], pr[1]
+		src := sourceKinds[i%len(sourceKinds)]
+		sink := sinkKinds[i%len(sinkKinds)]
+		out = append(out, leakySample(name, "lifecycle", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				desc := activityDesc(name)
+				cls.Field("held", "Ljava/lang/String;")
+				writeGen := func(a *dexgen.Asm) {
+					emitSource(a, src, 0, 1)
+					a.IPutObject(0, a.This(), desc, "held", "Ljava/lang/String;")
+					a.ReturnVoid()
+				}
+				readGen := func(a *dexgen.Asm) {
+					a.IGetObject(0, a.This(), desc, "held", "Ljava/lang/String;")
+					emitSink(a, sink, 0, 1)
+					a.ReturnVoid()
+				}
+				if writer == "onCreate" {
+					cls.Virtual(writer, "V", []string{"Landroid/os/Bundle;"}, writeGen)
+				} else {
+					cls.Virtual(writer, "V", nil, writeGen)
+				}
+				cls.Virtual(reader, "V", nil, readGen)
+			})))
+	}
+	return out
+}
+
+func branchingFlows() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 5; i++ {
+		name := fmt.Sprintf("Branching%d", i)
+		src := sourceKinds[(i+4)%len(sourceKinds)]
+		sink := sinkKinds[(i+2)%len(sinkKinds)]
+		out = append(out, leakySample(name, "branching", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					// The leak sits behind a condition that is true at
+					// runtime (the intent carries no "optout" extra).
+					a.InvokeVirtual("Landroid/app/Activity;", "getIntent",
+						"()Landroid/content/Intent;", a.This())
+					a.MoveResultObject(0)
+					a.ConstString(1, "optout")
+					a.InvokeVirtual("Landroid/content/Intent;", "getStringExtra",
+						"(Ljava/lang/String;)Ljava/lang/String;", 0, 1)
+					a.MoveResultObject(2)
+					a.IfZ(bytecode.OpIfNez, 2, "skip")
+					emitSource(a, src, 3, 4)
+					emitSink(a, sink, 3, 4)
+					a.Label("skip")
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+func emulatorDetection1() []*Sample {
+	name := "EmulatorDetection1"
+	return []*Sample{leakySample(name, "emulator", 1,
+		newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+			cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+				a.SGetObject(0, "Landroid/os/Build;", "HARDWARE", "Ljava/lang/String;")
+				a.ConstString(1, "goldfish")
+				a.InvokeVirtual("Ljava/lang/String;", "equals",
+					"(Ljava/lang/Object;)Z", 0, 1)
+				a.MoveResult(2)
+				a.IfZ(bytecode.OpIfNez, 2, "bail") // emulator: stay silent
+				emitSource(a, "imei", 3, 4)
+				emitSink(a, "log", 3, 4)
+				a.Label("bail")
+				a.ReturnVoid()
+			})
+		}))}
+}
+
+func privateDataLeak3() []*Sample {
+	name := "PrivateDataLeak3"
+	return []*Sample{leakySample(name, "storage", 2,
+		newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+			cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+				emitSource(a, "imei", 0, 1)
+				// Flow 1: the external-storage write is itself a sink;
+				// every tested tool catches it.
+				a.ConstString(1, "/sdcard/cache.txt")
+				a.InvokeStatic("Ljava/io/FileUtil;", "writeExternal",
+					"(Ljava/lang/String;Ljava/lang/String;)V", 1, 0)
+				// Flow 2: read the file back and text it out; the round
+				// trip severs every tested tool's tracking.
+				a.InvokeStatic("Ljava/io/FileUtil;", "readExternal",
+					"(Ljava/lang/String;)Ljava/lang/String;", 1)
+				a.MoveResultObject(2)
+				emitSink(a, "sms", 2, 0)
+				a.ReturnVoid()
+			})
+		}))}
+}

@@ -1,0 +1,207 @@
+package droidbench
+
+import (
+	"fmt"
+
+	"dexlego/internal/bytecode"
+	"dexlego/internal/dexgen"
+)
+
+// specialSamples returns the release samples whose detection separates the
+// three tools: ImplicitFlow1 (HornDroid only), ten widget-state flows
+// (missed by FlowDroid's shallow framework model), six reflection samples
+// of increasing string-tracking difficulty, and the tablet-gated sample no
+// configuration catches.
+func specialSamples() []*Sample {
+	var out []*Sample
+	out = append(out, implicitFlow1())
+	out = append(out, widgetFlows()...)
+	out = append(out, reflectionSamples()...)
+	out = append(out, tabletSample())
+	return out
+}
+
+// implicitFlow1 leaks through control dependence at two sites: only
+// implicit-flow tracking (HornDroid) sees it; no dynamic tool does.
+func implicitFlow1() *Sample {
+	name := "ImplicitFlow1"
+	return leakySample(name, "implicit", 2,
+		newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+			cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+				emitSource(a, "imei", 0, 1)
+				// Site 1: branch on a tainted comparison, log constants.
+				a.InvokeVirtual("Ljava/lang/String;", "length", "()I", 0)
+				a.MoveResult(1)
+				a.Const(2, 15)
+				a.If(bytecode.OpIfNe, 1, 2, "not15")
+				a.ConstString(3, "length-is-15")
+				a.LogLeak("implicit", 3, 4)
+				a.Goto("site2")
+				a.Label("not15")
+				a.ConstString(3, "length-differs")
+				a.LogLeak("implicit", 3, 4)
+				a.Label("site2")
+				// Site 2: tainted prefix check controls an HTTP beacon.
+				a.ConstString(1, "35")
+				a.InvokeVirtual("Ljava/lang/String;", "startsWith",
+					"(Ljava/lang/String;)Z", 0, 1)
+				a.MoveResult(2)
+				a.IfZ(bytecode.OpIfEqz, 2, "done")
+				a.ConstString(3, "prefix-35")
+				emitSink(a, "http", 3, 4)
+				a.Label("done")
+				a.ReturnVoid()
+			})
+		}))
+}
+
+// widgetFlows pass the data through a UI widget's state: one TextView is
+// written and read back before reaching the sink. Shallow framework models
+// (FlowDroid) lose the flow.
+func widgetFlows() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 10; i++ {
+		name := fmt.Sprintf("Widget%d", i)
+		src := sourceKinds[i%len(sourceKinds)]
+		sink := sinkKinds[i%len(sinkKinds)]
+		out = append(out, leakySample(name, "widget", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					a.NewInstance(0, "Landroid/widget/TextView;")
+					a.InvokeDirect("Landroid/widget/TextView;", "<init>", "()V", 0)
+					emitSource(a, src, 1, 2)
+					a.InvokeVirtual("Landroid/widget/TextView;", "setText",
+						"(Ljava/lang/String;)V", 0, 1)
+					a.InvokeVirtual("Landroid/widget/TextView;", "getText",
+						"()Ljava/lang/String;", 0)
+					a.MoveResultObject(3)
+					emitSink(a, sink, 3, 4)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+// emitReflectiveCall performs forName(clsReg).getMethod(nameReg).invoke(this)
+// and leaves the (cast) string result in dst.
+func emitReflectiveCall(a *dexgen.Asm, clsReg, nameReg, dst int32) {
+	a.InvokeStatic("Ljava/lang/Class;", "forName",
+		"(Ljava/lang/String;)Ljava/lang/Class;", clsReg)
+	a.MoveResultObject(clsReg)
+	a.InvokeVirtual("Ljava/lang/Class;", "getMethod",
+		"(Ljava/lang/String;)Ljava/lang/reflect/Method;", clsReg, nameReg)
+	a.MoveResultObject(nameReg)
+	a.Const(dst, 0)
+	a.InvokeVirtual("Ljava/lang/reflect/Method;", "invoke",
+		"(Ljava/lang/Object;[Ljava/lang/Object;)Ljava/lang/Object;", nameReg, a.This(), dst)
+	a.MoveResultObject(dst)
+	a.CheckCast(dst, "Ljava/lang/String;")
+}
+
+// addSecretSource declares the reflective target: a zero-argument method
+// returning tainted data.
+func addSecretSource(cls *dexgen.Class, src string) {
+	cls.Virtual("secretSource", "Ljava/lang/String;", nil, func(a *dexgen.Asm) {
+		emitSource(a, src, 0, 1)
+		a.ReturnObj(0)
+	})
+}
+
+// dotted returns the Java-dotted name for the sample activity class.
+func dotted(name string) string { return "de.droidbench." + name }
+
+// reflectionSamples: Reflection1-4 pass the method-name string through a
+// call (interprocedural string tracking: DroidSafe/HornDroid resolve);
+// Reflection5-6 pass it through an instance field (only HornDroid's
+// value-sensitive tracking resolves).
+func reflectionSamples() []*Sample {
+	var out []*Sample
+	for i := 1; i <= 4; i++ {
+		name := fmt.Sprintf("Reflection%d", i)
+		src := sourceKinds[i%len(sourceKinds)]
+		sink := sinkKinds[i%len(sinkKinds)]
+		out = append(out, leakySample(name, "reflection-call", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				desc := activityDesc(name)
+				addSecretSource(cls, src)
+				cls.Virtual("callIt", "V", []string{"Ljava/lang/String;"}, func(a *dexgen.Asm) {
+					a.ConstString(0, dotted(name))
+					a.MoveObject(1, a.P(0))
+					emitReflectiveCall(a, 0, 1, 2)
+					emitSink(a, sink, 2, 0)
+					a.ReturnVoid()
+				})
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					a.ConstString(0, "secretSource")
+					a.InvokeVirtual(desc, "callIt", "(Ljava/lang/String;)V", a.This(), 0)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	for i := 5; i <= 6; i++ {
+		name := fmt.Sprintf("Reflection%d", i)
+		src := sourceKinds[(i+2)%len(sourceKinds)]
+		sink := sinkKinds[(i+1)%len(sinkKinds)]
+		out = append(out, leakySample(name, "reflection-field", 1,
+			newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+				desc := activityDesc(name)
+				addSecretSource(cls, src)
+				cls.Field("mName", "Ljava/lang/String;")
+				cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+					a.ConstString(0, "secretSource")
+					a.IPutObject(0, a.This(), desc, "mName", "Ljava/lang/String;")
+					a.ReturnVoid()
+				})
+				cls.Virtual("onResume", "V", nil, func(a *dexgen.Asm) {
+					a.ConstString(0, dotted(name))
+					a.IGetObject(1, a.This(), desc, "mName", "Ljava/lang/String;")
+					emitReflectiveCall(a, 0, 1, 2)
+					emitSink(a, sink, 2, 0)
+					a.ReturnVoid()
+				})
+			})))
+	}
+	return out
+}
+
+// emitComputedString builds s in dst at runtime from arithmetic on char
+// codes, so no constant-string tracking can recover it.
+func emitComputedString(a *dexgen.Asm, s string, dst, sb, ch int32) {
+	a.NewInstance(sb, "Ljava/lang/StringBuilder;")
+	a.InvokeDirect("Ljava/lang/StringBuilder;", "<init>", "()V", sb)
+	for _, r := range s {
+		a.Const(ch, int64(r)-1)
+		a.AddLit(ch, ch, 1)
+		a.InvokeVirtual("Ljava/lang/StringBuilder;", "append",
+			"(C)Ljava/lang/StringBuilder;", sb, ch)
+	}
+	a.InvokeVirtual("Ljava/lang/StringBuilder;", "toString", "()Ljava/lang/String;", sb)
+	a.MoveResultObject(dst)
+}
+
+// tabletSample leaks only on tablets, through reflection whose target name
+// is computed at runtime: statically unresolvable, dynamically unreachable
+// on the phone the experiments run on — the one application DexLego cannot
+// cover (Section V-B).
+func tabletSample() *Sample {
+	name := "TabletReflection1"
+	return leakySample(name, "tablet", 1,
+		newActivityApp(name, func(p *dexgen.Program, cls *dexgen.Class) {
+			addSecretSource(cls, "imei")
+			cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+				a.InvokeVirtual("Landroid/app/Activity;", "getConfiguration",
+					"()Landroid/content/res/Configuration;", a.This())
+				a.MoveResultObject(0)
+				a.IGetInt(1, 0, "Landroid/content/res/Configuration;", "screenLayout")
+				a.Const(2, 4) // XLARGE
+				a.If(bytecode.OpIfNe, 1, 2, "phone")
+				emitComputedString(a, "secretSource", 3, 4, 5)
+				emitComputedString(a, dotted(name), 6, 4, 5)
+				emitReflectiveCall(a, 6, 3, 7)
+				emitSink(a, "sms", 7, 0)
+				a.Label("phone")
+				a.ReturnVoid()
+			})
+		}))
+}

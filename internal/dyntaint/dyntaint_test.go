@@ -1,0 +1,164 @@
+package dyntaint_test
+
+import (
+	"testing"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/art"
+	"dexlego/internal/bytecode"
+	"dexlego/internal/dexgen"
+	"dexlego/internal/dyntaint"
+)
+
+func buildApp(t *testing.T, gen func(cls *dexgen.Class)) *apk.APK {
+	t.Helper()
+	p := dexgen.New()
+	cls := p.Class("Ldt/Main;", "Landroid/app/Activity;")
+	cls.Ctor("Landroid/app/Activity;", nil)
+	gen(cls)
+	pkg, err := p.BuildAPK("dt", "1.0", "Ldt/Main;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestDirectLeakDetected(t *testing.T) {
+	pkg := buildApp(t, func(cls *dexgen.Class) {
+		cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+			a.GetIMEI(0, 1)
+			a.LogLeak("t", 0, 2)
+			a.ReturnVoid()
+		})
+	})
+	for _, tool := range []dyntaint.Tool{dyntaint.TaintDroid(), dyntaint.TaintART()} {
+		rep, err := tool.Analyze(pkg, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Count() != 1 {
+			t.Errorf("%s leaks = %d, want 1", tool.Name, rep.Count())
+		}
+	}
+}
+
+func TestImplicitFlowMissedByBoth(t *testing.T) {
+	pkg := buildApp(t, func(cls *dexgen.Class) {
+		cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+			a.GetIMEI(0, 1)
+			a.InvokeVirtual("Ljava/lang/String;", "length", "()I", 0)
+			a.MoveResult(2)
+			a.Const(3, 15)
+			a.If(bytecode.OpIfNe, 2, 3, "other")
+			a.ConstString(4, "len-is-15") // implicit information about IMEI
+			a.LogLeak("t", 4, 5)
+			a.ReturnVoid()
+			a.Label("other")
+			a.ConstString(4, "len-other")
+			a.LogLeak("t", 4, 5)
+			a.ReturnVoid()
+		})
+	})
+	for _, tool := range []dyntaint.Tool{dyntaint.TaintDroid(), dyntaint.TaintART()} {
+		rep, err := tool.Analyze(pkg, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Count() != 0 {
+			t.Errorf("%s leaks = %d, want 0 (implicit flows untracked)", tool.Name, rep.Count())
+		}
+	}
+}
+
+func TestEmulatorDetectionEvadesTaintDroid(t *testing.T) {
+	pkg := buildApp(t, func(cls *dexgen.Class) {
+		cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+			a.SGetObject(0, "Landroid/os/Build;", "HARDWARE", "Ljava/lang/String;")
+			a.ConstString(1, "goldfish")
+			a.InvokeVirtual("Ljava/lang/String;", "equals", "(Ljava/lang/Object;)Z", 0, 1)
+			a.MoveResult(2)
+			a.IfZ(bytecode.OpIfNez, 2, "bail") // emulator: stay quiet
+			a.GetIMEI(3, 4)
+			a.LogLeak("t", 3, 5)
+			a.Label("bail")
+			a.ReturnVoid()
+		})
+	})
+	td, err := dyntaint.TaintDroid().Analyze(pkg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := dyntaint.TaintART().Analyze(pkg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if td.Count() != 0 {
+		t.Errorf("TaintDroid leaks = %d, want 0 (emulator detected)", td.Count())
+	}
+	if ta.Count() != 1 {
+		t.Errorf("TaintART leaks = %d, want 1 (real device)", ta.Count())
+	}
+}
+
+func TestCallbackLeakMissedWithoutUIDriver(t *testing.T) {
+	p := dexgen.New()
+	listener := p.Class("Ldt/L;", "", "Landroid/view/View$OnClickListener;")
+	listener.Ctor("Ljava/lang/Object;", nil)
+	listener.Field("act", "Ldt/Main;")
+	listener.Virtual("onClick", "V", []string{"Landroid/view/View;"}, func(a *dexgen.Asm) {
+		a.IGetObject(0, a.This(), "Ldt/L;", "act", "Ldt/Main;")
+		a.ConstString(1, "phone")
+		a.InvokeVirtual("Landroid/app/Activity;", "getSystemService",
+			"(Ljava/lang/String;)Ljava/lang/Object;", 0, 1)
+		a.MoveResultObject(1)
+		a.CheckCast(1, "Landroid/telephony/TelephonyManager;")
+		a.InvokeVirtual("Landroid/telephony/TelephonyManager;", "getDeviceId",
+			"()Ljava/lang/String;", 1)
+		a.MoveResultObject(2)
+		a.LogLeak("t", 2, 3)
+		a.ReturnVoid()
+	})
+	main := p.Class("Ldt/Main;", "Landroid/app/Activity;")
+	main.Ctor("Landroid/app/Activity;", nil)
+	main.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		a.Const(0, 7)
+		a.InvokeVirtual("Landroid/app/Activity;", "findViewById", "(I)Landroid/view/View;", a.This(), 0)
+		a.MoveResultObject(1)
+		a.NewInstance(2, "Ldt/L;")
+		a.InvokeDirect("Ldt/L;", "<init>", "()V", 2)
+		a.IPutObject(a.This(), 2, "Ldt/L;", "act", "Ldt/Main;")
+		a.InvokeVirtual("Landroid/view/View;", "setOnClickListener",
+			"(Landroid/view/View$OnClickListener;)V", 1, 2)
+		a.ReturnVoid()
+	})
+	pkg, err := p.BuildAPK("dt", "1.0", "Ldt/Main;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default driver: launch only, no clicks → leak missed.
+	rep, err := dyntaint.TaintART().Analyze(pkg, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count() != 0 {
+		t.Errorf("launch-only leaks = %d, want 0", rep.Count())
+	}
+	// With a driver that clicks, the leak appears.
+	rep, err = dyntaint.TaintART().Analyze(pkg, nil, func(rt *art.Runtime) error {
+		if _, err := rt.LaunchActivity(); err != nil {
+			return err
+		}
+		for _, id := range rt.Clickables() {
+			if err := rt.PerformClick(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count() != 1 {
+		t.Errorf("click-driver leaks = %d, want 1", rep.Count())
+	}
+}

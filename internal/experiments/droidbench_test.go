@@ -1,0 +1,132 @@
+package experiments_test
+
+import (
+	"math"
+	"testing"
+
+	"dexlego/internal/experiments"
+)
+
+// TestTables2And3AndFigure5 regenerates Tables II/III and Figure 5 and
+// asserts the paper's exact numbers.
+func TestTables2And3AndFigure5(t *testing.T) {
+	res, err := experiments.RunDroidBench()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 134 || res.Malware != 111 {
+		t.Fatalf("suite = %d/%d, want 134/111", res.Samples, res.Malware)
+	}
+
+	type cell struct{ tp, fp int }
+	wantOriginal := map[string]cell{
+		"FlowDroid": {81, 10},
+		"DroidSafe": {95, 12},
+		"HornDroid": {98, 9},
+	}
+	wantDexLego := map[string]cell{
+		"FlowDroid": {95, 4},
+		"DroidSafe": {105, 7},
+		"HornDroid": {106, 4},
+	}
+	wantDumped := map[string]cell{
+		"FlowDroid": {84, 10},
+		"DroidSafe": {98, 12},
+		"HornDroid": {101, 9},
+	}
+	for tool, want := range wantOriginal {
+		got := res.Original[tool]
+		if got.TP != want.tp || got.FP != want.fp {
+			t.Errorf("Table II original %s = TP %d FP %d, want TP %d FP %d",
+				tool, got.TP, got.FP, want.tp, want.fp)
+		}
+	}
+	for tool, want := range wantDexLego {
+		got := res.DexLego[tool]
+		if got.TP != want.tp || got.FP != want.fp {
+			t.Errorf("Table II DexLego %s = TP %d FP %d, want TP %d FP %d",
+				tool, got.TP, got.FP, want.tp, want.fp)
+		}
+	}
+	for tool, want := range wantDumped {
+		got := res.Dumped[tool]
+		if got.TP != want.tp || got.FP != want.fp {
+			t.Errorf("Table III DexHunter/AppSpear %s = TP %d FP %d, want TP %d FP %d",
+				tool, got.TP, got.FP, want.tp, want.fp)
+		}
+	}
+
+	// Figure 5 shape: paper reports 63->84, 61->80, 72->89 (percent), with
+	// DexHunter/AppSpear improving by less than 3 points.
+	rows := experiments.Figure5(res)
+	wantF := map[string][2]float64{
+		"FlowDroid": {0.63, 0.84},
+		"DroidSafe": {0.61, 0.80},
+		"HornDroid": {0.72, 0.89},
+	}
+	for _, row := range rows {
+		want := wantF[row.Tool]
+		if math.Abs(row.Original-want[0]) > 0.02 {
+			t.Errorf("Figure 5 %s original F = %.3f, want ~%.2f", row.Tool, row.Original, want[0])
+		}
+		if math.Abs(row.DexLego-want[1]) > 0.02 {
+			t.Errorf("Figure 5 %s DexLego F = %.3f, want ~%.2f", row.Tool, row.DexLego, want[1])
+		}
+		if row.DexHunter-row.Original > 0.03 {
+			t.Errorf("Figure 5 %s DexHunter improvement = %.3f, want < 0.03",
+				row.Tool, row.DexHunter-row.Original)
+		}
+		if row.DexLego <= row.DexHunter {
+			t.Errorf("Figure 5 %s: DexLego (%.3f) must beat DexHunter (%.3f)",
+				row.Tool, row.DexLego, row.DexHunter)
+		}
+	}
+
+	// Renderings must be well formed.
+	for _, s := range []string{res.Table2String(), res.Table3String(),
+		experiments.Figure5String(rows)} {
+		if len(s) < 50 {
+			t.Errorf("suspiciously short rendering: %q", s)
+		}
+	}
+}
+
+// TestTable4 regenerates the dynamic-analysis comparison and asserts the
+// paper's exact detection counts.
+func TestTable4(t *testing.T) {
+	rows, err := experiments.RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][4]int{ // leaks, TD, TA, DexLego+HD
+		"Button1":            {1, 0, 0, 1},
+		"Button3":            {2, 0, 0, 2},
+		"EmulatorDetection1": {1, 0, 1, 1},
+		"ImplicitFlow1":      {2, 0, 0, 2},
+		"PrivateDataLeak3":   {2, 1, 1, 1},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		w := want[row.Sample]
+		got := [4]int{row.Leaks, row.TaintDroid, row.TaintART, row.DexLegoHD}
+		if got != w {
+			t.Errorf("%s = %v, want %v", row.Sample, got, w)
+		}
+	}
+	if s := experiments.Table4String(rows); len(s) < 50 {
+		t.Errorf("short rendering %q", s)
+	}
+}
+
+func TestFMeasureFormula(t *testing.T) {
+	// Perfect classifier.
+	if f := experiments.FMeasure(111, 0, 134, 111); math.Abs(f-1) > 1e-9 {
+		t.Errorf("perfect F = %f", f)
+	}
+	// Degenerate.
+	if f := experiments.FMeasure(0, 23, 134, 111); f != 0 {
+		t.Errorf("zero F = %f", f)
+	}
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dexlego/internal/art"
+	"dexlego/internal/dex"
+	"dexlego/internal/packer"
+	"dexlego/internal/taint"
+	"dexlego/internal/workload"
+
+	root "dexlego"
+)
+
+// Table1Result is the packer-compatibility matrix of Table I.
+type Table1Result struct {
+	Apps        []string
+	InsnCounts  map[string]int
+	Success     map[string]map[string]bool // packer -> app -> DexLego success
+	Unavailable map[string]string          // service -> reason
+}
+
+// RunTable1 packs each AOSP application with every packer and verifies that
+// DexLego unpacks and reconstructs it: the revealed APK must reload and
+// reproduce the original's logged checksum.
+func RunTable1() (*Table1Result, error) {
+	apps, err := workload.AOSPApps()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{
+		InsnCounts:  map[string]int{},
+		Success:     map[string]map[string]bool{},
+		Unavailable: map[string]string{},
+	}
+	for _, app := range apps {
+		res.Apps = append(res.Apps, app.Name)
+		res.InsnCounts[app.Name] = app.Insns
+	}
+	for _, pk := range packer.All() {
+		res.Success[pk.Name()] = map[string]bool{}
+		for _, app := range apps {
+			ok, err := revealMatchesOriginal(app, pk)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", pk.Name(), app.Name, err)
+			}
+			res.Success[pk.Name()][app.Name] = ok
+		}
+	}
+	for name, serr := range packer.UnavailableServices() {
+		res.Unavailable[name] = serr.Error()
+	}
+	return res, nil
+}
+
+// revealMatchesOriginal packs the app, reveals it with DexLego, and checks
+// behavioral equivalence through the logged checksum.
+func revealMatchesOriginal(app workload.App, pk packer.Packer) (bool, error) {
+	checksum := func(rt *art.Runtime) (string, error) {
+		if _, err := rt.LaunchActivity(); err != nil {
+			return "", err
+		}
+		for _, ev := range rt.Sinks() {
+			if len(ev.Args) == 2 && ev.Args[0] == "checksum" {
+				return ev.Args[1], nil
+			}
+		}
+		return "", fmt.Errorf("no checksum logged")
+	}
+
+	// Original behavior.
+	rt := art.NewRuntime(art.DefaultPhone())
+	if err := rt.LoadAPK(app.APK); err != nil {
+		return false, err
+	}
+	want, err := checksum(rt)
+	if err != nil {
+		return false, err
+	}
+
+	packed, err := pk.Pack(app.APK)
+	if err != nil {
+		return false, err
+	}
+	revealed, err := root.Reveal(packed, root.Options{InstallNatives: pk.InstallNatives})
+	if err != nil {
+		return false, err
+	}
+	// The revealed APK keeps the shell manifest; the shell's natives drive
+	// the redirect exactly as on-device.
+	rt2 := art.NewRuntime(art.DefaultPhone())
+	pk.InstallNatives(rt2)
+	if err := rt2.LoadAPK(revealed.Revealed); err != nil {
+		return false, err
+	}
+	got, err := checksum(rt2)
+	if err != nil {
+		return false, err
+	}
+	if got != want {
+		return false, nil
+	}
+	// The revealed DEX must carry the unpacked application classes.
+	if revealed.RevealedDex.FindClass("Laosp/"+app.Name+";") == nil {
+		return false, nil
+	}
+	return true, nil
+}
+
+// Table1String renders Table I.
+func (r *Table1Result) Table1String() string {
+	var sb strings.Builder
+	sb.WriteString("Table I: Test Result of Different Packers\n")
+	fmt.Fprintf(&sb, "%-18s", "Applications")
+	for _, app := range r.Apps {
+		fmt.Fprintf(&sb, " %12s", app)
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%-18s", "# of Instructions")
+	for _, app := range r.Apps {
+		fmt.Fprintf(&sb, " %12d", r.InsnCounts[app])
+	}
+	sb.WriteByte('\n')
+	var packers []string
+	for name := range r.Success {
+		packers = append(packers, name)
+	}
+	sort.Strings(packers)
+	for _, name := range packers {
+		fmt.Fprintf(&sb, "%-18s", name)
+		for _, app := range r.Apps {
+			mark := "X"
+			if r.Success[name][app] {
+				mark = "OK"
+			}
+			fmt.Fprintf(&sb, " %12s", mark)
+		}
+		sb.WriteByte('\n')
+	}
+	var svcs []string
+	for name := range r.Unavailable {
+		svcs = append(svcs, name)
+	}
+	sort.Strings(svcs)
+	for _, name := range svcs {
+		fmt.Fprintf(&sb, "%-18s %s\n", name, r.Unavailable[name])
+	}
+	return sb.String()
+}
+
+// Table5Row is one market application of Table V.
+type Table5Row struct {
+	Package  string
+	Version  string
+	Set      string
+	Installs string
+	Original int // flows FlowDroid finds in the packed APK
+	Revealed int // flows FlowDroid finds after DexLego
+}
+
+// RunTable5 analyzes the nine packed market applications with FlowDroid
+// before and after DexLego processing.
+func RunTable5() ([]Table5Row, error) {
+	apps, err := workload.MarketApps()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table5Row
+	for _, app := range apps {
+		row := Table5Row{
+			Package: app.Package, Version: app.Version,
+			Set: app.Set, Installs: app.Installs,
+		}
+		orig, err := analysisInput(app.Packed)
+		if err != nil {
+			return nil, err
+		}
+		origRes, err := taint.Analyze(orig, taint.FlowDroid())
+		if err != nil {
+			return nil, err
+		}
+		row.Original = origRes.Count()
+
+		revealed, err := root.Reveal(app.Packed, root.Options{
+			InstallNatives: app.Packer.InstallNatives,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", app.Package, err)
+		}
+		revRes, err := taint.Analyze([]*dex.File{revealed.RevealedDex}, taint.FlowDroid())
+		if err != nil {
+			return nil, err
+		}
+		row.Revealed = revRes.Count()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table5String renders Table V.
+func Table5String(rows []Table5Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table V: Analysis Result of Packed Real-world Applications\n")
+	fmt.Fprintf(&sb, "%-30s %-10s %-4s %-14s %9s %9s\n",
+		"Package Name", "Version", "Set", "# of Installs", "Original", "Revealed")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-30s %-10s %-4s %-14s %9d %9d\n",
+			r.Package, r.Version, r.Set, r.Installs, r.Original, r.Revealed)
+	}
+	return sb.String()
+}

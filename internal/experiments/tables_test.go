@@ -1,0 +1,199 @@
+package experiments_test
+
+import (
+	"testing"
+
+	"dexlego/internal/experiments"
+	"dexlego/internal/packer"
+)
+
+func TestTable1(t *testing.T) {
+	res, err := experiments.RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInsns := map[string]int{
+		"HTMLViewer": 217, "Calculator": 2507,
+		"Calendar": 78598, "Contacts": 103602,
+	}
+	for app, want := range wantInsns {
+		if got := res.InsnCounts[app]; got != want {
+			t.Errorf("%s instructions = %d, want %d", app, got, want)
+		}
+	}
+	for _, pk := range packer.All() {
+		for app := range wantInsns {
+			if !res.Success[pk.Name()][app] {
+				t.Errorf("DexLego failed to reveal %s packed with %s", app, pk.Name())
+			}
+		}
+	}
+	if len(res.Unavailable) != 3 {
+		t.Errorf("unavailable services = %d, want 3", len(res.Unavailable))
+	}
+	if s := res.Table1String(); len(s) < 100 {
+		t.Errorf("short rendering: %q", s)
+	}
+}
+
+func TestTable5(t *testing.T) {
+	rows, err := experiments.RunTable5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"com.lenovo.anyshare":        4,
+		"com.moji.mjweather":         5,
+		"com.rongcai.show":           3,
+		"com.wawoo.snipershootwar":   4,
+		"com.wawoo.gunshootwar":      5,
+		"com.alex.lookwifipassword":  2,
+		"com.gome.eshopnew":          3,
+		"com.szzc.ucar.pilot":        5,
+		"com.pingan.pabank.activity": 14,
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		if row.Original != 0 {
+			t.Errorf("%s: original flows = %d, want 0 (packed)", row.Package, row.Original)
+		}
+		if row.Revealed != want[row.Package] {
+			t.Errorf("%s: revealed flows = %d, want %d",
+				row.Package, row.Revealed, want[row.Package])
+		}
+	}
+	if s := experiments.Table5String(rows); len(s) < 100 {
+		t.Errorf("short rendering: %q", s)
+	}
+}
+
+func TestTable6(t *testing.T) {
+	rows, err := experiments.RunTable6(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	wantInsns := []int{8812, 29231, 56565, 57575, 93913}
+	var prev int64
+	growing := 0
+	for i, row := range rows {
+		if row.Instructions != wantInsns[i] {
+			t.Errorf("%s instructions = %d, want %d", row.Package, row.Instructions, wantInsns[i])
+		}
+		if row.DumpBytes <= 0 {
+			t.Errorf("%s dump size = %d", row.Package, row.DumpBytes)
+		}
+		if row.DumpBytes > prev {
+			growing++
+		}
+		prev = row.DumpBytes
+	}
+	// Dump sizes grow with app size, like the paper's Table VI.
+	if growing < 4 {
+		t.Errorf("dump sizes not monotonically related to app size: %+v", rows)
+	}
+	if s := experiments.Table6String(rows); len(s) < 100 {
+		t.Errorf("short rendering: %q", s)
+	}
+}
+
+func TestTable7(t *testing.T) {
+	res, err := experiments.RunTable7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: Sapienz 44/37/32/20/32; Sapienz+DexLego 87/88/82/78/82.
+	within := func(name string, got, want, tol int) {
+		if got < want-tol || got > want+tol {
+			t.Errorf("%s = %d%%, want %d%% +/- %d", name, got, want, tol)
+		}
+	}
+	within("sapienz class", res.Sapienz.Class.Covered, 44, 6)
+	within("sapienz method", res.Sapienz.Method.Covered, 37, 6)
+	within("sapienz line", res.Sapienz.Line.Covered, 32, 6)
+	within("sapienz branch", res.Sapienz.Branch.Covered, 20, 6)
+	within("sapienz instruction", res.Sapienz.Instruction.Covered, 32, 6)
+	within("forced class", res.Forced.Class.Covered, 87, 6)
+	within("forced method", res.Forced.Method.Covered, 88, 6)
+	within("forced line", res.Forced.Line.Covered, 82, 6)
+	within("forced branch", res.Forced.Branch.Covered, 78, 6)
+	within("forced instruction", res.Forced.Instruction.Covered, 82, 6)
+	if s := experiments.Table7String(res); len(s) < 100 {
+		t.Errorf("short rendering: %q", s)
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	res, err := experiments.RunFigure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	java, native, overall := res.Slowdowns()
+	// The absolute factors are host-dependent; the paper's shape is a large
+	// Java slowdown, a small native one, and an overall between the two.
+	if java < 1.5 {
+		t.Errorf("java slowdown = %.2fx, want substantial (>1.5x)", java)
+	}
+	if native > 1.3 {
+		t.Errorf("native slowdown = %.2fx, want near 1x", native)
+	}
+	if !(overall > native && overall < java) {
+		t.Errorf("overall %.2fx not between native %.2fx and java %.2fx", overall, native, java)
+	}
+	if s := res.Figure6String(); len(s) < 100 {
+		t.Errorf("short rendering: %q", s)
+	}
+}
+
+func TestTable8Shape(t *testing.T) {
+	rows, err := experiments.RunTable8(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, row := range rows {
+		s := row.Slowdown()
+		// The paper reports ~2x; allow headroom for host variance.
+		if s < 1.3 || s > 6 {
+			t.Errorf("%s launch slowdown = %.1fx, want roughly 2-3x", row.App, s)
+		}
+		if row.Orig.Mean <= 0 || row.DexLego.Mean <= row.Orig.Mean {
+			t.Errorf("%s: implausible means %v -> %v", row.App, row.Orig.Mean, row.DexLego.Mean)
+		}
+	}
+	if s := experiments.Table8String(rows); len(s) < 100 {
+		t.Errorf("short rendering: %q", s)
+	}
+}
+
+// TestTable7ExceptionEdgeAblation verifies the future-work extension
+// recovers handler coverage beyond the paper's force-execution prototype.
+func TestTable7ExceptionEdgeAblation(t *testing.T) {
+	base, err := experiments.RunTable7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := experiments.RunTable7ExceptionEdges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Handlers are a small instruction share, so compare raw covered
+	// counts across the suite rather than integer-rounded averages.
+	sum := func(r *experiments.Table7Result) (covered int) {
+		for _, pa := range r.PerApp {
+			covered += pa.Forced.Instruction.Covered
+		}
+		return covered
+	}
+	baseCov, extCov := sum(base), sum(ext)
+	if extCov <= baseCov {
+		t.Errorf("exception-edge forcing did not raise covered instructions: %d -> %d",
+			baseCov, extCov)
+	}
+}

@@ -1,0 +1,356 @@
+// Package forceexec implements the paper's force-execution prototype
+// (Section IV-E, Fig. 4): an iterative loop that identifies Uncovered
+// Conditional Branches (UCBs) from the previous execution's coverage,
+// computes a control-flow path to each UCB, writes the path to a path file,
+// and re-executes the application with the interpreter's branch outcomes
+// manipulated to follow the path. Unhandled exceptions raised by infeasible
+// paths are cleared in the interpreter rather than crashing the run.
+package forceexec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/art"
+	"dexlego/internal/bytecode"
+	"dexlego/internal/coverage"
+	"dexlego/internal/dex"
+)
+
+// PathFile records the branch decisions leading to one UCB, as saved
+// between iterations.
+type PathFile struct {
+	Method    string       `json:"method"`
+	TargetPC  int          `json:"targetPC"`
+	Taken     bool         `json:"taken"`
+	Decisions map[int]bool `json:"decisions"` // branch dex_pc -> forced outcome
+}
+
+// Stats summarizes a force-execution campaign.
+type Stats struct {
+	Iterations        int
+	ForcedRuns        int
+	PathsComputed     int
+	PathsUnreachable  int
+	ExceptionsCleared int
+	Paths             []PathFile
+}
+
+// Engine drives iterative force execution over one application.
+type Engine struct {
+	Pkg            *apk.APK
+	Files          []*dex.File
+	InstallNatives func(*art.Runtime)
+	// Driver is the "previous execution" (fuzzing, or a plain launch when
+	// nil) repeated under forced control flow.
+	Driver func(*art.Runtime) error
+
+	MaxIterations  int
+	MaxRunsPerIter int
+	// ExtraHooks are attached to every runtime (e.g. the DexLego collector).
+	ExtraHooks []*art.Hooks
+	// ForceExceptionEdges additionally treats try/catch edges as forceable
+	// branches: for each uncovered handler, the matching exception is
+	// injected inside the try range. This implements the extension the
+	// paper leaves as future work for its third coverage-loss category
+	// ("instructions in exception handlers").
+	ForceExceptionEdges bool
+}
+
+// New returns an engine with the defaults used in the experiments.
+func New(pkg *apk.APK, files []*dex.File) *Engine {
+	return &Engine{
+		Pkg:            pkg,
+		Files:          files,
+		MaxIterations:  6,
+		MaxRunsPerIter: 500,
+	}
+}
+
+func (e *Engine) driver() func(*art.Runtime) error {
+	if e.Driver != nil {
+		return e.Driver
+	}
+	return func(rt *art.Runtime) error {
+		_, err := rt.LaunchActivity()
+		return err
+	}
+}
+
+func (e *Engine) newRuntime(tracker *coverage.Tracker, extra ...*art.Hooks) (*art.Runtime, error) {
+	rt := art.NewRuntime(art.DefaultPhone())
+	if e.InstallNatives != nil {
+		e.InstallNatives(rt)
+	}
+	// Hook order matters: the runtime threads branch outcomes through the
+	// hook chain, so forcing hooks (extra) must run before the coverage
+	// tracker observes the final decision.
+	for _, h := range extra {
+		rt.AddHooks(h)
+	}
+	for _, h := range e.ExtraHooks {
+		rt.AddHooks(h)
+	}
+	rt.AddHooks(tracker.Hooks())
+	if err := rt.LoadAPK(e.Pkg); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// Run executes the baseline driver once, then iterates force execution
+// until no new UCBs are resolved.
+func (e *Engine) Run(tracker *coverage.Tracker) (*Stats, error) {
+	stats := &Stats{}
+	rt, err := e.newRuntime(tracker)
+	if err != nil {
+		return nil, err
+	}
+	_ = e.driver()(rt) // baseline; crashes are tolerated
+
+	// Path files accumulate across iterations (Fig. 4: each iteration's
+	// files feed the next), so a UCB nested behind an earlier UCB becomes
+	// reachable once the outer path is on file.
+	active := make(map[string]map[int]bool)
+	prevCovered := tracker.Report().Instruction.Covered
+	attempted := make(map[coverage.UCB]bool)
+	for iter := 0; iter < e.MaxIterations; iter++ {
+		stats.Iterations++
+		ucbs := tracker.UncoveredBranches()
+		runs := 0
+		for _, ucb := range ucbs {
+			if attempted[ucb] || runs >= e.MaxRunsPerIter {
+				continue
+			}
+			attempted[ucb] = true
+			path, ok := e.computePath(ucb)
+			if !ok {
+				stats.PathsUnreachable++
+				continue
+			}
+			stats.PathsComputed++
+			stats.Paths = append(stats.Paths, path)
+			if active[path.Method] == nil {
+				active[path.Method] = make(map[int]bool)
+			}
+			for pc, taken := range path.Decisions {
+				active[path.Method][pc] = taken
+			}
+			if err := e.forcedRun(tracker, active, path, stats); err != nil {
+				continue // infrastructure failure on this path only
+			}
+			runs++
+			stats.ForcedRuns++
+		}
+		cur := tracker.Report().Instruction.Covered
+		if cur == prevCovered {
+			break // no new UCBs were resolved this iteration
+		}
+		prevCovered = cur
+		// Newly covered code exposes new UCBs; allow re-attempting edges
+		// that may have become reachable.
+		attempted = make(map[coverage.UCB]bool)
+	}
+	if e.ForceExceptionEdges {
+		if err := e.forceHandlers(tracker, active, stats); err != nil {
+			return nil, err
+		}
+	}
+	return stats, nil
+}
+
+// forceHandlers injects exceptions into uncovered try ranges, steering
+// control into their handlers.
+func (e *Engine) forceHandlers(tracker *coverage.Tracker, active map[string]map[int]bool, stats *Stats) error {
+	for _, site := range tracker.UncoveredHandlers() {
+		site := site
+		decisions, ok := e.pathTo(site.Method, site.TryStart)
+		if !ok {
+			stats.PathsUnreachable++
+			continue
+		}
+		path := PathFile{Method: site.Method, TargetPC: site.TryStart, Decisions: decisions}
+		stats.PathsComputed++
+		stats.Paths = append(stats.Paths, path)
+		injectedOnce := false
+		inject := &art.Hooks{
+			InjectException: func(m *art.Method, pc int) string {
+				if injectedOnce || m.Key() != site.Method || pc != site.TryStart {
+					return ""
+				}
+				injectedOnce = true
+				return site.Type
+			},
+		}
+		forcing := e.forcingHooks(active, path, stats)
+		rt, err := e.newRuntime(tracker, inject, forcing)
+		if err != nil {
+			return err
+		}
+		_ = e.driver()(rt)
+		stats.ForcedRuns++
+	}
+	return nil
+}
+
+// forcingHooks builds the branch-override and exception-tolerance hooks for
+// one forced run: all path files on record apply, with the fresh target
+// path winning conflicts in its own method.
+func (e *Engine) forcingHooks(active map[string]map[int]bool, path PathFile, stats *Stats) *art.Hooks {
+	return &art.Hooks{
+		Branch: func(m *art.Method, pc int, in bytecode.Inst, taken bool) (bool, bool) {
+			if m.Key() == path.Method {
+				if forcedOutcome, ok := path.Decisions[pc]; ok {
+					return true, forcedOutcome
+				}
+			}
+			if decisions, ok := active[m.Key()]; ok {
+				if forcedOutcome, ok := decisions[pc]; ok {
+					return true, forcedOutcome
+				}
+			}
+			return false, false
+		},
+		Unhandled: func(m *art.Method, pc int, ex *art.Object) bool {
+			stats.ExceptionsCleared++
+			return true
+		},
+	}
+}
+
+// forcedRun executes the driver with branch outcomes manipulated to follow
+// all path files on record and unhandled exceptions cleared.
+func (e *Engine) forcedRun(tracker *coverage.Tracker, active map[string]map[int]bool, path PathFile, stats *Stats) error {
+	rt, err := e.newRuntime(tracker, e.forcingHooks(active, path, stats))
+	if err != nil {
+		return err
+	}
+	_ = e.driver()(rt) // app-level failures are expected on infeasible paths
+	return nil
+}
+
+// computePath finds branch decisions steering control from the method entry
+// to the UCB edge.
+func (e *Engine) computePath(ucb coverage.UCB) (PathFile, bool) {
+	decisions, ok := e.pathTo(ucb.Method, ucb.PC)
+	if !ok {
+		return PathFile{}, false
+	}
+	decisions[ucb.PC] = ucb.Taken
+	return PathFile{
+		Method:    ucb.Method,
+		TargetPC:  ucb.PC,
+		Taken:     ucb.Taken,
+		Decisions: decisions,
+	}, true
+}
+
+// pathTo BFS-walks the static CFG from the method entry to targetPC and
+// returns the branch decisions along the shortest path.
+func (e *Engine) pathTo(method string, targetPC int) (map[int]bool, bool) {
+	code := e.findCode(method)
+	if code == nil {
+		return nil, false
+	}
+	placed, err := bytecode.DecodeAll(code.Insns)
+	if err != nil {
+		return nil, false
+	}
+	idxOf := make(map[int]int, len(placed))
+	for i, p := range placed {
+		idxOf[p.PC] = i
+	}
+
+	type step struct {
+		pc       int
+		branchPC int // decision made to get here (-1 none)
+		taken    bool
+		prev     int // index into visited order
+	}
+	visited := map[int]int{} // pc -> index in order
+	order := []step{{pc: 0, branchPC: -1, prev: -1}}
+	visited[0] = 0
+	for qi := 0; qi < len(order); qi++ {
+		cur := order[qi]
+		if cur.pc == targetPC {
+			// Walk the BFS parent chain, collecting the branch decisions
+			// that steered here.
+			decisions := map[int]bool{}
+			for i := qi; i > 0; i = order[i].prev {
+				if order[i].branchPC >= 0 {
+					decisions[order[i].branchPC] = order[i].taken
+				}
+				if order[i].prev < 0 {
+					break
+				}
+			}
+			return decisions, true
+		}
+		ci, ok := idxOf[cur.pc]
+		if !ok {
+			continue
+		}
+		in := placed[ci].Inst
+		push := func(pc int, branchPC int, taken bool) {
+			if _, seen := visited[pc]; seen {
+				return
+			}
+			visited[pc] = len(order)
+			order = append(order, step{pc: pc, branchPC: branchPC, taken: taken, prev: qi})
+		}
+		switch {
+		case in.Op.IsBranch():
+			push(cur.pc+in.Width(), cur.pc, false)
+			push(cur.pc+int(in.Off), cur.pc, true)
+		case in.Op.IsGoto():
+			push(cur.pc+int(in.Off), -1, false)
+		case in.Op.IsSwitch():
+			push(cur.pc+in.Width(), -1, false)
+			for _, t := range in.Targets {
+				push(cur.pc+int(t), -1, false)
+			}
+		case in.Op.IsTerminator():
+		default:
+			push(cur.pc+in.Width(), -1, false)
+		}
+	}
+	return nil, false
+}
+
+func (e *Engine) findCode(methodKey string) *dex.Code {
+	for _, f := range e.Files {
+		for ci := range f.Classes {
+			cd := &f.Classes[ci]
+			for _, list := range [][]dex.EncodedMethod{cd.DirectMeths, cd.VirtualMeths} {
+				for mi := range list {
+					if f.MethodAt(list[mi].Method).Key() == methodKey {
+						return list[mi].Code
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// WritePathFiles saves the computed paths, one JSON file per UCB, matching
+// the paper's description of path files feeding the next iteration.
+func WritePathFiles(dir string, paths []PathFile) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("forceexec: %w", err)
+	}
+	for i, p := range paths {
+		data, err := json.MarshalIndent(p, "", " ")
+		if err != nil {
+			return fmt.Errorf("forceexec: marshal path: %w", err)
+		}
+		name := filepath.Join(dir, fmt.Sprintf("path_%04d.json", i))
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			return fmt.Errorf("forceexec: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package forceexec_test
+
+import (
+	"os"
+	"testing"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/bytecode"
+	"dexlego/internal/coverage"
+	"dexlego/internal/dex"
+	"dexlego/internal/dexgen"
+	"dexlego/internal/forceexec"
+)
+
+// buildGatedApp has three gates the default launch never opens: a branch on
+// a constant, a nested branch behind it, and a branch that throws when
+// forced.
+func buildGatedApp(t *testing.T) (*apk.APK, []*dex.File) {
+	t.Helper()
+	p := dexgen.New()
+	main := p.Class("Lfx/Main;", "Landroid/app/Activity;")
+	main.Ctor("Landroid/app/Activity;", nil)
+	main.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		a.Const(0, 0)
+		a.IfZ(bytecode.OpIfNez, 0, "gate1") // never taken naturally
+		a.Const(1, 1)
+		a.ReturnVoid()
+		a.Label("gate1")
+		a.Const(2, 0)
+		a.IfZ(bytecode.OpIfNez, 2, "gate2") // nested gate
+		a.Const(1, 2)
+		a.ReturnVoid()
+		a.Label("gate2")
+		// Forced control flow lands here with v3 unset: division by zero.
+		a.Const(3, 0)
+		a.Const(4, 10)
+		a.Binop(bytecode.OpDivInt, 5, 4, 3)
+		a.Const(1, 3)
+		a.ReturnVoid()
+	})
+	pkg, err := p.BuildAPK("fx", "1.0", "Lfx/Main;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := pkg.Dex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := dex.Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg, []*dex.File{f}
+}
+
+func TestForceExecutionReachesGatedCode(t *testing.T) {
+	pkg, files := buildGatedApp(t)
+	tracker, err := coverage.NewTracker(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := forceexec.New(pkg, files)
+	stats, err := eng.Run(tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tracker.Report()
+	if rep.Instruction.Percent() < 95 {
+		t.Errorf("instruction coverage = %v, want ~100%%", rep.Instruction)
+	}
+	if rep.Branch.Percent() < 95 {
+		t.Errorf("branch coverage = %v, want ~100%%", rep.Branch)
+	}
+	if stats.ForcedRuns == 0 {
+		t.Error("no forced runs happened")
+	}
+	if stats.ExceptionsCleared == 0 {
+		t.Error("the division-by-zero on the infeasible path should have been cleared")
+	}
+	if len(stats.Paths) == 0 {
+		t.Fatal("no path files produced")
+	}
+	dir := t.TempDir()
+	if err := forceexec.WritePathFiles(dir, stats.Paths); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(stats.Paths) {
+		t.Errorf("wrote %d path files, want %d", len(entries), len(stats.Paths))
+	}
+}
+
+func TestBaselineCoverageWithoutForcing(t *testing.T) {
+	pkg, files := buildGatedApp(t)
+	tracker, err := coverage.NewTracker(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := forceexec.New(pkg, files)
+	eng.MaxIterations = 0 // baseline only
+	if _, err := eng.Run(tracker); err != nil {
+		t.Fatal(err)
+	}
+	rep := tracker.Report()
+	if rep.Instruction.Percent() > 60 {
+		t.Errorf("baseline instruction coverage = %v, expected the gates to block most code", rep.Instruction)
+	}
+	ucbs := tracker.UncoveredBranches()
+	if len(ucbs) == 0 {
+		t.Error("expected uncovered branches at baseline")
+	}
+}
+
+func TestCoverageTrackerTotals(t *testing.T) {
+	_, files := buildGatedApp(t)
+	tracker, err := coverage.NewTracker(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := tracker.Report()
+	if rep.Class.Total != 1 {
+		t.Errorf("class total = %d, want 1", rep.Class.Total)
+	}
+	if rep.Method.Total != 2 { // <init> + onCreate
+		t.Errorf("method total = %d, want 2", rep.Method.Total)
+	}
+	if rep.Branch.Total != 4 { // two if instructions, two edges each
+		t.Errorf("branch edge total = %d, want 4", rep.Branch.Total)
+	}
+	if rep.Instruction.Covered != 0 {
+		t.Errorf("fresh tracker reports %d covered", rep.Instruction.Covered)
+	}
+	if rep.Class.Percent() != 0 {
+		t.Errorf("percent of empty coverage = %f", rep.Class.Percent())
+	}
+	if (coverage.Ratio{Covered: 1, Total: 4}).Percent() != 25 {
+		t.Error("Ratio.Percent arithmetic broken")
+	}
+}
+
+// TestForceExceptionEdges exercises the extension the paper leaves as
+// future work: treating try/catch edges as forceable branches. The handler
+// below is never thrown into naturally; plain force execution cannot reach
+// it, the exception-edge mode can.
+func TestForceExceptionEdges(t *testing.T) {
+	p := dexgen.New()
+	main := p.Class("Lhx/Main;", "Landroid/app/Activity;")
+	main.Ctor("Landroid/app/Activity;", nil)
+	main.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		a.Label("ts")
+		a.Const(0, 8)
+		a.Const(1, 2)
+		a.Binop(bytecode.OpDivInt, 2, 0, 1) // never throws
+		a.Label("te")
+		a.ReturnVoid()
+		a.Label("handler")
+		a.MoveException(3)
+		a.Const(4, 1)
+		a.Const(4, 2)
+		a.Const(4, 3)
+		a.ReturnVoid()
+		a.Catch("ts", "te", "Ljava/lang/ArithmeticException;", "handler")
+	})
+	pkg, err := p.BuildAPK("hx", "1.0", "Lhx/Main;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := pkg.Dex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := dex.Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*dex.File{f}
+
+	run := func(forceHandlers bool) coverage.Report {
+		tracker, err := coverage.NewTracker(files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := forceexec.New(pkg, files)
+		eng.ForceExceptionEdges = forceHandlers
+		if _, err := eng.Run(tracker); err != nil {
+			t.Fatal(err)
+		}
+		if forceHandlers && len(tracker.UncoveredHandlers()) != 0 {
+			t.Errorf("handlers still uncovered: %v", tracker.UncoveredHandlers())
+		}
+		return tracker.Report()
+	}
+
+	plain := run(false)
+	if plain.Instruction.Percent() >= 100 {
+		t.Fatalf("handler should be unreachable without exception forcing: %v", plain.Instruction)
+	}
+	withHandlers := run(true)
+	if withHandlers.Instruction.Covered <= plain.Instruction.Covered {
+		t.Errorf("exception-edge forcing did not improve coverage: %v -> %v",
+			plain.Instruction, withHandlers.Instruction)
+	}
+	if withHandlers.Instruction.Percent() < 100 {
+		t.Errorf("exception-edge forcing left instructions uncovered: %v", withHandlers.Instruction)
+	}
+}

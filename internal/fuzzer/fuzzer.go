@@ -1,0 +1,79 @@
+// Package fuzzer implements the Sapienz stand-in: a seeded, search-based UI
+// event fuzzer. It repeatedly launches the application with randomized
+// intent extras and fires random sequences of click events, keeping the
+// episodes that improved coverage (a lightweight take on Sapienz's
+// multi-objective search). It is deliberately input-driven only — the gap
+// between what it reaches and what force execution reaches is the subject
+// of the paper's Table VII.
+package fuzzer
+
+import (
+	"math/rand"
+
+	"dexlego/internal/art"
+	"dexlego/internal/coverage"
+)
+
+// Fuzzer drives an application with random UI input.
+type Fuzzer struct {
+	Seed     int64
+	Episodes int      // independent launch episodes
+	Events   int      // click events per episode
+	Dict     []string // candidate intent-extra values
+}
+
+// New returns a fuzzer with the defaults used by the experiments.
+func New(seed int64) *Fuzzer {
+	return &Fuzzer{
+		Seed:     seed,
+		Episodes: 12,
+		Events:   10,
+		Dict:     []string{"", "0", "1", "42", "admin", "test", "fuzz", "-1"},
+	}
+}
+
+// Drive runs the configured episodes against the runtime. Crashes inside an
+// episode abort that episode only, mirroring a monkey runner. When a
+// coverage tracker is supplied, episodes that do not improve instruction
+// coverage are given fewer follow-up events (the search-based heuristic).
+func (f *Fuzzer) Drive(rt *art.Runtime, tracker *coverage.Tracker) error {
+	rng := rand.New(rand.NewSource(f.Seed))
+	best := 0
+	for ep := 0; ep < f.Episodes; ep++ {
+		extras := map[string]string{
+			"cmd":   f.Dict[rng.Intn(len(f.Dict))],
+			"input": f.Dict[rng.Intn(len(f.Dict))],
+			"n":     f.Dict[rng.Intn(len(f.Dict))],
+		}
+		rt.SetIntentExtras(extras)
+		if _, err := rt.LaunchActivity(); err != nil {
+			continue // app crash: next episode
+		}
+		events := f.Events
+		if tracker != nil && ep > 0 {
+			cur := tracker.Report().Instruction.Covered
+			if cur <= best {
+				events = f.Events / 2 // low-fitness episode, spend less
+			}
+			best = max(best, cur)
+		}
+		for e := 0; e < events; e++ {
+			clickables := rt.Clickables()
+			if len(clickables) == 0 {
+				break
+			}
+			id := clickables[rng.Intn(len(clickables))]
+			if err := rt.PerformClick(id); err != nil {
+				break // crash in a handler ends the episode
+			}
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,238 @@
+package packer_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dexlego/internal/apimodel"
+	"dexlego/internal/apk"
+	"dexlego/internal/art"
+	"dexlego/internal/collector"
+	"dexlego/internal/dex"
+	"dexlego/internal/dexgen"
+	"dexlego/internal/packer"
+	"dexlego/internal/reassembler"
+)
+
+func buildLeakAPK(t *testing.T) *apk.APK {
+	t.Helper()
+	p := dexgen.New()
+	main := p.Class("Lvictim/Main;", "Landroid/app/Activity;")
+	main.StaticString("SECRET_TAG", "victim-marker-string")
+	main.Ctor("Landroid/app/Activity;", nil)
+	main.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		a.GetIMEI(0, 1)
+		a.LogLeak("victim", 0, 2)
+		a.ReturnVoid()
+	})
+	main.Virtual("helper", "I", []string{"I"}, func(a *dexgen.Asm) {
+		a.BinopLit8(0x0da /* mul-int/lit8 */, 0, a.P(0), 3)
+		a.Return(0)
+	})
+	pkg, err := p.BuildAPK("victim", "1.0", "Lvictim/Main;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestAllPackersRoundTrip(t *testing.T) {
+	for _, pk := range packer.All() {
+		t.Run(pk.Name(), func(t *testing.T) {
+			orig := buildLeakAPK(t)
+			packed, err := pk.Pack(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The shell DEX must hide the original code: the marker string
+			// must not appear in cleartext in classes.dex.
+			shellDex, err := packed.Dex()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pk.Name() != "Tencent" && pk.Name() != "Bangcle" {
+				if bytes.Contains(shellDex, []byte("victim-marker-string")) {
+					t.Error("original string visible in packed classes.dex")
+				}
+				if f, err := dex.Read(shellDex); err == nil && f.FindClass("Lvictim/Main;") != nil {
+					t.Error("original class visible in packed classes.dex")
+				}
+			} else {
+				// Method extraction keeps the class structure in a stripped
+				// DEX asset, but every body must be a stub.
+				asset := map[string]string{
+					"Tencent": "legu.dex",
+					"Bangcle": "bangcle.dex",
+				}[pk.Name()]
+				stripped, ok := packed.Asset(asset)
+				if !ok {
+					t.Fatalf("missing stripped dex asset %s", asset)
+				}
+				f, err := dex.Read(stripped)
+				if err != nil {
+					t.Fatal(err)
+				}
+				em := f.FindMethod("Lvictim/Main;", "onCreate", "")
+				if em == nil {
+					t.Fatal("method-extraction shell lost the class structure")
+				}
+				if len(em.Code.Insns) > 2 {
+					t.Errorf("method body not stripped: %d units", len(em.Code.Insns))
+				}
+			}
+			// Running the packed app must reproduce the original behavior.
+			rt := art.NewRuntime(art.DefaultPhone())
+			pk.InstallNatives(rt)
+			if err := rt.LoadAPK(packed); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rt.LaunchActivity(); err != nil {
+				t.Fatal(err)
+			}
+			sinks := rt.Sinks()
+			if len(sinks) != 1 || !sinks[0].Taint.Has(apimodel.TaintIMEI) {
+				t.Fatalf("packed app sinks = %+v", sinks)
+			}
+		})
+	}
+}
+
+func TestDexLegoRevealsAllPackers(t *testing.T) {
+	for _, pk := range packer.All() {
+		t.Run(pk.Name(), func(t *testing.T) {
+			orig := buildLeakAPK(t)
+			packed, err := pk.Pack(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := art.NewRuntime(art.DefaultPhone())
+			pk.InstallNatives(rt)
+			col := collector.New()
+			rt.AddHooks(col.Hooks())
+			if err := rt.LoadAPK(packed); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rt.LaunchActivity(); err != nil {
+				t.Fatal(err)
+			}
+			revealed, _, err := reassembler.ReassembleAPK(packed, col.Result())
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := revealed.Dex()
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := dex.Read(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The revealed DEX must contain the original activity with its
+			// leak visible as plain bytecode.
+			if f.FindClass("Lvictim/Main;") == nil {
+				t.Fatal("revealed dex lacks the unpacked original class")
+			}
+			em := f.FindMethod("Lvictim/Main;", "onCreate", "(Landroid/os/Bundle;)V")
+			if em == nil || em.Code == nil || len(em.Code.Insns) < 6 {
+				t.Fatal("revealed onCreate has no real body")
+			}
+			// And it must still execute with the same observable behavior.
+			rt2 := art.NewRuntime(art.DefaultPhone())
+			if err := rt2.LoadAPK(revealed); err != nil {
+				t.Fatal(err)
+			}
+			act, err := rt2.FindClass("Lvictim/Main;")
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj := rt2.NewInstance(act)
+			if _, err := rt2.Call("Lvictim/Main;", "onCreate", "(Landroid/os/Bundle;)V",
+				obj, []art.Value{art.NullVal()}); err != nil {
+				t.Fatal(err)
+			}
+			if sinks := rt2.Sinks(); len(sinks) != 1 || !sinks[0].Taint.Has(apimodel.TaintIMEI) {
+				t.Fatalf("revealed app sinks = %+v", sinks)
+			}
+		})
+	}
+}
+
+func TestBangcleScramblesAfterExecution(t *testing.T) {
+	orig := buildLeakAPK(t)
+	pk, err := packer.ByName("Bangcle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := pk.Pack(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := art.NewRuntime(art.DefaultPhone())
+	pk.InstallNatives(rt)
+	if err := rt.LoadAPK(packed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.LaunchActivity(); err != nil {
+		t.Fatal(err)
+	}
+	// After execution finished, a memory dump (the live method bodies) must
+	// see only stubs — this is what defeats "right timing" dumpers.
+	c, err := rt.FindClass("Lvictim/Main;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.FindMethod("onCreate", "(Landroid/os/Bundle;)V")
+	if m == nil {
+		t.Fatal("onCreate missing")
+	}
+	if len(m.Insns) > 2 {
+		t.Errorf("bangcle left %d units in memory after exit; dump would win", len(m.Insns))
+	}
+}
+
+func TestBaiduIntegrityCheck(t *testing.T) {
+	orig := buildLeakAPK(t)
+	pk, err := packer.ByName("Baidu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := pk.Pack(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload.
+	enc, _ := packed.Asset("baidu.pay")
+	enc[0] ^= 0xff
+	packed.AddAsset("baidu.pay", enc)
+	rt := art.NewRuntime(art.DefaultPhone())
+	pk.InstallNatives(rt)
+	if err := rt.LoadAPK(packed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.LaunchActivity(); err == nil {
+		t.Error("tampered payload must fail the integrity check")
+	}
+}
+
+func TestUnavailableServices(t *testing.T) {
+	svcs := packer.UnavailableServices()
+	if len(svcs) != 3 {
+		t.Fatalf("got %d unavailable services, want 3", len(svcs))
+	}
+	for name, wantErr := range map[string]error{
+		"NetQin":     packer.ErrServiceOffline,
+		"APKProtect": packer.ErrUnresponsive,
+		"Ijiami":     packer.ErrRejected,
+	} {
+		if _, err := packer.ByName(name); !errors.Is(err, wantErr) {
+			t.Errorf("ByName(%s) = %v, want %v", name, err, wantErr)
+		}
+	}
+	if _, err := packer.ByName("NoSuchPacker"); err == nil {
+		t.Error("unknown packer must error")
+	}
+	if len(packer.All()) != 5 {
+		t.Errorf("operational packers = %d, want 5", len(packer.All()))
+	}
+}

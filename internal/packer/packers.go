@@ -1,0 +1,442 @@
+package packer
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/art"
+	"dexlego/internal/dex"
+)
+
+// --- Qihoo 360 --------------------------------------------------------------
+
+type qihoo360 struct{}
+
+// NewQihoo360 returns the 360 packer: whole-DEX AES-CTR with the key hidden
+// inside libjiagu.so.
+func NewQihoo360() Packer { return qihoo360{} }
+
+func (qihoo360) Name() string { return "360" }
+
+func (qihoo360) Pack(pkg *apk.APK) (*apk.APK, error) {
+	orig, err := pkg.Dex()
+	if err != nil {
+		return nil, err
+	}
+	key := deriveKey("jiagu:" + pkg.Manifest.Package)
+	enc, err := aesCTR(key, orig)
+	if err != nil {
+		return nil, err
+	}
+	shell, loader, err := buildShell("com/qihoo/shell")
+	if err != nil {
+		return nil, err
+	}
+	out := pkg.Clone()
+	out.SetDex(shell)
+	out.Manifest.MainActivity = loader
+	out.AddAsset("360.pay", enc)
+	meta, err := json.Marshal(shellMeta{OriginalMain: pkg.Manifest.MainActivity})
+	if err != nil {
+		return nil, err
+	}
+	out.AddAsset("360.meta", meta)
+	out.AddNativeLib("libjiagu.so", key)
+	return out, nil
+}
+
+func (qihoo360) InstallNatives(rt *art.Runtime) {
+	rt.RegisterNative("Lcom/qihoo/shell/Loader;->unpackAndLaunch()V",
+		func(env *art.Env, recv *art.Object, args []art.Value) (art.Value, error) {
+			key, ok := env.NativeLib("libjiagu.so")
+			if !ok {
+				return art.Value{}, env.Throw("Ljava/lang/RuntimeException;", "libjiagu missing")
+			}
+			enc, ok := env.Asset("360.pay")
+			if !ok {
+				return art.Value{}, env.Throw("Ljava/lang/RuntimeException;", "payload missing")
+			}
+			plain, err := aesCTR(key, enc)
+			if err != nil {
+				return art.Value{}, err
+			}
+			if _, err := env.DefineDex(plain); err != nil {
+				return art.Value{}, err
+			}
+			meta, err := readMeta(env, "360.meta")
+			if err != nil {
+				return art.Value{}, err
+			}
+			return art.Value{}, launchOriginal(env, meta.OriginalMain)
+		})
+}
+
+// --- Alibaba -----------------------------------------------------------------
+
+type alibaba struct{}
+
+// NewAlibaba returns the Ali packer: XOR keystream with the payload split
+// across two assets.
+func NewAlibaba() Packer { return alibaba{} }
+
+func (alibaba) Name() string { return "Alibaba" }
+
+func (alibaba) Pack(pkg *apk.APK) (*apk.APK, error) {
+	orig, err := pkg.Dex()
+	if err != nil {
+		return nil, err
+	}
+	key := deriveKey("aliprotector:" + pkg.Manifest.Package)
+	enc := xorStream(key, orig)
+	half := len(enc) / 2
+	shell, loader, err := buildShell("com/ali/mobisec")
+	if err != nil {
+		return nil, err
+	}
+	out := pkg.Clone()
+	out.SetDex(shell)
+	out.Manifest.MainActivity = loader
+	out.AddAsset("ali.part0", enc[:half])
+	out.AddAsset("ali.part1", enc[half:])
+	meta, err := json.Marshal(shellMeta{OriginalMain: pkg.Manifest.MainActivity})
+	if err != nil {
+		return nil, err
+	}
+	out.AddAsset("ali.meta", meta)
+	out.AddNativeLib("libmobisec.so", key)
+	return out, nil
+}
+
+func (alibaba) InstallNatives(rt *art.Runtime) {
+	rt.RegisterNative("Lcom/ali/mobisec/Loader;->unpackAndLaunch()V",
+		func(env *art.Env, recv *art.Object, args []art.Value) (art.Value, error) {
+			key, ok := env.NativeLib("libmobisec.so")
+			if !ok {
+				return art.Value{}, env.Throw("Ljava/lang/RuntimeException;", "libmobisec missing")
+			}
+			p0, ok0 := env.Asset("ali.part0")
+			p1, ok1 := env.Asset("ali.part1")
+			if !ok0 || !ok1 {
+				return art.Value{}, env.Throw("Ljava/lang/RuntimeException;", "payload missing")
+			}
+			plain := xorStream(key, append(append([]byte(nil), p0...), p1...))
+			if _, err := env.DefineDex(plain); err != nil {
+				return art.Value{}, err
+			}
+			meta, err := readMeta(env, "ali.meta")
+			if err != nil {
+				return art.Value{}, err
+			}
+			return art.Value{}, launchOriginal(env, meta.OriginalMain)
+		})
+}
+
+// --- Tencent ------------------------------------------------------------------
+
+type tencent struct{}
+
+// NewTencent returns the Legu packer: method extraction. The shell DEX keeps
+// the original class structure but every method body is a stub; real bodies
+// live encrypted in an asset and are restored on first invocation.
+func NewTencent() Packer { return tencent{} }
+
+func (tencent) Name() string { return "Tencent" }
+
+func (tencent) Pack(pkg *apk.APK) (*apk.APK, error) {
+	orig, err := pkg.Dex()
+	if err != nil {
+		return nil, err
+	}
+	f, err := dex.Read(orig)
+	if err != nil {
+		return nil, fmt.Errorf("packer: tencent: %w", err)
+	}
+	bodies := extractBodies(f)
+	stripped, err := f.Write()
+	if err != nil {
+		return nil, err
+	}
+	blob, err := json.Marshal(bodies)
+	if err != nil {
+		return nil, err
+	}
+	key := deriveKey("legu:" + pkg.Manifest.Package)
+	enc, err := aesCTR(key, blob)
+	if err != nil {
+		return nil, err
+	}
+	shell, loader, err := buildShell("com/tencent/legu")
+	if err != nil {
+		return nil, err
+	}
+	out := pkg.Clone()
+	out.SetDex(shell)
+	out.Manifest.MainActivity = loader
+	out.AddAsset("legu.dex", stripped)
+	out.AddAsset("legu.bodies", enc)
+	meta, err := json.Marshal(shellMeta{OriginalMain: pkg.Manifest.MainActivity})
+	if err != nil {
+		return nil, err
+	}
+	out.AddAsset("legu.meta", meta)
+	out.AddNativeLib("liblegu.so", key)
+	return out, nil
+}
+
+func (tencent) InstallNatives(rt *art.Runtime) {
+	rt.RegisterNative("Lcom/tencent/legu/Loader;->unpackAndLaunch()V",
+		func(env *art.Env, recv *art.Object, args []art.Value) (art.Value, error) {
+			bodies, err := loadBodies(env, "liblegu.so", "legu.bodies")
+			if err != nil {
+				return art.Value{}, err
+			}
+			stripped, ok := env.Asset("legu.dex")
+			if !ok {
+				return art.Value{}, env.Throw("Ljava/lang/RuntimeException;", "stripped dex missing")
+			}
+			// Restore each method body the first time ART invokes it — but
+			// only for classes this shell actually defined: body indices are
+			// relative to the stripped DEX's constant pool.
+			owned := make(map[*art.Class]bool)
+			restored := make(map[*art.Method]bool)
+			env.Runtime().RegisterMethodHooks(func(m *art.Method) {
+				if restored[m] || m.Insns == nil || !owned[m.Class] {
+					return
+				}
+				if rec, ok := bodies[m.Key()]; ok {
+					m.Insns = append([]uint16(nil), rec.Insns...)
+					m.RegistersSize = rec.Registers
+					m.InsSize = rec.Ins
+					m.Tries = rec.Tries
+				}
+				restored[m] = true
+			}, nil)
+			defined, err := env.DefineDex(stripped)
+			if err != nil {
+				return art.Value{}, err
+			}
+			for _, c := range defined {
+				owned[c] = true
+			}
+			meta, err := readMeta(env, "legu.meta")
+			if err != nil {
+				return art.Value{}, err
+			}
+			return art.Value{}, launchOriginal(env, meta.OriginalMain)
+		})
+}
+
+func loadBodies(env *art.Env, lib, asset string) (map[string]codeRecord, error) {
+	key, ok := env.NativeLib(lib)
+	if !ok {
+		return nil, env.Throw("Ljava/lang/RuntimeException;", lib+" missing")
+	}
+	enc, ok := env.Asset(asset)
+	if !ok {
+		return nil, env.Throw("Ljava/lang/RuntimeException;", asset+" missing")
+	}
+	blob, err := aesCTR(key, enc)
+	if err != nil {
+		return nil, err
+	}
+	var bodies map[string]codeRecord
+	if err := json.Unmarshal(blob, &bodies); err != nil {
+		return nil, fmt.Errorf("packer: corrupt method bodies: %w", err)
+	}
+	return bodies, nil
+}
+
+// --- Baidu ---------------------------------------------------------------------
+
+type baidu struct{}
+
+// NewBaidu returns the Baidu packer: whole-DEX AES-CTR with payload
+// integrity verification before release.
+func NewBaidu() Packer { return baidu{} }
+
+func (baidu) Name() string { return "Baidu" }
+
+func (baidu) Pack(pkg *apk.APK) (*apk.APK, error) {
+	orig, err := pkg.Dex()
+	if err != nil {
+		return nil, err
+	}
+	key := deriveKey("baidujiagu:" + pkg.Manifest.Package)
+	enc, err := aesCTR(key, orig)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(enc)
+	shell, loader, err := buildShell("com/baidu/protect")
+	if err != nil {
+		return nil, err
+	}
+	out := pkg.Clone()
+	out.SetDex(shell)
+	out.Manifest.MainActivity = loader
+	out.AddAsset("baidu.pay", enc)
+	meta, err := json.Marshal(shellMeta{
+		OriginalMain: pkg.Manifest.MainActivity,
+		Checksum:     hex.EncodeToString(sum[:]),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.AddAsset("baidu.meta", meta)
+	out.AddNativeLib("libbaiduprotect.so", key)
+	return out, nil
+}
+
+func (baidu) InstallNatives(rt *art.Runtime) {
+	rt.RegisterNative("Lcom/baidu/protect/Loader;->unpackAndLaunch()V",
+		func(env *art.Env, recv *art.Object, args []art.Value) (art.Value, error) {
+			key, ok := env.NativeLib("libbaiduprotect.so")
+			if !ok {
+				return art.Value{}, env.Throw("Ljava/lang/RuntimeException;", "libbaiduprotect missing")
+			}
+			enc, ok := env.Asset("baidu.pay")
+			if !ok {
+				return art.Value{}, env.Throw("Ljava/lang/RuntimeException;", "payload missing")
+			}
+			meta, err := readMeta(env, "baidu.meta")
+			if err != nil {
+				return art.Value{}, err
+			}
+			sum := sha256.Sum256(enc)
+			if hex.EncodeToString(sum[:]) != meta.Checksum {
+				return art.Value{}, env.Throw("Ljava/lang/RuntimeException;",
+					"payload integrity check failed")
+			}
+			plain, err := aesCTR(key, enc)
+			if err != nil {
+				return art.Value{}, err
+			}
+			if _, err := env.DefineDex(plain); err != nil {
+				return art.Value{}, err
+			}
+			return art.Value{}, launchOriginal(env, meta.OriginalMain)
+		})
+}
+
+// --- Bangcle ---------------------------------------------------------------------
+
+type bangcle struct{}
+
+// NewBangcle returns the Bangcle packer: interleaved protection. Bodies are
+// restored on method entry and scrambled back on exit (reference counted for
+// recursion), so no single memory snapshot contains the whole program.
+func NewBangcle() Packer { return bangcle{} }
+
+func (bangcle) Name() string { return "Bangcle" }
+
+func (bangcle) Pack(pkg *apk.APK) (*apk.APK, error) {
+	orig, err := pkg.Dex()
+	if err != nil {
+		return nil, err
+	}
+	f, err := dex.Read(orig)
+	if err != nil {
+		return nil, fmt.Errorf("packer: bangcle: %w", err)
+	}
+	bodies := extractBodies(f)
+	stripped, err := f.Write()
+	if err != nil {
+		return nil, err
+	}
+	blob, err := json.Marshal(bodies)
+	if err != nil {
+		return nil, err
+	}
+	key := deriveKey("bangcle:" + pkg.Manifest.Package)
+	enc, err := aesCTR(key, blob)
+	if err != nil {
+		return nil, err
+	}
+	shell, loader, err := buildShell("com/bangcle/shield")
+	if err != nil {
+		return nil, err
+	}
+	out := pkg.Clone()
+	out.SetDex(shell)
+	out.Manifest.MainActivity = loader
+	out.AddAsset("bangcle.dex", stripped)
+	out.AddAsset("bangcle.bodies", enc)
+	meta, err := json.Marshal(shellMeta{OriginalMain: pkg.Manifest.MainActivity})
+	if err != nil {
+		return nil, err
+	}
+	out.AddAsset("bangcle.meta", meta)
+	out.AddNativeLib("libsecexe.so", key)
+	return out, nil
+}
+
+func (bangcle) InstallNatives(rt *art.Runtime) {
+	rt.RegisterNative("Lcom/bangcle/shield/Loader;->unpackAndLaunch()V",
+		func(env *art.Env, recv *art.Object, args []art.Value) (art.Value, error) {
+			bodies, err := loadBodies(env, "libsecexe.so", "bangcle.bodies")
+			if err != nil {
+				return art.Value{}, err
+			}
+			stripped, ok := env.Asset("bangcle.dex")
+			if !ok {
+				return art.Value{}, env.Throw("Ljava/lang/RuntimeException;", "stripped dex missing")
+			}
+			// Interleaved protection: decrypt on entry, scramble on exit,
+			// reference-counted so recursive frames stay valid. Only classes
+			// this shell defined participate (body indices are relative to
+			// the stripped DEX).
+			owned := make(map[*art.Class]bool)
+			depth := make(map[*art.Method]int)
+			stubs := make(map[*art.Method][]uint16)
+			env.Runtime().RegisterMethodHooks(
+				func(m *art.Method) {
+					if !owned[m.Class] {
+						return
+					}
+					rec, ok := bodies[m.Key()]
+					if !ok || m.Insns == nil {
+						return
+					}
+					if depth[m] == 0 {
+						if _, saved := stubs[m]; !saved {
+							stubs[m] = append([]uint16(nil), m.Insns...)
+						}
+						m.Insns = append([]uint16(nil), rec.Insns...)
+						m.RegistersSize = rec.Registers
+						m.InsSize = rec.Ins
+						m.Tries = rec.Tries
+					}
+					depth[m]++
+				},
+				func(m *art.Method) {
+					if !owned[m.Class] {
+						return
+					}
+					if _, ok := bodies[m.Key()]; !ok || m.Insns == nil {
+						return
+					}
+					if depth[m] > 0 {
+						depth[m]--
+					}
+					if depth[m] == 0 {
+						// Scramble: put the stub back so dumps see nothing.
+						m.Insns = append([]uint16(nil), stubs[m]...)
+					}
+				})
+			defined, err := env.DefineDex(stripped)
+			if err != nil {
+				return art.Value{}, err
+			}
+			for _, c := range defined {
+				owned[c] = true
+			}
+			meta, err := readMeta(env, "bangcle.meta")
+			if err != nil {
+				return art.Value{}, err
+			}
+			return art.Value{}, launchOriginal(env, meta.OriginalMain)
+		})
+}

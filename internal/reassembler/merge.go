@@ -1,0 +1,103 @@
+package reassembler
+
+import (
+	"sort"
+
+	"dexlego/internal/collector"
+)
+
+// mergeCompatibleTrees unions collection trees that are consistent with one
+// another: executions that merely covered different branches of the same
+// underlying code (every shared dex_pc holds the identical instruction, and
+// self-modification layers fork at the same points with identical content)
+// collapse into a single tree. Only genuinely conflicting trees — different
+// bytecode at the same dex_pc, i.e. cross-execution self-modification —
+// remain separate and become method variants.
+func mergeCompatibleTrees(trees []*collector.TreeNode) []*collector.TreeNode {
+	var out []*collector.TreeNode
+	for _, t := range trees {
+		merged := false
+		for _, existing := range out {
+			if compatible(existing, t) {
+				union(existing, t)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, cloneTree(t, nil))
+		}
+	}
+	return out
+}
+
+// compatible reports whether b can be unioned into a without conflicts.
+func compatible(a, b *collector.TreeNode) bool {
+	if a.SmStart != b.SmStart {
+		return false
+	}
+	for pc, bi := range b.IIM {
+		if ai, ok := a.IIM[pc]; ok {
+			if !a.IL[ai].Inst.Equal(b.IL[bi].Inst) {
+				return false
+			}
+		}
+	}
+	// Children pair by SmStart; a child present in both must be compatible.
+	for _, bc := range b.Children {
+		for _, ac := range a.Children {
+			if ac.SmStart == bc.SmStart && !compatible(ac, bc) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// union merges b's entries and children into a (which must be compatible).
+func union(a, b *collector.TreeNode) {
+	for _, e := range b.IL {
+		if _, ok := a.IIM[e.DexPC]; ok {
+			continue
+		}
+		a.IIM[e.DexPC] = len(a.IL)
+		a.IL = append(a.IL, e)
+	}
+	if a.SmEnd < 0 {
+		a.SmEnd = b.SmEnd
+	}
+	for _, bc := range b.Children {
+		var match *collector.TreeNode
+		for _, ac := range a.Children {
+			if ac.SmStart == bc.SmStart && compatible(ac, bc) {
+				match = ac
+				break
+			}
+		}
+		if match != nil {
+			union(match, bc)
+			continue
+		}
+		a.Children = append(a.Children, cloneTree(bc, a))
+	}
+	sort.Slice(a.Children, func(i, j int) bool {
+		return a.Children[i].SmStart < a.Children[j].SmStart
+	})
+}
+
+func cloneTree(n *collector.TreeNode, parent *collector.TreeNode) *collector.TreeNode {
+	out := &collector.TreeNode{
+		IL:      append([]collector.Entry(nil), n.IL...),
+		IIM:     make(map[int]int, len(n.IIM)),
+		SmStart: n.SmStart,
+		SmEnd:   n.SmEnd,
+		Parent:  parent,
+	}
+	for k, v := range n.IIM {
+		out.IIM[k] = v
+	}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, cloneTree(c, out))
+	}
+	return out
+}

@@ -1,0 +1,678 @@
+// Package reassembler implements DexLego's offline reassembling phase: it
+// turns a collection result (trees of executed instructions plus DEX
+// metadata) back into a valid DEX file.
+//
+// Each collection tree is flattened into one instruction array. A leaf is
+// merged into its parent by inserting a synthetic conditional branch at the
+// divergence point — `sget-boolean` on a fresh static field of the
+// LModification; instrument class followed by `if-nez` into the leaf's code —
+// so static analysis treats both the original and the self-modified code as
+// reachable (Section IV-B of the paper). Distinct instruction arrays of one
+// method become method variants behind the same synthetic-branch dispatch.
+// Reflective Method.invoke call sites are rewritten into direct calls
+// through generated bridge methods, and never-executed branch targets are
+// routed to a shared default-return trailer, which is what removes
+// dead-code false positives downstream.
+package reassembler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/bytecode"
+	"dexlego/internal/collector"
+	"dexlego/internal/dex"
+	"dexlego/internal/dexgen"
+)
+
+// Instrumentation class and bridge class descriptors.
+const (
+	InstrumentClass = "LModification;"
+	BridgeClass     = "LReflBridge;"
+)
+
+// Stats summarizes a reassembly.
+type Stats struct {
+	Classes            int
+	Methods            int
+	ExecutedMethods    int
+	Stubs              int
+	Variants           int // extra bodies emitted for multi-tree methods
+	Divergences        int // self-modification layers merged
+	ReflectionRewrites int
+	InstrumentFields   int
+}
+
+// Reassemble builds a DEX file from a collection result.
+func Reassemble(res *collector.Result) (*dex.File, *Stats, error) {
+	ra := &reassembler{
+		p:     dexgen.New(),
+		res:   res,
+		stats: &Stats{},
+	}
+	if err := ra.run(); err != nil {
+		return nil, nil, err
+	}
+	f, err := ra.p.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, ra.stats, nil
+}
+
+// ReassembleAPK rebuilds the APK with the revealed classes.dex, mirroring
+// the paper's use of AAPT to swap the DEX inside the original package.
+func ReassembleAPK(orig *apk.APK, res *collector.Result) (*apk.APK, *Stats, error) {
+	f, stats, err := Reassemble(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := f.Write()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := orig.Clone()
+	out.SetDex(data)
+	return out, stats, nil
+}
+
+type reassembler struct {
+	p     *dexgen.Program
+	res   *collector.Result
+	stats *Stats
+
+	instrCls      *dexgen.Class
+	bridgeCls     *dexgen.Class
+	bridgeCounter int
+	fieldCounter  map[string]int
+}
+
+func (ra *reassembler) run() error {
+	ra.fieldCounter = make(map[string]int)
+	for ci := range ra.res.Classes {
+		if err := ra.emitClass(&ra.res.Classes[ci]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ra *reassembler) instrumentField(rec *collector.MethodRecord) string {
+	if ra.instrCls == nil {
+		ra.instrCls = ra.p.Class(InstrumentClass, "")
+	}
+	base := sanitize(rec.Class + "_" + rec.Name)
+	n := ra.fieldCounter[base]
+	ra.fieldCounter[base] = n + 1
+	name := fmt.Sprintf("%s_%d", base, n)
+	// Deliberately non-final and defaulted: the value is runtime-dependent
+	// (the paper uses random values), so value-sensitive analyses must treat
+	// both branches as reachable.
+	ra.instrCls.StaticBool(name, false)
+	ra.stats.InstrumentFields++
+	return name
+}
+
+func sanitize(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return strings.Trim(sb.String(), "_")
+}
+
+func (ra *reassembler) emitClass(cr *collector.ClassRecord) error {
+	super := cr.Superclass
+	cls := ra.p.ClassWithFlags(cr.Descriptor, cr.AccessFlags, super, cr.Interfaces...)
+	ra.stats.Classes++
+	if cr.SourceFile != "" {
+		cls.Source(cr.SourceFile)
+	}
+	for _, f := range cr.StaticFields {
+		cls.StaticInit(f.Name, f.Type, f.AccessFlags, ra.dexValue(f))
+	}
+	for _, f := range cr.InstanceFields {
+		cls.FieldWithFlags(f.Name, f.Type, f.AccessFlags)
+	}
+	for _, sh := range cr.Methods {
+		key := cr.Descriptor + "->" + sh.Name + sh.Signature
+		rec := ra.res.Methods[key]
+		params, ret, err := dex.ParseSignature(sh.Signature)
+		if err != nil {
+			return fmt.Errorf("reassembler: %s: %w", key, err)
+		}
+		ra.stats.Methods++
+		switch {
+		case sh.Native:
+			cls.NativeM(sh.Name, ret, params, sh.Virtual)
+		case sh.AccessFlags&dex.AccAbstract != 0:
+			cls.AbstractM(sh.Name, ret, params)
+		case rec != nil && rec.Executed():
+			ra.stats.ExecutedMethods++
+			if err := ra.emitExecuted(cls, rec, sh, ret, params); err != nil {
+				return err
+			}
+		default:
+			ra.stats.Stubs++
+			ra.emitStub(cls, sh.Name, ret, params, sh.AccessFlags)
+		}
+	}
+	return nil
+}
+
+func (ra *reassembler) dexValue(f collector.FieldRecord) *dex.Value {
+	if f.Value == nil {
+		return nil
+	}
+	switch f.Value.Kind {
+	case "string":
+		v := dex.StringValue(ra.p.Builder().String(f.Value.Str))
+		return &v
+	case "null":
+		v := dex.NullValue()
+		return &v
+	default:
+		var v dex.Value
+		switch f.Type {
+		case "Z":
+			v = dex.BoolValue(f.Value.Int != 0)
+		case "J":
+			v = dex.Value{Kind: dex.ValueLong, Int: f.Value.Int}
+		default:
+			v = dex.IntValue(f.Value.Int)
+		}
+		return &v
+	}
+}
+
+func (ra *reassembler) emitStub(cls *dexgen.Class, name, ret string, params []string, flags uint32) {
+	ins := len(params)
+	if flags&dex.AccStatic == 0 {
+		ins++
+	}
+	cls.RawMethod(name, ret, params, flags, dexgen.RawCode{
+		Registers: ins + 1,
+		Ins:       ins,
+		Build: func(a *dexgen.Asm) {
+			emitDefaultReturn(a, ret)
+		},
+	})
+}
+
+func emitDefaultReturn(a *dexgen.Asm, ret string) {
+	switch {
+	case ret == "V":
+		a.ReturnVoid()
+	case ret[0] == 'L' || ret[0] == '[':
+		a.Const(0, 0)
+		a.ReturnObj(0)
+	default:
+		a.Const(0, 0)
+		a.Return(0)
+	}
+}
+
+func (ra *reassembler) emitExecuted(cls *dexgen.Class, rec *collector.MethodRecord, sh collector.MethodShell, ret string, params []string) error {
+	trees := mergeCompatibleTrees(rec.Trees)
+	if len(trees) == 1 {
+		return ra.emitTreeMethod(cls, rec, sh.Name, sh.AccessFlags, ret, params, trees[0], true)
+	}
+	// Multiple irreconcilable instruction arrays: emit variants plus a
+	// dispatcher.
+	rec = recWithTrees(rec, trees)
+	for k, tree := range rec.Trees {
+		vname := fmt.Sprintf("%s$v%d", sh.Name, k)
+		vflags := sh.AccessFlags
+		if vflags&dex.AccStatic == 0 && !rec.Virtual {
+			vflags |= dex.AccPrivate // direct-dispatch variant for constructors
+		}
+		vflags &^= dex.AccConstructor
+		if err := ra.emitTreeMethod(cls, rec, vname, vflags, ret, params, tree, false); err != nil {
+			return err
+		}
+		ra.stats.Variants++
+	}
+	ra.emitDispatcher(cls, rec, sh, ret, params)
+	return nil
+}
+
+// emitDispatcher generates the original-name method that selects among the
+// variant bodies through instrument-class fields.
+func (ra *reassembler) emitDispatcher(cls *dexgen.Class, rec *collector.MethodRecord, sh collector.MethodShell, ret string, params []string) {
+	k := len(rec.Trees)
+	fields := make([]string, 0, k-1)
+	for i := 1; i < k; i++ {
+		fields = append(fields, ra.instrumentField(rec))
+	}
+	var op bytecode.Opcode
+	switch {
+	case sh.AccessFlags&dex.AccStatic != 0:
+		op = bytecode.OpInvokeStaticR
+	case rec.Virtual:
+		op = bytecode.OpInvokeVirtualR
+	default:
+		op = bytecode.OpInvokeDirectR
+	}
+	cls.RawMethod(sh.Name, ret, params, sh.AccessFlags, dexgen.RawCode{
+		Registers: 2 + rec.InsSize,
+		Ins:       rec.InsSize,
+		Build: func(a *dexgen.Asm) {
+			for i := 1; i < k; i++ {
+				a.SGetBool(0, InstrumentClass, fields[i-1])
+				a.Raw().RawBranch(bytecode.Inst{Op: bytecode.OpIfNez, A: 0},
+					fmt.Sprintf("variant%d", i))
+			}
+			ra.emitVariantCall(a, rec, sh, op, ret, 0)
+			for i := 1; i < k; i++ {
+				a.Label(fmt.Sprintf("variant%d", i))
+				ra.emitVariantCall(a, rec, sh, op, ret, i)
+			}
+		},
+	})
+}
+
+func (ra *reassembler) emitVariantCall(a *dexgen.Asm, rec *collector.MethodRecord, sh collector.MethodShell, op bytecode.Opcode, ret string, k int) {
+	idx, err := ra.p.Builder().MethodSig(rec.Class, fmt.Sprintf("%s$v%d", sh.Name, k), rec.Signature)
+	if err != nil {
+		// Signature was validated by the caller; surface through dexgen.
+		a.Raw().Nop()
+		return
+	}
+	a.Raw().InvokeRange(op, idx, 2, rec.InsSize)
+	a.NoteOuts(rec.InsSize)
+	switch {
+	case ret == "V":
+		a.ReturnVoid()
+	case ret[0] == 'L' || ret[0] == '[':
+		a.MoveResultObject(1)
+		a.ReturnObj(1)
+	default:
+		a.MoveResult(1)
+		a.Return(1)
+	}
+}
+
+// emitTreeMethod flattens one collection tree into one method body.
+// withTries controls whether the original try/catch table is re-anchored
+// (only for the primary, single-tree case; variants drop handlers that no
+// longer apply).
+func (ra *reassembler) emitTreeMethod(cls *dexgen.Class, rec *collector.MethodRecord, name string, flags uint32, ret string, params []string, tree *collector.TreeNode, withTries bool) error {
+	fl := &flattener{
+		ra:        ra,
+		rec:       rec,
+		tree:      tree,
+		retType:   ret,
+		grow:      len(tree.Children) > 0,
+		oldLocals: int32(rec.RegistersSize - rec.InsSize),
+		nodeID:    make(map[*collector.TreeNode]int),
+	}
+	if fl.oldLocals < 0 {
+		return fmt.Errorf("reassembler: %s: ins %d exceed registers %d",
+			rec.Key(), rec.InsSize, rec.RegistersSize)
+	}
+	fl.scratch = fl.oldLocals
+	fl.assignIDs(tree)
+	regs := rec.RegistersSize
+	if fl.grow {
+		regs++
+	}
+	rc := dexgen.RawCode{
+		Registers: regs,
+		Ins:       rec.InsSize,
+		Build:     func(a *dexgen.Asm) { fl.emit(a) },
+	}
+	if withTries && len(rec.Tries) > 0 {
+		rc.TriesFn = fl.mapTries
+	}
+	cls.RawMethod(name, ret, params, flags, rc)
+	ra.stats.Divergences += countNodes(tree) - 1
+	return fl.err
+}
+
+// recWithTrees returns a shallow copy of rec carrying the merged tree set.
+func recWithTrees(rec *collector.MethodRecord, trees []*collector.TreeNode) *collector.MethodRecord {
+	out := *rec
+	out.Trees = trees
+	return &out
+}
+
+func countNodes(n *collector.TreeNode) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// flattener converts one collection tree into assembler items.
+type flattener struct {
+	ra      *reassembler
+	rec     *collector.MethodRecord
+	tree    *collector.TreeNode
+	a       *dexgen.Asm
+	retType string
+
+	grow      bool
+	oldLocals int32
+	scratch   int32
+	nodeID    map[*collector.TreeNode]int
+	nextID    int
+	unexec    bool
+	err       error
+
+	rootSpans []rootSpan // for try-table re-anchoring
+}
+
+type rootSpan struct {
+	origPC int
+	label  string
+	width  int
+}
+
+func (fl *flattener) assignIDs(n *collector.TreeNode) {
+	fl.nodeID[n] = fl.nextID
+	fl.nextID++
+	for _, c := range n.Children {
+		fl.assignIDs(c)
+	}
+}
+
+func (fl *flattener) label(n *collector.TreeNode, pc int) string {
+	return fmt.Sprintf("n%d_pc%d", fl.nodeID[n], pc)
+}
+
+// resolve maps an original dex_pc reference from node n to a layout label,
+// walking ancestors; unexecuted targets go to the shared trailer.
+func (fl *flattener) resolve(n *collector.TreeNode, pc int) string {
+	for k := n; k != nil; k = k.Parent {
+		if _, ok := k.IIM[pc]; ok {
+			return fl.label(k, pc)
+		}
+	}
+	fl.unexec = true
+	return "unexec"
+}
+
+func (fl *flattener) emit(a *dexgen.Asm) {
+	fl.a = a
+	fl.emitNode(fl.tree)
+	if fl.unexec {
+		a.Label("unexec")
+		emitDefaultReturn(a, fl.retType)
+	}
+}
+
+func (fl *flattener) emitNode(n *collector.TreeNode) {
+	entries := append([]collector.Entry(nil), n.IL...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].DexPC < entries[j].DexPC })
+	children := append([]*collector.TreeNode(nil), n.Children...)
+	sort.Slice(children, func(i, j int) bool { return children[i].SmStart < children[j].SmStart })
+
+	for i, e := range entries {
+		fl.a.Label(fl.label(n, e.DexPC))
+		if n == fl.tree {
+			fl.rootSpans = append(fl.rootSpans, rootSpan{
+				origPC: e.DexPC,
+				label:  fl.label(n, e.DexPC),
+				width:  e.Inst.Width(),
+			})
+		}
+		// Divergence detours: one synthetic conditional per child forking
+		// at this dex_pc.
+		for _, c := range children {
+			if c.SmStart != e.DexPC {
+				continue
+			}
+			field := fl.ra.instrumentField(fl.rec)
+			fl.a.SGetBool(fl.scratch, InstrumentClass, field)
+			fl.a.Raw().RawBranch(bytecode.Inst{Op: bytecode.OpIfNez, A: fl.scratch},
+				fl.label(c, c.SmStart))
+		}
+		fl.emitEntry(n, e)
+		// Fall-through repair: collected code lays out sparsely, so an
+		// implicit fall-through to a non-adjacent (or divergent) successor
+		// becomes an explicit goto.
+		if !e.Inst.Op.IsTerminator() {
+			nextPC := e.DexPC + e.Inst.Width()
+			natural := i+1 < len(entries) && entries[i+1].DexPC == nextPC
+			if !natural {
+				fl.a.Goto(fl.resolve(n, nextPC))
+			}
+		}
+	}
+	for _, c := range children {
+		fl.emitNode(c)
+	}
+}
+
+func (fl *flattener) emitEntry(n *collector.TreeNode, e collector.Entry) {
+	in := e.Inst.Clone()
+	sym := e.Sym
+
+	// Reflection-to-direct-call rewriting.
+	if targets, ok := fl.rec.ReflTargets[e.DexPC]; ok && isMethodInvoke(e) && len(in.Args) == 3 {
+		bridge := fl.ra.bridgeFor(targets)
+		in = bytecode.Inst{
+			Op:    bytecode.OpInvokeStatic,
+			Args:  []int{in.Args[1], in.Args[2]}, // drop the Method receiver
+			A:     2,
+			Index: 0,
+		}
+		sym = &collector.Symbol{
+			Kind: bytecode.IndexMethod,
+			Method: dex.MethodRef{
+				Class:     BridgeClass,
+				Name:      bridge,
+				Signature: "(Ljava/lang/Object;[Ljava/lang/Object;)Ljava/lang/Object;",
+			},
+		}
+		fl.ra.stats.ReflectionRewrites++
+	}
+
+	if fl.grow {
+		in = bytecode.MapRegisters(in, func(r int32) int32 {
+			if r >= fl.oldLocals {
+				return r + 1
+			}
+			return r
+		})
+	}
+	if err := fl.setIndex(&in, sym); err != nil {
+		fl.fail(err)
+		return
+	}
+	if in.Op.IsInvoke() {
+		fl.a.NoteOuts(len(in.Args))
+	}
+
+	switch {
+	case in.Op.IsBranch() || in.Op.IsGoto():
+		target := e.DexPC + int(e.Inst.Off)
+		in.Off = 0
+		if in.Op == bytecode.OpGoto {
+			in.Op = bytecode.OpGoto16 // uniform reach after relayout
+		}
+		fl.a.Raw().RawBranch(in, fl.resolve(n, target))
+	case in.Op.IsSwitch():
+		labels := make([]string, len(e.Inst.Targets))
+		for i, t := range e.Inst.Targets {
+			labels[i] = fl.resolve(n, e.DexPC+int(t))
+		}
+		in.Targets = nil
+		in.Off = 0
+		fl.a.Raw().RawSwitch(in, labels)
+	default:
+		fl.a.Raw().Raw(in)
+	}
+}
+
+func (fl *flattener) fail(err error) {
+	if fl.err == nil {
+		fl.err = err
+	}
+}
+
+func (fl *flattener) setIndex(in *bytecode.Inst, sym *collector.Symbol) error {
+	if in.Op.Index() == bytecode.IndexNone {
+		return nil
+	}
+	if sym == nil {
+		return fmt.Errorf("reassembler: %s: missing symbol for %s", fl.rec.Key(), in.Op)
+	}
+	b := fl.ra.p.Builder()
+	switch sym.Kind {
+	case bytecode.IndexString:
+		in.Index = b.String(sym.Str)
+	case bytecode.IndexType:
+		in.Index = b.Type(sym.Type)
+	case bytecode.IndexField:
+		in.Index = b.Field(sym.Field.Class, sym.Field.Name, sym.Field.Type)
+	case bytecode.IndexMethod:
+		idx, err := b.MethodSig(sym.Method.Class, sym.Method.Name, sym.Method.Signature)
+		if err != nil {
+			return fmt.Errorf("reassembler: %s: %w", fl.rec.Key(), err)
+		}
+		in.Index = idx
+	}
+	return nil
+}
+
+// mapTries re-anchors the original try table onto the flattened root-node
+// layout: each original range becomes one try per contiguous run of emitted
+// root instructions inside it.
+func (fl *flattener) mapTries(labels map[string]int) ([]dex.Try, error) {
+	spans := append([]rootSpan(nil), fl.rootSpans...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].origPC < spans[j].origPC })
+	var out []dex.Try
+	for _, tr := range fl.rec.Tries {
+		inRange := make([]rootSpan, 0, len(spans))
+		for _, sp := range spans {
+			if sp.origPC >= tr.StartPC && sp.origPC < tr.StartPC+tr.Count {
+				inRange = append(inRange, sp)
+			}
+		}
+		if len(inRange) == 0 {
+			continue
+		}
+		resolveHandler := func(pc int) (uint32, bool) {
+			lbl := fl.resolve(fl.tree, pc)
+			newPC, ok := labels[lbl]
+			return uint32(newPC), ok
+		}
+		// Split into runs contiguous in the NEW layout.
+		runStart := 0
+		for i := 1; i <= len(inRange); i++ {
+			contiguous := i < len(inRange) &&
+				labels[inRange[i].label] == labels[inRange[i-1].label]+inRange[i-1].width
+			if contiguous {
+				continue
+			}
+			first, last := inRange[runStart], inRange[i-1]
+			start := labels[first.label]
+			end := labels[last.label] + last.width
+			t := dex.Try{Start: uint32(start), Count: uint32(end - start), CatchAll: -1}
+			for _, h := range tr.Handlers {
+				if addr, ok := resolveHandler(h.HandlerPC); ok {
+					t.Handlers = append(t.Handlers, dex.TypeAddr{
+						Type: fl.ra.p.Builder().Type(h.Type),
+						Addr: addr,
+					})
+				}
+			}
+			if tr.CatchAllPC >= 0 {
+				if addr, ok := resolveHandler(tr.CatchAllPC); ok {
+					t.CatchAll = int32(addr)
+				}
+			}
+			if len(t.Handlers) > 0 || t.CatchAll >= 0 {
+				out = append(out, t)
+			}
+			runStart = i
+		}
+	}
+	return out, nil
+}
+
+func isMethodInvoke(e collector.Entry) bool {
+	return e.Inst.Op == bytecode.OpInvokeVirtual && e.Sym != nil &&
+		e.Sym.Kind == bytecode.IndexMethod &&
+		e.Sym.Method.Class == "Ljava/lang/reflect/Method;" &&
+		e.Sym.Method.Name == "invoke"
+}
+
+// bridgeFor returns (creating if needed) the bridge method that performs the
+// observed reflective targets as direct calls.
+func (ra *reassembler) bridgeFor(targets []collector.ReflTarget) string {
+	if ra.bridgeCls == nil {
+		ra.bridgeCls = ra.p.Class(BridgeClass, "")
+	}
+	name := fmt.Sprintf("call_%d", ra.bridgeCounter)
+	ra.bridgeCounter++
+	ts := append([]collector.ReflTarget(nil), targets...)
+	ra.bridgeCls.Method(dexgen.MethodSpec{
+		Name:   name,
+		Ret:    "Ljava/lang/Object;",
+		Params: []string{"Ljava/lang/Object;", "[Ljava/lang/Object;"},
+		Static: true,
+		Locals: 10,
+	}, func(a *dexgen.Asm) {
+		a.Const(0, 0) // result
+		for _, t := range ts {
+			emitBridgeCall(a, t)
+		}
+		a.ReturnObj(0)
+	})
+	return name
+}
+
+func emitBridgeCall(a *dexgen.Asm, t collector.ReflTarget) {
+	params, ret, err := dex.ParseSignature(t.Signature)
+	if err != nil {
+		return
+	}
+	var regs []int32
+	if !t.Static {
+		a.MoveObject(1, a.P(0))
+		a.CheckCast(1, t.Class)
+		regs = append(regs, 1)
+	}
+	for i, pt := range params {
+		r := int32(3 + i)
+		a.Const(2, int64(i))
+		a.AGet(bytecode.OpAGetObject, r, a.P(1), 2)
+		switch pt[0] {
+		case 'L':
+			if pt != "Ljava/lang/Object;" {
+				a.CheckCast(r, pt)
+			}
+		case '[':
+			a.CheckCast(r, pt)
+		default: // primitive: unbox through Integer
+			a.CheckCast(r, "Ljava/lang/Integer;")
+			a.InvokeVirtual("Ljava/lang/Integer;", "intValue", "()I", r)
+			a.MoveResult(r)
+		}
+		regs = append(regs, r)
+	}
+	if t.Static {
+		a.InvokeStatic(t.Class, t.Name, t.Signature, regs...)
+	} else {
+		a.InvokeVirtual(t.Class, t.Name, t.Signature, regs...)
+	}
+	switch {
+	case ret == "V":
+	case ret[0] == 'L' || ret[0] == '[':
+		a.MoveResultObject(0)
+	default:
+		a.MoveResult(9)
+		a.InvokeStatic("Ljava/lang/Integer;", "valueOf", "(I)Ljava/lang/Integer;", 9)
+		a.MoveResultObject(0)
+	}
+}

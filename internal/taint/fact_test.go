@@ -1,0 +1,92 @@
+package taint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func randFact(taint uint32, str string, hasStr bool, objPC int, hasObj bool) fact {
+	f := fact{Taint: taint}
+	if hasStr {
+		f.HasStr, f.Str = true, str
+	}
+	if hasObj {
+		f.HasObj = true
+		f.Obj = objID{Method: "m", PC: objPC}
+	}
+	return f
+}
+
+// TestJoinLattice checks the abstract-value join is a proper lattice
+// operation: commutative, idempotent, and monotone in the taint component.
+func TestJoinLattice(t *testing.T) {
+	commutative := func(t1, t2 uint32, s1, s2 string, h1, h2 bool, p1, p2 uint8, o1, o2 bool) bool {
+		a := randFact(t1, s1, h1, int(p1), o1)
+		b := randFact(t2, s2, h2, int(p2), o2)
+		return join(a, b) == join(b, a)
+	}
+	if err := quick.Check(commutative, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error("join not commutative:", err)
+	}
+	idempotent := func(t1 uint32, s1 string, h1 bool, p1 uint8, o1 bool) bool {
+		a := randFact(t1, s1, h1, int(p1), o1)
+		return join(a, a) == a
+	}
+	if err := quick.Check(idempotent, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error("join not idempotent:", err)
+	}
+	monotone := func(t1, t2 uint32) bool {
+		a, b := fact{Taint: t1}, fact{Taint: t2}
+		j := join(a, b)
+		return j.Taint&t1 == t1 && j.Taint&t2 == t2
+	}
+	if err := quick.Check(monotone, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error("join loses taint:", err)
+	}
+}
+
+// TestJoinDropsDisagreeingConstants verifies the constant-tracking parts of
+// a fact survive a join only when both sides agree.
+func TestJoinDropsDisagreeingConstants(t *testing.T) {
+	a := fact{HasStr: true, Str: "x"}
+	b := fact{HasStr: true, Str: "y"}
+	if j := join(a, b); j.HasStr {
+		t.Error("disagreeing strings survived join")
+	}
+	if j := join(a, a); !j.HasStr || j.Str != "x" {
+		t.Error("agreeing strings lost in join")
+	}
+	c1 := fact{HasCls: true, Cls: "La;"}
+	c2 := fact{HasCls: true, Cls: "Lb;"}
+	if j := join(c1, c2); j.HasCls {
+		t.Error("disagreeing classes survived join")
+	}
+	m1 := fact{HasMeth: true, MethCls: "La;", MethName: "f"}
+	m2 := fact{HasMeth: true, MethCls: "La;", MethName: "g"}
+	if j := join(m1, m2); j.HasMeth {
+		t.Error("disagreeing methods survived join")
+	}
+	o1 := fact{HasObj: true, Obj: objID{Method: "m", PC: 1}}
+	o2 := fact{HasObj: true, Obj: objID{Method: "m", PC: 2}}
+	if j := join(o1, o2); j.HasObj {
+		t.Error("disagreeing allocation sites survived join")
+	}
+}
+
+func TestJoinAllAndEqual(t *testing.T) {
+	a := []fact{{Taint: 1}, {Taint: 2}}
+	b := []fact{{Taint: 2}, {Taint: 4}}
+	j := joinAll(a, b)
+	if j[0].Taint != 3 || j[1].Taint != 6 {
+		t.Errorf("joinAll = %+v", j)
+	}
+	if !equalFacts(j, j) {
+		t.Error("equalFacts reflexivity")
+	}
+	if equalFacts(a, b) {
+		t.Error("different fact vectors compare equal")
+	}
+	if equalFacts(a, a[:1]) {
+		t.Error("length mismatch compares equal")
+	}
+}

@@ -1,0 +1,93 @@
+package taint
+
+import "dexlego/internal/apimodel"
+
+// fwEffect describes the taint behavior of one framework method. Depth 0
+// summaries are universal (string/boxing/core APIs plus sources and sinks
+// every tool models); depth 1 summaries are the deep framework model
+// (widget state, container round-trips) only DeepFramework profiles apply.
+type fwEffect struct {
+	deep bool
+
+	source apimodel.TaintKind
+	sink   apimodel.SinkKind
+
+	recvToRet   bool  // receiver taint flows to the return value
+	argsToRet   []int // these argument indices' taint flows to the return
+	strIdentity bool  // return keeps the receiver's constant string
+	strConcat   bool  // return string = recv string + arg0 string
+
+	argToRecvField string // store arg0 taint into this receiver pseudo-field
+	recvFieldToRet string // load this receiver pseudo-field into the return
+
+	severTaint bool // returns clean data regardless of inputs (file reads)
+}
+
+// frameworkSummaries maps method keys to their taint effects.
+var frameworkSummaries = map[string]fwEffect{
+	// --- universal string / boxing model -------------------------------
+	"Ljava/lang/String;->concat(Ljava/lang/String;)Ljava/lang/String;": {
+		recvToRet: true, argsToRet: []int{0}, strConcat: true,
+	},
+	"Ljava/lang/String;->substring(II)Ljava/lang/String;": {recvToRet: true},
+	"Ljava/lang/String;->toString()Ljava/lang/String;":    {recvToRet: true, strIdentity: true},
+	"Ljava/lang/String;->length()I":                       {recvToRet: true},
+	"Ljava/lang/String;->charAt(I)C":                      {recvToRet: true},
+	"Ljava/lang/String;->isEmpty()Z":                      {recvToRet: true},
+	"Ljava/lang/String;->startsWith(Ljava/lang/String;)Z": {recvToRet: true},
+	"Ljava/lang/String;->indexOf(Ljava/lang/String;)I":    {recvToRet: true},
+	"Ljava/lang/String;->equals(Ljava/lang/Object;)Z":     {recvToRet: true, argsToRet: []int{0}},
+	"Ljava/lang/String;->valueOf(I)Ljava/lang/String;":    {argsToRet: []int{0}},
+	"Ljava/lang/StringBuilder;->append(Ljava/lang/String;)Ljava/lang/StringBuilder;": {
+		recvToRet: true, argToRecvField: "$sb", strIdentity: true,
+	},
+	"Ljava/lang/StringBuilder;->append(I)Ljava/lang/StringBuilder;": {
+		recvToRet: true, argToRecvField: "$sb",
+	},
+	"Ljava/lang/StringBuilder;->append(C)Ljava/lang/StringBuilder;": {
+		recvToRet: true, argToRecvField: "$sb",
+	},
+	"Ljava/lang/StringBuilder;->toString()Ljava/lang/String;": {
+		recvToRet: true, recvFieldToRet: "$sb",
+	},
+	"Ljava/lang/Integer;->parseInt(Ljava/lang/String;)I":    {argsToRet: []int{0}},
+	"Ljava/lang/Integer;->valueOf(I)Ljava/lang/Integer;":    {argsToRet: []int{0}},
+	"Ljava/lang/Integer;->intValue()I":                      {recvToRet: true},
+	"Ljava/lang/Object;->toString()Ljava/lang/String;":      {recvToRet: true},
+	"Ljava/lang/Throwable;->getMessage()Ljava/lang/String;": {recvToRet: true},
+
+	// Reading storage severs taint: no tested tool tracks file contents
+	// (the PrivateDataLeak3 blind spot). Internal-storage writes are not
+	// sinks at all.
+	"Ljava/io/FileUtil;->readExternal(Ljava/lang/String;)Ljava/lang/String;":   {severTaint: true},
+	"Ljava/io/FileUtil;->readInternal(Ljava/lang/String;)Ljava/lang/String;":   {severTaint: true},
+	"Ljava/io/FileUtil;->writeInternal(Ljava/lang/String;Ljava/lang/String;)V": {},
+
+	// --- deep framework model (DroidSafe / HornDroid) -------------------
+	"Landroid/widget/TextView;->setText(Ljava/lang/String;)V": {
+		deep: true, argToRecvField: "$text",
+	},
+	"Landroid/widget/TextView;->getText()Ljava/lang/String;": {
+		deep: true, recvFieldToRet: "$text",
+	},
+	"Landroid/location/Location;->toString()Ljava/lang/String;": {recvToRet: true},
+}
+
+// sourceEffects and sinkEffects are derived from the shared API catalog so
+// the static engine and the runtime agree exactly.
+func frameworkEffect(key string, deep bool) (fwEffect, bool) {
+	if k := apimodel.SourceKind(key); k != 0 {
+		return fwEffect{source: k}, true
+	}
+	if k := apimodel.SinkOf(key); k != 0 {
+		return fwEffect{sink: k}, true
+	}
+	eff, ok := frameworkSummaries[key]
+	if !ok {
+		return fwEffect{}, false
+	}
+	if eff.deep && !deep {
+		return fwEffect{}, false
+	}
+	return eff, true
+}

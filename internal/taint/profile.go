@@ -1,0 +1,81 @@
+// Package taint implements an interprocedural static taint analysis over
+// DEX files — the stand-in for FlowDroid, DroidSafe and HornDroid in the
+// paper's evaluation. One engine serves all three tools; what differs
+// between them (and what drives the deltas in Tables II/III) is a capability
+// profile: callback and lifecycle modeling, framework model depth,
+// allocation-site (value) sensitivity, implicit-flow tracking, and how far
+// constant strings are tracked for reflection resolution.
+package taint
+
+// Profile captures the capability set of one static analysis tool.
+type Profile struct {
+	Name string
+
+	// Callbacks registers UI callback implementations (onClick) as analysis
+	// entry points. All three tools do this.
+	Callbacks bool
+
+	// ExtraLifecycle additionally models rare lifecycle callbacks
+	// (onLowMemory) as entry points. FlowDroid's exhaustive lifecycle model
+	// does; over-approximating here is a known FP source.
+	ExtraLifecycle bool
+
+	// DeepFramework enables the deep framework summaries (UI widget state,
+	// container round-trips). DroidSafe's hand-written framework model and
+	// HornDroid's semantics cover these; a shallow model loses such flows.
+	DeepFramework bool
+
+	// AllocSiteSensitive keys instance-field taint by allocation site when
+	// known (value sensitivity). HornDroid's SMT encoding distinguishes
+	// objects; field-insensitive tools merge all instances of a class.
+	AllocSiteSensitive bool
+
+	// ImplicitFlows tracks control-dependence taint. Only HornDroid does;
+	// it both finds implicit leaks and over-approximates on benign code.
+	ImplicitFlows bool
+
+	// StringThroughCalls propagates known constant strings into callees,
+	// resolving reflection whose name string arrives via a parameter.
+	StringThroughCalls bool
+
+	// StringThroughFields additionally tracks constant strings through
+	// instance and static fields (full value sensitivity).
+	StringThroughFields bool
+}
+
+// FlowDroid returns the FlowDroid (PLDI'14) capability profile.
+func FlowDroid() Profile {
+	return Profile{
+		Name:           "FlowDroid",
+		Callbacks:      true,
+		ExtraLifecycle: true,
+	}
+}
+
+// DroidSafe returns the DroidSafe (NDSS'15) capability profile.
+func DroidSafe() Profile {
+	return Profile{
+		Name:               "DroidSafe",
+		Callbacks:          true,
+		DeepFramework:      true,
+		StringThroughCalls: true,
+	}
+}
+
+// HornDroid returns the HornDroid (EuroS&P'16) capability profile.
+func HornDroid() Profile {
+	return Profile{
+		Name:                "HornDroid",
+		Callbacks:           true,
+		DeepFramework:       true,
+		AllocSiteSensitive:  true,
+		ImplicitFlows:       true,
+		StringThroughCalls:  true,
+		StringThroughFields: true,
+	}
+}
+
+// Profiles returns the three evaluated tools in the paper's order.
+func Profiles() []Profile {
+	return []Profile{FlowDroid(), DroidSafe(), HornDroid()}
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"fmt"
+
+	"dexlego/internal/dex"
+	"dexlego/internal/dexgen"
+)
+
+// aospSpecs are the Table I applications with the paper's instruction
+// counts.
+var aospSpecs = []struct {
+	name   string
+	pkg    string
+	target int
+}{
+	{"HTMLViewer", "com.android.htmlviewer", 217},
+	{"Calculator", "com.android.calculator2", 2507},
+	{"Calendar", "com.android.calendar", 78598},
+	{"Contacts", "com.android.contacts", 103602},
+}
+
+// AOSPApps generates the four open-source applications of Table I, each
+// sized to exactly the paper's instruction count. Every app logs a
+// deterministic checksum on launch, so behavioral equivalence of original
+// and revealed APKs is machine-checkable.
+func AOSPApps() ([]App, error) {
+	var out []App
+	for _, spec := range aospSpecs {
+		app, err := buildSizedApp(spec.name, spec.pkg, spec.target)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", spec.name, err)
+		}
+		out = append(out, app)
+	}
+	return out, nil
+}
+
+// buildSizedApp builds an app with exactly target instructions. It builds
+// once to measure the fixed overhead, then rebuilds with an exact pad.
+func buildSizedApp(name, pkg string, target int) (App, error) {
+	const perMethod = 60
+	const methodsPerClass = 8
+	numClasses := (target - 300) / (perMethod * methodsPerClass)
+	if numClasses < 0 {
+		numClasses = 0
+	}
+	build := func(pad int) (*dex.File, string, error) {
+		p := dexgen.New()
+		desc := "L" + "aosp/" + name + ";"
+		classes := numClasses
+		for c := 0; c < classes; c++ {
+			fillerClass(p, fmt.Sprintf("Laosp/%s/Mod%d;", name, c),
+				methodsPerClass, perMethod, uint32(c)*31+7)
+		}
+		cls := p.Class(desc, "Landroid/app/Activity;")
+		cls.Source(name + ".java")
+		cls.Ctor("Landroid/app/Activity;", nil)
+		// The checksum chain executes the first modules so packers'
+		// method-extraction paths are genuinely exercised.
+		chain := classes
+		if chain > 3 {
+			chain = 3
+		}
+		cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+			a.Const(0, 0)
+			for c := 0; c < chain; c++ {
+				a.InvokeStatic(fmt.Sprintf("Laosp/%s/Mod%d;", name, c), "calc0", "()I")
+				a.MoveResult(1)
+				a.Binop(0x97 /* xor-int */, 0, 0, 1)
+			}
+			a.InvokeStatic("Ljava/lang/String;", "valueOf", "(I)Ljava/lang/String;", 0)
+			a.MoveResultObject(2)
+			a.ConstString(3, "checksum")
+			a.InvokeStatic("Landroid/util/Log;", "i",
+				"(Ljava/lang/String;Ljava/lang/String;)I", 3, 2)
+			a.ReturnVoid()
+		})
+		if pad > 0 {
+			padClass(p, pad)
+		}
+		f, err := p.Finish()
+		if err != nil {
+			return nil, "", err
+		}
+		return f, desc, nil
+	}
+
+	probe, _, err := build(16)
+	if err != nil {
+		return App{}, err
+	}
+	delta := target - probe.InstructionCount() + 16
+	if delta < 4 {
+		return App{}, fmt.Errorf("workload: target %d too small for scaffold (needs +%d)", target, 4-delta)
+	}
+	f, desc, err := build(delta)
+	if err != nil {
+		return App{}, err
+	}
+	if got := f.InstructionCount(); got != target {
+		return App{}, fmt.Errorf("workload: %s sized to %d, want %d", name, got, target)
+	}
+	data, err := f.Write()
+	if err != nil {
+		return App{}, err
+	}
+	a := newAPK(pkg, "1.0", desc)
+	a.SetDex(data)
+	return App{Name: name, Package: pkg, Version: "1.0", APK: a, Insns: target}, nil
+}

@@ -1,0 +1,19 @@
+package workload
+
+import "testing"
+
+func TestAOSPAppSizes(t *testing.T) {
+	apps, err := AOSPApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"HTMLViewer": 217, "Calculator": 2507,
+		"Calendar": 78598, "Contacts": 103602,
+	}
+	for _, app := range apps {
+		if app.Insns != want[app.Name] {
+			t.Errorf("%s = %d instructions, want %d", app.Name, app.Insns, want[app.Name])
+		}
+	}
+}

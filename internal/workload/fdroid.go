@@ -1,0 +1,244 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"dexlego/internal/art"
+	"dexlego/internal/bytecode"
+	"dexlego/internal/dex"
+	"dexlego/internal/dexgen"
+)
+
+// fdroidSpecs are the Table VI applications with the paper's instruction
+// counts.
+var fdroidSpecs = []struct {
+	pkg     string
+	version string
+	target  int
+}{
+	{"be.ppareit.swiftp", "2.14.2", 8812},
+	{"fr.gaulupeau.apps.InThePoche", "2.0.0b1", 29231},
+	{"org.gnucash.android", "2.1.7", 56565},
+	{"org.liberty.android.fantastischmemopro", "10.9.993", 57575},
+	{"com.fastaccess.github", "2.1.0", 93913},
+}
+
+// FDroidApp is an interactive application for the coverage experiments.
+type FDroidApp struct {
+	App
+	// Natives registers the app's JNI functions (one of which crashes on a
+	// forced path, reproducing the paper's native-crash coverage loss).
+	Natives map[string]art.NativeFunc
+}
+
+// ErrNativeCrash is the infrastructure failure raised by the crashing
+// native path.
+var ErrNativeCrash = errors.New("workload: native library crashed (SIGSEGV)")
+
+// FDroidApps generates the five F-Droid applications of Tables VI and VII,
+// sized to the paper's instruction counts.
+func FDroidApps() ([]FDroidApp, error) {
+	var out []FDroidApp
+	for _, spec := range fdroidSpecs {
+		app, err := buildInteractiveApp(spec.pkg, spec.version, spec.target)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", spec.pkg, err)
+		}
+		out = append(out, app)
+	}
+	return out, nil
+}
+
+// buildInteractiveApp constructs an app whose code splits into: always-code
+// reached from button handlers, input-gated code (a secret intent extra no
+// fuzzer guesses), second-level gated code, dead classes, unthrown
+// exception handlers, and a post-native-crash tail. The split calibrates
+// the Sapienz-vs-force-execution coverage gap of Table VII.
+func buildInteractiveApp(pkg, version string, target int) (FDroidApp, error) {
+	const modules = 10
+	const deadClasses = 4
+	// Per-module instruction budget shares (fractions of the target).
+	unit := target / (modules * 100)
+	if unit < 1 {
+		unit = 1
+	}
+	alwaysN := unit * 33 // per module: reached by clicking
+	gatedN := unit * 27  // behind the secret extra
+	gated2N := unit * 24 // second-level gate
+	deadN := target * 10 / (100 * deadClasses)
+	handlerN := unit * 3 // inside never-thrown exception handlers
+	tailN := unit * 3    // after the crashing native call
+
+	desc := "Lfd/Main;"
+	build := func(pad int) (*dex.File, error) {
+		p := dexgen.New()
+		for d := 0; d < deadClasses; d++ {
+			dead := fillerClass(p, fmt.Sprintf("Lfd/dead/Cmd%d;", d), 4, deadN/4, uint32(d)*13+5)
+			if d == 0 {
+				// Dead branches contribute permanently uncovered edges to
+				// the branch-coverage denominator.
+				dead.Static("branchy", "I", nil, func(a *dexgen.Asm) {
+					branchyBody(a, 4, 17)
+				})
+			}
+		}
+		for m := 0; m < modules; m++ {
+			m := m
+			mod := p.Class(fmt.Sprintf("Lfd/Mod%d;", m), "")
+			gated := p.Class(fmt.Sprintf("Lfd/Gated%d;", m), "")
+			deep := p.Class(fmt.Sprintf("Lfd/Deep%d;", m), "")
+			for i := 0; i < 3; i++ {
+				i := i
+				mod.Static(fmt.Sprintf("always%d", i), "I", nil, func(a *dexgen.Asm) {
+					fillerBody(a, alwaysN/3, uint32(m*31+i))
+				})
+				gated.Static(fmt.Sprintf("hidden%d", i), "I", nil, func(a *dexgen.Asm) {
+					fillerBody(a, gatedN/3, uint32(m*43+i))
+				})
+				deep.Static(fmt.Sprintf("deep%d", i), "I", nil, func(a *dexgen.Asm) {
+					fillerBody(a, gated2N/3, uint32(m*57+i))
+				})
+			}
+			// The module entry: run always-code, then gate on the secret.
+			mod.Static("entry", "V", []string{"Ljava/lang/String;"}, func(a *dexgen.Asm) {
+				for i := 0; i < 3; i++ {
+					a.InvokeStatic(fmt.Sprintf("Lfd/Mod%d;", m), fmt.Sprintf("always%d", i), "()I")
+				}
+				a.ConstString(0, "open-sesame")
+				// Constant-receiver comparison: null-safe when the intent
+				// carries no extra.
+				a.InvokeVirtual("Ljava/lang/String;", "equals",
+					"(Ljava/lang/Object;)Z", 0, a.P(0))
+				a.MoveResult(1)
+				a.IfZ(bytecode.OpIfEqz, 1, "locked")
+				for i := 0; i < 3; i++ {
+					a.InvokeStatic(fmt.Sprintf("Lfd/Gated%d;", m), fmt.Sprintf("hidden%d", i), "()I")
+				}
+				a.InvokeStatic(fmt.Sprintf("Lfd/Gated%d;", m), "second", "(I)V", 1)
+				a.Label("locked")
+				a.ReturnVoid()
+			})
+			// Second-level gate inside the gated class.
+			gated.Static("second", "V", []string{"I"}, func(a *dexgen.Asm) {
+				a.Const(0, 77)
+				a.If(bytecode.OpIfNe, a.P(0), 0, "out")
+				for i := 0; i < 3; i++ {
+					a.InvokeStatic(fmt.Sprintf("Lfd/Deep%d;", m), fmt.Sprintf("deep%d", i), "()I")
+				}
+				a.Label("out")
+				a.ReturnVoid()
+			})
+			switch m {
+			case 0:
+				// An exception handler that is never thrown into: force
+				// execution cannot steer non-branch exceptions (the paper's
+				// third coverage-loss category).
+				mod.Static("guarded", "I", nil, func(a *dexgen.Asm) {
+					a.Label("ts")
+					a.Const(0, 4)
+					a.Const(1, 2)
+					a.Binop(bytecode.OpDivInt, 2, 0, 1) // never throws
+					a.Label("te")
+					a.Return(2)
+					a.Label("h")
+					a.MoveException(3)
+					branchyBody(a, 2, 23)
+					a.Catch("ts", "te", "", "h")
+					_ = handlerN
+				})
+			case 1:
+				// A gated path whose native call crashes: the tail after it
+				// stays uncovered (the paper's second category).
+				mod.Native("nativeProbe", "I")
+				mod.Static("fragile", "V", []string{"I"}, func(a *dexgen.Asm) {
+					a.Const(0, 1)
+					a.If(bytecode.OpIfNe, a.P(0), 0, "out")
+					a.InvokeStatic("Lfd/Mod1;", "nativeProbe", "()I")
+					a.MoveResult(1)
+					fillerBody(a, tailN, 11)
+					a.Label("out")
+					a.ReturnVoid()
+				})
+			}
+		}
+		// Click listeners and the main activity.
+		for m := 0; m < modules; m++ {
+			m := m
+			ldesc := fmt.Sprintf("Lfd/Listener%d;", m)
+			l := p.Class(ldesc, "", "Landroid/view/View$OnClickListener;")
+			l.Ctor("Ljava/lang/Object;", nil)
+			l.Field("act", "Landroid/app/Activity;")
+			l.Virtual("onClick", "V", []string{"Landroid/view/View;"}, func(a *dexgen.Asm) {
+				a.IGetObject(0, a.This(), ldesc, "act", "Landroid/app/Activity;")
+				a.InvokeVirtual("Landroid/app/Activity;", "getIntent",
+					"()Landroid/content/Intent;", 0)
+				a.MoveResultObject(1)
+				a.ConstString(2, "cmd")
+				a.InvokeVirtual("Landroid/content/Intent;", "getStringExtra",
+					"(Ljava/lang/String;)Ljava/lang/String;", 1, 2)
+				a.MoveResultObject(3)
+				a.InvokeStatic(fmt.Sprintf("Lfd/Mod%d;", m), "entry",
+					"(Ljava/lang/String;)V", 3)
+				if m == 0 {
+					a.InvokeStatic("Lfd/Mod0;", "guarded", "()I")
+				}
+				if m == 1 {
+					a.Const(4, 0)
+					a.InvokeStatic("Lfd/Mod1;", "fragile", "(I)V", 4)
+				}
+				a.ReturnVoid()
+			})
+		}
+		main := p.Class(desc, "Landroid/app/Activity;")
+		main.Ctor("Landroid/app/Activity;", nil)
+		main.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+			for m := 0; m < modules; m++ {
+				ldesc := fmt.Sprintf("Lfd/Listener%d;", m)
+				a.Const(0, int64(m+1))
+				a.InvokeVirtual("Landroid/app/Activity;", "findViewById",
+					"(I)Landroid/view/View;", a.This(), 0)
+				a.MoveResultObject(1)
+				a.NewInstance(2, ldesc)
+				a.InvokeDirect(ldesc, "<init>", "()V", 2)
+				a.IPutObject(a.This(), 2, ldesc, "act", "Landroid/app/Activity;")
+				a.InvokeVirtual("Landroid/view/View;", "setOnClickListener",
+					"(Landroid/view/View$OnClickListener;)V", 1, 2)
+			}
+			a.ReturnVoid()
+		})
+		if pad > 0 {
+			padClass(p, pad)
+		}
+		return p.Finish()
+	}
+	probe, err := build(16)
+	if err != nil {
+		return FDroidApp{}, err
+	}
+	delta := target - probe.InstructionCount() + 16
+	if delta < 4 {
+		return FDroidApp{}, fmt.Errorf("scaffold exceeds target by %d", 4-delta)
+	}
+	f, err := build(delta)
+	if err != nil {
+		return FDroidApp{}, err
+	}
+	if got := f.InstructionCount(); got != target {
+		return FDroidApp{}, fmt.Errorf("sized to %d, want %d", got, target)
+	}
+	data, err := f.Write()
+	if err != nil {
+		return FDroidApp{}, err
+	}
+	a := newAPK(pkg, version, desc)
+	a.SetDex(data)
+	return FDroidApp{
+		App: App{Name: pkg, Package: pkg, Version: version, APK: a, Insns: target},
+		Natives: map[string]art.NativeFunc{
+			"Lfd/Mod1;->nativeProbe()I": func(env *art.Env, recv *art.Object, args []art.Value) (art.Value, error) {
+				return art.Value{}, ErrNativeCrash
+			},
+		},
+	}, nil
+}

