@@ -1,0 +1,92 @@
+package dexlego
+
+import (
+	"fmt"
+	"time"
+
+	"dexlego/internal/apk"
+	"dexlego/internal/pipeline"
+)
+
+// BatchJob names one APK to reveal in a RevealBatch run.
+type BatchJob struct {
+	// Name labels the job in the batch report (a package name or file
+	// path); empty names default to "job-<index>".
+	Name string
+	// APK is the application to reveal.
+	APK *apk.APK
+	// Options configures this job's Reveal call.
+	Options Options
+}
+
+// BatchItem is the outcome of one batch job.
+type BatchItem struct {
+	Name string
+	// Result is the job's Reveal result; nil when Err is non-nil.
+	Result *Result
+	// Err is the job's failure: the error Reveal returned, or a
+	// *pipeline.PanicError if the job panicked. A panicking job never
+	// aborts the batch.
+	Err error
+}
+
+// BatchResult is the outcome of a RevealBatch run.
+type BatchResult struct {
+	// Items holds one entry per job, in submission order regardless of
+	// completion order.
+	Items []BatchItem
+	// Report aggregates the per-app stage metrics; Report.JSON is the
+	// schema cmd/dexlego -metrics-out writes.
+	Report *pipeline.Report
+}
+
+// FirstError returns the first failed item's error in job order, or nil.
+func (b *BatchResult) FirstError() error {
+	for i := range b.Items {
+		if err := b.Items[i].Err; err != nil {
+			return fmt.Errorf("dexlego: batch job %s: %w", b.Items[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// RevealBatch reveals every job over a bounded worker pool (workers <= 0
+// selects runtime.GOMAXPROCS(0)). The jobs are independent: each worker
+// owns its collector and runtimes, one job's panic or error never affects
+// another, and the items and report are ordered by submission, so a batch
+// run is byte-identical to revealing the jobs serially.
+func RevealBatch(jobs []BatchJob, workers int) *BatchResult {
+	p := pipeline.New(workers)
+	items := make([]BatchItem, len(jobs))
+	start := time.Now()
+	errs := p.Run(len(jobs), func(i int) error {
+		res, err := Reveal(jobs[i].APK, jobs[i].Options)
+		items[i] = BatchItem{Result: res, Err: err}
+		return err
+	})
+	wall := time.Since(start)
+
+	apps := make([]pipeline.AppMetrics, len(items))
+	for i := range items {
+		// A panicked job never stored its item; surface the PanicError.
+		if errs[i] != nil && items[i].Err == nil {
+			items[i] = BatchItem{Err: errs[i]}
+		}
+		items[i].Name = jobs[i].Name
+		if items[i].Name == "" {
+			items[i].Name = fmt.Sprintf("job-%d", i)
+		}
+		if items[i].Err != nil {
+			items[i].Result = nil
+			apps[i] = pipeline.AppMetrics{Name: items[i].Name, Err: items[i].Err.Error()}
+			continue
+		}
+		m := *items[i].Result.Metrics
+		m.Name = items[i].Name
+		apps[i] = m
+	}
+	return &BatchResult{
+		Items:  items,
+		Report: pipeline.BuildReport(p.WorkerCount(len(jobs)), wall, apps),
+	}
+}

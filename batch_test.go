@@ -1,0 +1,187 @@
+package dexlego_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	root "dexlego"
+	"dexlego/internal/apk"
+	"dexlego/internal/art"
+	"dexlego/internal/pipeline"
+	"dexlego/internal/workload"
+)
+
+// marketJobs builds the Table V packed corpus as batch jobs (9 apps >= 8,
+// satisfying the concurrency-test floor).
+func marketJobs(t testing.TB) []root.BatchJob {
+	t.Helper()
+	apps, err := workload.MarketApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]root.BatchJob, len(apps))
+	for i, app := range apps {
+		jobs[i] = root.BatchJob{
+			Name:    app.Package,
+			APK:     app.Packed,
+			Options: root.Options{InstallNatives: app.Packer.InstallNatives},
+		}
+	}
+	return jobs
+}
+
+// TestRevealBatchMatchesSerial is the batch-determinism contract: revealing
+// the Table V packed corpus with 8 workers must produce, app for app, the
+// same bytes as the serial path, and the report must list the apps in
+// submission order regardless of completion order. Run under -race this is
+// also the concurrency audit of the collector/runtime/reassembler stack.
+func TestRevealBatchMatchesSerial(t *testing.T) {
+	jobs := marketJobs(t)
+	if len(jobs) < 8 {
+		t.Fatalf("corpus has %d apps, want >= 8", len(jobs))
+	}
+
+	type serialOut struct {
+		apkBytes []byte
+		insns    int
+		methods  int
+	}
+	serial := make([]serialOut, len(jobs))
+	for i, job := range jobs {
+		res, err := root.Reveal(job.APK, job.Options)
+		if err != nil {
+			t.Fatalf("serial %s: %v", job.Name, err)
+		}
+		data, err := res.Revealed.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[i] = serialOut{
+			apkBytes: data,
+			insns:    res.Metrics.ExecutedInsns,
+			methods:  res.Metrics.Methods,
+		}
+	}
+
+	batch := root.RevealBatch(jobs, 8)
+	if err := batch.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Items) != len(jobs) {
+		t.Fatalf("items = %d, want %d", len(batch.Items), len(jobs))
+	}
+	for i, item := range batch.Items {
+		if item.Name != jobs[i].Name {
+			t.Fatalf("item %d = %s, want %s: report order must follow submission order",
+				i, item.Name, jobs[i].Name)
+		}
+		data, err := item.Result.Revealed.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, serial[i].apkBytes) {
+			t.Errorf("%s: batch reveal differs from serial reveal (%d vs %d bytes)",
+				item.Name, len(data), len(serial[i].apkBytes))
+		}
+		m := batch.Report.Apps[i]
+		if m.Name != jobs[i].Name {
+			t.Errorf("report app %d = %s, want %s", i, m.Name, jobs[i].Name)
+		}
+		if m.ExecutedInsns != serial[i].insns || m.Methods != serial[i].methods {
+			t.Errorf("%s: batch metrics (%d insns, %d methods) != serial (%d, %d)",
+				m.Name, m.ExecutedInsns, m.Methods, serial[i].insns, serial[i].methods)
+		}
+		if m.StageWall(pipeline.StageCollection) <= 0 {
+			t.Errorf("%s: collection stage wall time not recorded", m.Name)
+		}
+		if m.StageWall(pipeline.StageReassembly) <= 0 {
+			t.Errorf("%s: reassembly stage wall time not recorded", m.Name)
+		}
+	}
+	if batch.Report.Failed != 0 || batch.Report.Jobs != len(jobs) {
+		t.Errorf("report jobs/failed = %d/%d, want %d/0",
+			batch.Report.Jobs, batch.Report.Failed, len(jobs))
+	}
+	if batch.Report.TotalExecutedInsns == 0 {
+		t.Error("report total executed instructions is zero")
+	}
+	if _, err := batch.Report.JSON(); err != nil {
+		t.Errorf("report JSON: %v", err)
+	}
+}
+
+// TestRevealBatchPanicIsolation: one job whose driver panics must fail with
+// a *pipeline.PanicError while every other job completes normally.
+func TestRevealBatchPanicIsolation(t *testing.T) {
+	jobs := marketJobs(t)[:4]
+	bad := 2
+	jobs[bad].Options.Driver = func(rt *art.Runtime) error {
+		panic("hostile apk took down the runtime")
+	}
+	batch := root.RevealBatch(jobs, 4)
+	for i, item := range batch.Items {
+		if i == bad {
+			var pe *pipeline.PanicError
+			if !errors.As(item.Err, &pe) {
+				t.Fatalf("bad job err = %v, want *pipeline.PanicError", item.Err)
+			}
+			if item.Result != nil {
+				t.Error("panicked job must not carry a result")
+			}
+			if batch.Report.Apps[i].Err == "" {
+				t.Error("panicked job missing from report")
+			}
+			continue
+		}
+		if item.Err != nil {
+			t.Errorf("healthy job %s failed: %v", item.Name, item.Err)
+		}
+	}
+	if batch.Report.Failed != 1 {
+		t.Errorf("report failed = %d, want 1", batch.Report.Failed)
+	}
+}
+
+// TestRevealBatchErrorIsolation: a job whose APK has no classes.dex fails
+// with an ordinary error; the rest of the batch is unaffected.
+func TestRevealBatchErrorIsolation(t *testing.T) {
+	jobs := marketJobs(t)[:3]
+	jobs[0] = root.BatchJob{
+		Name: "broken.apk",
+		APK:  apk.New("broken", "1.0", "Lbroken/Main;"),
+	}
+	batch := root.RevealBatch(jobs, 2)
+	if batch.Items[0].Err == nil {
+		t.Fatal("dex-less APK must fail")
+	}
+	var pe *pipeline.PanicError
+	if errors.As(batch.Items[0].Err, &pe) {
+		t.Fatalf("plain error misreported as panic: %v", batch.Items[0].Err)
+	}
+	for _, item := range batch.Items[1:] {
+		if item.Err != nil {
+			t.Errorf("healthy job %s failed: %v", item.Name, item.Err)
+		}
+	}
+	if err := batch.FirstError(); err == nil ||
+		!strings.Contains(err.Error(), "broken.apk") {
+		t.Errorf("FirstError = %v, want broken.apk failure", err)
+	}
+}
+
+// TestRevealBatchEmptyAndNamedDefaults covers the degenerate batch and the
+// job-name fallback.
+func TestRevealBatchEmptyAndNamedDefaults(t *testing.T) {
+	empty := root.RevealBatch(nil, 4)
+	if len(empty.Items) != 0 || empty.Report.Jobs != 0 {
+		t.Fatalf("empty batch = %+v", empty.Report)
+	}
+	jobs := marketJobs(t)[:1]
+	jobs[0].Name = ""
+	batch := root.RevealBatch(jobs, 1)
+	if batch.Items[0].Name != "job-0" {
+		t.Errorf("default name = %s, want job-0", batch.Items[0].Name)
+	}
+}

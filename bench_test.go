@@ -12,6 +12,7 @@ import (
 	"dexlego/internal/experiments"
 	"dexlego/internal/reassembler"
 	"dexlego/internal/taint"
+	"dexlego/internal/workload"
 )
 
 // --- one benchmark per table and figure of the paper's evaluation ----------
@@ -156,6 +157,56 @@ func BenchmarkTable8Launch(b *testing.B) {
 		}
 	}
 }
+
+// --- corpus batch-reveal benchmarks -----------------------------------------
+
+// corpusJobs builds the Table V packed corpus once per benchmark.
+func corpusJobs(b *testing.B) []root.BatchJob {
+	b.Helper()
+	apps, err := workload.MarketApps()
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs := make([]root.BatchJob, len(apps))
+	for i, app := range apps {
+		jobs[i] = root.BatchJob{
+			Name:    app.Package,
+			APK:     app.Packed,
+			Options: root.Options{InstallNatives: app.Packer.InstallNatives},
+		}
+	}
+	return jobs
+}
+
+// benchmarkCorpusReveal measures RevealBatch over the Table V packed
+// corpus at a fixed worker count and reports the serial-equivalent
+// speedup the pool achieved (serial wall sum / batch wall).
+func benchmarkCorpusReveal(b *testing.B, workers int) {
+	jobs := corpusJobs(b)
+	b.ResetTimer()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		batch := root.RevealBatch(jobs, workers)
+		if err := batch.FirstError(); err != nil {
+			b.Fatal(err)
+		}
+		if batch.Report.TotalExecutedInsns == 0 {
+			b.Fatal("no instructions collected")
+		}
+		speedup = batch.Report.Speedup()
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkCorpusRevealSerial is the single-worker baseline for the batch
+// pipeline (the pre-pipeline serial cost, within pool overhead).
+func BenchmarkCorpusRevealSerial(b *testing.B) { benchmarkCorpusReveal(b, 1) }
+
+// BenchmarkCorpusRevealParallel2 and Parallel4 record the batch speedup at
+// 2 and 4 workers; on a 4+ core machine Parallel4 exceeds 1.5x.
+func BenchmarkCorpusRevealParallel2(b *testing.B) { benchmarkCorpusReveal(b, 2) }
+func BenchmarkCorpusRevealParallel4(b *testing.B) { benchmarkCorpusReveal(b, 4) }
 
 // --- micro-benchmarks for the substrates ------------------------------------
 

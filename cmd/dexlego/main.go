@@ -5,6 +5,13 @@
 // Usage:
 //
 //	dexlego -apk app.apk -out revealed.apk [-collect dir] [-force] [-fuzz]
+//	dexlego -batch -out dir [-jobs n] [-metrics-out report.json] a.apk b.apk ...
+//
+// In -batch mode every argument is an input APK; the corpus is revealed
+// over a bounded worker pool (-jobs, default GOMAXPROCS), each job is
+// panic-isolated, and -out names a directory receiving one
+// <name>.revealed.apk per input. -metrics-out writes the per-stage batch
+// metrics report as JSON (also honored in single-APK mode).
 //
 // The shell native libraries of all five supported packers are installed,
 // so packed APKs produced by cmd/packbench unpack transparently.
@@ -14,11 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	root "dexlego"
 	"dexlego/internal/apk"
 	"dexlego/internal/art"
 	"dexlego/internal/packer"
+	"dexlego/internal/pipeline"
 )
 
 func main() {
@@ -30,28 +40,19 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("dexlego", flag.ContinueOnError)
-	apkPath := fs.String("apk", "", "input APK path")
-	outPath := fs.String("out", "", "output (revealed) APK path")
+	apkPath := fs.String("apk", "", "input APK path (single mode)")
+	outPath := fs.String("out", "", "output (revealed) APK path; a directory in -batch mode")
 	collectDir := fs.String("collect", "", "directory for the five collection files")
 	force := fs.Bool("force", false, "enable the force-execution coverage module")
 	fuzz := fs.Bool("fuzz", false, "run the input-generation fuzzer during collection")
 	seed := fs.Int64("seed", 1, "fuzzer seed")
+	batch := fs.Bool("batch", false, "batch mode: reveal every APK argument over a worker pool")
+	jobs := fs.Int("jobs", 0, "batch parallelism (0 = GOMAXPROCS)")
+	metricsOut := fs.String("metrics-out", "", "write the batch metrics report JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *apkPath == "" || *outPath == "" {
-		fs.Usage()
-		return fmt.Errorf("-apk and -out are required")
-	}
-	data, err := os.ReadFile(*apkPath)
-	if err != nil {
-		return err
-	}
-	pkg, err := apk.Read(data)
-	if err != nil {
-		return err
-	}
-	res, err := root.Reveal(pkg, root.Options{
+	opts := root.Options{
 		InstallNatives: func(rt *art.Runtime) {
 			for _, pk := range packer.All() {
 				pk.InstallNatives(rt)
@@ -60,8 +61,20 @@ func run(args []string) error {
 		Fuzz:           *fuzz,
 		FuzzSeed:       *seed,
 		ForceExecution: *force,
-		CollectDir:     *collectDir,
-	})
+	}
+	if *batch {
+		return runBatch(fs.Args(), *outPath, *jobs, *metricsOut, opts)
+	}
+	if *apkPath == "" || *outPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-apk and -out are required")
+	}
+	pkg, err := readAPK(*apkPath)
+	if err != nil {
+		return err
+	}
+	opts.CollectDir = *collectDir
+	res, err := root.Reveal(pkg, opts)
 	if err != nil {
 		return err
 	}
@@ -86,5 +99,91 @@ func run(args []string) error {
 			fmt.Printf("  runtime leak: %s via %s at %s\n", ev.Taint, ev.Sink, ev.Caller)
 		}
 	}
+	if *metricsOut != "" {
+		return writeMetrics(*metricsOut, *apkPath, res)
+	}
 	return nil
+}
+
+// runBatch reveals every path over the worker pool and writes one
+// <name>.revealed.apk per input into outDir.
+func runBatch(paths []string, outDir string, workers int, metricsOut string, opts root.Options) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-batch needs at least one APK argument")
+	}
+	if outDir == "" {
+		return fmt.Errorf("-out directory is required in -batch mode")
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	jobs := make([]root.BatchJob, 0, len(paths))
+	outNames := make(map[string]string, len(paths))
+	for _, path := range paths {
+		name := strings.TrimSuffix(filepath.Base(path), ".apk") + ".revealed.apk"
+		if prev, dup := outNames[name]; dup {
+			return fmt.Errorf("%s and %s would both write %s; rename one input",
+				prev, path, filepath.Join(outDir, name))
+		}
+		outNames[name] = path
+		pkg, err := readAPK(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		jobs = append(jobs, root.BatchJob{Name: path, APK: pkg, Options: opts})
+	}
+	batch := root.RevealBatch(jobs, workers)
+	failed := 0
+	for _, item := range batch.Items {
+		if item.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "dexlego: %s: %v\n", item.Name, item.Err)
+			continue
+		}
+		data, err := item.Result.Revealed.Bytes()
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(item.Name), ".apk") + ".revealed.apk"
+		if err := os.WriteFile(filepath.Join(outDir, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Print(batch.Report.String())
+	if metricsOut != "" {
+		data, err := batch.Report.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(metricsOut, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", failed, len(jobs))
+	}
+	return nil
+}
+
+// writeMetrics writes a one-app report for single mode, reusing the batch
+// schema so tooling can parse both.
+func writeMetrics(path, apkPath string, res *root.Result) error {
+	m := *res.Metrics
+	if m.Name == "" {
+		m.Name = apkPath
+	}
+	report := pipeline.BuildReport(1, m.Wall(), []pipeline.AppMetrics{m})
+	data, err := report.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func readAPK(path string) (*apk.APK, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return apk.Read(data)
 }

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"dexlego/internal/dexgen"
 	"dexlego/internal/packer"
+	"dexlego/internal/pipeline"
 )
 
 func TestRunRevealsPackedAPK(t *testing.T) {
@@ -53,5 +55,98 @@ func TestRunRevealsPackedAPK(t *testing.T) {
 	}
 	if err := run([]string{"-apk", in}); err == nil {
 		t.Error("missing -out must fail")
+	}
+}
+
+func buildPackedAPK(t *testing.T, pkg, desc string) []byte {
+	t.Helper()
+	p := dexgen.New()
+	cls := p.Class(desc, "Landroid/app/Activity;")
+	cls.Ctor("Landroid/app/Activity;", nil)
+	cls.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		a.GetIMEI(0, 1)
+		a.LogLeak(pkg, 0, 2)
+		a.ReturnVoid()
+	})
+	app, err := p.BuildAPK(pkg, "1.0", desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := packer.ByName("360")
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := pk.Pack(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := packed.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestRunBatchRevealsCorpus(t *testing.T) {
+	dir := t.TempDir()
+	var ins []string
+	for i, name := range []string{"alpha", "beta", "gamma"} {
+		in := filepath.Join(dir, name+".apk")
+		desc := "Lbatch/Main" + string(rune('A'+i)) + ";"
+		if err := os.WriteFile(in, buildPackedAPK(t, name, desc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ins = append(ins, in)
+	}
+	outDir := filepath.Join(dir, "revealed")
+	metrics := filepath.Join(dir, "metrics.json")
+	args := append([]string{
+		"-batch", "-jobs", "2", "-out", outDir, "-metrics-out", metrics}, ins...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		out := filepath.Join(outDir, name+".revealed.apk")
+		if _, err := os.Stat(out); err != nil {
+			t.Errorf("revealed apk missing: %v", err)
+		}
+	}
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report pipeline.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("metrics report does not parse: %v", err)
+	}
+	if report.Jobs != 3 || report.Failed != 0 {
+		t.Errorf("report jobs/failed = %d/%d, want 3/0", report.Jobs, report.Failed)
+	}
+	if len(report.Apps) != 3 || report.Apps[0].Name != ins[0] {
+		t.Errorf("report apps out of order: %+v", report.Apps)
+	}
+}
+
+func TestRunBatchIsolatesBadAPK(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.apk")
+	if err := os.WriteFile(good, buildPackedAPK(t, "good", "Lbatch/Good;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "bad.apk")
+	if err := os.WriteFile(bad, []byte("not an apk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outDir := filepath.Join(dir, "revealed")
+	// A file that is not even a zip fails upfront, before the batch runs.
+	if err := run([]string{"-batch", "-out", outDir, good, bad}); err == nil {
+		t.Fatal("corrupt input must fail")
+	}
+	// Batch mode without inputs or without -out must fail.
+	if err := run([]string{"-batch", "-out", outDir}); err == nil {
+		t.Error("batch without inputs must fail")
+	}
+	if err := run([]string{"-batch", good}); err == nil {
+		t.Error("batch without -out must fail")
 	}
 }

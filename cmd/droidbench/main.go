@@ -8,6 +8,9 @@
 //	droidbench -figure 5     # F-measures
 //	droidbench -table 4      # dynamic tools vs DexLego+HornDroid
 //	droidbench -list         # enumerate the 134 samples
+//
+// The 134 samples are processed over the batch pipeline; -jobs caps the
+// worker pool (0 = GOMAXPROCS).
 package main
 
 import (
@@ -30,6 +33,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("droidbench", flag.ContinueOnError)
 	table := fs.Int("table", 0, "table to regenerate (2, 3 or 4)")
 	figure := fs.Int("figure", 0, "figure to regenerate (5)")
+	jobs := fs.Int("jobs", 0, "batch parallelism over the samples (0 = GOMAXPROCS)")
 	list := fs.Bool("list", false, "list the benchmark samples")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,7 +56,7 @@ func run(args []string) error {
 	}
 	switch {
 	case *table == 2 || *table == 3 || *figure == 5:
-		res, err := experiments.RunDroidBench()
+		res, err := experiments.RunDroidBenchJobs(*jobs)
 		if err != nil {
 			return err
 		}

@@ -4,9 +4,12 @@
 //
 // Usage:
 //
-//	packbench -table 1
-//	packbench -table 5
+//	packbench -table 1 [-jobs n]
+//	packbench -table 5 [-jobs n] [-metrics]
 //	packbench -pack app.apk -packer 360 -out packed.apk
+//
+// Table runs execute over the batch-reveal pipeline; -jobs caps the worker
+// pool (0 = GOMAXPROCS) and -metrics prints the per-stage batch report.
 package main
 
 import (
@@ -29,6 +32,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("packbench", flag.ContinueOnError)
 	table := fs.Int("table", 0, "table to regenerate (1 or 5)")
+	jobs := fs.Int("jobs", 0, "batch-reveal parallelism (0 = GOMAXPROCS)")
+	metrics := fs.Bool("metrics", false, "print the per-stage batch report after the table")
 	packPath := fs.String("pack", "", "APK to pack")
 	packerName := fs.String("packer", "360", "packer name (360, Alibaba, Tencent, Baidu, Bangcle)")
 	out := fs.String("out", "", "output path for -pack")
@@ -37,17 +42,20 @@ func run(args []string) error {
 	}
 	switch {
 	case *table == 1:
-		res, err := experiments.RunTable1()
+		res, err := experiments.RunTable1Jobs(*jobs)
 		if err != nil {
 			return err
 		}
 		fmt.Print(res.Table1String())
 	case *table == 5:
-		rows, err := experiments.RunTable5()
+		rows, report, err := experiments.RunTable5Batch(*jobs)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.Table5String(rows))
+		if *metrics {
+			fmt.Print(report.String())
+		}
 	case *packPath != "":
 		if *out == "" {
 			fs.Usage()

@@ -18,6 +18,7 @@ package dexlego
 
 import (
 	"fmt"
+	"time"
 
 	"dexlego/internal/apk"
 	"dexlego/internal/art"
@@ -26,6 +27,7 @@ import (
 	"dexlego/internal/dex"
 	"dexlego/internal/forceexec"
 	"dexlego/internal/fuzzer"
+	"dexlego/internal/pipeline"
 	"dexlego/internal/reassembler"
 )
 
@@ -75,6 +77,9 @@ type Result struct {
 	Sinks []art.SinkEvent
 	// Coverage reports the achieved coverage (force-execution runs only).
 	Coverage *coverage.Report
+	// Metrics holds per-stage wall times and the collection/reassembly
+	// counters of this run (always populated).
+	Metrics *pipeline.AppMetrics
 }
 
 // DefaultDriver drives the launch lifecycle, clicks every registered
@@ -95,6 +100,9 @@ func DefaultDriver(rt *art.Runtime) error {
 
 // Reveal executes the application under JIT collection and reassembles the
 // revealed APK.
+//
+// Each call owns its collector and runtimes, so independent Reveal calls
+// are safe to run concurrently — RevealBatch builds on this.
 func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 	device := art.DefaultPhone()
 	if opts.Device != nil {
@@ -105,7 +113,14 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 		driver = DefaultDriver
 	}
 	col := collector.New()
-	res := &Result{}
+	res := &Result{Metrics: &pipeline.AppMetrics{}}
+	start := time.Now()
+	stage := func(s pipeline.Stage, f func() error) error {
+		t0 := time.Now()
+		err := f()
+		res.Metrics.AddStage(s, time.Since(t0))
+		return err
+	}
 
 	setup := func(rt *art.Runtime) {
 		for key, fn := range opts.Natives {
@@ -128,66 +143,97 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 		return nil
 	}
 
-	if err := runPlain(driver); err != nil {
+	if err := stage(pipeline.StageCollection, func() error {
+		return runPlain(driver)
+	}); err != nil {
 		return nil, fmt.Errorf("dexlego: collection run: %w", err)
 	}
 	if opts.Fuzz {
-		fz := fuzzer.New(opts.FuzzSeed)
-		if err := runPlain(func(rt *art.Runtime) error {
-			return fz.Drive(rt, nil)
+		if err := stage(pipeline.StageFuzz, func() error {
+			fz := fuzzer.New(opts.FuzzSeed)
+			return runPlain(func(rt *art.Runtime) error {
+				return fz.Drive(rt, nil)
+			})
 		}); err != nil {
 			return nil, fmt.Errorf("dexlego: fuzzing run: %w", err)
 		}
 	}
 	if opts.ForceExecution {
-		data, err := pkg.Dex()
-		if err != nil {
-			return nil, err
+		if err := stage(pipeline.StageForceExec, func() error {
+			data, err := pkg.Dex()
+			if err != nil {
+				return err
+			}
+			f, err := dex.Read(data)
+			if err != nil {
+				return fmt.Errorf("force execution needs a parsable classes.dex: %w", err)
+			}
+			files := []*dex.File{f}
+			tracker, err := coverage.NewTracker(files)
+			if err != nil {
+				return err
+			}
+			eng := forceexec.New(pkg, files)
+			eng.InstallNatives = func(rt *art.Runtime) { setup(rt) }
+			eng.Driver = driver
+			eng.ExtraHooks = []*art.Hooks{col.Hooks()}
+			if _, err := eng.Run(tracker); err != nil {
+				return fmt.Errorf("force execution: %w", err)
+			}
+			rep := tracker.Report()
+			res.Coverage = &rep
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("dexlego: %w", err)
 		}
-		f, err := dex.Read(data)
-		if err != nil {
-			return nil, fmt.Errorf("dexlego: force execution needs a parsable classes.dex: %w", err)
-		}
-		files := []*dex.File{f}
-		tracker, err := coverage.NewTracker(files)
-		if err != nil {
-			return nil, err
-		}
-		eng := forceexec.New(pkg, files)
-		eng.InstallNatives = func(rt *art.Runtime) { setup(rt) }
-		eng.Driver = driver
-		eng.ExtraHooks = []*art.Hooks{col.Hooks()}
-		if _, err := eng.Run(tracker); err != nil {
-			return nil, fmt.Errorf("dexlego: force execution: %w", err)
-		}
-		rep := tracker.Report()
-		res.Coverage = &rep
 	}
 
-	if opts.CollectDir != "" {
-		if err := col.Result().WriteFiles(opts.CollectDir); err != nil {
-			return nil, err
+	var revealed *apk.APK
+	var stats *reassembler.Stats
+	if err := stage(pipeline.StageReassembly, func() error {
+		if opts.CollectDir != "" {
+			if err := col.Result().WriteFiles(opts.CollectDir); err != nil {
+				return err
+			}
 		}
-	}
-	revealed, stats, err := reassembler.ReassembleAPK(pkg, col.Result())
-	if err != nil {
-		return nil, fmt.Errorf("dexlego: reassemble: %w", err)
-	}
-	data, err := revealed.Dex()
-	if err != nil {
+		var err error
+		revealed, stats, err = reassembler.ReassembleAPK(pkg, col.Result())
+		if err != nil {
+			return fmt.Errorf("dexlego: reassemble: %w", err)
+		}
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	parsed, err := dex.Read(data)
-	if err != nil {
-		return nil, fmt.Errorf("dexlego: revealed dex did not re-parse: %w", err)
-	}
-	if errs := dex.Verify(parsed); len(errs) > 0 {
-		return nil, fmt.Errorf("dexlego: revealed dex has %d structural defects, first: %w",
-			len(errs), errs[0])
+	var parsed *dex.File
+	if err := stage(pipeline.StageVerify, func() error {
+		data, err := revealed.Dex()
+		if err != nil {
+			return err
+		}
+		parsed, err = dex.Read(data)
+		if err != nil {
+			return fmt.Errorf("dexlego: revealed dex did not re-parse: %w", err)
+		}
+		if errs := dex.Verify(parsed); len(errs) > 0 {
+			return fmt.Errorf("dexlego: revealed dex has %d structural defects, first: %w",
+				len(errs), errs[0])
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	res.Revealed = revealed
 	res.RevealedDex = parsed
 	res.Collection = col.Result()
 	res.Stats = stats
+	m := res.Metrics
+	m.WallNS = int64(time.Since(start))
+	m.ExecutedInsns = res.Collection.ExecutedInstructionCount()
+	m.Methods = stats.Methods
+	m.ExecutedMethods = stats.ExecutedMethods
+	m.Stubs = stats.Stubs
+	m.Variants = stats.Variants
+	m.Divergences = stats.Divergences
 	return res, nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"dexlego/internal/art"
 	"dexlego/internal/bytecode"
@@ -262,11 +263,31 @@ type methodExec struct {
 }
 
 // Collector performs JIT collection over an instrumented runtime.
+//
+// Ownership contract: a Collector belongs to exactly one runtime at a
+// time. Its hooks mutate the collection tree and the execution stack
+// without locks, so attaching the same Collector to two concurrently
+// executing runtimes is a data race. Hooks are synchronous and never
+// nested, which lets a cheap atomic guard enforce the contract: a hook
+// entered while another is in flight panics instead of silently
+// corrupting the collection result. Batch pipelines (RevealBatch)
+// therefore construct one Collector per job.
 type Collector struct {
 	res   *Result
 	stack []*methodExec
 	hooks *art.Hooks
+	busy  atomic.Int32
 }
+
+// enter flags the collector as servicing a hook; leave clears the flag.
+// Observing the flag already set means two runtimes share this collector.
+func (c *Collector) enter() {
+	if !c.busy.CompareAndSwap(0, 1) {
+		panic("collector: concurrent use across runtimes; each Collector owns exactly one runtime")
+	}
+}
+
+func (c *Collector) leave() { c.busy.Store(0) }
 
 // New returns an empty collector.
 func New() *Collector {
@@ -292,6 +313,8 @@ func (c *Collector) Result() *Result { return c.res }
 func appMethod(m *art.Method) bool { return m.Class != nil && m.Class.File != nil }
 
 func (c *Collector) methodEntered(m *art.Method) {
+	c.enter()
+	defer c.leave()
 	if !appMethod(m) {
 		return
 	}
@@ -321,6 +344,8 @@ func (c *Collector) methodEntered(m *art.Method) {
 }
 
 func (c *Collector) methodExited(m *art.Method) {
+	c.enter()
+	defer c.leave()
 	if !appMethod(m) || len(c.stack) == 0 {
 		return
 	}
@@ -343,6 +368,8 @@ func (c *Collector) methodExited(m *art.Method) {
 
 // instruction implements Algorithm 1 (BytecodeCollection).
 func (c *Collector) instruction(m *art.Method, pc int, insns []uint16) {
+	c.enter()
+	defer c.leave()
 	if !appMethod(m) || len(c.stack) == 0 {
 		return
 	}
@@ -401,6 +428,8 @@ func resolveSym(m *art.Method, in bytecode.Inst) *Symbol {
 }
 
 func (c *Collector) classInitialized(cl *art.Class) {
+	c.enter()
+	defer c.leave()
 	c.recordClass(cl)
 }
 
@@ -488,6 +517,8 @@ type ReflTarget struct {
 func (t ReflTarget) Key() string { return t.Class + "->" + t.Name + t.Signature }
 
 func (c *Collector) reflectiveCall(caller *art.Method, pc int, target *art.Method) {
+	c.enter()
+	defer c.leave()
 	if caller == nil || !appMethod(caller) {
 		return
 	}

@@ -1,0 +1,47 @@
+package collector
+
+import (
+	"strings"
+	"testing"
+
+	"dexlego/internal/art"
+)
+
+// TestGuardPanicsOnConcurrentHookEntry simulates the bug the ownership
+// guard exists to catch: a second runtime invoking a hook while another
+// hook is still in flight. The guard must panic loudly rather than let the
+// two interleave on the unsynchronized collection tree.
+func TestGuardPanicsOnConcurrentHookEntry(t *testing.T) {
+	c := New()
+	c.enter() // first runtime mid-hook
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on concurrent hook entry, got none")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "concurrent use") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	c.Hooks().ClassInitialized(nil)
+}
+
+// TestGuardResetsAfterHookReturns checks the guard releases on every hook
+// path, including early returns: sequential hook invocations on one
+// runtime — the supported pattern — must keep working.
+func TestGuardResetsAfterHookReturns(t *testing.T) {
+	c := New()
+	h := c.Hooks()
+	sys := &art.Method{} // no class: filtered out as a non-app method
+	for i := 0; i < 3; i++ {
+		h.ClassInitialized(nil) // early-returns on nil class
+		h.MethodEntered(sys)
+		h.MethodExited(sys)
+		h.Instruction(sys, 0, nil)
+		h.ReflectiveCall(nil, 0, nil)
+	}
+	if c.busy.Load() != 0 {
+		t.Fatal("guard left set after hooks returned")
+	}
+}

@@ -18,10 +18,12 @@ func appendULEB128(b []byte, v uint32) []byte {
 }
 
 // readULEB128 decodes an unsigned LEB128 value from b starting at off and
-// returns the value and the offset just past it.
+// returns the value and the offset just past it. Encodings longer than the
+// 5-byte maximum of a uint32 are rejected (libdex reads at most 5 bytes;
+// accepting a 6th would silently drop its payload bits).
 func readULEB128(b []byte, off int) (uint32, int, error) {
 	var v uint32
-	for shift := 0; shift < 36; shift += 7 {
+	for shift := 0; shift < 35; shift += 7 {
 		if off >= len(b) {
 			return 0, off, errLEB
 		}
@@ -47,11 +49,12 @@ func appendSLEB128(b []byte, v int32) []byte {
 	}
 }
 
-// readSLEB128 decodes a signed LEB128 value from b starting at off.
+// readSLEB128 decodes a signed LEB128 value from b starting at off,
+// rejecting encodings longer than the 5-byte maximum of an int32.
 func readSLEB128(b []byte, off int) (int32, int, error) {
 	var v int32
 	var shift int
-	for shift < 36 {
+	for shift < 35 {
 		if off >= len(b) {
 			return 0, off, errLEB
 		}

@@ -16,6 +16,7 @@ import (
 	"dexlego/internal/droidbench"
 	"dexlego/internal/dyntaint"
 	"dexlego/internal/packer"
+	"dexlego/internal/pipeline"
 	"dexlego/internal/taint"
 	"dexlego/internal/unpacker"
 
@@ -54,84 +55,32 @@ func tools() []taint.Profile { return taint.Profiles() }
 
 // RunDroidBench executes the full Table II + Table III experiment: analyze
 // every sample's original APK, its 360-packed-then-dumped form, and its
-// DexLego-revealed form with all three tools.
-func RunDroidBench() (*DroidBenchResult, error) {
+// DexLego-revealed form with all three tools. The 134 samples run over the
+// batch pipeline with GOMAXPROCS workers.
+func RunDroidBench() (*DroidBenchResult, error) { return RunDroidBenchJobs(0) }
+
+// RunDroidBenchJobs is RunDroidBench with an explicit worker cap (<= 0
+// selects runtime.GOMAXPROCS). Samples are independent — each builds its
+// own APK, packer shell and runtimes — and verdicts are tallied in suite
+// order, so the result is identical for any cap.
+func RunDroidBenchJobs(workers int) (*DroidBenchResult, error) {
 	res := &DroidBenchResult{
 		Original: map[string]ToolCounts{},
 		DexLego:  map[string]ToolCounts{},
 		Dumped:   map[string]ToolCounts{},
 	}
-	p360, err := packer.ByName("360")
-	if err != nil {
+	suite := droidbench.Suite()
+	verdicts, errs := pipeline.Map(pipeline.New(workers), len(suite),
+		func(i int) (SampleVerdicts, error) { return runDroidBenchSample(suite[i]) })
+	if err := pipeline.FirstError(errs); err != nil {
 		return nil, err
 	}
-	dh := unpacker.DexHunter()
-
-	for _, s := range droidbench.Suite() {
+	for i, s := range suite {
 		res.Samples++
 		if s.Leaky {
 			res.Malware++
 		}
-		pkg, err := s.Build()
-		if err != nil {
-			return nil, err
-		}
-		sv := SampleVerdicts{
-			Name: s.Name, Leaky: s.Leaky,
-			Original: map[string]bool{},
-			DexLego:  map[string]bool{},
-			Dumped:   map[string]bool{},
-		}
-
-		// Original APK.
-		orig, err := analysisInput(pkg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.Name, err)
-		}
-		for _, tool := range tools() {
-			r, err := taint.Analyze(orig, tool)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", s.Name, tool.Name, err)
-			}
-			sv.Original[tool.Name] = r.Leaky()
-		}
-
-		// 360-packed, then dumped by DexHunter/AppSpear (identical output).
-		packed, err := p360.Pack(pkg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: pack: %w", s.Name, err)
-		}
-		install := func(rt *art.Runtime) {
-			p360.InstallNatives(rt)
-			s.InstallNatives(rt)
-		}
-		dumped, err := dh.Unpack(packed, install, nil)
-		if err != nil {
-			return nil, fmt.Errorf("%s: unpack: %w", s.Name, err)
-		}
-		for _, tool := range tools() {
-			r, err := taint.Analyze(dumped, tool)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s dumped: %w", s.Name, tool.Name, err)
-			}
-			sv.Dumped[tool.Name] = r.Leaky()
-		}
-
-		// DexLego-revealed (from the packed APK, like the paper).
-		revealed, err := root.Reveal(packed, root.Options{
-			InstallNatives: install,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("%s: reveal: %w", s.Name, err)
-		}
-		for _, tool := range tools() {
-			r, err := taint.Analyze([]*dex.File{revealed.RevealedDex}, tool)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s revealed: %w", s.Name, tool.Name, err)
-			}
-			sv.DexLego[tool.Name] = r.Leaky()
-		}
-
+		sv := verdicts[i]
 		for _, tool := range tools() {
 			tally(res.Original, tool.Name, s.Leaky, sv.Original[tool.Name])
 			tally(res.Dumped, tool.Name, s.Leaky, sv.Dumped[tool.Name])
@@ -140,6 +89,76 @@ func RunDroidBench() (*DroidBenchResult, error) {
 		res.PerSample = append(res.PerSample, sv)
 	}
 	return res, nil
+}
+
+// runDroidBenchSample processes one sample end to end; it owns every
+// runtime, packer and unpacker it touches, so samples can run in parallel.
+func runDroidBenchSample(s *droidbench.Sample) (SampleVerdicts, error) {
+	sv := SampleVerdicts{
+		Name: s.Name, Leaky: s.Leaky,
+		Original: map[string]bool{},
+		DexLego:  map[string]bool{},
+		Dumped:   map[string]bool{},
+	}
+	p360, err := packer.ByName("360")
+	if err != nil {
+		return sv, err
+	}
+	dh := unpacker.DexHunter()
+	pkg, err := s.Build()
+	if err != nil {
+		return sv, err
+	}
+
+	// Original APK.
+	orig, err := analysisInput(pkg)
+	if err != nil {
+		return sv, fmt.Errorf("%s: %w", s.Name, err)
+	}
+	for _, tool := range tools() {
+		r, err := taint.Analyze(orig, tool)
+		if err != nil {
+			return sv, fmt.Errorf("%s/%s: %w", s.Name, tool.Name, err)
+		}
+		sv.Original[tool.Name] = r.Leaky()
+	}
+
+	// 360-packed, then dumped by DexHunter/AppSpear (identical output).
+	packed, err := p360.Pack(pkg)
+	if err != nil {
+		return sv, fmt.Errorf("%s: pack: %w", s.Name, err)
+	}
+	install := func(rt *art.Runtime) {
+		p360.InstallNatives(rt)
+		s.InstallNatives(rt)
+	}
+	dumped, err := dh.Unpack(packed, install, nil)
+	if err != nil {
+		return sv, fmt.Errorf("%s: unpack: %w", s.Name, err)
+	}
+	for _, tool := range tools() {
+		r, err := taint.Analyze(dumped, tool)
+		if err != nil {
+			return sv, fmt.Errorf("%s/%s dumped: %w", s.Name, tool.Name, err)
+		}
+		sv.Dumped[tool.Name] = r.Leaky()
+	}
+
+	// DexLego-revealed (from the packed APK, like the paper).
+	revealed, err := root.Reveal(packed, root.Options{
+		InstallNatives: install,
+	})
+	if err != nil {
+		return sv, fmt.Errorf("%s: reveal: %w", s.Name, err)
+	}
+	for _, tool := range tools() {
+		r, err := taint.Analyze([]*dex.File{revealed.RevealedDex}, tool)
+		if err != nil {
+			return sv, fmt.Errorf("%s/%s revealed: %w", s.Name, tool.Name, err)
+		}
+		sv.DexLego[tool.Name] = r.Leaky()
+	}
+	return sv, nil
 }
 
 func tally(m map[string]ToolCounts, tool string, leaky, detected bool) {

@@ -8,6 +8,7 @@ import (
 	"dexlego/internal/art"
 	"dexlego/internal/dex"
 	"dexlego/internal/packer"
+	"dexlego/internal/pipeline"
 	"dexlego/internal/taint"
 	"dexlego/internal/workload"
 
@@ -24,8 +25,14 @@ type Table1Result struct {
 
 // RunTable1 packs each AOSP application with every packer and verifies that
 // DexLego unpacks and reconstructs it: the revealed APK must reload and
-// reproduce the original's logged checksum.
-func RunTable1() (*Table1Result, error) {
+// reproduce the original's logged checksum. The packer x app matrix runs
+// over the batch pipeline with GOMAXPROCS workers.
+func RunTable1() (*Table1Result, error) { return RunTable1Jobs(0) }
+
+// RunTable1Jobs is RunTable1 with an explicit worker cap (<= 0 selects
+// runtime.GOMAXPROCS). Every cell of the matrix is an independent
+// pack-reveal-verify unit, so the result is identical for any cap.
+func RunTable1Jobs(workers int) (*Table1Result, error) {
 	apps, err := workload.AOSPApps()
 	if err != nil {
 		return nil, err
@@ -39,15 +46,32 @@ func RunTable1() (*Table1Result, error) {
 		res.Apps = append(res.Apps, app.Name)
 		res.InsnCounts[app.Name] = app.Insns
 	}
-	for _, pk := range packer.All() {
-		res.Success[pk.Name()] = map[string]bool{}
-		for _, app := range apps {
-			ok, err := revealMatchesOriginal(app, pk)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", pk.Name(), app.Name, err)
-			}
-			res.Success[pk.Name()][app.Name] = ok
+	packers := packer.All()
+	type cell struct{ pk, app int }
+	cells := make([]cell, 0, len(packers)*len(apps))
+	for pi := range packers {
+		for ai := range apps {
+			cells = append(cells, cell{pi, ai})
 		}
+	}
+	oks, errs := pipeline.Map(pipeline.New(workers), len(cells), func(i int) (bool, error) {
+		c := cells[i]
+		return revealMatchesOriginal(apps[c.app], packers[c.pk])
+	})
+	for i, err := range errs {
+		if err != nil {
+			c := cells[i]
+			return nil, fmt.Errorf("%s/%s: %w", packers[c.pk].Name(), apps[c.app].Name, err)
+		}
+	}
+	for i, ok := range oks {
+		c := cells[i]
+		m := res.Success[packers[c.pk].Name()]
+		if m == nil {
+			m = map[string]bool{}
+			res.Success[packers[c.pk].Name()] = m
+		}
+		m[apps[c.app].Name] = ok
 	}
 	for name, serr := range packer.UnavailableServices() {
 		res.Unavailable[name] = serr.Error()
@@ -161,42 +185,59 @@ type Table5Row struct {
 }
 
 // RunTable5 analyzes the nine packed market applications with FlowDroid
-// before and after DexLego processing.
+// before and after DexLego processing, revealing the corpus over the batch
+// pipeline with GOMAXPROCS workers.
 func RunTable5() ([]Table5Row, error) {
+	rows, _, err := RunTable5Batch(0)
+	return rows, err
+}
+
+// RunTable5Batch is RunTable5 with an explicit worker cap (<= 0 selects
+// runtime.GOMAXPROCS). It also returns the batch report with per-app stage
+// metrics. Rows are always in Table V order, whatever the completion
+// order.
+func RunTable5Batch(workers int) ([]Table5Row, *pipeline.Report, error) {
 	apps, err := workload.MarketApps()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	jobs := make([]root.BatchJob, len(apps))
+	for i, app := range apps {
+		jobs[i] = root.BatchJob{
+			Name:    app.Package,
+			APK:     app.Packed,
+			Options: root.Options{InstallNatives: app.Packer.InstallNatives},
+		}
+	}
+	batch := root.RevealBatch(jobs, workers)
+	if err := batch.FirstError(); err != nil {
+		return nil, nil, err
 	}
 	var rows []Table5Row
-	for _, app := range apps {
+	for i, app := range apps {
 		row := Table5Row{
 			Package: app.Package, Version: app.Version,
 			Set: app.Set, Installs: app.Installs,
 		}
 		orig, err := analysisInput(app.Packed)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		origRes, err := taint.Analyze(orig, taint.FlowDroid())
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		row.Original = origRes.Count()
 
-		revealed, err := root.Reveal(app.Packed, root.Options{
-			InstallNatives: app.Packer.InstallNatives,
-		})
+		revRes, err := taint.Analyze(
+			[]*dex.File{batch.Items[i].Result.RevealedDex}, taint.FlowDroid())
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", app.Package, err)
-		}
-		revRes, err := taint.Analyze([]*dex.File{revealed.RevealedDex}, taint.FlowDroid())
-		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		row.Revealed = revRes.Count()
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, batch.Report, nil
 }
 
 // Table5String renders Table V.

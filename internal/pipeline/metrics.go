@@ -1,0 +1,185 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Stage identifies one phase of a Reveal run, mirroring Fig. 1 of the
+// paper: driving the app under JIT collection, the Sapienz-style fuzzing
+// run, the iterative force-execution module, offline reassembly, and the
+// structural verification of the revealed DEX.
+type Stage string
+
+// The pipeline stages in execution order.
+const (
+	StageCollection Stage = "collection"
+	StageFuzz       Stage = "fuzz"
+	StageForceExec  Stage = "force-execution"
+	StageReassembly Stage = "reassembly"
+	StageVerify     Stage = "verify"
+)
+
+// Stages returns all stages in execution order.
+func Stages() []Stage {
+	return []Stage{StageCollection, StageFuzz, StageForceExec, StageReassembly, StageVerify}
+}
+
+// StageTiming records the wall time one stage consumed.
+type StageTiming struct {
+	Stage  Stage `json:"stage"`
+	WallNS int64 `json:"wallNS"`
+}
+
+// Wall returns the recorded wall time as a duration.
+func (st StageTiming) Wall() time.Duration { return time.Duration(st.WallNS) }
+
+// AppMetrics is the structured outcome of one app's reveal: per-stage wall
+// times plus the collection and reassembly counters of the paper's
+// evaluation tables.
+type AppMetrics struct {
+	Name string `json:"name"`
+	// Stages holds one timing per stage that ran, in execution order.
+	// Optional stages (fuzz, force-execution) are absent when disabled.
+	Stages []StageTiming `json:"stages,omitempty"`
+	// WallNS is the total wall time of the reveal, including overhead not
+	// attributed to a stage.
+	WallNS int64 `json:"wallNS"`
+
+	// ExecutedInsns counts unique collected instructions (the paper's
+	// dump-size proxy).
+	ExecutedInsns int `json:"executedInsns"`
+	// Methods, ExecutedMethods and Stubs summarize the reassembled DEX.
+	Methods         int `json:"methods"`
+	ExecutedMethods int `json:"executedMethods"`
+	Stubs           int `json:"stubs"`
+	// Variants counts extra method bodies emitted for multi-tree methods;
+	// Divergences counts merged self-modification layers.
+	Variants    int `json:"variants"`
+	Divergences int `json:"divergences"`
+
+	// Err is the job's failure, if any ("" on success). A failed job
+	// carries no counters.
+	Err string `json:"err,omitempty"`
+}
+
+// AddStage appends the timing of one completed stage.
+func (m *AppMetrics) AddStage(s Stage, d time.Duration) {
+	m.Stages = append(m.Stages, StageTiming{Stage: s, WallNS: int64(d)})
+}
+
+// StageWall returns the recorded wall time of s, or 0 if it did not run.
+func (m *AppMetrics) StageWall(s Stage) time.Duration {
+	for _, st := range m.Stages {
+		if st.Stage == s {
+			return st.Wall()
+		}
+	}
+	return 0
+}
+
+// Wall returns the app's total wall time.
+func (m *AppMetrics) Wall() time.Duration { return time.Duration(m.WallNS) }
+
+// Report aggregates a batch run: per-app metrics in job order plus batch
+// totals. Its JSON encoding is the schema cmd/dexlego -metrics-out writes.
+type Report struct {
+	// Workers is the effective parallelism the batch ran with.
+	Workers int `json:"workers"`
+	// Jobs and Failed count submitted and failed jobs.
+	Jobs   int `json:"jobs"`
+	Failed int `json:"failed"`
+	// WallNS is the batch wall time; SerialNS sums the per-app wall times
+	// (the serial-equivalent cost), so SerialNS/WallNS is the speedup.
+	WallNS   int64 `json:"wallNS"`
+	SerialNS int64 `json:"serialNS"`
+
+	// StageTotals sums each stage's wall time across apps, in stage order.
+	StageTotals []StageTiming `json:"stageTotals,omitempty"`
+
+	// Batch-wide counter totals over successful jobs.
+	TotalExecutedInsns   int `json:"totalExecutedInsns"`
+	TotalMethods         int `json:"totalMethods"`
+	TotalExecutedMethods int `json:"totalExecutedMethods"`
+	TotalStubs           int `json:"totalStubs"`
+	TotalVariants        int `json:"totalVariants"`
+	TotalDivergences     int `json:"totalDivergences"`
+
+	// Apps holds the per-app metrics in job submission order, regardless
+	// of completion order.
+	Apps []AppMetrics `json:"apps"`
+}
+
+// BuildReport aggregates per-app metrics (in job order) into a Report.
+func BuildReport(workers int, wall time.Duration, apps []AppMetrics) *Report {
+	r := &Report{
+		Workers: workers,
+		Jobs:    len(apps),
+		WallNS:  int64(wall),
+		Apps:    apps,
+	}
+	stageTotals := make(map[Stage]int64)
+	for _, m := range apps {
+		if m.Err != "" {
+			r.Failed++
+			continue
+		}
+		r.SerialNS += m.WallNS
+		r.TotalExecutedInsns += m.ExecutedInsns
+		r.TotalMethods += m.Methods
+		r.TotalExecutedMethods += m.ExecutedMethods
+		r.TotalStubs += m.Stubs
+		r.TotalVariants += m.Variants
+		r.TotalDivergences += m.Divergences
+		for _, st := range m.Stages {
+			stageTotals[st.Stage] += st.WallNS
+		}
+	}
+	for _, s := range Stages() {
+		if ns, ok := stageTotals[s]; ok {
+			r.StageTotals = append(r.StageTotals, StageTiming{Stage: s, WallNS: ns})
+		}
+	}
+	return r
+}
+
+// Speedup returns the serial-equivalent cost divided by the batch wall
+// time — the parallel speedup the pool achieved.
+func (r *Report) Speedup() float64 {
+	if r.WallNS == 0 {
+		return 0
+	}
+	return float64(r.SerialNS) / float64(r.WallNS)
+}
+
+// Wall returns the batch wall time.
+func (r *Report) Wall() time.Duration { return time.Duration(r.WallNS) }
+
+// JSON returns the indented JSON encoding of the report.
+func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// String renders a compact per-app table with batch totals.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "batch: %d jobs, %d workers, wall %v, serial-equivalent %v, speedup %.2fx\n",
+		r.Jobs, r.Workers, r.Wall().Round(time.Microsecond),
+		time.Duration(r.SerialNS).Round(time.Microsecond), r.Speedup())
+	fmt.Fprintf(&sb, "%-30s %12s %10s %9s %7s %9s\n",
+		"app", "wall", "insns", "methods", "stubs", "variants")
+	for i := range r.Apps {
+		m := &r.Apps[i]
+		if m.Err != "" {
+			fmt.Fprintf(&sb, "%-30s FAILED: %s\n", m.Name, m.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-30s %12v %10d %9d %7d %9d\n",
+			m.Name, m.Wall().Round(time.Microsecond), m.ExecutedInsns,
+			m.Methods, m.Stubs, m.Variants)
+	}
+	for _, st := range r.StageTotals {
+		fmt.Fprintf(&sb, "  stage %-16s %12v\n", st.Stage, st.Wall().Round(time.Microsecond))
+	}
+	return sb.String()
+}

@@ -1,0 +1,110 @@
+package workload_test
+
+import (
+	"bytes"
+	"testing"
+
+	"dexlego/internal/dex"
+	"dexlego/internal/workload"
+)
+
+// corpusApps collects every generated application in the workload —
+// AOSP (Table I), F-Droid (Tables VI/VII), market (Table V, both the
+// plain and packed forms), and popular (Table VIII) — keyed by a unique
+// corpus name.
+func corpusApps(t *testing.T) map[string][]byte {
+	t.Helper()
+	apps := make(map[string][]byte)
+	add := func(name string, data []byte, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		apps[name] = data
+	}
+
+	aosp, err := workload.AOSPApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range aosp {
+		d, err := a.APK.Dex()
+		add("aosp/"+a.Name, d, err)
+	}
+
+	fdroid, err := workload.FDroidApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range fdroid {
+		d, err := a.APK.Dex()
+		add("fdroid/"+a.Package, d, err)
+	}
+
+	market, err := workload.MarketApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range market {
+		d, err := a.APK.Dex()
+		add("market/"+a.Package, d, err)
+		// The packed shell's classes.dex is itself a DEX file (the
+		// packer's loader stub) and must round-trip too.
+		pd, err := a.Packed.Dex()
+		add("packed/"+a.Package, pd, err)
+	}
+
+	popular, err := workload.PopularApps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range popular {
+		d, err := a.APK.Dex()
+		add("popular/"+a.Name, d, err)
+	}
+	return apps
+}
+
+// TestCorpusDexRoundTrip is the corpus-wide structural property test: for
+// every workload application, classes.dex must parse with zero verifier
+// defects, re-serialize byte-identically through Read → Write → Read →
+// Write, and the reparsed file must again verify clean. This pins the
+// reader/writer pair as mutually inverse over the whole experiment corpus,
+// not just hand-picked unit-test files.
+func TestCorpusDexRoundTrip(t *testing.T) {
+	apps := corpusApps(t)
+	if len(apps) < 20 {
+		t.Fatalf("corpus unexpectedly small: %d apps", len(apps))
+	}
+	for name, data := range apps {
+		name, data := name, data
+		t.Run(name, func(t *testing.T) {
+			f, err := dex.Read(data)
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if defects := dex.Verify(f); len(defects) != 0 {
+				t.Fatalf("Verify of original reported %d defects, first: %v",
+					len(defects), defects[0])
+			}
+			out, err := f.Write()
+			if err != nil {
+				t.Fatalf("Write: %v", err)
+			}
+			f2, err := dex.Read(out)
+			if err != nil {
+				t.Fatalf("re-Read of written file: %v", err)
+			}
+			if defects := dex.Verify(f2); len(defects) != 0 {
+				t.Fatalf("Verify of rewritten file reported %d defects, first: %v",
+					len(defects), defects[0])
+			}
+			out2, err := f2.Write()
+			if err != nil {
+				t.Fatalf("re-Write: %v", err)
+			}
+			if !bytes.Equal(out, out2) {
+				t.Fatalf("Write is not a fixed point: %d vs %d bytes", len(out), len(out2))
+			}
+		})
+	}
+}
