@@ -58,9 +58,20 @@ func (b *BatchResult) FirstError() error {
 func RevealBatch(jobs []BatchJob, workers int) *BatchResult {
 	p := pipeline.New(workers)
 	items := make([]BatchItem, len(jobs))
+	names := make([]string, len(jobs))
+	for i := range jobs {
+		names[i] = jobs[i].Name
+		if names[i] == "" {
+			names[i] = fmt.Sprintf("job-%d", i)
+		}
+	}
 	start := time.Now()
 	errs := p.Run(len(jobs), func(i int) error {
-		res, err := Reveal(jobs[i].APK, jobs[i].Options)
+		opts := jobs[i].Options
+		if opts.TraceLabel == "" {
+			opts.TraceLabel = names[i]
+		}
+		res, err := Reveal(jobs[i].APK, opts)
 		items[i] = BatchItem{Result: res, Err: err}
 		return err
 	})
@@ -72,10 +83,7 @@ func RevealBatch(jobs []BatchJob, workers int) *BatchResult {
 		if errs[i] != nil && items[i].Err == nil {
 			items[i] = BatchItem{Err: errs[i]}
 		}
-		items[i].Name = jobs[i].Name
-		if items[i].Name == "" {
-			items[i].Name = fmt.Sprintf("job-%d", i)
-		}
+		items[i].Name = names[i]
 		if items[i].Err != nil {
 			items[i].Result = nil
 			apps[i] = pipeline.AppMetrics{Name: items[i].Name, Err: items[i].Err.Error()}

@@ -1,6 +1,7 @@
 package dexlego_test
 
 import (
+	"io"
 	"testing"
 
 	root "dexlego"
@@ -10,6 +11,7 @@ import (
 	"dexlego/internal/dexgen"
 	"dexlego/internal/droidbench"
 	"dexlego/internal/experiments"
+	"dexlego/internal/obs"
 	"dexlego/internal/reassembler"
 	"dexlego/internal/taint"
 	"dexlego/internal/workload"
@@ -303,6 +305,30 @@ func BenchmarkRevealPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 		if res.Stats.Divergences == 0 {
+			b.Fatal("no self-modification captured")
+		}
+	}
+}
+
+// BenchmarkRevealPipelineTraced measures the same pipeline with full JSONL
+// tracing enabled — the cost ceiling of -trace-out. Compare against
+// BenchmarkRevealPipeline for the tracing overhead; the disabled-path cost
+// is pinned separately in internal/obs.
+func BenchmarkRevealPipelineTraced(b *testing.B) {
+	s := droidbench.ByName("SelfModifying1")
+	pkg, err := s.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := obs.New(obs.NewJSONLSink(io.Discard))
+		res, err := root.Reveal(pkg, root.Options{
+			Natives: s.Natives(), Tracer: tr, TraceLabel: s.Name})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Metrics.Obs.EventCount(obs.EventTreeFork) == 0 {
 			b.Fatal("no self-modification captured")
 		}
 	}

@@ -5,13 +5,23 @@
 // Usage:
 //
 //	dexlego -apk app.apk -out revealed.apk [-collect dir] [-force] [-fuzz]
+//	dexlego -sample SelfModifying1 -out revealed.apk [-trace-out trace.jsonl]
 //	dexlego -batch -out dir [-jobs n] [-metrics-out report.json] a.apk b.apk ...
+//	dexlego -trace-report trace.jsonl ...
 //
 // In -batch mode every argument is an input APK; the corpus is revealed
 // over a bounded worker pool (-jobs, default GOMAXPROCS), each job is
 // panic-isolated, and -out names a directory receiving one
 // <name>.revealed.apk per input. -metrics-out writes the per-stage batch
 // metrics report as JSON (also honored in single-APK mode).
+//
+// Observability: -trace-out streams the run's spans and domain events as
+// JSONL (schema: internal/obs); -trace-report renders trace files back
+// into per-app tables; -log-level sets the stderr log threshold; -pprof
+// serves net/http/pprof on the given address for the duration of the run.
+// -sample builds a named droidbench sample in memory (with its native
+// stand-ins installed) instead of reading -apk, which gives a
+// self-contained quickstart for exercising the tracer.
 //
 // The shell native libraries of all five supported packers are installed,
 // so packed APKs produced by cmd/packbench unpack transparently.
@@ -20,6 +30,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,6 +40,8 @@ import (
 	root "dexlego"
 	"dexlego/internal/apk"
 	"dexlego/internal/art"
+	"dexlego/internal/droidbench"
+	"dexlego/internal/obs"
 	"dexlego/internal/packer"
 	"dexlego/internal/pipeline"
 )
@@ -41,6 +56,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("dexlego", flag.ContinueOnError)
 	apkPath := fs.String("apk", "", "input APK path (single mode)")
+	samplePath := fs.String("sample", "", "build the named droidbench sample instead of reading -apk")
 	outPath := fs.String("out", "", "output (revealed) APK path; a directory in -batch mode")
 	collectDir := fs.String("collect", "", "directory for the five collection files")
 	force := fs.Bool("force", false, "enable the force-execution coverage module")
@@ -49,8 +65,29 @@ func run(args []string) error {
 	batch := fs.Bool("batch", false, "batch mode: reveal every APK argument over a worker pool")
 	jobs := fs.Int("jobs", 0, "batch parallelism (0 = GOMAXPROCS)")
 	metricsOut := fs.String("metrics-out", "", "write the batch metrics report JSON to this file")
+	traceOut := fs.String("trace-out", "", "write the observability trace (JSONL) to this file")
+	traceReport := fs.Bool("trace-report", false, "render per-app tables from trace file arguments and exit")
+	logLevel := fs.String("log-level", "info", "stderr log threshold: debug, info, warn, error, off")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	obs.SetLogLevel(lvl)
+	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof: %w", err)
+		}
+		defer ln.Close()
+		obs.Infof("pprof listening on http://%s/debug/pprof/", ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+	if *traceReport {
+		return runTraceReport(fs.Args())
 	}
 	opts := root.Options{
 		InstallNatives: func(rt *art.Runtime) {
@@ -62,16 +99,49 @@ func run(args []string) error {
 		FuzzSeed:       *seed,
 		ForceExecution: *force,
 	}
+	var sink *obs.JSONLSink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		defer f.Close()
+		sink = obs.NewJSONLSink(f)
+	}
 	if *batch {
-		return runBatch(fs.Args(), *outPath, *jobs, *metricsOut, opts)
+		return runBatch(fs.Args(), *outPath, *jobs, *metricsOut, sink, opts)
 	}
-	if *apkPath == "" || *outPath == "" {
+	var pkg *apk.APK
+	label := *apkPath
+	switch {
+	case *samplePath != "":
+		s := droidbench.ByName(*samplePath)
+		if s == nil {
+			return fmt.Errorf("-sample: unknown droidbench sample %q", *samplePath)
+		}
+		pkg, err = s.Build()
+		if err != nil {
+			return err
+		}
+		opts.Natives = s.Natives()
+		label = *samplePath
+		obs.Debugf("built sample %s in memory", *samplePath)
+	case *apkPath != "":
+		pkg, err = readAPK(*apkPath)
+		if err != nil {
+			return err
+		}
+	default:
 		fs.Usage()
-		return fmt.Errorf("-apk and -out are required")
+		return fmt.Errorf("-apk (or -sample) and -out are required")
 	}
-	pkg, err := readAPK(*apkPath)
-	if err != nil {
-		return err
+	if *outPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-apk (or -sample) and -out are required")
+	}
+	if sink != nil {
+		opts.Tracer = obs.New(sink)
+		opts.TraceLabel = label
 	}
 	opts.CollectDir = *collectDir
 	res, err := root.Reveal(pkg, opts)
@@ -85,7 +155,7 @@ func run(args []string) error {
 	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("revealed %s -> %s\n", *apkPath, *outPath)
+	fmt.Printf("revealed %s -> %s\n", label, *outPath)
 	fmt.Printf("  classes: %d  methods: %d (executed %d, stubs %d)\n",
 		res.Stats.Classes, res.Stats.Methods, res.Stats.ExecutedMethods, res.Stats.Stubs)
 	fmt.Printf("  self-modification layers merged: %d  variants: %d  reflection rewrites: %d\n",
@@ -99,15 +169,52 @@ func run(args []string) error {
 			fmt.Printf("  runtime leak: %s via %s at %s\n", ev.Taint, ev.Sink, ev.Caller)
 		}
 	}
+	if err := checkSink(sink, opts.Tracer, *traceOut); err != nil {
+		return err
+	}
 	if *metricsOut != "" {
-		return writeMetrics(*metricsOut, *apkPath, res)
+		return writeMetrics(*metricsOut, label, res)
+	}
+	return nil
+}
+
+// checkSink surfaces trace-write failures after the run: a trace file
+// missing events is worse than a failed run that says so.
+func checkSink(sink *obs.JSONLSink, tr *obs.Tracer, path string) error {
+	if sink == nil {
+		return nil
+	}
+	if err := sink.Err(); err != nil {
+		return fmt.Errorf("trace %s lost %d events: %w", path, tr.Dropped(), err)
+	}
+	obs.Debugf("trace written to %s", path)
+	return nil
+}
+
+// runTraceReport renders per-app tables from JSONL trace files.
+func runTraceReport(paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("-trace-report needs at least one trace file argument")
+	}
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		tr, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Printf("trace %s: %d events\n", path, len(tr.Events))
+		fmt.Print(tr.ReportString())
 	}
 	return nil
 }
 
 // runBatch reveals every path over the worker pool and writes one
 // <name>.revealed.apk per input into outDir.
-func runBatch(paths []string, outDir string, workers int, metricsOut string, opts root.Options) error {
+func runBatch(paths []string, outDir string, workers int, metricsOut string, sink *obs.JSONLSink, opts root.Options) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("-batch needs at least one APK argument")
 	}
@@ -130,7 +237,13 @@ func runBatch(paths []string, outDir string, workers int, metricsOut string, opt
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		jobs = append(jobs, root.BatchJob{Name: path, APK: pkg, Options: opts})
+		jobOpts := opts
+		if sink != nil {
+			// One tracer per job (per-app snapshots), one shared sink
+			// (interleaved JSONL lines segment by root span on read).
+			jobOpts.Tracer = obs.New(sink)
+		}
+		jobs = append(jobs, root.BatchJob{Name: path, APK: pkg, Options: jobOpts})
 	}
 	batch := root.RevealBatch(jobs, workers)
 	failed := 0
@@ -150,6 +263,11 @@ func runBatch(paths []string, outDir string, workers int, metricsOut string, opt
 		}
 	}
 	fmt.Print(batch.Report.String())
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("trace lost events: %w", err)
+		}
+	}
 	if metricsOut != "" {
 		data, err := batch.Report.JSON()
 		if err != nil {

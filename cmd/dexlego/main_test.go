@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"dexlego/internal/dexgen"
+	"dexlego/internal/obs"
 	"dexlego/internal/packer"
 	"dexlego/internal/pipeline"
 )
@@ -124,6 +125,120 @@ func TestRunBatchRevealsCorpus(t *testing.T) {
 	}
 	if len(report.Apps) != 3 || report.Apps[0].Name != ins[0] {
 		t.Errorf("report apps out of order: %+v", report.Apps)
+	}
+}
+
+// TestRunSampleWithTrace is the quickstart acceptance path: reveal a
+// self-modifying droidbench sample built in memory, stream the trace, and
+// check the trace validates with at least one span per executed stage and
+// at least one tree fork.
+func TestRunSampleWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "revealed.apk")
+	trace := filepath.Join(dir, "trace.jsonl")
+	metrics := filepath.Join(dir, "metrics.json")
+	err := run([]string{"-sample", "SelfModifying1", "-out", out,
+		"-trace-out", trace, "-metrics-out", metrics, "-log-level", "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := obs.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	apps := tr.Apps()
+	if len(apps) != 1 || apps[0].App != "SelfModifying1" {
+		t.Fatalf("trace apps = %+v, want one SelfModifying1", apps)
+	}
+	for _, stage := range []string{"collection", "reassembly", "verify"} {
+		if apps[0].StageNS[stage] <= 0 {
+			t.Errorf("stage %s has no span: %+v", stage, apps[0].StageNS)
+		}
+	}
+	forks := 0
+	for _, n := range apps[0].ForksByMethod {
+		forks += n
+	}
+	if forks < 1 {
+		t.Error("self-modifying sample produced no tree_fork event")
+	}
+	// The metrics report embeds the same run's obs snapshot and validates.
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pipeline.DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Obs == nil || rep.Obs.EventCount(obs.EventTreeFork) < 1 {
+		t.Errorf("report obs snapshot missing forks: %+v", rep.Obs)
+	}
+	// The trace renders back into a per-app report.
+	if err := run([]string{"-trace-report", trace}); err != nil {
+		t.Errorf("trace-report failed: %v", err)
+	}
+	// Unknown samples and corrupt traces fail loudly.
+	if err := run([]string{"-sample", "NoSuchSample", "-out", out}); err == nil {
+		t.Error("unknown sample must fail")
+	}
+	bad := filepath.Join(dir, "bad.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"ev":"warp"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-trace-report", bad}); err == nil {
+		t.Error("corrupt trace must be rejected")
+	}
+	if err := run([]string{"-trace-report"}); err == nil {
+		t.Error("trace-report without arguments must fail")
+	}
+	if err := run([]string{"-log-level", "loud", "-sample", "SelfModifying1", "-out", out}); err == nil {
+		t.Error("bad log level must fail")
+	}
+}
+
+// TestRunBatchWithTrace checks batch tracing: per-job tracers share one
+// sink, and the interleaved trace segments back into one app per job.
+func TestRunBatchWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	var ins []string
+	for i, name := range []string{"one", "two"} {
+		in := filepath.Join(dir, name+".apk")
+		desc := "Ltrace/Main" + string(rune('A'+i)) + ";"
+		if err := os.WriteFile(in, buildPackedAPK(t, name, desc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ins = append(ins, in)
+	}
+	outDir := filepath.Join(dir, "revealed")
+	trace := filepath.Join(dir, "trace.jsonl")
+	args := append([]string{
+		"-batch", "-jobs", "2", "-out", outDir, "-trace-out", trace, "-log-level", "off"}, ins...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := obs.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("batch trace does not validate: %v", err)
+	}
+	apps := tr.Apps()
+	if len(apps) != 2 {
+		t.Fatalf("trace apps = %d, want 2", len(apps))
+	}
+	for _, a := range apps {
+		if a.MethodsCollected == 0 || a.StageNS["collection"] <= 0 {
+			t.Errorf("app %s trace incomplete: %+v", a.App, a)
+		}
 	}
 }
 

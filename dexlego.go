@@ -27,6 +27,7 @@ import (
 	"dexlego/internal/dex"
 	"dexlego/internal/forceexec"
 	"dexlego/internal/fuzzer"
+	"dexlego/internal/obs"
 	"dexlego/internal/pipeline"
 	"dexlego/internal/reassembler"
 )
@@ -60,6 +61,16 @@ type Options struct {
 
 	// CollectDir, when set, receives the five collection files.
 	CollectDir string
+
+	// Tracer, when set, records hierarchical spans and domain events for
+	// this run (see internal/obs). Each Reveal call must own its Tracer —
+	// concurrent jobs share a Sink, not a Tracer — so the tracer's
+	// Snapshot stays per-app. Nil disables tracing at a pointer check per
+	// event.
+	Tracer *obs.Tracer
+	// TraceLabel names the run in the trace (the root span's app label);
+	// RevealBatch defaults it to the job name.
+	TraceLabel string
 }
 
 // Result is the outcome of a Reveal run.
@@ -114,11 +125,18 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 	}
 	col := collector.New()
 	res := &Result{Metrics: &pipeline.AppMetrics{}}
+	root := opts.Tracer.Start("reveal", opts.TraceLabel)
+	defer root.End()
 	start := time.Now()
-	stage := func(s pipeline.Stage, f func() error) error {
+	// stage times one pipeline phase and wraps it in a child span; the
+	// closure receives the span so each phase can attribute its domain
+	// events to the stage that produced them.
+	stage := func(s pipeline.Stage, f func(sp *obs.Span) error) error {
+		sp := root.Start("stage." + s.String())
 		t0 := time.Now()
-		err := f()
+		err := f(sp)
 		res.Metrics.AddStage(s, time.Since(t0))
+		sp.End()
 		return err
 	}
 
@@ -143,13 +161,15 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 		return nil
 	}
 
-	if err := stage(pipeline.StageCollection, func() error {
+	if err := stage(pipeline.StageCollection, func(sp *obs.Span) error {
+		col.SetSpan(sp)
 		return runPlain(driver)
 	}); err != nil {
 		return nil, fmt.Errorf("dexlego: collection run: %w", err)
 	}
 	if opts.Fuzz {
-		if err := stage(pipeline.StageFuzz, func() error {
+		if err := stage(pipeline.StageFuzz, func(sp *obs.Span) error {
+			col.SetSpan(sp)
 			fz := fuzzer.New(opts.FuzzSeed)
 			return runPlain(func(rt *art.Runtime) error {
 				return fz.Drive(rt, nil)
@@ -159,7 +179,8 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 		}
 	}
 	if opts.ForceExecution {
-		if err := stage(pipeline.StageForceExec, func() error {
+		if err := stage(pipeline.StageForceExec, func(sp *obs.Span) error {
+			col.SetSpan(sp)
 			data, err := pkg.Dex()
 			if err != nil {
 				return err
@@ -177,6 +198,7 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 			eng.InstallNatives = func(rt *art.Runtime) { setup(rt) }
 			eng.Driver = driver
 			eng.ExtraHooks = []*art.Hooks{col.Hooks()}
+			eng.Span = sp
 			if _, err := eng.Run(tracker); err != nil {
 				return fmt.Errorf("force execution: %w", err)
 			}
@@ -190,14 +212,14 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 
 	var revealed *apk.APK
 	var stats *reassembler.Stats
-	if err := stage(pipeline.StageReassembly, func() error {
+	if err := stage(pipeline.StageReassembly, func(sp *obs.Span) error {
 		if opts.CollectDir != "" {
 			if err := col.Result().WriteFiles(opts.CollectDir); err != nil {
 				return err
 			}
 		}
 		var err error
-		revealed, stats, err = reassembler.ReassembleAPK(pkg, col.Result())
+		revealed, stats, err = reassembler.ReassembleAPKWith(pkg, col.Result(), sp)
 		if err != nil {
 			return fmt.Errorf("dexlego: reassemble: %w", err)
 		}
@@ -206,7 +228,7 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 		return nil, err
 	}
 	var parsed *dex.File
-	if err := stage(pipeline.StageVerify, func() error {
+	if err := stage(pipeline.StageVerify, func(sp *obs.Span) error {
 		data, err := revealed.Dex()
 		if err != nil {
 			return err
@@ -216,6 +238,11 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 			return fmt.Errorf("dexlego: revealed dex did not re-parse: %w", err)
 		}
 		if errs := dex.Verify(parsed); len(errs) > 0 {
+			if sp.Enabled() {
+				for _, e := range errs {
+					sp.VerifyDefect(e.Error())
+				}
+			}
 			return fmt.Errorf("dexlego: revealed dex has %d structural defects, first: %w",
 				len(errs), errs[0])
 		}
@@ -235,5 +262,9 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 	m.Stubs = stats.Stubs
 	m.Variants = stats.Variants
 	m.Divergences = stats.Divergences
+	// End the root span before snapshotting so its duration lands in the
+	// "reveal" histogram; the deferred End is a no-op afterwards.
+	root.End()
+	m.Obs = opts.Tracer.Snapshot()
 	return res, nil
 }

@@ -21,6 +21,7 @@ import (
 	"dexlego/internal/art"
 	"dexlego/internal/bytecode"
 	"dexlego/internal/dex"
+	"dexlego/internal/obs"
 )
 
 // Symbol is a constant-pool operand resolved at collection time.
@@ -277,12 +278,21 @@ type Collector struct {
 	stack []*methodExec
 	hooks *art.Hooks
 	busy  atomic.Int32
+	span  *obs.Span
 }
 
+// SetSpan attributes the collector's trace events (tree forks, convergences,
+// recorded methods, guard violations) to s — typically the per-app reveal
+// span. A nil span (the default) keeps the hot path at a pointer check.
+func (c *Collector) SetSpan(s *obs.Span) { c.span = s }
+
 // enter flags the collector as servicing a hook; leave clears the flag.
-// Observing the flag already set means two runtimes share this collector.
+// Observing the flag already set means two runtimes share this collector;
+// the violation is recorded in the trace before the guard panics, so trace
+// files keep the context the panic destroys.
 func (c *Collector) enter() {
 	if !c.busy.CompareAndSwap(0, 1) {
+		c.span.ConcurrentEntry("collector hook entered while another hook was in flight")
 		panic("collector: concurrent use across runtimes; each Collector owns exactly one runtime")
 	}
 }
@@ -364,6 +374,18 @@ func (c *Collector) methodExited(m *art.Method) {
 	}
 	rec.seen[fp] = true
 	rec.Trees = append(rec.Trees, top.root)
+	if c.span.Enabled() {
+		c.span.MethodCollected(rec.Key(), top.root.Depth(), top.root.Size())
+	}
+}
+
+// layerDepth returns the self-modification layer of n (0 for the root).
+func layerDepth(n *TreeNode) int {
+	d := 0
+	for k := n; k.Parent != nil; k = k.Parent {
+		d++
+	}
+	return d
 }
 
 // instruction implements Algorithm 1 (BytecodeCollection).
@@ -394,6 +416,9 @@ func (c *Collector) instruction(m *art.Method, pc int, insns []uint16) {
 		cur.Children = append(cur.Children, child)
 		top.cur = child
 		child.push(entry)
+		if c.span.Enabled() {
+			c.span.TreeFork(m.Key(), pc, layerDepth(child))
+		}
 		return
 	}
 	if cur.Parent != nil {
@@ -401,6 +426,9 @@ func (c *Collector) instruction(m *art.Method, pc int, insns []uint16) {
 			// Convergence: this self-modification layer ended.
 			cur.SmEnd = pc
 			top.cur = cur.Parent
+			if c.span.Enabled() {
+				c.span.TreeConverge(m.Key(), pc, layerDepth(cur))
+			}
 			return
 		}
 	}

@@ -1,10 +1,12 @@
 package collector
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
 	"dexlego/internal/art"
+	"dexlego/internal/obs"
 )
 
 // TestGuardPanicsOnConcurrentHookEntry simulates the bug the ownership
@@ -25,6 +27,32 @@ func TestGuardPanicsOnConcurrentHookEntry(t *testing.T) {
 		}
 	}()
 	c.Hooks().ClassInitialized(nil)
+}
+
+// TestGuardEmitsConcurrentEntryEvent checks the violation reaches the trace
+// before the panic: the panic kills the goroutine, but the trace file keeps
+// the forensic record of which run tripped the guard.
+func TestGuardEmitsConcurrentEntryEvent(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.New(obs.NewJSONLSink(&buf))
+	span := tr.Start("reveal", "guard-test")
+	c := New()
+	c.SetSpan(span)
+	c.enter() // first runtime mid-hook
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic on concurrent hook entry, got none")
+			}
+		}()
+		c.Hooks().ClassInitialized(nil)
+	}()
+	if !strings.Contains(buf.String(), `"ev":"concurrent_entry"`) {
+		t.Fatalf("trace missing concurrent_entry event:\n%s", buf.String())
+	}
+	if got := tr.Snapshot().EventCount(obs.EventConcurrentEntry); got != 1 {
+		t.Fatalf("concurrent_entry count = %d, want 1", got)
+	}
 }
 
 // TestGuardResetsAfterHookReturns checks the guard releases on every hook

@@ -18,6 +18,7 @@ import (
 	"dexlego/internal/bytecode"
 	"dexlego/internal/coverage"
 	"dexlego/internal/dex"
+	"dexlego/internal/obs"
 )
 
 // PathFile records the branch decisions leading to one UCB, as saved
@@ -58,6 +59,9 @@ type Engine struct {
 	// paper leaves as future work for its third coverage-loss category
 	// ("instructions in exception handlers").
 	ForceExceptionEdges bool
+	// Span attributes the engine's trace events (iteration spans, UCB
+	// flips, tolerated exceptions) to a reveal stage; nil disables them.
+	Span *obs.Span
 }
 
 // New returns an engine with the defaults used in the experiments.
@@ -119,6 +123,7 @@ func (e *Engine) Run(tracker *coverage.Tracker) (*Stats, error) {
 	attempted := make(map[coverage.UCB]bool)
 	for iter := 0; iter < e.MaxIterations; iter++ {
 		stats.Iterations++
+		iterSpan := e.Span.Start("forceexec.iter")
 		ucbs := tracker.UncoveredBranches()
 		runs := 0
 		for _, ucb := range ucbs {
@@ -139,13 +144,14 @@ func (e *Engine) Run(tracker *coverage.Tracker) (*Stats, error) {
 			for pc, taken := range path.Decisions {
 				active[path.Method][pc] = taken
 			}
-			if err := e.forcedRun(tracker, active, path, stats); err != nil {
+			if err := e.forcedRun(tracker, active, path, stats, iter); err != nil {
 				continue // infrastructure failure on this path only
 			}
 			runs++
 			stats.ForcedRuns++
 		}
 		cur := tracker.Report().Instruction.Covered
+		iterSpan.End()
 		if cur == prevCovered {
 			break // no new UCBs were resolved this iteration
 		}
@@ -185,7 +191,7 @@ func (e *Engine) forceHandlers(tracker *coverage.Tracker, active map[string]map[
 				return site.Type
 			},
 		}
-		forcing := e.forcingHooks(active, path, stats)
+		forcing := e.forcingHooks(active, path, stats, stats.Iterations)
 		rt, err := e.newRuntime(tracker, inject, forcing)
 		if err != nil {
 			return err
@@ -198,17 +204,24 @@ func (e *Engine) forceHandlers(tracker *coverage.Tracker, active map[string]map[
 
 // forcingHooks builds the branch-override and exception-tolerance hooks for
 // one forced run: all path files on record apply, with the fresh target
-// path winning conflicts in its own method.
-func (e *Engine) forcingHooks(active map[string]map[int]bool, path PathFile, stats *Stats) *art.Hooks {
+// path winning conflicts in its own method. iter tags the run's trace
+// events with the campaign iteration that scheduled it.
+func (e *Engine) forcingHooks(active map[string]map[int]bool, path PathFile, stats *Stats, iter int) *art.Hooks {
 	return &art.Hooks{
 		Branch: func(m *art.Method, pc int, in bytecode.Inst, taken bool) (bool, bool) {
 			if m.Key() == path.Method {
 				if forcedOutcome, ok := path.Decisions[pc]; ok {
+					if forcedOutcome != taken && e.Span.Enabled() {
+						e.Span.UCBFlip(m.Key(), pc, forcedOutcome, iter)
+					}
 					return true, forcedOutcome
 				}
 			}
 			if decisions, ok := active[m.Key()]; ok {
 				if forcedOutcome, ok := decisions[pc]; ok {
+					if forcedOutcome != taken && e.Span.Enabled() {
+						e.Span.UCBFlip(m.Key(), pc, forcedOutcome, iter)
+					}
 					return true, forcedOutcome
 				}
 			}
@@ -216,6 +229,9 @@ func (e *Engine) forcingHooks(active map[string]map[int]bool, path PathFile, sta
 		},
 		Unhandled: func(m *art.Method, pc int, ex *art.Object) bool {
 			stats.ExceptionsCleared++
+			if e.Span.Enabled() {
+				e.Span.ExceptionTolerated(m.Key(), pc)
+			}
 			return true
 		},
 	}
@@ -223,8 +239,8 @@ func (e *Engine) forcingHooks(active map[string]map[int]bool, path PathFile, sta
 
 // forcedRun executes the driver with branch outcomes manipulated to follow
 // all path files on record and unhandled exceptions cleared.
-func (e *Engine) forcedRun(tracker *coverage.Tracker, active map[string]map[int]bool, path PathFile, stats *Stats) error {
-	rt, err := e.newRuntime(tracker, e.forcingHooks(active, path, stats))
+func (e *Engine) forcedRun(tracker *coverage.Tracker, active map[string]map[int]bool, path PathFile, stats *Stats, iter int) error {
+	rt, err := e.newRuntime(tracker, e.forcingHooks(active, path, stats, iter))
 	if err != nil {
 		return err
 	}

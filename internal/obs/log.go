@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log verbosity; messages below the active level are dropped
+// before formatting.
+type Level int32
+
+// The log levels, least to most severe. LevelOff silences everything.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+	LevelOff
+)
+
+var levelNames = map[Level]string{
+	LevelDebug: "debug",
+	LevelInfo:  "info",
+	LevelWarn:  "warn",
+	LevelError: "error",
+	LevelOff:   "off",
+}
+
+func (l Level) String() string {
+	if s, ok := levelNames[l]; ok {
+		return s
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// ParseLevel resolves a -log-level flag value.
+func ParseLevel(s string) (Level, error) {
+	for l, name := range levelNames {
+		if name == strings.ToLower(s) {
+			return l, nil
+		}
+	}
+	return LevelOff, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error|off)", s)
+}
+
+var (
+	logLevel atomic.Int32 // default LevelInfo via init
+	logMu    sync.Mutex
+	logOut   io.Writer = os.Stderr
+)
+
+func init() { logLevel.Store(int32(LevelInfo)) }
+
+// SetLogLevel sets the process-wide log threshold.
+func SetLogLevel(l Level) { logLevel.Store(int32(l)) }
+
+// LogLevel returns the active threshold.
+func LogLevel() Level { return Level(logLevel.Load()) }
+
+// SetLogOutput redirects log lines (tests; default os.Stderr).
+func SetLogOutput(w io.Writer) {
+	logMu.Lock()
+	defer logMu.Unlock()
+	logOut = w
+}
+
+func logf(l Level, format string, args ...any) {
+	if l < LogLevel() {
+		return
+	}
+	line := fmt.Sprintf("%s %-5s %s\n",
+		time.Now().Format("15:04:05.000"), strings.ToUpper(l.String()),
+		fmt.Sprintf(format, args...))
+	logMu.Lock()
+	defer logMu.Unlock()
+	io.WriteString(logOut, line)
+}
+
+// Debugf logs at debug level.
+func Debugf(format string, args ...any) { logf(LevelDebug, format, args...) }
+
+// Infof logs at info level.
+func Infof(format string, args ...any) { logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func Warnf(format string, args ...any) { logf(LevelWarn, format, args...) }
+
+// Errorf logs at error level.
+func Errorf(format string, args ...any) { logf(LevelError, format, args...) }

@@ -1,0 +1,396 @@
+// Package obs is the zero-dependency observability layer of the DexLego
+// pipeline: hierarchical spans and typed domain events emitted as JSONL
+// lines to a pluggable sink, plus lock-cheap atomic metrics that aggregate
+// into a Snapshot the batch report merges per app.
+//
+// The no-op default is a nil *Tracer: every method on *Tracer and *Span is
+// nil-safe, so instrumented hot paths pay one pointer comparison (and, on a
+// live but disabled tracer, one atomic load) when tracing is off — the
+// disabled-path cost is pinned by BenchmarkNilSpanEvent and
+// BenchmarkDisabledTracerEvent.
+//
+// Concurrency contract: a Tracer and its spans are safe for concurrent use
+// (span IDs are process-global, sink writes are serialized by the sink),
+// but its counters are tracer-global — for per-app metric attribution give
+// each concurrent Reveal its own Tracer and share one Sink between them,
+// which is what cmd/dexlego -batch -trace-out does.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventType enumerates the trace event vocabulary: the two span lifecycle
+// events plus the typed domain events of the reveal pipeline.
+type EventType uint8
+
+// The event vocabulary. Domain events map onto the paper's mechanisms:
+// tree_fork/tree_converge are Algorithm 1's divergence and convergence
+// cases, ucb_flip is a force-execution branch override (Section IV-E),
+// merge_variant/stub_emitted/reflection_rewrite are reassembly decisions
+// (Sections IV-B, IV-C), verify_defect is a structural defect in the
+// revealed DEX, and concurrent_entry records a collector ownership
+// violation just before the guard panics.
+const (
+	EventSpanStart EventType = iota
+	EventSpanEnd
+	EventMethodCollected
+	EventTreeFork
+	EventTreeConverge
+	EventUCBFlip
+	EventExceptionTolerated
+	EventReflectionRewrite
+	EventMergeVariant
+	EventStubEmitted
+	EventVerifyDefect
+	EventConcurrentEntry
+	numEventTypes // sentinel, keep last
+)
+
+var eventNames = [numEventTypes]string{
+	EventSpanStart:          "span_start",
+	EventSpanEnd:            "span_end",
+	EventMethodCollected:    "method_collected",
+	EventTreeFork:           "tree_fork",
+	EventTreeConverge:       "tree_converge",
+	EventUCBFlip:            "ucb_flip",
+	EventExceptionTolerated: "exception_tolerated",
+	EventReflectionRewrite:  "reflection_rewrite",
+	EventMergeVariant:       "merge_variant",
+	EventStubEmitted:        "stub_emitted",
+	EventVerifyDefect:       "verify_defect",
+	EventConcurrentEntry:    "concurrent_entry",
+}
+
+// EventTypes returns every known event type, in declaration order.
+func EventTypes() []EventType {
+	out := make([]EventType, numEventTypes)
+	for i := range out {
+		out[i] = EventType(i)
+	}
+	return out
+}
+
+func (t EventType) String() string {
+	if int(t) < len(eventNames) {
+		return eventNames[t]
+	}
+	return fmt.Sprintf("event(%d)", uint8(t))
+}
+
+// MarshalText encodes the symbolic event name; unknown values are an error
+// so a corrupt trace can never be written silently.
+func (t EventType) MarshalText() ([]byte, error) {
+	if int(t) >= len(eventNames) {
+		return nil, fmt.Errorf("obs: unknown event type %d", uint8(t))
+	}
+	return []byte(eventNames[t]), nil
+}
+
+// UnmarshalText rejects event names outside the vocabulary, which is what
+// makes trace decoding a schema validation.
+func (t *EventType) UnmarshalText(b []byte) error {
+	for i, name := range eventNames {
+		if name == string(b) {
+			*t = EventType(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event type %q", b)
+}
+
+// Branch outcome labels of a ucb_flip event.
+const (
+	BranchTaken       = "taken"
+	BranchFallthrough = "fallthrough"
+)
+
+// Event is one JSONL trace line. The struct is the union of all event
+// payloads; Validate (report.go) checks the per-type required fields.
+// Timestamps are nanoseconds on a process-wide monotonic clock, so events
+// from tracers sharing a sink order consistently.
+type Event struct {
+	Type   EventType `json:"ev"`
+	TS     int64     `json:"tsNS"`
+	Span   uint64    `json:"span,omitempty"`
+	Parent uint64    `json:"parent,omitempty"` // span_start: enclosing span
+	Name   string    `json:"name,omitempty"`   // span name
+	App    string    `json:"app,omitempty"`    // root span: application label
+	DurNS  int64     `json:"durNS,omitempty"`  // span_end
+	Method string    `json:"method,omitempty"` // method key
+	PC     int       `json:"pc,omitempty"`     // dex_pc
+	Depth  int       `json:"depth,omitempty"`  // self-modification layer depth
+	Iter   int       `json:"iter,omitempty"`   // force-execution iteration
+	Branch string    `json:"branch,omitempty"` // ucb_flip: taken|fallthrough
+	Target string    `json:"target,omitempty"` // reflection_rewrite: bridge method
+	From   int       `json:"from,omitempty"`   // merge_variant: raw tree count
+	Count  int       `json:"count,omitempty"`  // merge_variant: arrays kept; method_collected: insns
+	Detail string    `json:"detail,omitempty"` // verify_defect, concurrent_entry
+}
+
+// Sink receives encoded trace lines (each terminated by '\n').
+// Implementations must be safe for concurrent use; one Sink may be shared
+// by many tracers.
+type Sink interface {
+	Emit(line []byte) error
+}
+
+// JSONLSink serializes trace lines onto one io.Writer.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error
+}
+
+// NewJSONLSink wraps w; writes are serialized under an internal mutex.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// Emit writes one line. After the first write error the sink latches it and
+// drops subsequent lines.
+func (s *JSONLSink) Emit(line []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	_, s.err = s.w.Write(line)
+	return s.err
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// epoch is the process-wide monotonic origin of all trace timestamps.
+var epoch = time.Now()
+
+// spanIDs allocates span identifiers unique across all tracers in the
+// process, so tracers sharing one sink never collide.
+var spanIDs atomic.Uint64
+
+// Tracer emits spans, domain events, and metrics. A nil *Tracer is the
+// no-op default; a non-nil tracer with a nil sink records metrics only.
+type Tracer struct {
+	enabled  atomic.Bool
+	sink     Sink
+	counters [numEventTypes]Counter
+	maxDepth Gauge
+	dropped  atomic.Int64
+	spans    sync.Map // span name -> *Histogram of durations
+}
+
+// New returns an enabled tracer writing to sink. A nil sink keeps metrics
+// without emitting trace lines.
+func New(sink Sink) *Tracer {
+	t := &Tracer{sink: sink}
+	t.enabled.Store(true)
+	return t
+}
+
+// Enabled reports whether the tracer records anything; false on nil.
+func (t *Tracer) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// SetEnabled flips the atomic enabled flag; instrumented call sites observe
+// it on their next event.
+func (t *Tracer) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Dropped counts events lost to sink or encoding errors.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// emit counts the event and, when a sink is attached, encodes it as one
+// JSONL line. Callers have already checked Enabled.
+func (t *Tracer) emit(ev *Event) {
+	t.counters[ev.Type].Add(1)
+	if ev.Type == EventTreeFork || ev.Type == EventMethodCollected {
+		t.maxDepth.Max(int64(ev.Depth))
+	}
+	if t.sink == nil {
+		return
+	}
+	ev.TS = int64(time.Since(epoch))
+	line, err := json.Marshal(ev)
+	if err != nil {
+		t.dropped.Add(1)
+		return
+	}
+	if err := t.sink.Emit(append(line, '\n')); err != nil {
+		t.dropped.Add(1)
+	}
+}
+
+func (t *Tracer) spanHist(name string) *Histogram {
+	if h, ok := t.spans.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h, _ := t.spans.LoadOrStore(name, &Histogram{})
+	return h.(*Histogram)
+}
+
+// Start opens a root span. app labels the application the span covers (it
+// becomes the trace report's grouping key); Start returns nil when the
+// tracer is nil or disabled, and a nil *Span is itself a valid no-op.
+func (t *Tracer) Start(name, app string) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	s := &Span{t: t, id: spanIDs.Add(1), name: name, start: time.Since(epoch)}
+	t.emit(&Event{Type: EventSpanStart, Span: s.id, Name: name, App: app})
+	return s
+}
+
+// Span is one timed, hierarchical region of a trace. All methods are
+// nil-safe.
+type Span struct {
+	t     *Tracer
+	id    uint64
+	name  string
+	start time.Duration
+	ended atomic.Bool
+}
+
+// Enabled reports whether events on this span are recorded. Call sites
+// whose event arguments are themselves costly (key construction, depth
+// walks) should guard on it.
+func (s *Span) Enabled() bool { return s != nil && s.t.enabled.Load() }
+
+// ID returns the span identifier (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Start opens a child span.
+func (s *Span) Start(name string) *Span {
+	if !s.Enabled() {
+		return nil
+	}
+	c := &Span{t: s.t, id: spanIDs.Add(1), name: name, start: time.Since(epoch)}
+	s.t.emit(&Event{Type: EventSpanStart, Span: c.id, Parent: s.id, Name: name})
+	return c
+}
+
+// End closes the span, observing its duration into the tracer's per-name
+// histogram. End is idempotent, so a deferred End composes with an explicit
+// one on the success path.
+func (s *Span) End() {
+	if !s.Enabled() || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	d := time.Since(epoch) - s.start
+	s.t.spanHist(s.name).Observe(int64(d))
+	s.t.emit(&Event{Type: EventSpanEnd, Span: s.id, Name: s.name, DurNS: int64(d)})
+}
+
+// --- typed domain emitters --------------------------------------------------
+
+// MethodCollected records one unique collection tree retained for a method:
+// its layer depth (1 = no self-modification) and unique instruction count.
+func (s *Span) MethodCollected(method string, depth, insns int) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventMethodCollected, Span: s.id, Method: method, Depth: depth, Count: insns})
+}
+
+// TreeFork records a collection-tree divergence: a different instruction at
+// a recorded dex_pc opened self-modification layer `depth`.
+func (s *Span) TreeFork(method string, pc, depth int) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventTreeFork, Span: s.id, Method: method, PC: pc, Depth: depth})
+}
+
+// TreeConverge records the end of self-modification layer `depth` at pc.
+func (s *Span) TreeConverge(method string, pc, depth int) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventTreeConverge, Span: s.id, Method: method, PC: pc, Depth: depth})
+}
+
+// UCBFlip records a force-execution branch override in iteration iter.
+func (s *Span) UCBFlip(method string, pc int, taken bool, iter int) {
+	if !s.Enabled() {
+		return
+	}
+	branch := BranchFallthrough
+	if taken {
+		branch = BranchTaken
+	}
+	s.t.emit(&Event{Type: EventUCBFlip, Span: s.id, Method: method, PC: pc, Branch: branch, Iter: iter})
+}
+
+// ExceptionTolerated records an unhandled exception cleared by the
+// force-execution tolerance hook.
+func (s *Span) ExceptionTolerated(method string, pc int) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventExceptionTolerated, Span: s.id, Method: method, PC: pc})
+}
+
+// ReflectionRewrite records a Method.invoke call site rewritten to the
+// direct-call bridge `target`.
+func (s *Span) ReflectionRewrite(method string, pc int, target string) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventReflectionRewrite, Span: s.id, Method: method, PC: pc, Target: target})
+}
+
+// MergeVariant records a reassembler merge decision: `from` raw collection
+// trees collapsed into `to` instruction arrays (to > 1 means variant bodies
+// were emitted behind a dispatcher).
+func (s *Span) MergeVariant(method string, from, to int) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventMergeVariant, Span: s.id, Method: method, From: from, Count: to})
+}
+
+// StubEmitted records a declared-but-never-executed method emitted as a
+// default-return stub.
+func (s *Span) StubEmitted(method string) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventStubEmitted, Span: s.id, Method: method})
+}
+
+// VerifyDefect records one structural defect found in the revealed DEX.
+func (s *Span) VerifyDefect(detail string) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventVerifyDefect, Span: s.id, Detail: detail})
+}
+
+// ConcurrentEntry records a collector ownership violation observed by the
+// atomic guard, so the trace captures the context the subsequent panic
+// destroys.
+func (s *Span) ConcurrentEntry(detail string) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventConcurrentEntry, Span: s.id, Detail: detail})
+}

@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Validate checks the per-type required fields of a trace event. ReadTrace
+// applies it to every line, which makes reading a trace file a schema
+// validation (the CI trace job relies on this).
+func (e *Event) Validate() error {
+	if int(e.Type) >= int(numEventTypes) {
+		return fmt.Errorf("obs: unknown event type %d", uint8(e.Type))
+	}
+	if e.TS < 0 {
+		return fmt.Errorf("obs: %s: negative timestamp %d", e.Type, e.TS)
+	}
+	if e.PC < 0 {
+		return fmt.Errorf("obs: %s: negative pc %d", e.Type, e.PC)
+	}
+	need := func(ok bool, what string) error {
+		if ok {
+			return nil
+		}
+		return fmt.Errorf("obs: %s: missing %s", e.Type, what)
+	}
+	switch e.Type {
+	case EventSpanStart:
+		return need(e.Span != 0 && e.Name != "", "span id or name")
+	case EventSpanEnd:
+		if e.DurNS < 0 {
+			return fmt.Errorf("obs: span_end: negative duration %d", e.DurNS)
+		}
+		return need(e.Span != 0 && e.Name != "", "span id or name")
+	case EventMethodCollected:
+		if err := need(e.Method != "", "method"); err != nil {
+			return err
+		}
+		return need(e.Depth >= 1 && e.Count >= 1, "tree depth/size")
+	case EventTreeFork, EventTreeConverge:
+		if err := need(e.Method != "", "method"); err != nil {
+			return err
+		}
+		return need(e.Depth >= 1, "layer depth")
+	case EventUCBFlip:
+		if e.Branch != BranchTaken && e.Branch != BranchFallthrough {
+			return fmt.Errorf("obs: ucb_flip: bad branch %q", e.Branch)
+		}
+		return need(e.Method != "", "method")
+	case EventExceptionTolerated:
+		return need(e.Method != "", "method")
+	case EventReflectionRewrite:
+		return need(e.Method != "" && e.Target != "", "method or target")
+	case EventMergeVariant:
+		if err := need(e.Method != "", "method"); err != nil {
+			return err
+		}
+		if e.From < e.Count || e.Count < 1 {
+			return fmt.Errorf("obs: merge_variant: %d trees into %d arrays", e.From, e.Count)
+		}
+		return nil
+	case EventStubEmitted:
+		return need(e.Method != "", "method")
+	case EventVerifyDefect, EventConcurrentEntry:
+		return need(e.Detail != "", "detail")
+	}
+	return nil
+}
+
+// ParseEvent decodes and validates one JSONL trace line. Unknown JSON
+// fields are rejected, so the schema cannot drift silently.
+func ParseEvent(line []byte) (*Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var ev Event
+	if err := dec.Decode(&ev); err != nil {
+		return nil, fmt.Errorf("obs: bad trace line: %w", err)
+	}
+	if err := ev.Validate(); err != nil {
+		return nil, err
+	}
+	return &ev, nil
+}
+
+// Trace is a parsed, validated trace file.
+type Trace struct {
+	Events []*Event
+}
+
+// ReadTrace parses a JSONL trace, validating every line; the returned error
+// carries the 1-based line number of the first invalid line.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := ParseEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// MergeDecision is one reassembler merge recorded in a trace.
+type MergeDecision struct {
+	Method string
+	From   int // raw collection trees
+	To     int // instruction arrays kept (variants when > 1)
+}
+
+// AppTrace aggregates one application's events — the per-app table a
+// paper-style evaluation would cite: stage wall times, the collection-tree
+// depth histogram, fork counts by method, UCB flips per force-execution
+// iteration, and the reassembler's merge decisions.
+type AppTrace struct {
+	App      string
+	RootSpan uint64
+	WallNS   int64 // root span duration (0 if the span never ended)
+
+	StageNS          map[string]int64 // stage name -> summed wall NS
+	MethodsCollected int
+	CollectedInsns   int
+	TreeDepthHist    map[int]int // collection-tree depth -> trees
+	ForksByMethod    map[string]int
+	Converges        int
+	FlipsByIter      map[int]int
+	ExceptionsTol    int
+	Merges           []MergeDecision
+	Stubs            int
+	ReflRewrites     int
+	Defects          []string
+	ConcurrentUses   []string
+}
+
+const unattributed = "(unattributed)"
+
+// Apps groups the trace's events by the root span they occurred under,
+// sorted by application label. Events whose span is unknown (or 0) land in
+// an "(unattributed)" bucket.
+func (t *Trace) Apps() []*AppTrace {
+	parent := make(map[uint64]uint64)
+	label := make(map[uint64]string) // root span id -> app label
+	for _, ev := range t.Events {
+		if ev.Type != EventSpanStart {
+			continue
+		}
+		parent[ev.Span] = ev.Parent
+		if ev.Parent == 0 {
+			name := ev.App
+			if name == "" {
+				name = ev.Name
+			}
+			label[ev.Span] = name
+		}
+	}
+	rootMemo := make(map[uint64]uint64)
+	var rootOf func(span uint64) uint64
+	rootOf = func(span uint64) uint64 {
+		if r, ok := rootMemo[span]; ok {
+			return r
+		}
+		p, ok := parent[span]
+		var r uint64
+		switch {
+		case !ok:
+			r = 0 // unknown span: unattributed
+		case p == 0:
+			r = span
+		default:
+			r = rootOf(p)
+		}
+		rootMemo[span] = r
+		return r
+	}
+
+	apps := make(map[uint64]*AppTrace)
+	appFor := func(span uint64) *AppTrace {
+		root := rootOf(span)
+		a, ok := apps[root]
+		if !ok {
+			name := label[root]
+			if root == 0 || name == "" {
+				name = unattributed
+			}
+			a = &AppTrace{
+				App:           name,
+				RootSpan:      root,
+				StageNS:       make(map[string]int64),
+				TreeDepthHist: make(map[int]int),
+				ForksByMethod: make(map[string]int),
+				FlipsByIter:   make(map[int]int),
+			}
+			apps[root] = a
+		}
+		return a
+	}
+
+	for _, ev := range t.Events {
+		a := appFor(ev.Span)
+		switch ev.Type {
+		case EventSpanEnd:
+			switch {
+			case ev.Span == a.RootSpan:
+				a.WallNS += ev.DurNS
+			case strings.HasPrefix(ev.Name, "stage."):
+				a.StageNS[strings.TrimPrefix(ev.Name, "stage.")] += ev.DurNS
+			}
+		case EventMethodCollected:
+			a.MethodsCollected++
+			a.CollectedInsns += ev.Count
+			a.TreeDepthHist[ev.Depth]++
+		case EventTreeFork:
+			a.ForksByMethod[ev.Method]++
+		case EventTreeConverge:
+			a.Converges++
+		case EventUCBFlip:
+			a.FlipsByIter[ev.Iter]++
+		case EventExceptionTolerated:
+			a.ExceptionsTol++
+		case EventMergeVariant:
+			a.Merges = append(a.Merges, MergeDecision{Method: ev.Method, From: ev.From, To: ev.Count})
+		case EventStubEmitted:
+			a.Stubs++
+		case EventReflectionRewrite:
+			a.ReflRewrites++
+		case EventVerifyDefect:
+			a.Defects = append(a.Defects, ev.Detail)
+		case EventConcurrentEntry:
+			a.ConcurrentUses = append(a.ConcurrentUses, ev.Detail)
+		}
+	}
+	out := make([]*AppTrace, 0, len(apps))
+	for _, a := range apps {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].App != out[j].App {
+			return out[i].App < out[j].App
+		}
+		return out[i].RootSpan < out[j].RootSpan
+	})
+	return out
+}
+
+func sortedKeys[K int | string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// ReportString renders the per-app tables of the trace.
+func (t *Trace) ReportString() string {
+	var sb strings.Builder
+	apps := t.Apps()
+	fmt.Fprintf(&sb, "trace: %d events, %d app(s)\n", len(t.Events), len(apps))
+	for _, a := range apps {
+		fmt.Fprintf(&sb, "\napp %s (span %d, wall %v)\n",
+			a.App, a.RootSpan, time.Duration(a.WallNS).Round(time.Microsecond))
+		for _, stage := range sortedKeys(a.StageNS) {
+			fmt.Fprintf(&sb, "  stage %-16s %12v\n",
+				stage, time.Duration(a.StageNS[stage]).Round(time.Microsecond))
+		}
+		fmt.Fprintf(&sb, "  methods collected: %d (%d unique insns), converges: %d\n",
+			a.MethodsCollected, a.CollectedInsns, a.Converges)
+		if len(a.TreeDepthHist) > 0 {
+			sb.WriteString("  tree depth histogram:")
+			for _, d := range sortedKeys(a.TreeDepthHist) {
+				fmt.Fprintf(&sb, " depth%d:%d", d, a.TreeDepthHist[d])
+			}
+			sb.WriteByte('\n')
+		}
+		if len(a.ForksByMethod) > 0 {
+			sb.WriteString("  forks by method:\n")
+			for _, m := range sortedKeys(a.ForksByMethod) {
+				fmt.Fprintf(&sb, "    %-60s %d\n", m, a.ForksByMethod[m])
+			}
+		}
+		if len(a.FlipsByIter) > 0 {
+			sb.WriteString("  ucb flips by iteration:")
+			for _, it := range sortedKeys(a.FlipsByIter) {
+				fmt.Fprintf(&sb, " iter%d:%d", it, a.FlipsByIter[it])
+			}
+			fmt.Fprintf(&sb, " (exceptions tolerated: %d)\n", a.ExceptionsTol)
+		}
+		if len(a.Merges) > 0 {
+			sb.WriteString("  merge decisions:\n")
+			for _, m := range a.Merges {
+				fmt.Fprintf(&sb, "    %-60s %d tree(s) -> %d array(s)\n", m.Method, m.From, m.To)
+			}
+		}
+		fmt.Fprintf(&sb, "  stubs: %d, reflection rewrites: %d, verify defects: %d\n",
+			a.Stubs, a.ReflRewrites, len(a.Defects))
+		for _, d := range a.Defects {
+			fmt.Fprintf(&sb, "    defect: %s\n", d)
+		}
+		for _, d := range a.ConcurrentUses {
+			fmt.Fprintf(&sb, "    CONCURRENT COLLECTOR USE: %s\n", d)
+		}
+	}
+	return sb.String()
+}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"dexlego/internal/obs"
 )
 
 // Stage identifies one phase of a Reveal run, mirroring Fig. 1 of the
@@ -25,6 +27,44 @@ const (
 // Stages returns all stages in execution order.
 func Stages() []Stage {
 	return []Stage{StageCollection, StageFuzz, StageForceExec, StageReassembly, StageVerify}
+}
+
+// stageIndex maps each known stage to its execution-order position.
+var stageIndex = func() map[Stage]int {
+	m := make(map[Stage]int, len(Stages()))
+	for i, s := range Stages() {
+		m[s] = i
+	}
+	return m
+}()
+
+// Valid reports whether s is a known pipeline stage.
+func (s Stage) Valid() bool { _, ok := stageIndex[s]; return ok }
+
+// String returns the stage name.
+func (s Stage) String() string { return string(s) }
+
+// MarshalJSON refuses to encode stages outside the vocabulary, so a corrupt
+// report can never be written silently.
+func (s Stage) MarshalJSON() ([]byte, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("pipeline: unknown stage %q", string(s))
+	}
+	return json.Marshal(string(s))
+}
+
+// UnmarshalJSON rejects unknown stages, making report decoding a schema
+// validation.
+func (s *Stage) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return err
+	}
+	if !Stage(str).Valid() {
+		return fmt.Errorf("pipeline: unknown stage %q", str)
+	}
+	*s = Stage(str)
+	return nil
 }
 
 // StageTiming records the wall time one stage consumed.
@@ -60,13 +100,27 @@ type AppMetrics struct {
 	Variants    int `json:"variants"`
 	Divergences int `json:"divergences"`
 
+	// Obs carries the run's observability snapshot (event counts, tree
+	// depth, span histograms); nil when tracing was off.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+
 	// Err is the job's failure, if any ("" on success). A failed job
 	// carries no counters.
 	Err string `json:"err,omitempty"`
 }
 
-// AddStage appends the timing of one completed stage.
+// AddStage records the timing of one completed stage. A stage that runs
+// more than once (a retried driver, a re-entered module) accumulates into
+// its existing entry rather than appending a duplicate — duplicates would
+// double-attribute overhead and break the sum(stages) <= WallNS invariant
+// that Validate enforces.
 func (m *AppMetrics) AddStage(s Stage, d time.Duration) {
+	for i := range m.Stages {
+		if m.Stages[i].Stage == s {
+			m.Stages[i].WallNS += int64(d)
+			return
+		}
+	}
 	m.Stages = append(m.Stages, StageTiming{Stage: s, WallNS: int64(d)})
 }
 
@@ -82,6 +136,45 @@ func (m *AppMetrics) StageWall(s Stage) time.Duration {
 
 // Wall returns the app's total wall time.
 func (m *AppMetrics) Wall() time.Duration { return time.Duration(m.WallNS) }
+
+// StageSum returns the wall time attributed to stages.
+func (m *AppMetrics) StageSum() time.Duration {
+	var total int64
+	for _, st := range m.Stages {
+		total += st.WallNS
+	}
+	return time.Duration(total)
+}
+
+// Validate checks the stage-accounting invariants of a successful run:
+// every stage is known and appears at most once, stages are in execution
+// order, no stage timing is negative, and the per-stage sum never exceeds
+// the total wall time (stages are timed inside the run, so attribution
+// beyond WallNS means some overhead was counted twice).
+func (m *AppMetrics) Validate() error {
+	last := -1
+	for _, st := range m.Stages {
+		idx, ok := stageIndex[st.Stage]
+		if !ok {
+			return fmt.Errorf("pipeline: %s: unknown stage %q", m.Name, st.Stage)
+		}
+		if idx == last {
+			return fmt.Errorf("pipeline: %s: duplicate stage %q", m.Name, st.Stage)
+		}
+		if idx < last {
+			return fmt.Errorf("pipeline: %s: stage %q out of execution order", m.Name, st.Stage)
+		}
+		if st.WallNS < 0 {
+			return fmt.Errorf("pipeline: %s: stage %q has negative wall time", m.Name, st.Stage)
+		}
+		last = idx
+	}
+	if sum := int64(m.StageSum()); sum > m.WallNS {
+		return fmt.Errorf("pipeline: %s: stage sum %v exceeds total wall %v (double-counted overhead)",
+			m.Name, m.StageSum(), m.Wall())
+	}
+	return nil
+}
 
 // Report aggregates a batch run: per-app metrics in job order plus batch
 // totals. Its JSON encoding is the schema cmd/dexlego -metrics-out writes.
@@ -106,6 +199,10 @@ type Report struct {
 	TotalStubs           int `json:"totalStubs"`
 	TotalVariants        int `json:"totalVariants"`
 	TotalDivergences     int `json:"totalDivergences"`
+
+	// Obs merges the per-app observability snapshots (event counts add,
+	// tree depth maxes, span histograms combine); nil when tracing was off.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 
 	// Apps holds the per-app metrics in job submission order, regardless
 	// of completion order.
@@ -133,6 +230,7 @@ func BuildReport(workers int, wall time.Duration, apps []AppMetrics) *Report {
 		r.TotalStubs += m.Stubs
 		r.TotalVariants += m.Variants
 		r.TotalDivergences += m.Divergences
+		r.Obs = obs.MergeSnapshots(r.Obs, m.Obs)
 		for _, st := range m.Stages {
 			stageTotals[st.Stage] += st.WallNS
 		}
@@ -159,6 +257,25 @@ func (r *Report) Wall() time.Duration { return time.Duration(r.WallNS) }
 
 // JSON returns the indented JSON encoding of the report.
 func (r *Report) JSON() ([]byte, error) { return json.MarshalIndent(r, "", "  ") }
+
+// DecodeReport parses and validates a report produced by Report.JSON:
+// unknown stages are rejected by Stage.UnmarshalJSON and every successful
+// app must satisfy the stage-accounting invariants of Validate.
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("pipeline: report does not parse: %w", err)
+	}
+	for i := range r.Apps {
+		if r.Apps[i].Err != "" {
+			continue
+		}
+		if err := r.Apps[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &r, nil
+}
 
 // String renders a compact per-app table with batch totals.
 func (r *Report) String() string {

@@ -1,0 +1,155 @@
+package pipeline
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"dexlego/internal/obs"
+)
+
+func TestStageJSONRoundTrip(t *testing.T) {
+	for _, s := range Stages() {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		var back Stage
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if back != s || back.String() != string(s) || !back.Valid() {
+			t.Errorf("round trip %s -> %s -> %s", s, data, back)
+		}
+	}
+	if _, err := json.Marshal(Stage("linking")); err == nil {
+		t.Error("unknown stage must not marshal")
+	}
+	var bad Stage
+	if err := json.Unmarshal([]byte(`"linking"`), &bad); err == nil {
+		t.Error("unknown stage must not unmarshal")
+	}
+	if Stage("linking").Valid() {
+		t.Error("Valid must reject unknown stages")
+	}
+}
+
+func TestAddStageMergesDuplicates(t *testing.T) {
+	var m AppMetrics
+	m.AddStage(StageCollection, 3*time.Millisecond)
+	m.AddStage(StageReassembly, time.Millisecond)
+	m.AddStage(StageCollection, 2*time.Millisecond)
+	if len(m.Stages) != 2 {
+		t.Fatalf("re-entered stage appended a duplicate: %+v", m.Stages)
+	}
+	if got := m.StageWall(StageCollection); got != 5*time.Millisecond {
+		t.Errorf("merged collection wall = %v, want 5ms", got)
+	}
+	if got := m.StageSum(); got != 6*time.Millisecond {
+		t.Errorf("stage sum = %v, want 6ms", got)
+	}
+}
+
+func TestAppMetricsValidate(t *testing.T) {
+	ok := AppMetrics{Name: "a", WallNS: 100, Stages: []StageTiming{
+		{StageCollection, 60}, {StageReassembly, 30}, {StageVerify, 10}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid metrics rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		m    AppMetrics
+		want string
+	}{
+		{"unknown stage",
+			AppMetrics{WallNS: 10, Stages: []StageTiming{{Stage("linking"), 1}}},
+			"unknown stage"},
+		{"duplicate stage",
+			AppMetrics{WallNS: 10, Stages: []StageTiming{{StageCollection, 1}, {StageCollection, 1}}},
+			"duplicate stage"},
+		{"out of order",
+			AppMetrics{WallNS: 10, Stages: []StageTiming{{StageVerify, 1}, {StageCollection, 1}}},
+			"out of execution order"},
+		{"negative wall",
+			AppMetrics{WallNS: 10, Stages: []StageTiming{{StageCollection, -1}}},
+			"negative wall"},
+		{"double-counted",
+			AppMetrics{WallNS: 50, Stages: []StageTiming{{StageCollection, 40}, {StageVerify, 20}}},
+			"double-counted"},
+	}
+	for _, c := range cases {
+		err := c.m.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestDecodeReportValidates(t *testing.T) {
+	apps := []AppMetrics{
+		{Name: "a", WallNS: 100,
+			Stages: []StageTiming{{StageCollection, 60}, {StageVerify, 10}},
+			Obs:    &obs.Snapshot{Events: map[string]int64{"tree_fork": 2}}},
+		{Name: "b", Err: "panic: bad"},
+	}
+	data, err := BuildReport(2, 150, apps).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Jobs != 2 || back.Apps[0].Obs.Events["tree_fork"] != 2 {
+		t.Errorf("decoded report wrong: %+v", back)
+	}
+	if back.Obs == nil || back.Obs.Events["tree_fork"] != 2 {
+		t.Errorf("batch obs snapshot missing: %+v", back.Obs)
+	}
+
+	// Unknown stage names are a schema violation, not data.
+	corrupt := strings.Replace(string(data), `"collection"`, `"linking"`, 1)
+	if _, err := DecodeReport([]byte(corrupt)); err == nil {
+		t.Error("unknown stage in report must be rejected")
+	}
+	// Accounting violations of successful apps are rejected too.
+	overrun := strings.Replace(string(data), `"wallNS": 100`, `"wallNS": 10`, 1)
+	if _, err := DecodeReport([]byte(overrun)); err == nil ||
+		!strings.Contains(err.Error(), "double-counted") {
+		t.Errorf("stage overrun must be rejected, got %v", err)
+	}
+	if _, err := DecodeReport([]byte("{")); err == nil {
+		t.Error("truncated JSON must be rejected")
+	}
+}
+
+func TestBuildReportMergesObsSnapshots(t *testing.T) {
+	apps := []AppMetrics{
+		{Name: "a", WallNS: 10, Obs: &obs.Snapshot{
+			Events: map[string]int64{"tree_fork": 2}, MaxTreeDepth: 2}},
+		{Name: "b", WallNS: 10, Obs: &obs.Snapshot{
+			Events: map[string]int64{"tree_fork": 1, "stub_emitted": 3}, MaxTreeDepth: 4}},
+		{Name: "c", Err: "failed", Obs: &obs.Snapshot{
+			Events: map[string]int64{"tree_fork": 99}}}, // failed: excluded
+	}
+	r := BuildReport(1, 20, apps)
+	if r.Obs == nil {
+		t.Fatal("report obs snapshot missing")
+	}
+	if r.Obs.Events["tree_fork"] != 3 || r.Obs.Events["stub_emitted"] != 3 {
+		t.Errorf("merged events wrong: %+v", r.Obs.Events)
+	}
+	if r.Obs.MaxTreeDepth != 4 {
+		t.Errorf("merged MaxTreeDepth = %d, want 4", r.Obs.MaxTreeDepth)
+	}
+	// No tracing anywhere -> no snapshot key in the JSON at all.
+	plain := BuildReport(1, 10, []AppMetrics{{Name: "x", WallNS: 5}})
+	data, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"obs"`) {
+		t.Error("untraced report must omit the obs key")
+	}
+}

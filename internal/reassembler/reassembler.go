@@ -25,6 +25,7 @@ import (
 	"dexlego/internal/collector"
 	"dexlego/internal/dex"
 	"dexlego/internal/dexgen"
+	"dexlego/internal/obs"
 )
 
 // Instrumentation class and bridge class descriptors.
@@ -47,10 +48,17 @@ type Stats struct {
 
 // Reassemble builds a DEX file from a collection result.
 func Reassemble(res *collector.Result) (*dex.File, *Stats, error) {
+	return ReassembleWith(res, nil)
+}
+
+// ReassembleWith is Reassemble with trace events (stub emissions, variant
+// merges, reflection rewrites) attributed to span; nil disables them.
+func ReassembleWith(res *collector.Result, span *obs.Span) (*dex.File, *Stats, error) {
 	ra := &reassembler{
 		p:     dexgen.New(),
 		res:   res,
 		stats: &Stats{},
+		span:  span,
 	}
 	if err := ra.run(); err != nil {
 		return nil, nil, err
@@ -65,7 +73,12 @@ func Reassemble(res *collector.Result) (*dex.File, *Stats, error) {
 // ReassembleAPK rebuilds the APK with the revealed classes.dex, mirroring
 // the paper's use of AAPT to swap the DEX inside the original package.
 func ReassembleAPK(orig *apk.APK, res *collector.Result) (*apk.APK, *Stats, error) {
-	f, stats, err := Reassemble(res)
+	return ReassembleAPKWith(orig, res, nil)
+}
+
+// ReassembleAPKWith is ReassembleAPK with trace events attributed to span.
+func ReassembleAPKWith(orig *apk.APK, res *collector.Result, span *obs.Span) (*apk.APK, *Stats, error) {
+	f, stats, err := ReassembleWith(res, span)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -82,6 +95,7 @@ type reassembler struct {
 	p     *dexgen.Program
 	res   *collector.Result
 	stats *Stats
+	span  *obs.Span
 
 	instrCls      *dexgen.Class
 	bridgeCls     *dexgen.Class
@@ -161,6 +175,9 @@ func (ra *reassembler) emitClass(cr *collector.ClassRecord) error {
 			}
 		default:
 			ra.stats.Stubs++
+			if ra.span.Enabled() {
+				ra.span.StubEmitted(key)
+			}
 			ra.emitStub(cls, sh.Name, ret, params, sh.AccessFlags)
 		}
 	}
@@ -221,6 +238,9 @@ func emitDefaultReturn(a *dexgen.Asm, ret string) {
 
 func (ra *reassembler) emitExecuted(cls *dexgen.Class, rec *collector.MethodRecord, sh collector.MethodShell, ret string, params []string) error {
 	trees := mergeCompatibleTrees(rec.Trees)
+	if len(rec.Trees) > 1 && ra.span.Enabled() {
+		ra.span.MergeVariant(rec.Key(), len(rec.Trees), len(trees))
+	}
 	if len(trees) == 1 {
 		return ra.emitTreeMethod(cls, rec, sh.Name, sh.AccessFlags, ret, params, trees[0], true)
 	}
@@ -474,6 +494,9 @@ func (fl *flattener) emitEntry(n *collector.TreeNode, e collector.Entry) {
 			},
 		}
 		fl.ra.stats.ReflectionRewrites++
+		if fl.ra.span.Enabled() {
+			fl.ra.span.ReflectionRewrite(fl.rec.Key(), e.DexPC, BridgeClass+"->"+bridge)
+		}
 	}
 
 	if fl.grow {
