@@ -11,7 +11,8 @@ import (
 // BatchJob names one APK to reveal in a RevealBatch run.
 type BatchJob struct {
 	// Name labels the job in the batch report (a package name or file
-	// path); empty names default to "job-<index>".
+	// path); empty names default to "apk-<hash>", derived from the APK's
+	// content hash so reports name the same input identically across runs.
 	Name string
 	// APK is the application to reveal.
 	APK *apk.APK
@@ -62,7 +63,15 @@ func RevealBatch(jobs []BatchJob, workers int) *BatchResult {
 	for i := range jobs {
 		names[i] = jobs[i].Name
 		if names[i] == "" {
-			names[i] = fmt.Sprintf("job-%d", i)
+			if jobs[i].APK != nil {
+				// Content-derived default: the same input gets the same
+				// report name in every run, matching the artifact store's
+				// addressing (internal/store).
+				h := jobs[i].APK.ContentHash()
+				names[i] = fmt.Sprintf("apk-%x", h[:6])
+			} else {
+				names[i] = fmt.Sprintf("job-%d", i)
+			}
 		}
 	}
 	start := time.Now()

@@ -3,6 +3,7 @@ package dexlego_test
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -180,8 +181,10 @@ func TestRevealBatchEmptyAndNamedDefaults(t *testing.T) {
 	}
 	jobs := marketJobs(t)[:1]
 	jobs[0].Name = ""
+	h := jobs[0].APK.ContentHash()
+	want := fmt.Sprintf("apk-%x", h[:6])
 	batch := root.RevealBatch(jobs, 1)
-	if batch.Items[0].Name != "job-0" {
-		t.Errorf("default name = %s, want job-0", batch.Items[0].Name)
+	if batch.Items[0].Name != want {
+		t.Errorf("default name = %s, want content-derived %s", batch.Items[0].Name, want)
 	}
 }

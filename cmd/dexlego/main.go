@@ -7,6 +7,7 @@
 //	dexlego -apk app.apk -out revealed.apk [-collect dir] [-force] [-fuzz]
 //	dexlego -sample SelfModifying1 -out revealed.apk [-trace-out trace.jsonl]
 //	dexlego -batch -out dir [-jobs n] [-metrics-out report.json] a.apk b.apk ...
+//	dexlego -serve [-addr host:port] [-store-dir dir] [-queue-depth n] [-jobs n]
 //	dexlego -trace-report trace.jsonl ...
 //
 // In -batch mode every argument is an input APK; the corpus is revealed
@@ -14,6 +15,14 @@
 // panic-isolated, and -out names a directory receiving one
 // <name>.revealed.apk per input. -metrics-out writes the per-stage batch
 // metrics report as JSON (also honored in single-APK mode).
+//
+// In -serve mode the process runs the reveal-as-a-service HTTP job API
+// (internal/server) until SIGTERM: POST /v1/reveal submits an APK (or
+// ?sample=Name), GET /v1/jobs/{id} polls, GET /v1/metrics snapshots the
+// service, and identical submissions are served from the content-addressed
+// artifact store under -store-dir without re-running the reveal. -jobs
+// sets the worker pool, -queue-depth the admission bound (full queue =
+// HTTP 429). See the README "Service mode" section for curl examples.
 //
 // Observability: -trace-out streams the run's spans and domain events as
 // JSONL (schema: internal/obs); -trace-report renders trace files back
@@ -63,13 +72,20 @@ func run(args []string) error {
 	fuzz := fs.Bool("fuzz", false, "run the input-generation fuzzer during collection")
 	seed := fs.Int64("seed", 1, "fuzzer seed")
 	batch := fs.Bool("batch", false, "batch mode: reveal every APK argument over a worker pool")
-	jobs := fs.Int("jobs", 0, "batch parallelism (0 = GOMAXPROCS)")
+	jobs := fs.Int("jobs", 0, "worker parallelism for -batch and -serve (default GOMAXPROCS)")
 	metricsOut := fs.String("metrics-out", "", "write the batch metrics report JSON to this file")
+	serve := fs.Bool("serve", false, "service mode: run the HTTP reveal job API until SIGTERM")
+	addr := fs.String("addr", "localhost:8080", "service listen address")
+	storeDir := fs.String("store-dir", "", "service artifact store directory (empty = in-memory cache only)")
+	queueDepth := fs.Int("queue-depth", 64, "service job queue bound; a full queue answers HTTP 429")
 	traceOut := fs.String("trace-out", "", "write the observability trace (JSONL) to this file")
 	traceReport := fs.Bool("trace-report", false, "render per-app tables from trace file arguments and exit")
 	logLevel := fs.String("log-level", "info", "stderr log threshold: debug, info, warn, error, off")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateFlags(fs, *serve, *jobs, *queueDepth); err != nil {
 		return err
 	}
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -107,6 +123,9 @@ func run(args []string) error {
 		}
 		defer f.Close()
 		sink = obs.NewJSONLSink(f)
+	}
+	if *serve {
+		return runServe(*addr, *storeDir, *queueDepth, *jobs, sink)
 	}
 	if *batch {
 		return runBatch(fs.Args(), *outPath, *jobs, *metricsOut, sink, opts)
@@ -296,6 +315,32 @@ func writeMetrics(path, apkPath string, res *root.Result) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// validateFlags rejects contradictory invocations before any work runs.
+// -jobs defaults to 0 (= GOMAXPROCS) when unset, but an explicit -jobs
+// below 1 is a typo'd pool size, not a request for the default. -serve is
+// a long-running mode, so combining it with any one-shot input or output
+// flag silently ignoring one of them would be worse than an error.
+func validateFlags(fs *flag.FlagSet, serve bool, jobs, queueDepth int) error {
+	explicit := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["jobs"] && jobs < 1 {
+		return fmt.Errorf("-jobs must be at least 1 (got %d); omit it for GOMAXPROCS", jobs)
+	}
+	if !serve {
+		return nil
+	}
+	if queueDepth < 1 {
+		return fmt.Errorf("-queue-depth must be at least 1 (got %d)", queueDepth)
+	}
+	oneShot := []string{"apk", "sample", "batch", "out", "collect", "metrics-out", "trace-report"}
+	for _, name := range oneShot {
+		if explicit[name] {
+			return fmt.Errorf("-serve runs a long-lived service and cannot be combined with -%s; drop one of them", name)
+		}
+	}
+	return nil
 }
 
 func readAPK(path string) (*apk.APK, error) {

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dexlego/internal/obs"
+	"dexlego/internal/server"
+	"dexlego/internal/store"
+)
+
+// serveHooks lets tests observe the bound listener and stop the server
+// without delivering a real signal; both are nil in production.
+var serveHooks struct {
+	listener func(net.Listener)
+	stop     <-chan struct{}
+}
+
+// drainTimeout bounds the graceful shutdown after SIGTERM/SIGINT:
+// in-flight requests and queued jobs get this long to finish.
+const drainTimeout = 30 * time.Second
+
+// runServe runs the reveal service until SIGTERM/SIGINT, then drains:
+// admission stops (POST 503, healthz 503), in-flight HTTP requests and
+// every admitted job complete, and only then does the process exit.
+func runServe(addr, storeDir string, queueDepth, workers int, sink *obs.JSONLSink) error {
+	st, err := store.Open(storeDir, 0)
+	if err != nil {
+		return err
+	}
+	var obsSink obs.Sink
+	if sink != nil {
+		obsSink = sink
+	}
+	srv, err := server.New(server.Config{
+		Store:      st,
+		Workers:    workers,
+		QueueDepth: queueDepth,
+		Sink:       obsSink,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-addr: %w", err)
+	}
+	if serveHooks.listener != nil {
+		serveHooks.listener(ln)
+	}
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	if storeDir == "" {
+		storeDir = "(memory only)"
+	}
+	fmt.Printf("dexlego service on http://%s (store %s, queue %d)\n", ln.Addr(), storeDir, queueDepth)
+	select {
+	case err := <-errc:
+		srv.Close()
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	case <-serveHooks.stop:
+	}
+	obs.Infof("drain: stopping admission, finishing in-flight jobs")
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		obs.Warnf("drain: http shutdown: %v", err)
+	}
+	srv.Close()
+	fmt.Println("dexlego service drained")
+	return nil
+}

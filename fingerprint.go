@@ -1,0 +1,42 @@
+package dexlego
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dexlego/internal/art"
+)
+
+// Fingerprint returns the canonical cache identity of the options: a
+// versioned, deterministic string covering every field that can change the
+// revealed artifact. Two Options values with equal fingerprints (applied
+// to APKs with equal content hashes) produce byte-identical revealed DEX
+// files, which is the determinism assumption the artifact store's
+// content-addressed keys rest on (see DESIGN.md).
+//
+// Function-typed fields (Driver, InstallNatives, Natives values) cannot be
+// hashed by content, so they enter the fingerprint by shape only: whether
+// a custom driver or native installer is present, and the sorted native
+// method keys. Callers that register bespoke behavior behind an identical
+// shape — two different custom drivers, say — must not share a store.
+// Observability fields (Tracer, TraceLabel) and side outputs (CollectDir)
+// do not affect the artifact and are excluded.
+func (o Options) Fingerprint() string {
+	device := art.DefaultPhone()
+	if o.Device != nil {
+		device = *o.Device
+	}
+	keys := make([]string, 0, len(o.Natives))
+	for k := range o.Natives {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString("opts/v1")
+	fmt.Fprintf(&sb, "|device=%+v", device)
+	fmt.Fprintf(&sb, "|fuzz=%t|seed=%d|force=%t", o.Fuzz, o.FuzzSeed, o.ForceExecution)
+	fmt.Fprintf(&sb, "|natives=%s", strings.Join(keys, ","))
+	fmt.Fprintf(&sb, "|installNatives=%t|driver=%t", o.InstallNatives != nil, o.Driver != nil)
+	return sb.String()
+}

@@ -1,0 +1,59 @@
+package dexlego_test
+
+import (
+	"strings"
+	"testing"
+
+	root "dexlego"
+	"dexlego/internal/art"
+)
+
+func TestOptionsFingerprintCanonical(t *testing.T) {
+	base := root.Options{}
+	if got, again := base.Fingerprint(), base.Fingerprint(); got != again {
+		t.Fatalf("fingerprint not deterministic: %q != %q", got, again)
+	}
+	// A nil device fingerprints identically to the explicit default: the
+	// fingerprint covers the effective configuration, not its spelling.
+	phone := art.DefaultPhone()
+	explicit := root.Options{Device: &phone}
+	if base.Fingerprint() != explicit.Fingerprint() {
+		t.Error("nil device and explicit DefaultPhone fingerprints differ")
+	}
+	// Every artifact-relevant field moves the fingerprint.
+	variants := map[string]root.Options{
+		"fuzz":           {Fuzz: true},
+		"seed":           {FuzzSeed: 42},
+		"force":          {ForceExecution: true},
+		"device":         {Device: func() *art.Device { d := art.EmulatorDevice(); return &d }()},
+		"natives":        {Natives: map[string]art.NativeFunc{"Lx;->f()V": nil}},
+		"installNatives": {InstallNatives: func(*art.Runtime) {}},
+		"driver":         {Driver: func(*art.Runtime) error { return nil }},
+	}
+	seen := map[string]string{"base": base.Fingerprint()}
+	for name, o := range variants {
+		fp := o.Fingerprint()
+		for prev, prevFP := range seen {
+			if fp == prevFP {
+				t.Errorf("options %q and %q share fingerprint %q", name, prev, fp)
+			}
+		}
+		seen[name] = fp
+	}
+	// Observability and side-output fields are excluded by design.
+	traced := root.Options{TraceLabel: "x", CollectDir: "/tmp/x"}
+	if traced.Fingerprint() != base.Fingerprint() {
+		t.Error("trace/collect fields must not move the fingerprint")
+	}
+	// Native map iteration order must not leak into the fingerprint.
+	n1 := root.Options{Natives: map[string]art.NativeFunc{"a": nil, "b": nil, "c": nil}}
+	for i := 0; i < 16; i++ {
+		n2 := root.Options{Natives: map[string]art.NativeFunc{"c": nil, "a": nil, "b": nil}}
+		if n1.Fingerprint() != n2.Fingerprint() {
+			t.Fatal("native key order leaked into the fingerprint")
+		}
+	}
+	if !strings.HasPrefix(base.Fingerprint(), "opts/v1") {
+		t.Errorf("fingerprint missing version prefix: %q", base.Fingerprint())
+	}
+}

@@ -9,6 +9,9 @@ package apk
 import (
 	"archive/zip"
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -147,6 +150,46 @@ func (a *APK) Clone() *APK {
 		out.files[k] = append([]byte(nil), v...)
 	}
 	return out
+}
+
+// ContentHash returns the canonical SHA-256 identity of the package: a
+// digest over the manifest identity and every archive entry in sorted
+// order, each length-prefixed so entry boundaries are unambiguous. The
+// hash depends only on logical content — not on zip encoding details — so
+// it is stable across Bytes/Read round trips, which is what lets the
+// artifact store and the batch report use it as a deterministic name.
+func (a *APK) ContentHash() [32]byte {
+	h := sha256.New()
+	var lenBuf [8]byte
+	writeField := func(b []byte) {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(b)))
+		h.Write(lenBuf[:])
+		h.Write(b)
+	}
+	writeField([]byte("apk/v1"))
+	writeField([]byte(a.Manifest.Package))
+	writeField([]byte(a.Manifest.Version))
+	writeField([]byte(a.Manifest.MainActivity))
+	binary.LittleEndian.PutUint64(lenBuf[:], uint64(int64(a.Manifest.MinSDK)))
+	h.Write(lenBuf[:])
+	names := make([]string, 0, len(a.files))
+	for name := range a.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeField([]byte(name))
+		writeField(a.files[name])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// ContentHashHex returns ContentHash as a lowercase hex string.
+func (a *APK) ContentHashHex() string {
+	h := a.ContentHash()
+	return hex.EncodeToString(h[:])
 }
 
 // Bytes serializes the APK as a zip archive with deterministic entry order.

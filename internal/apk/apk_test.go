@@ -108,6 +108,73 @@ func TestEntriesSorted(t *testing.T) {
 	}
 }
 
+func TestContentHashStableAcrossRoundTrip(t *testing.T) {
+	a := New("com.test", "1.0", "Lcom/test/Main;")
+	a.SetDex([]byte{1, 2, 3})
+	a.AddAsset("payload.bin", []byte{9, 9})
+	a.AddNativeLib("libshell.so", []byte("elf"))
+	want := a.ContentHash()
+	data, err := a.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.ContentHash(); got != want {
+		t.Errorf("hash changed across serialization round trip: %x != %x", got, want)
+	}
+	// A second round trip through the re-serialized bytes is also stable.
+	data2, err := back.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := Read(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back2.ContentHash(); got != want {
+		t.Errorf("hash changed on second round trip: %x != %x", got, want)
+	}
+	if hex := a.ContentHashHex(); len(hex) != 64 {
+		t.Errorf("hex hash length = %d, want 64", len(hex))
+	}
+}
+
+func TestContentHashSensitivity(t *testing.T) {
+	base := func() *APK {
+		a := New("com.test", "1.0", "Lcom/test/Main;")
+		a.SetDex([]byte{1, 2, 3})
+		return a
+	}
+	h0 := base().ContentHash()
+	withDex := base()
+	withDex.SetDex([]byte{1, 2, 4})
+	if withDex.ContentHash() == h0 {
+		t.Error("dex change did not change the hash")
+	}
+	withEntry := base()
+	withEntry.AddAsset("x", nil)
+	if withEntry.ContentHash() == h0 {
+		t.Error("new entry did not change the hash")
+	}
+	withPkg := base()
+	withPkg.Manifest.Package = "com.other"
+	if withPkg.ContentHash() == h0 {
+		t.Error("manifest change did not change the hash")
+	}
+	// Entry boundaries are length-prefixed: moving a byte between the
+	// entry name and its payload must not collide.
+	ab := New("p", "1", "LMain;")
+	ab.Put("ab", []byte("c"))
+	ac := New("p", "1", "LMain;")
+	ac.Put("a", []byte("bc"))
+	if ab.ContentHash() == ac.ContentHash() {
+		t.Error("entry boundary ambiguity: ab|c collides with a|bc")
+	}
+}
+
 func TestDeterministicBytes(t *testing.T) {
 	a := New("p", "1", "LMain;")
 	a.Put("b", []byte{2})

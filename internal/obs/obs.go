@@ -35,7 +35,10 @@ type EventType uint8
 // merge_variant/stub_emitted/reflection_rewrite are reassembly decisions
 // (Sections IV-B, IV-C), verify_defect is a structural defect in the
 // revealed DEX, and concurrent_entry records a collector ownership
-// violation just before the guard panics.
+// violation just before the guard panics. The service events cover the
+// reveal-as-a-service layer (internal/server, internal/store): cache
+// hit/miss against the content-addressed artifact store, the time a job
+// spent queued for a worker, and the job admission/completion lifecycle.
 const (
 	EventSpanStart EventType = iota
 	EventSpanEnd
@@ -49,6 +52,11 @@ const (
 	EventStubEmitted
 	EventVerifyDefect
 	EventConcurrentEntry
+	EventCacheHit
+	EventCacheMiss
+	EventQueueWait
+	EventJobEnqueued
+	EventJobDone
 	numEventTypes // sentinel, keep last
 )
 
@@ -65,6 +73,11 @@ var eventNames = [numEventTypes]string{
 	EventStubEmitted:        "stub_emitted",
 	EventVerifyDefect:       "verify_defect",
 	EventConcurrentEntry:    "concurrent_entry",
+	EventCacheHit:           "cache_hit",
+	EventCacheMiss:          "cache_miss",
+	EventQueueWait:          "queue_wait",
+	EventJobEnqueued:        "job_enqueued",
+	EventJobDone:            "job_done",
 }
 
 // EventTypes returns every known event type, in declaration order.
@@ -110,6 +123,12 @@ const (
 	BranchFallthrough = "fallthrough"
 )
 
+// Outcome labels of a job_done event.
+const (
+	JobOK     = "ok"
+	JobFailed = "failed"
+)
+
 // Event is one JSONL trace line. The struct is the union of all event
 // payloads; Validate (report.go) checks the per-type required fields.
 // Timestamps are nanoseconds on a process-wide monotonic clock, so events
@@ -119,9 +138,9 @@ type Event struct {
 	TS     int64     `json:"tsNS"`
 	Span   uint64    `json:"span,omitempty"`
 	Parent uint64    `json:"parent,omitempty"` // span_start: enclosing span
-	Name   string    `json:"name,omitempty"`   // span name
+	Name   string    `json:"name,omitempty"`   // span name; job_done: ok|failed
 	App    string    `json:"app,omitempty"`    // root span: application label
-	DurNS  int64     `json:"durNS,omitempty"`  // span_end
+	DurNS  int64     `json:"durNS,omitempty"`  // span_end, queue_wait, job_done
 	Method string    `json:"method,omitempty"` // method key
 	PC     int       `json:"pc,omitempty"`     // dex_pc
 	Depth  int       `json:"depth,omitempty"`  // self-modification layer depth
@@ -130,7 +149,7 @@ type Event struct {
 	Target string    `json:"target,omitempty"` // reflection_rewrite: bridge method
 	From   int       `json:"from,omitempty"`   // merge_variant: raw tree count
 	Count  int       `json:"count,omitempty"`  // merge_variant: arrays kept; method_collected: insns
-	Detail string    `json:"detail,omitempty"` // verify_defect, concurrent_entry
+	Detail string    `json:"detail,omitempty"` // verify_defect, concurrent_entry; service events: cache key or job id
 }
 
 // Sink receives encoded trace lines (each terminated by '\n').
@@ -393,4 +412,54 @@ func (s *Span) ConcurrentEntry(detail string) {
 		return
 	}
 	s.t.emit(&Event{Type: EventConcurrentEntry, Span: s.id, Detail: detail})
+}
+
+// --- service emitters (internal/server, internal/store) ---------------------
+
+// CacheHit records a reveal served from the content-addressed artifact
+// store under cache key `key` — no Reveal ran for this request.
+func (s *Span) CacheHit(key string) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventCacheHit, Span: s.id, Detail: key})
+}
+
+// CacheMiss records a reveal the store could not serve: the request's
+// cache key had no artifact, so a Reveal ran to produce one.
+func (s *Span) CacheMiss(key string) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventCacheMiss, Span: s.id, Detail: key})
+}
+
+// QueueWait records how long job `id` waited in the admission queue before
+// a worker dequeued it.
+func (s *Span) QueueWait(id string, wait time.Duration) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventQueueWait, Span: s.id, Detail: id, DurNS: int64(wait)})
+}
+
+// JobEnqueued records job `id` passing admission control into the queue.
+func (s *Span) JobEnqueued(id string) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventJobEnqueued, Span: s.id, Detail: id})
+}
+
+// JobDone records job `id` finishing after total latency `total`
+// (admission to completion); ok selects the JobOK/JobFailed outcome label.
+func (s *Span) JobDone(id string, total time.Duration, ok bool) {
+	if !s.Enabled() {
+		return
+	}
+	outcome := JobFailed
+	if ok {
+		outcome = JobOK
+	}
+	s.t.emit(&Event{Type: EventJobDone, Span: s.id, Detail: id, Name: outcome, DurNS: int64(total)})
 }

@@ -55,6 +55,49 @@ func TestSpanHierarchyEmitsValidJSONL(t *testing.T) {
 	}
 }
 
+// TestServiceEventEmitters drives the reveal-as-a-service emitters through
+// a real sink and checks every line validates and counts.
+func TestServiceEventEmitters(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJSONLSink(&buf))
+	root := tr.Start("server", "dexlego-serve")
+	job := root.Start("job")
+	job.JobEnqueued("job-1")
+	job.QueueWait("job-1", 1500)
+	job.CacheMiss("aa11")
+	job.JobDone("job-1", 9000, true)
+	job.CacheHit("aa11")
+	job.JobDone("job-2", 100, false)
+	job.End()
+	root.End()
+
+	evs := parseAll(t, &buf)
+	snap := tr.Snapshot()
+	for ty, want := range map[EventType]int64{
+		EventJobEnqueued: 1, EventQueueWait: 1, EventCacheMiss: 1,
+		EventCacheHit: 1, EventJobDone: 2,
+	} {
+		if got := snap.EventCount(ty); got != want {
+			t.Errorf("%s count = %d, want %d", ty, got, want)
+		}
+	}
+	var sawOK, sawFailed bool
+	for _, ev := range evs {
+		if ev.Type != EventJobDone {
+			continue
+		}
+		switch ev.Name {
+		case JobOK:
+			sawOK = true
+		case JobFailed:
+			sawFailed = true
+		}
+	}
+	if !sawOK || !sawFailed {
+		t.Errorf("job_done outcomes incomplete: ok=%t failed=%t", sawOK, sawFailed)
+	}
+}
+
 func TestSpanEndIsIdempotent(t *testing.T) {
 	var buf bytes.Buffer
 	tr := New(NewJSONLSink(&buf))

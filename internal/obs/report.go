@@ -69,6 +69,23 @@ func (e *Event) Validate() error {
 		return need(e.Method != "", "method")
 	case EventVerifyDefect, EventConcurrentEntry:
 		return need(e.Detail != "", "detail")
+	case EventCacheHit, EventCacheMiss:
+		return need(e.Detail != "", "cache key")
+	case EventJobEnqueued:
+		return need(e.Detail != "", "job id")
+	case EventQueueWait:
+		if e.DurNS < 0 {
+			return fmt.Errorf("obs: queue_wait: negative duration %d", e.DurNS)
+		}
+		return need(e.Detail != "", "job id")
+	case EventJobDone:
+		if e.DurNS < 0 {
+			return fmt.Errorf("obs: job_done: negative duration %d", e.DurNS)
+		}
+		if e.Name != JobOK && e.Name != JobFailed {
+			return fmt.Errorf("obs: job_done: bad outcome %q", e.Name)
+		}
+		return need(e.Detail != "", "job id")
 	}
 	return nil
 }

@@ -17,6 +17,13 @@ func TestReadTraceRejectsBadLines(t *testing.T) {
 		{"negative timestamp", `{"ev":"stub_emitted","tsNS":-1,"method":"m"}`},
 		{"merge shrink impossible", `{"ev":"merge_variant","tsNS":1,"method":"m","from":1,"count":3}`},
 		{"defect without detail", `{"ev":"verify_defect","tsNS":1}`},
+		{"cache hit without key", `{"ev":"cache_hit","tsNS":1}`},
+		{"cache miss without key", `{"ev":"cache_miss","tsNS":1}`},
+		{"enqueue without job id", `{"ev":"job_enqueued","tsNS":1}`},
+		{"queue wait without job id", `{"ev":"queue_wait","tsNS":1,"durNS":5}`},
+		{"queue wait negative", `{"ev":"queue_wait","tsNS":1,"detail":"job-1","durNS":-5}`},
+		{"job done bad outcome", `{"ev":"job_done","tsNS":1,"detail":"job-1","name":"maybe"}`},
+		{"job done without job id", `{"ev":"job_done","tsNS":1,"name":"ok"}`},
 		{"not json", `hello`},
 	}
 	for _, c := range cases {

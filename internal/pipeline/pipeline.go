@@ -104,6 +104,13 @@ func runJob(fn func(int) error, i int) (err error) {
 	return fn(i)
 }
 
+// Isolate runs fn under the pool's panic isolation: a panic becomes a
+// *PanicError return instead of unwinding the caller. The reveal service
+// uses it so one bad APK fails its job, never the serving process.
+func Isolate(fn func() error) error {
+	return runJob(func(int) error { return fn() }, 0)
+}
+
 // Map runs fn over [0, n) and collects the results in job order. The
 // result slot of a failed job is the zero value of T; errs follows the
 // same contract as Run.

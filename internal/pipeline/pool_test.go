@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEveryAcceptedJob(t *testing.T) {
+	p := NewPool(4, 16)
+	var ran atomic.Int64
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		if p.TrySubmit(func() { ran.Add(1) }) {
+			accepted++
+		}
+	}
+	p.Close()
+	if int(ran.Load()) != accepted {
+		t.Errorf("ran %d of %d accepted jobs", ran.Load(), accepted)
+	}
+	if accepted == 0 {
+		t.Error("no job was accepted")
+	}
+}
+
+func TestPoolAdmissionControl(t *testing.T) {
+	// One worker blocked on a gate, depth 2: the third un-gated submit
+	// must be refused without blocking.
+	gate := make(chan struct{})
+	p := NewPool(1, 2)
+	var order []int
+	var mu sync.Mutex
+	record := func(i int) func() {
+		return func() {
+			<-gate
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}
+	}
+	if !p.TrySubmit(record(0)) { // dequeued by the worker, blocks on gate
+		t.Fatal("first submit refused")
+	}
+	// Fill the queue. The worker may or may not have dequeued job 0 yet,
+	// so accept between depth and depth+1 jobs, then require a refusal.
+	accepted := 1
+	for i := 1; i < 8; i++ {
+		if !p.TrySubmit(record(i)) {
+			break
+		}
+		accepted++
+	}
+	if accepted >= 8 {
+		t.Fatal("queue never filled")
+	}
+	if p.TrySubmit(record(99)) {
+		t.Error("full queue accepted a job")
+	}
+	close(gate)
+	p.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != accepted {
+		t.Errorf("drained %d jobs, accepted %d", len(order), accepted)
+	}
+	// Close drains in FIFO order on a single worker.
+	for i := 1; i < len(order); i++ {
+		if order[i-1] > order[i] {
+			t.Errorf("jobs ran out of order: %v", order)
+		}
+	}
+}
+
+func TestPoolSurvivesPanickingJob(t *testing.T) {
+	p := NewPool(1, 4)
+	var ok atomic.Bool
+	if !p.TrySubmit(func() { panic("job exploded") }) {
+		t.Fatal("submit refused")
+	}
+	if !p.TrySubmit(func() { ok.Store(true) }) {
+		t.Fatal("submit after panic refused")
+	}
+	p.Close()
+	if !ok.Load() {
+		t.Error("worker died with the panicking job")
+	}
+}
+
+func TestPoolCloseIdempotentAndRefusesAfter(t *testing.T) {
+	p := NewPool(2, 2)
+	p.Close()
+	p.Close()
+	if p.TrySubmit(func() {}) {
+		t.Error("closed pool accepted a job")
+	}
+}
+
+func TestIsolateConvertsPanic(t *testing.T) {
+	err := Isolate(func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "boom" {
+		t.Fatalf("Isolate = %v, want PanicError(boom)", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError lost the stack")
+	}
+	want := errors.New("plain")
+	if got := Isolate(func() error { return want }); got != want {
+		t.Errorf("Isolate = %v, want pass-through error", got)
+	}
+	if got := Isolate(func() error { return nil }); got != nil {
+		t.Errorf("Isolate = %v, want nil", got)
+	}
+}

@@ -1,0 +1,564 @@
+// Package server is the reveal-as-a-service layer: an HTTP job API over
+// the DexLego pipeline. The paper positions DexLego as a front-end that
+// feeds revealed APKs to downstream static analyzers (Sec. I, Fig. 1), so
+// the service treats the reveal artifact as its unit of work: submissions
+// are addressed into the content-addressed store (internal/store), a
+// bounded queue feeds a pipeline worker pool, and repeated requests for
+// the same (APK, Options) pair are served from cache without re-running
+// the reveal.
+//
+// API:
+//
+//	POST /v1/reveal              submit an APK (request body) or a named
+//	                             droidbench sample (?sample=Name); options
+//	                             via ?force=1&fuzz=1&seed=N; ?wait=1
+//	                             blocks until completion or the request
+//	                             timeout. 200 on a cache hit or completed
+//	                             wait, 202 with a job id otherwise, 429 +
+//	                             Retry-After when the queue is full.
+//	GET  /v1/jobs/{id}           job status/result JSON
+//	GET  /v1/jobs/{id}/artifact  revealed APK bytes (zip)
+//	GET  /v1/metrics             job/store counters + merged obs snapshot
+//	GET  /healthz                200 serving, 503 draining
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	dexlego "dexlego"
+	"dexlego/internal/apk"
+	"dexlego/internal/art"
+	"dexlego/internal/droidbench"
+	"dexlego/internal/obs"
+	"dexlego/internal/packer"
+	"dexlego/internal/pipeline"
+	"dexlego/internal/store"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+// The job states, in lifecycle order.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// RevealFunc runs one reveal; it exists so tests can substitute the real
+// dexlego.Reveal with a controllable stand-in.
+type RevealFunc func(*apk.APK, dexlego.Options) (*dexlego.Result, error)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Store caches reveal artifacts; required.
+	Store *store.Store
+	// Workers is the reveal parallelism (<= 0 selects GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet running (<= 0 selects
+	// 64). A full queue answers 429, never unbounded memory growth.
+	QueueDepth int
+	// RequestTimeout bounds ?wait=1 blocking (<= 0 selects 30s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds the uploaded APK size (<= 0 selects 64 MiB).
+	MaxBodyBytes int64
+	// Sink, when set, receives the JSONL trace of the server span and of
+	// every reveal; nil keeps metrics without trace lines.
+	Sink obs.Sink
+	// Reveal substitutes the reveal implementation in tests; nil selects
+	// dexlego.Reveal.
+	Reveal RevealFunc
+}
+
+// maxFinishedJobs bounds the completed-job history the server retains for
+// GET /v1/jobs/{id}; the oldest finished jobs are dropped past it.
+const maxFinishedJobs = 1024
+
+// job is the server-side record of one submission.
+type job struct {
+	id   string
+	key  string
+	name string
+
+	// Guarded by Server.mu.
+	state     State
+	cacheHit  bool
+	err       string
+	submitted time.Time
+	queueNS   int64
+	runNS     int64
+	artifact  *store.Artifact
+
+	done chan struct{} // closed on completion
+}
+
+// JobStatus is the JSON shape of a job returned by the API.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Name  string `json:"name,omitempty"`
+	// Key is the artifact's content address in the store.
+	Key string `json:"key"`
+	// CacheHit reports the reveal was served from the store (or from a
+	// concurrent identical request) without running.
+	CacheHit bool   `json:"cacheHit"`
+	Err      string `json:"err,omitempty"`
+	QueueNS  int64  `json:"queueNS,omitempty"`
+	RunNS    int64  `json:"runNS,omitempty"`
+	// RevealedBytes sizes the artifact available at /v1/jobs/{id}/artifact.
+	RevealedBytes int                  `json:"revealedBytes,omitempty"`
+	Metrics       *pipeline.AppMetrics `json:"metrics,omitempty"`
+}
+
+// Metrics is the JSON shape of GET /v1/metrics.
+type Metrics struct {
+	Jobs struct {
+		Submitted int64 `json:"submitted"`
+		Queued    int   `json:"queued"`
+		Running   int   `json:"running"`
+		Done      int   `json:"done"`
+		Failed    int   `json:"failed"`
+		Rejected  int64 `json:"rejected"`
+	} `json:"jobs"`
+	Store struct {
+		Hits     int64 `json:"hits"`
+		Misses   int64 `json:"misses"`
+		Evicted  int64 `json:"evicted"`
+		Resident int   `json:"resident"`
+	} `json:"store"`
+	// Obs merges the server lifecycle snapshot (cache_hit/cache_miss,
+	// queue_wait, job_enqueued/job_done) with every completed reveal's
+	// per-app snapshot.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
+}
+
+// Server is the reveal job service. Create with New, expose via Handler,
+// stop with BeginDrain + Close.
+type Server struct {
+	cfg    Config
+	reveal RevealFunc
+	pool   *pipeline.Pool
+	tracer *obs.Tracer
+	root   *obs.Span
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for history trimming
+	agg      *obs.Snapshot
+	counts   map[State]int
+	draining atomic.Bool
+
+	submitted atomic.Int64
+	rejected  atomic.Int64
+	ids       atomic.Uint64
+}
+
+// New returns a serving (not yet listening) server; wire its Handler into
+// an http.Server. Callers own cfg.Store's lifetime.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: Config.Store is required")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	reveal := cfg.Reveal
+	if reveal == nil {
+		reveal = dexlego.Reveal
+	}
+	tracer := obs.New(cfg.Sink)
+	s := &Server{
+		cfg:    cfg,
+		reveal: reveal,
+		pool:   pipeline.NewPool(cfg.Workers, cfg.QueueDepth),
+		tracer: tracer,
+		root:   tracer.Start("server", "dexlego-serve"),
+		jobs:   make(map[string]*job),
+		counts: make(map[State]int),
+	}
+	return s, nil
+}
+
+// Handler returns the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/reveal", s.handleReveal)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleArtifact)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// BeginDrain stops admitting work: POST answers 503 and /healthz flips, so
+// load balancers stop routing here while in-flight jobs finish.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains the queue (every admitted job still completes), stops the
+// workers, and ends the server span. Call after BeginDrain and the HTTP
+// listener's shutdown.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.pool.Close()
+	s.root.End()
+}
+
+// parseRequest builds the (APK, Options, name) of one submission.
+func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*apk.APK, dexlego.Options, string, error) {
+	q := r.URL.Query()
+	opts := dexlego.Options{
+		InstallNatives: installAllPackers,
+		ForceExecution: q.Get("force") == "1",
+		Fuzz:           q.Get("fuzz") == "1",
+	}
+	if seed := q.Get("seed"); seed != "" {
+		n, err := strconv.ParseInt(seed, 10, 64)
+		if err != nil {
+			return nil, opts, "", fmt.Errorf("bad seed %q", seed)
+		}
+		opts.FuzzSeed = n
+	}
+	if sample := q.Get("sample"); sample != "" {
+		sm := droidbench.ByName(sample)
+		if sm == nil {
+			return nil, opts, "", fmt.Errorf("unknown droidbench sample %q", sample)
+		}
+		pkg, err := sm.Build()
+		if err != nil {
+			return nil, opts, "", fmt.Errorf("build sample %q: %v", sample, err)
+		}
+		opts.Natives = sm.Natives()
+		return pkg, opts, sample, nil
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, opts, "", fmt.Errorf("read body: %v", err)
+	}
+	if len(body) == 0 {
+		return nil, opts, "", errors.New("empty body: send APK bytes or ?sample=Name")
+	}
+	pkg, err := apk.Read(body)
+	if err != nil {
+		return nil, opts, "", fmt.Errorf("body is not an APK: %v", err)
+	}
+	h := pkg.ContentHash()
+	return pkg, opts, fmt.Sprintf("apk-%x", h[:6]), nil
+}
+
+// installAllPackers is the server-wide native setup: the shell libraries
+// of every supported packer, so packed submissions unpack transparently
+// (as cmd/dexlego does in one-shot mode). Constant across requests, so it
+// never perturbs the options fingerprint between submissions.
+func installAllPackers(rt *art.Runtime) {
+	for _, pk := range packer.All() {
+		pk.InstallNatives(rt)
+	}
+}
+
+func (s *Server) handleReveal(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	pkg, opts, name, err := s.parseRequest(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := store.KeyFor(pkg.ContentHash(), opts.Fingerprint())
+	s.submitted.Add(1)
+
+	// Fast path: the artifact already exists — answer without a job queue
+	// round trip. The job record still exists so the id is pollable.
+	if art, ok := s.cfg.Store.Get(key); ok {
+		j := s.newJob(key, name)
+		s.mu.Lock()
+		s.finishLocked(j, art, true, nil, 0)
+		s.mu.Unlock()
+		s.root.CacheHit(key)
+		s.writeJob(w, http.StatusOK, j)
+		return
+	}
+
+	j := s.newJob(key, name)
+	submitTime := time.Now()
+	accepted := s.pool.TrySubmit(func() { s.runJob(j, submitTime, pkg, opts) })
+	if !accepted {
+		s.rejected.Add(1)
+		s.dropJob(j)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "queue full, retry later")
+		return
+	}
+	s.root.JobEnqueued(j.id)
+
+	if r.URL.Query().Get("wait") == "1" {
+		select {
+		case <-j.done:
+			s.writeJob(w, http.StatusOK, j)
+		case <-time.After(s.cfg.RequestTimeout):
+			s.writeJob(w, http.StatusAccepted, j)
+		case <-r.Context().Done():
+			// Client went away; the job still completes and is pollable.
+			return
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	s.writeJob(w, http.StatusAccepted, j)
+}
+
+// newJob registers a queued job record, trimming finished history.
+func (s *Server) newJob(key, name string) *job {
+	j := &job{
+		id:        fmt.Sprintf("job-%06d", s.ids.Add(1)),
+		key:       key,
+		name:      name,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.counts[StateQueued]++
+	s.trimLocked()
+	s.mu.Unlock()
+	return j
+}
+
+// dropJob forgets a job that was never admitted (429 path).
+func (s *Server) dropJob(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[j.id]; !ok {
+		return
+	}
+	delete(s.jobs, j.id)
+	s.counts[j.state]--
+	for i, id := range s.order {
+		if id == j.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// trimLocked drops the oldest finished jobs past the history bound;
+// queued/running jobs are never dropped.
+func (s *Server) trimLocked() {
+	if len(s.order) <= maxFinishedJobs {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - maxFinishedJobs
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if excess > 0 && j != nil && (j.state == StateDone || j.state == StateFailed) {
+			delete(s.jobs, id)
+			s.counts[j.state]--
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// runJob executes one admitted job on a pool worker.
+func (s *Server) runJob(j *job, submitTime time.Time, pkg *apk.APK, opts dexlego.Options) {
+	wait := time.Since(submitTime)
+	span := s.root.Start("job")
+	defer span.End()
+	span.QueueWait(j.id, wait)
+
+	s.mu.Lock()
+	s.counts[j.state]--
+	j.state = StateRunning
+	j.queueNS = int64(wait)
+	s.counts[StateRunning]++
+	s.mu.Unlock()
+
+	runStart := time.Now()
+	art, hit, err := s.cfg.Store.GetOrReveal(j.key, func() (*store.Artifact, error) {
+		// Each reveal owns a tracer (per-app snapshot contract) sharing
+		// the server's sink; its snapshot rides in the stored metrics.
+		o := opts
+		o.Tracer = obs.New(s.cfg.Sink)
+		o.TraceLabel = j.name
+		var res *dexlego.Result
+		revealErr := pipeline.Isolate(func() error {
+			r, err := s.reveal(pkg, o)
+			res = r
+			return err
+		})
+		if revealErr != nil {
+			return nil, revealErr
+		}
+		revealed, err := res.Revealed.Bytes()
+		if err != nil {
+			return nil, fmt.Errorf("serialize revealed apk: %w", err)
+		}
+		metrics := &pipeline.AppMetrics{Name: j.name}
+		if res.Metrics != nil {
+			m := *res.Metrics
+			m.Name = j.name
+			metrics = &m
+		}
+		return &store.Artifact{Name: j.name, Revealed: revealed, Metrics: metrics}, nil
+	})
+	if hit {
+		span.CacheHit(j.key)
+	} else if err == nil {
+		span.CacheMiss(j.key)
+	}
+
+	s.mu.Lock()
+	s.finishLocked(j, art, hit, err, time.Since(runStart))
+	s.mu.Unlock()
+	span.JobDone(j.id, time.Since(submitTime), err == nil)
+}
+
+// finishLocked records a job's completion and publishes its obs snapshot
+// into the server aggregate. Callers hold s.mu.
+func (s *Server) finishLocked(j *job, art *store.Artifact, hit bool, err error, run time.Duration) {
+	s.counts[j.state]--
+	j.runNS = int64(run)
+	j.cacheHit = hit
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+	} else {
+		j.state = StateDone
+		j.artifact = art
+		if art.Metrics != nil && art.Metrics.Obs != nil {
+			s.agg = obs.MergeSnapshots(s.agg, art.Metrics.Obs)
+		}
+	}
+	s.counts[j.state]++
+	close(j.done)
+}
+
+// statusLocked snapshots a job into its JSON shape. Callers hold s.mu.
+func (j *job) statusLocked() *JobStatus {
+	st := &JobStatus{
+		ID:       j.id,
+		State:    j.state,
+		Name:     j.name,
+		Key:      j.key,
+		CacheHit: j.cacheHit,
+		Err:      j.err,
+		QueueNS:  j.queueNS,
+		RunNS:    j.runNS,
+	}
+	if j.artifact != nil {
+		st.RevealedBytes = len(j.artifact.Revealed)
+		st.Metrics = j.artifact.Metrics
+	}
+	return st
+}
+
+func (s *Server) writeJob(w http.ResponseWriter, code int, j *job) {
+	s.mu.Lock()
+	st := j.statusLocked()
+	s.mu.Unlock()
+	writeJSON(w, code, st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var st *JobStatus
+	if ok {
+		st = j.statusLocked()
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var art *store.Artifact
+	var state State
+	if ok {
+		art, state = j.artifact, j.state
+	}
+	s.mu.Unlock()
+	switch {
+	case !ok:
+		httpError(w, http.StatusNotFound, "unknown job")
+	case state == StateFailed:
+		httpError(w, http.StatusConflict, "job failed; no artifact")
+	case art == nil:
+		httpError(w, http.StatusConflict, "job not finished; poll /v1/jobs/{id}")
+	default:
+		w.Header().Set("Content-Type", "application/zip")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(art.Revealed)
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var m Metrics
+	m.Jobs.Submitted = s.submitted.Load()
+	m.Jobs.Rejected = s.rejected.Load()
+	m.Store.Hits = s.cfg.Store.Hits()
+	m.Store.Misses = s.cfg.Store.Misses()
+	m.Store.Evicted = s.cfg.Store.Evicted()
+	m.Store.Resident = s.cfg.Store.Len()
+	s.mu.Lock()
+	m.Jobs.Queued = s.counts[StateQueued]
+	m.Jobs.Running = s.counts[StateRunning]
+	m.Jobs.Done = s.counts[StateDone]
+	m.Jobs.Failed = s.counts[StateFailed]
+	// Merge into a fresh snapshot: MergeSnapshots mutates its dst, and the
+	// aggregate must keep accumulating independently of this response.
+	snap := obs.MergeSnapshots(nil, s.agg)
+	s.mu.Unlock()
+	m.Obs = obs.MergeSnapshots(snap, s.tracer.Snapshot())
+	writeJSON(w, http.StatusOK, &m)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

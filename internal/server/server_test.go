@@ -1,0 +1,351 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	dexlego "dexlego"
+	"dexlego/internal/apk"
+	"dexlego/internal/obs"
+	"dexlego/internal/pipeline"
+	"dexlego/internal/store"
+)
+
+func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Store: st, Workers: 2, QueueDepth: 8, RequestTimeout: 20 * time.Second}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		srv.Close()
+	})
+	return srv, hs
+}
+
+func postReveal(t *testing.T, base, query string, body []byte) (*http.Response, *JobStatus) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/reveal"+query, "application/zip", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("status %d, body not a JobStatus: %s", resp.StatusCode, data)
+		}
+	}
+	return resp, &st
+}
+
+func getMetrics(t *testing.T, base string) *Metrics {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return &m
+}
+
+// TestRevealSampleEndToEnd exercises the acceptance path: a sample
+// submission runs the real Reveal, a second identical submission is a
+// cache hit served without re-running, the artifact downloads as a valid
+// APK, and /v1/metrics reports the cache_hit/cache_miss/queue_wait events.
+func TestRevealSampleEndToEnd(t *testing.T) {
+	srv, hs := newTestServer(t, nil)
+	resp, first := postReveal(t, hs.URL, "?sample=SelfModifying1&wait=1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first POST = %d", resp.StatusCode)
+	}
+	if first.State != StateDone || first.CacheHit || first.RevealedBytes == 0 {
+		t.Fatalf("first job = %+v, want done miss with artifact", first)
+	}
+	if first.Metrics == nil || first.Metrics.Obs == nil {
+		t.Errorf("artifact metrics missing obs snapshot: %+v", first.Metrics)
+	}
+
+	resp2, second := postReveal(t, hs.URL, "?sample=SelfModifying1&wait=1", nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second POST = %d", resp2.StatusCode)
+	}
+	if second.State != StateDone || !second.CacheHit {
+		t.Fatalf("second job = %+v, want cache hit", second)
+	}
+	if second.Key != first.Key {
+		t.Errorf("identical submissions got different keys: %s vs %s", second.Key, first.Key)
+	}
+	if misses := srv.cfg.Store.Misses(); misses != 1 {
+		t.Errorf("store misses = %d, want exactly 1 reveal across both posts", misses)
+	}
+
+	// The artifact endpoint serves the revealed APK.
+	art, err := http.Get(hs.URL + "/v1/jobs/" + first.ID + "/artifact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer art.Body.Close()
+	data, err := io.ReadAll(art.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.StatusCode != http.StatusOK || len(data) != first.RevealedBytes {
+		t.Fatalf("artifact = %d (%d bytes), want 200 with %d bytes",
+			art.StatusCode, len(data), first.RevealedBytes)
+	}
+	revealed, err := apk.Read(data)
+	if err != nil {
+		t.Fatalf("artifact is not an APK: %v", err)
+	}
+	if _, err := revealed.Dex(); err != nil {
+		t.Errorf("revealed APK lost its classes.dex: %v", err)
+	}
+
+	// Jobs are pollable by id.
+	jr, err := http.Get(hs.URL + "/v1/jobs/" + second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+	if jr.StatusCode != http.StatusOK {
+		t.Errorf("job poll = %d", jr.StatusCode)
+	}
+
+	m := getMetrics(t, hs.URL)
+	if m.Jobs.Done != 2 || m.Store.Misses != 1 || m.Store.Hits < 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	for _, ev := range []obs.EventType{obs.EventCacheHit, obs.EventCacheMiss, obs.EventQueueWait, obs.EventJobDone} {
+		if m.Obs.EventCount(ev) < 1 {
+			t.Errorf("metrics obs snapshot missing %s: %+v", ev, m.Obs.Events)
+		}
+	}
+	// The merged snapshot also carries the reveal's own pipeline events.
+	if m.Obs.EventCount(obs.EventMethodCollected) < 1 {
+		t.Errorf("reveal snapshot not merged into service metrics: %+v", m.Obs.Events)
+	}
+}
+
+// stubResult fabricates a minimal successful reveal outcome.
+func stubResult(name string) *dexlego.Result {
+	pkg := apk.New(name, "1.0", "L"+name+";")
+	pkg.SetDex([]byte{0x64, 0x65, 0x78})
+	return &dexlego.Result{Revealed: pkg, Metrics: &pipeline.AppMetrics{WallNS: 1}}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	gate := make(chan struct{})
+	_, hs := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 1
+		c.Reveal = func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
+			<-gate
+			return stubResult(pkg.Manifest.Package), nil
+		}
+	})
+	defer close(gate)
+	// Distinct inputs so no submission collapses into another's flight:
+	// the worker blocks on the first, the queue holds at most one more,
+	// and a later submission must be refused with Retry-After.
+	codes := make([]int, 0, 8)
+	ids := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		body := buildBodyAPK(t, fmt.Sprintf("app%d", i))
+		resp, st := postReveal(t, hs.URL, "", body)
+		codes = append(codes, resp.StatusCode)
+		if resp.StatusCode == http.StatusAccepted {
+			ids = append(ids, st.ID)
+			if resp.Header.Get("Location") == "" {
+				t.Error("202 without Location header")
+			}
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+		}
+	}
+	saw429 := false
+	for _, c := range codes {
+		switch c {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			saw429 = true
+		default:
+			t.Fatalf("unexpected status %d in %v", c, codes)
+		}
+	}
+	if !saw429 {
+		t.Fatalf("full queue never answered 429: %v", codes)
+	}
+	if len(ids) < 1 || len(ids) > 3 {
+		// 1 running + 1 queued, plus at most one more racing the dequeue.
+		t.Errorf("accepted %d jobs with workers=1 depth=1", len(ids))
+	}
+	m := getMetrics(t, hs.URL)
+	if m.Jobs.Rejected < 1 {
+		t.Errorf("rejected count = %d", m.Jobs.Rejected)
+	}
+}
+
+func buildBodyAPK(t *testing.T, name string) []byte {
+	t.Helper()
+	pkg := apk.New(name, "1.0", "L"+name+"/Main;")
+	pkg.SetDex([]byte(name + "-dex"))
+	data, err := pkg.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestRevealPanicIsolatedIntoFailedJob(t *testing.T) {
+	_, hs := newTestServer(t, func(c *Config) {
+		c.Reveal = func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
+			if pkg.Manifest.Package == "bomb" {
+				panic("malicious APK blew up the runtime")
+			}
+			return stubResult(pkg.Manifest.Package), nil
+		}
+	})
+	resp, st := postReveal(t, hs.URL, "?wait=1", buildBodyAPK(t, "bomb"))
+	if resp.StatusCode != http.StatusOK || st.State != StateFailed {
+		t.Fatalf("panicking job = %d %+v, want failed", resp.StatusCode, st)
+	}
+	if !strings.Contains(st.Err, "panicked") {
+		t.Errorf("job error %q does not surface the panic", st.Err)
+	}
+	// The server survives and serves the next job.
+	resp2, st2 := postReveal(t, hs.URL, "?wait=1", buildBodyAPK(t, "fine"))
+	if resp2.StatusCode != http.StatusOK || st2.State != StateDone {
+		t.Fatalf("post-panic job = %d %+v", resp2.StatusCode, st2)
+	}
+	// Failed jobs cache nothing and have no artifact.
+	ar, err := http.Get(hs.URL + "/v1/jobs/" + st.ID + "/artifact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar.Body.Close()
+	if ar.StatusCode != http.StatusConflict {
+		t.Errorf("failed job artifact = %d, want 409", ar.StatusCode)
+	}
+	m := getMetrics(t, hs.URL)
+	if m.Jobs.Failed != 1 || m.Jobs.Done != 1 {
+		t.Errorf("metrics after panic = %+v", m.Jobs)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, func(c *Config) {
+		c.Reveal = func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
+			return stubResult(pkg.Manifest.Package), nil
+		}
+	})
+	cases := []struct {
+		name, query string
+		body        []byte
+		want        int
+	}{
+		{"empty body", "", nil, http.StatusBadRequest},
+		{"garbage body", "", []byte("not an apk"), http.StatusBadRequest},
+		{"unknown sample", "?sample=NoSuchSample", nil, http.StatusBadRequest},
+		{"bad seed", "?sample=SelfModifying1&seed=banana", nil, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, _ := postReveal(t, hs.URL, c.query, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.want)
+		}
+	}
+	jr, err := http.Get(hs.URL + "/v1/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+	if jr.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", jr.StatusCode)
+	}
+	mr, err := http.Get(hs.URL + "/v1/reveal") // wrong method
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr.Body.Close()
+	if mr.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/reveal = %d, want 405", mr.StatusCode)
+	}
+}
+
+func TestDrainRefusesNewWorkAndHealthFlips(t *testing.T) {
+	srv, hs := newTestServer(t, func(c *Config) {
+		c.Reveal = func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
+			return stubResult(pkg.Manifest.Package), nil
+		}
+	})
+	hr, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", hr.StatusCode)
+	}
+	// A job admitted before the drain still completes.
+	resp, st := postReveal(t, hs.URL, "?wait=1", buildBodyAPK(t, "pre-drain"))
+	if resp.StatusCode != http.StatusOK || st.State != StateDone {
+		t.Fatalf("pre-drain job = %d %+v", resp.StatusCode, st)
+	}
+	srv.BeginDrain()
+	hr2, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr2.Body.Close()
+	if hr2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz = %d, want 503", hr2.StatusCode)
+	}
+	resp2, _ := postReveal(t, hs.URL, "", buildBodyAPK(t, "post-drain"))
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining POST = %d, want 503", resp2.StatusCode)
+	}
+	// Completed jobs stay pollable through the drain.
+	jr, err := http.Get(hs.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.Body.Close()
+	if jr.StatusCode != http.StatusOK {
+		t.Errorf("draining job poll = %d", jr.StatusCode)
+	}
+}
+
+func TestNewRequiresStore(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without a store must fail")
+	}
+}

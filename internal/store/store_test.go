@@ -1,0 +1,266 @@
+package store
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dexlego/internal/pipeline"
+)
+
+// testKey derives a distinct valid cache key per index.
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return KeyFor(sum, "opts/v1")
+}
+
+// payloadFor derives the artifact bytes every test expects under a key, so
+// readers can verify integrity no matter which goroutine revealed it.
+func payloadFor(key string) []byte {
+	return []byte("revealed-" + key)
+}
+
+func artifactFor(key string) *Artifact {
+	return &Artifact{
+		Name:     "app-" + key[:8],
+		Revealed: payloadFor(key),
+		Metrics:  &pipeline.AppMetrics{Name: "app-" + key[:8], WallNS: 42},
+	}
+}
+
+func TestKeyForShapeAndSensitivity(t *testing.T) {
+	h1 := sha256.Sum256([]byte("apk-1"))
+	h2 := sha256.Sum256([]byte("apk-2"))
+	k := KeyFor(h1, "opts/v1|fuzz=false")
+	if !ValidKey(k) {
+		t.Fatalf("KeyFor produced invalid key %q", k)
+	}
+	if KeyFor(h1, "opts/v1|fuzz=false") != k {
+		t.Error("KeyFor not deterministic")
+	}
+	if KeyFor(h2, "opts/v1|fuzz=false") == k {
+		t.Error("different APK hash, same key")
+	}
+	if KeyFor(h1, "opts/v1|fuzz=true") == k {
+		t.Error("different options fingerprint, same key")
+	}
+	for _, bad := range []string{"", "abc", strings.Repeat("z", 64),
+		strings.Repeat("A", 64), "../" + strings.Repeat("a", 61)} {
+		if ValidKey(bad) {
+			t.Errorf("ValidKey(%q) = true", bad)
+		}
+	}
+}
+
+func TestGetOrRevealSingleflight(t *testing.T) {
+	s, err := Open(t.TempDir(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(0)
+	var reveals atomic.Int64
+	var served atomic.Int64 // callers that did NOT run the reveal
+	const callers = 32
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			art, hit, err := s.GetOrReveal(key, func() (*Artifact, error) {
+				reveals.Add(1)
+				time.Sleep(10 * time.Millisecond) // widen the in-flight window
+				return artifactFor(key), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if hit {
+				served.Add(1)
+			}
+			if string(art.Revealed) != string(payloadFor(key)) {
+				t.Errorf("caller got wrong payload %q", art.Revealed)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if got := reveals.Load(); got != 1 {
+		t.Errorf("reveal ran %d times for one key, want exactly 1", got)
+	}
+	if got := served.Load(); got != callers-1 {
+		t.Errorf("served-from-store callers = %d, want %d", got, callers-1)
+	}
+	if s.Misses() != 1 || s.Hits() != callers-1 {
+		t.Errorf("hits/misses = %d/%d, want %d/1", s.Hits(), s.Misses(), callers-1)
+	}
+}
+
+func TestPersistAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	if _, hit, err := s1.GetOrReveal(key, func() (*Artifact, error) {
+		return artifactFor(key), nil
+	}); err != nil || hit {
+		t.Fatalf("first reveal: hit=%t err=%v", hit, err)
+	}
+	// A second store over the same directory serves the artifact from disk
+	// without revealing.
+	s2, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, ok := s2.Get(key)
+	if !ok {
+		t.Fatal("reopened store missed a persisted artifact")
+	}
+	if string(art.Revealed) != string(payloadFor(key)) {
+		t.Errorf("persisted payload corrupted: %q", art.Revealed)
+	}
+	if art.Metrics == nil || art.Metrics.WallNS != 42 {
+		t.Errorf("persisted metrics lost: %+v", art.Metrics)
+	}
+	if art.Key != key || art.Name != "app-"+key[:8] {
+		t.Errorf("persisted identity wrong: %+v", art)
+	}
+	// GetOrReveal on the reopened store counts a hit, not a reveal.
+	if _, hit, err := s2.GetOrReveal(key, func() (*Artifact, error) {
+		t.Error("reveal ran despite persisted artifact")
+		return nil, nil
+	}); err != nil || !hit {
+		t.Errorf("disk-backed GetOrReveal: hit=%t err=%v", hit, err)
+	}
+	// No temp files survive the atomic writes.
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", path)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptDiskEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(2)
+	if _, _, err := s.GetOrReveal(key, func() (*Artifact, error) {
+		return artifactFor(key), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the metadata on disk; a fresh store must treat the entry as
+	// a miss and re-reveal rather than serve garbage.
+	if err := os.WriteFile(filepath.Join(dir, key[:2], key+".json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(key); ok {
+		t.Error("corrupt entry served as a hit")
+	}
+	revealed := false
+	if _, hit, err := s2.GetOrReveal(key, func() (*Artifact, error) {
+		revealed = true
+		return artifactFor(key), nil
+	}); err != nil || hit || !revealed {
+		t.Errorf("corrupt entry: hit=%t revealed=%t err=%v", hit, revealed, err)
+	}
+}
+
+func TestFailedRevealCachesNothing(t *testing.T) {
+	s, err := Open("", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(3)
+	boom := fmt.Errorf("driver crashed")
+	if _, _, err := s.GetOrReveal(key, func() (*Artifact, error) { return nil, boom }); err != boom {
+		t.Fatalf("error not surfaced: %v", err)
+	}
+	// The next caller retries instead of seeing a cached failure.
+	art, hit, err := s.GetOrReveal(key, func() (*Artifact, error) { return artifactFor(key), nil })
+	if err != nil || hit || art == nil {
+		t.Fatalf("retry after failure: art=%v hit=%t err=%v", art, hit, err)
+	}
+	if _, _, err := s.GetOrReveal(key, func() (*Artifact, error) {
+		return &Artifact{}, nil
+	}); err != nil {
+		t.Fatal(err) // served from memory; empty-artifact reveal never runs
+	}
+	if _, _, err := s.GetOrReveal(testKey(4), func() (*Artifact, error) {
+		return &Artifact{}, nil
+	}); err == nil {
+		t.Error("empty artifact must be rejected")
+	}
+	if _, _, err := s.GetOrReveal("../etc/passwd", nil); err != ErrBadKey {
+		t.Errorf("bad key error = %v, want ErrBadKey", err)
+	}
+}
+
+// TestLRUEvictionNeverCorruptsReaders churns a tiny LRU from many
+// goroutines while readers verify every artifact they receive, proving —
+// under -race — that eviction never invalidates an artifact mid-read:
+// artifacts are immutable, eviction only drops the cache reference.
+func TestLRUEvictionNeverCorruptsReaders(t *testing.T) {
+	s, err := Open("", 2) // memory-only: eviction is real data loss
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 16
+	const readers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				key := testKey((seed + i) % keys)
+				art, _, err := s.GetOrReveal(key, func() (*Artifact, error) {
+					return artifactFor(key), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Hold the artifact across other goroutines' evictions and
+				// verify it byte-for-byte.
+				if string(art.Revealed) != string(payloadFor(key)) {
+					t.Errorf("reader observed corrupted artifact for %s", key[:8])
+					return
+				}
+				if art.Metrics == nil || art.Metrics.WallNS != 42 {
+					t.Errorf("reader observed corrupted metrics for %s", key[:8])
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if n := s.Len(); n > 2 {
+		t.Errorf("LRU holds %d entries, cap 2", n)
+	}
+	if s.Evicted() == 0 {
+		t.Error("test never exercised eviction")
+	}
+}
