@@ -62,6 +62,11 @@ type Options struct {
 	// CollectDir, when set, receives the five collection files.
 	CollectDir string
 
+	// Workers bounds the parallel fan-out of the reassembly stage (method
+	// assembly and index remapping): 0 selects GOMAXPROCS, 1 forces the
+	// serial path. Output is byte-identical at any worker count.
+	Workers int
+
 	// Tracer, when set, records hierarchical spans and domain events for
 	// this run (see internal/obs). Each Reveal call must own its Tracer —
 	// concurrent jobs share a Sink, not a Tracer — so the tracer's
@@ -219,7 +224,8 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 			}
 		}
 		var err error
-		revealed, stats, err = reassembler.ReassembleAPKWith(pkg, col.Result(), sp)
+		revealed, stats, err = reassembler.ReassembleAPKCfg(pkg, col.Result(), sp,
+			reassembler.Config{Workers: opts.Workers})
 		if err != nil {
 			return fmt.Errorf("dexlego: reassemble: %w", err)
 		}
@@ -233,7 +239,9 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		parsed, err = dex.Read(data)
+		// Zero-copy parse: revealed.Dex() returns a fresh buffer that nothing
+		// else mutates, so the parsed File may alias it.
+		parsed, err = dex.ReadShared(data)
 		if err != nil {
 			return fmt.Errorf("dexlego: revealed dex did not re-parse: %w", err)
 		}

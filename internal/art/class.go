@@ -69,13 +69,20 @@ type Method struct {
 
 	ParamTypes []string
 	ReturnType string
+
+	key string // Key() cache; class, name and signature are fixed after link
 }
 
 // NativeFunc is the Go signature of a native (JNI stand-in) method.
 type NativeFunc func(env *Env, recv *Object, args []Value) (Value, error)
 
 // Key returns the canonical Lcls;->name(sig) method key.
-func (m *Method) Key() string { return m.Class.Descriptor + "->" + m.Name + m.Signature }
+func (m *Method) Key() string {
+	if m.key == "" {
+		m.key = m.Class.Descriptor + "->" + m.Name + m.Signature
+	}
+	return m.key
+}
 
 func (m *Method) String() string { return m.Key() }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"dexlego/internal/apimodel"
 	"dexlego/internal/dex"
@@ -13,6 +14,31 @@ import (
 type fwClass struct {
 	rt *Runtime
 	c  *Class
+}
+
+// sigCache memoizes ParseSignature results across runtimes. Signatures
+// repeat heavily — every framework model rebuild re-declares the same
+// methods, and app DEX files share most of their signatures — so the parsed
+// form is computed once per distinct string. Cached ParamTypes slices are
+// shared and must never be mutated (readers only use them via indexed reads).
+var sigCache sync.Map // signature string -> *sigInfo
+
+type sigInfo struct {
+	params []string
+	ret    string
+}
+
+func parseSigCached(sig string) ([]string, string, error) {
+	if v, ok := sigCache.Load(sig); ok {
+		si := v.(*sigInfo)
+		return si.params, si.ret, nil
+	}
+	params, ret, err := dex.ParseSignature(sig)
+	if err != nil {
+		return nil, "", err
+	}
+	sigCache.Store(sig, &sigInfo{params: params, ret: ret})
+	return params, ret, nil
 }
 
 func (rt *Runtime) fw(desc, super string, ifaces ...string) *fwClass {
@@ -33,7 +59,7 @@ func (rt *Runtime) fw(desc, super string, ifaces ...string) *fwClass {
 }
 
 func (f *fwClass) method(name, sig string, static bool, fn NativeFunc) *fwClass {
-	params, ret, err := dex.ParseSignature(sig)
+	params, ret, err := parseSigCached(sig)
 	if err != nil {
 		panic(fmt.Sprintf("art: framework method %s->%s%s: %v", f.c.Descriptor, name, sig, err))
 	}
@@ -41,24 +67,28 @@ func (f *fwClass) method(name, sig string, static bool, fn NativeFunc) *fwClass 
 	if static {
 		flags |= dex.AccStatic
 	}
-	f.c.Methods = append(f.c.Methods, &Method{
+	m := f.rt.newMethod()
+	*m = Method{
 		Class: f.c, Name: name, Signature: sig, AccessFlags: flags,
 		Native: fn, ParamTypes: params, ReturnType: ret, Virtual: !static,
-	})
+	}
+	f.c.Methods = append(f.c.Methods, m)
 	return f
 }
 
 // abstract declares an interface/abstract method with no implementation.
 func (f *fwClass) abstract(name, sig string) *fwClass {
-	params, ret, err := dex.ParseSignature(sig)
+	params, ret, err := parseSigCached(sig)
 	if err != nil {
 		panic(fmt.Sprintf("art: framework abstract %s->%s%s: %v", f.c.Descriptor, name, sig, err))
 	}
-	f.c.Methods = append(f.c.Methods, &Method{
+	m := f.rt.newMethod()
+	*m = Method{
 		Class: f.c, Name: name, Signature: sig,
 		AccessFlags: dex.AccPublic | dex.AccAbstract,
 		ParamTypes:  params, ReturnType: ret, Virtual: true,
-	})
+	}
+	f.c.Methods = append(f.c.Methods, m)
 	return f
 }
 

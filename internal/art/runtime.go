@@ -57,6 +57,20 @@ type Runtime struct {
 	classObjects map[*Class]*Object
 	logWriter    io.Writer
 	launchTarget string
+	methodArena  []Method // bulk allocation backing for newMethod
+}
+
+// newMethod hands out Method structs carved from chunked bulk allocations.
+// A runtime declares thousands of framework and app methods during
+// construction and linking; chunking turns one heap object per method into
+// one per 256. Arena chunks are retained as long as any method from them is.
+func (rt *Runtime) newMethod() *Method {
+	if len(rt.methodArena) == 0 {
+		rt.methodArena = make([]Method, 256)
+	}
+	m := &rt.methodArena[0]
+	rt.methodArena = rt.methodArena[1:]
+	return m
 }
 
 // NewRuntime creates a runtime with the framework installed.
@@ -149,7 +163,9 @@ func (rt *Runtime) LoadAPK(a *apk.APK) error {
 	if err != nil {
 		return err
 	}
-	f, err := dex.Read(data)
+	// a.Dex() returns a fresh buffer that only the parsed file will retain,
+	// so the zero-copy parse is safe.
+	f, err := dex.ReadShared(data)
 	if err != nil {
 		return fmt.Errorf("art: parse classes.dex: %w", err)
 	}
@@ -229,12 +245,13 @@ func (rt *Runtime) LoadDex(f *dex.File) ([]*Class, error) {
 			for mi := range list {
 				em := &list[mi]
 				ref := f.MethodAt(em.Method)
-				params, ret, err := dex.ParseSignature(ref.Signature)
+				params, ret, err := parseSigCached(ref.Signature)
 				if err != nil {
 					return nil, fmt.Errorf("art: class %s method %s: %w",
 						c.Descriptor, ref.Name, err)
 				}
-				m := &Method{
+				m := rt.newMethod()
+				*m = Method{
 					Class: c, Name: ref.Name, Signature: ref.Signature,
 					AccessFlags: em.AccessFlags, Virtual: li == 1,
 					ParamTypes: params, ReturnType: ret,

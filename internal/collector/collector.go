@@ -13,9 +13,8 @@
 package collector
 
 import (
-	"fmt"
+	"encoding/binary"
 	"sort"
-	"strings"
 	"sync/atomic"
 
 	"dexlego/internal/art"
@@ -89,44 +88,76 @@ func (n *TreeNode) Depth() int {
 }
 
 // fingerprint canonically identifies a tree's contents for deduplication.
-func (n *TreeNode) fingerprint(sb *strings.Builder) {
-	fmt.Fprintf(sb, "N(%d,%d)[", n.SmStart, n.SmEnd)
-	for _, e := range n.IL {
-		fmt.Fprintf(sb, "%d:%02x:%d:%d:%d:%d:%d:%v:%v;",
-			e.DexPC, uint8(e.Inst.Op), e.Inst.A, e.Inst.B, e.Inst.C,
-			e.Inst.Lit, e.Inst.Off, e.Inst.Args, symKey(e.Sym))
+// The encoding is an unambiguous length-prefixed binary form: it exists only
+// as a map key, so it is built by appending into a reusable buffer instead
+// of formatting — the fingerprint of every discarded duplicate tree then
+// costs zero allocations (see methodExited).
+func (n *TreeNode) fingerprint(buf []byte) []byte {
+	buf = append(buf, 'N')
+	buf = appendVarint(buf, int64(n.SmStart))
+	buf = appendVarint(buf, int64(n.SmEnd))
+	buf = appendVarint(buf, int64(len(n.IL)))
+	for i := range n.IL {
+		e := &n.IL[i]
+		buf = appendVarint(buf, int64(e.DexPC))
+		buf = append(buf, byte(e.Inst.Op))
+		buf = appendVarint(buf, int64(e.Inst.A))
+		buf = appendVarint(buf, int64(e.Inst.B))
+		buf = appendVarint(buf, int64(e.Inst.C))
+		buf = appendVarint(buf, e.Inst.Lit)
+		buf = appendVarint(buf, int64(e.Inst.Off))
+		buf = appendVarint(buf, int64(len(e.Inst.Args)))
+		for _, a := range e.Inst.Args {
+			buf = appendVarint(buf, int64(a))
+		}
+		buf = appendSym(buf, e.Sym)
 	}
-	sb.WriteByte(']')
-	kids := append([]*TreeNode(nil), n.Children...)
-	sort.Slice(kids, func(i, j int) bool { return kids[i].SmStart < kids[j].SmStart })
+	kids := n.Children
+	if len(kids) > 1 {
+		// Child order is execution order; identity must not depend on it.
+		kids = append([]*TreeNode(nil), kids...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i].SmStart < kids[j].SmStart })
+	}
 	for _, c := range kids {
-		c.fingerprint(sb)
+		buf = c.fingerprint(buf)
 	}
+	return buf
 }
 
-func symKey(s *Symbol) string {
+func appendVarint(buf []byte, v int64) []byte {
+	return binary.AppendVarint(buf, v)
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = appendVarint(buf, int64(len(s)))
+	return append(buf, s...)
+}
+
+func appendSym(buf []byte, s *Symbol) []byte {
 	if s == nil {
-		return ""
+		return append(buf, 0)
 	}
+	buf = append(buf, 1+byte(s.Kind))
 	switch s.Kind {
 	case bytecode.IndexString:
-		return "s:" + s.Str
+		buf = appendStr(buf, s.Str)
 	case bytecode.IndexType:
-		return "t:" + s.Type
+		buf = appendStr(buf, s.Type)
 	case bytecode.IndexField:
-		return "f:" + s.Field.Key()
+		buf = appendStr(buf, s.Field.Class)
+		buf = appendStr(buf, s.Field.Name)
+		buf = appendStr(buf, s.Field.Type)
 	case bytecode.IndexMethod:
-		return "m:" + s.Method.Key()
-	default:
-		return ""
+		buf = appendStr(buf, s.Method.Class)
+		buf = appendStr(buf, s.Method.Name)
+		buf = appendStr(buf, s.Method.Signature)
 	}
+	return buf
 }
 
 // Fingerprint returns the canonical identity of the tree.
 func (n *TreeNode) Fingerprint() string {
-	var sb strings.Builder
-	n.fingerprint(&sb)
-	return sb.String()
+	return string(n.fingerprint(nil))
 }
 
 // MethodRecord aggregates everything collected about one method.
@@ -279,6 +310,39 @@ type Collector struct {
 	hooks *art.Hooks
 	busy  atomic.Int32
 	span  *obs.Span
+
+	// Scratch reused across hook invocations. The single-runtime ownership
+	// contract above makes unsynchronized reuse safe: hooks never overlap.
+	fpBuf     []byte        // fingerprint scratch (methodExited)
+	freeNodes []*TreeNode   // recycled nodes of discarded duplicate trees
+	freeExecs []*methodExec // recycled execution frames
+}
+
+// newNode returns a fresh or recycled tree node.
+func (c *Collector) newNode(parent *TreeNode, smStart int) *TreeNode {
+	if n := len(c.freeNodes); n > 0 {
+		nd := c.freeNodes[n-1]
+		c.freeNodes = c.freeNodes[:n-1]
+		nd.SmStart = smStart
+		nd.Parent = parent
+		return nd
+	}
+	return newNode(parent, smStart)
+}
+
+// recycleTree returns a discarded (duplicate) tree's nodes to the freelist.
+// Only trees that were never published into a MethodRecord may be recycled.
+func (c *Collector) recycleTree(n *TreeNode) {
+	for _, ch := range n.Children {
+		c.recycleTree(ch)
+	}
+	n.IL = n.IL[:0]
+	clear(n.IIM)
+	n.Children = n.Children[:0]
+	n.SmStart = -1
+	n.SmEnd = -1
+	n.Parent = nil
+	c.freeNodes = append(c.freeNodes, n)
 }
 
 // SetSpan attributes the collector's trace events (tree forks, convergences,
@@ -328,8 +392,16 @@ func (c *Collector) methodEntered(m *art.Method) {
 	if !appMethod(m) {
 		return
 	}
-	root := newNode(nil, -1)
-	c.stack = append(c.stack, &methodExec{method: m, root: root, cur: root})
+	root := c.newNode(nil, -1)
+	var ex *methodExec
+	if n := len(c.freeExecs); n > 0 {
+		ex = c.freeExecs[n-1]
+		c.freeExecs = c.freeExecs[:n-1]
+		*ex = methodExec{method: m, root: root, cur: root}
+	} else {
+		ex = &methodExec{method: m, root: root, cur: root}
+	}
+	c.stack = append(c.stack, ex)
 	// Record shape on first sight; a method may be entered before its class
 	// record exists (e.g. <clinit>).
 	rec := c.res.method(m)
@@ -364,18 +436,26 @@ func (c *Collector) methodExited(m *art.Method) {
 		return // unbalanced (native transitions); keep the stack sane
 	}
 	c.stack = c.stack[:len(c.stack)-1]
-	if len(top.root.IL) == 0 {
+	root := top.root
+	*top = methodExec{}
+	c.freeExecs = append(c.freeExecs, top)
+	if len(root.IL) == 0 {
+		c.recycleTree(root)
 		return
 	}
 	rec := c.res.method(m)
-	fp := top.root.Fingerprint()
-	if rec.seen[fp] {
+	// Build the fingerprint in the reused scratch buffer and look it up
+	// without materializing a string: duplicate executions (the steady
+	// state of loops and repeated calls) then dedupe allocation-free.
+	c.fpBuf = root.fingerprint(c.fpBuf[:0])
+	if rec.seen[string(c.fpBuf)] {
+		c.recycleTree(root)
 		return // keep only unique trees
 	}
-	rec.seen[fp] = true
-	rec.Trees = append(rec.Trees, top.root)
+	rec.seen[string(c.fpBuf)] = true
+	rec.Trees = append(rec.Trees, root)
 	if c.span.Enabled() {
-		c.span.MethodCollected(rec.Key(), top.root.Depth(), top.root.Size())
+		c.span.MethodCollected(rec.Key(), root.Depth(), root.Size())
 	}
 }
 
@@ -403,8 +483,9 @@ func (c *Collector) instruction(m *art.Method, pc int, insns []uint16) {
 	if err != nil {
 		return // malformed live code; the interpreter will surface it
 	}
-	entry := Entry{DexPC: pc, Inst: in, Sym: resolveSym(m, in)}
-
+	// Symbol resolution is deferred past the dedup check below: the steady
+	// state (loop bodies, repeated calls) re-executes recorded instructions,
+	// which must not allocate.
 	cur := top.cur
 	if ilIdx, ok := cur.IIM[pc]; ok {
 		old := cur.IL[ilIdx]
@@ -412,10 +493,10 @@ func (c *Collector) instruction(m *art.Method, pc int, insns []uint16) {
 			return // same instruction at same dex_pc: deduplicate
 		}
 		// Divergence: a runtime modification happened here.
-		child := newNode(cur, pc)
+		child := c.newNode(cur, pc)
 		cur.Children = append(cur.Children, child)
 		top.cur = child
-		child.push(entry)
+		child.push(Entry{DexPC: pc, Inst: in, Sym: resolveSym(m, in)})
 		if c.span.Enabled() {
 			c.span.TreeFork(m.Key(), pc, layerDepth(child))
 		}
@@ -432,7 +513,7 @@ func (c *Collector) instruction(m *art.Method, pc int, insns []uint16) {
 			return
 		}
 	}
-	cur.push(entry)
+	cur.push(Entry{DexPC: pc, Inst: in, Sym: resolveSym(m, in)})
 }
 
 func resolveSym(m *art.Method, in bytecode.Inst) *Symbol {

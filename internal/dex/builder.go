@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dexlego/internal/bytecode"
+	"dexlego/internal/pipeline"
 )
 
 // Builder constructs a DEX file programmatically. Strings, types, protos,
@@ -21,7 +22,14 @@ type Builder struct {
 	methodIdx map[string]uint32
 	classIdx  map[string]int
 	finished  bool
+	workers   int
+	keyBuf    []byte // scratch for proto/field/method lookup keys
 }
+
+// SetWorkers bounds the parallel fan-out Finish uses for bytecode index
+// remapping: 0 selects GOMAXPROCS, 1 forces the serial path. Output is
+// identical at any worker count.
+func (b *Builder) SetWorkers(n int) { b.workers = n }
 
 // NewBuilder returns an empty Builder.
 func NewBuilder() *Builder {
@@ -59,11 +67,18 @@ func (b *Builder) Type(descriptor string) uint32 {
 }
 
 // Proto interns a prototype and returns its provisional proto index.
+//
+// Lookup keys here and in Field/Method are built in a reused scratch buffer
+// and converted in the map index expression, which the compiler compiles to
+// an allocation-free lookup; the key string is materialized only on first
+// sight. Interning an already-known symbol — the steady state once the
+// constant pool warms up — therefore allocates nothing.
 func (b *Builder) Proto(ret string, params ...string) uint32 {
-	key := protoKey(ret, params)
-	if idx, ok := b.protoIdx[key]; ok {
+	b.keyBuf = appendProtoKey(b.keyBuf[:0], ret, params)
+	if idx, ok := b.protoIdx[string(b.keyBuf)]; ok {
 		return idx
 	}
+	key := string(b.keyBuf)
 	p := Proto{
 		Shorty: b.String(ShortyOf(ret, params)),
 		Return: b.Type(ret),
@@ -77,20 +92,28 @@ func (b *Builder) Proto(ret string, params ...string) uint32 {
 	return idx
 }
 
-func protoKey(ret string, params []string) string {
-	key := "(" // mirrors the signature syntax
+// appendProtoKey appends the (params)ret signature-syntax key.
+func appendProtoKey(buf []byte, ret string, params []string) []byte {
+	buf = append(buf, '(')
 	for _, p := range params {
-		key += p
+		buf = append(buf, p...)
 	}
-	return key + ")" + ret
+	buf = append(buf, ')')
+	return append(buf, ret...)
 }
 
 // Field interns a field reference and returns its provisional field index.
 func (b *Builder) Field(class, name, typ string) uint32 {
-	key := class + "->" + name + ":" + typ
-	if idx, ok := b.fieldIdx[key]; ok {
+	buf := append(b.keyBuf[:0], class...)
+	buf = append(buf, "->"...)
+	buf = append(buf, name...)
+	buf = append(buf, ':')
+	buf = append(buf, typ...)
+	b.keyBuf = buf
+	if idx, ok := b.fieldIdx[string(buf)]; ok {
 		return idx
 	}
+	key := string(buf)
 	fd := FieldID{Class: b.Type(class), Type: b.Type(typ), Name: b.String(name)}
 	idx := uint32(len(b.file.Fields))
 	b.file.Fields = append(b.file.Fields, fd)
@@ -100,10 +123,16 @@ func (b *Builder) Field(class, name, typ string) uint32 {
 
 // Method interns a method reference and returns its provisional index.
 func (b *Builder) Method(class, name, ret string, params ...string) uint32 {
-	key := class + "->" + name + protoKey(ret, params)
-	if idx, ok := b.methodIdx[key]; ok {
+	buf := append(b.keyBuf[:0], class...)
+	buf = append(buf, "->"...)
+	buf = append(buf, name...)
+	buf = appendProtoKey(buf, ret, params)
+	b.keyBuf = buf
+	if idx, ok := b.methodIdx[string(buf)]; ok {
 		return idx
 	}
+	// Materialize before Proto below reuses the scratch buffer.
+	key := string(buf)
 	m := MethodID{Class: b.Type(class), Proto: b.Proto(ret, params...), Name: b.String(name)}
 	idx := uint32(len(b.file.Methods))
 	b.file.Methods = append(b.file.Methods, m)
@@ -242,20 +271,24 @@ func (b *Builder) Finish() (*File, error) {
 	})
 	applyPermStrings(f, stringMap)
 
-	for i := range f.Types {
-		f.Types[i] = stringMap[f.Types[i]]
+	if stringMap != nil {
+		for i := range f.Types {
+			f.Types[i] = stringMap[f.Types[i]]
+		}
 	}
 	typeMap := sortPerm(len(f.Types), func(i, j int) bool {
 		return f.Types[i] < f.Types[j]
 	})
 	applyPermU32(f.Types, typeMap)
 
-	for i := range f.Protos {
-		p := &f.Protos[i]
-		p.Shorty = stringMap[p.Shorty]
-		p.Return = typeMap[p.Return]
-		for j := range p.Params {
-			p.Params[j] = typeMap[p.Params[j]]
+	if stringMap != nil || typeMap != nil {
+		for i := range f.Protos {
+			p := &f.Protos[i]
+			p.Shorty = permAt(stringMap, p.Shorty)
+			p.Return = permAt(typeMap, p.Return)
+			for j := range p.Params {
+				p.Params[j] = permAt(typeMap, p.Params[j])
+			}
 		}
 	}
 	protoMap := sortPerm(len(f.Protos), func(i, j int) bool {
@@ -272,11 +305,13 @@ func (b *Builder) Finish() (*File, error) {
 	})
 	applyPermProtos(f, protoMap)
 
-	for i := range f.Fields {
-		fd := &f.Fields[i]
-		fd.Class = typeMap[fd.Class]
-		fd.Type = typeMap[fd.Type]
-		fd.Name = stringMap[fd.Name]
+	if stringMap != nil || typeMap != nil {
+		for i := range f.Fields {
+			fd := &f.Fields[i]
+			fd.Class = permAt(typeMap, fd.Class)
+			fd.Type = permAt(typeMap, fd.Type)
+			fd.Name = permAt(stringMap, fd.Name)
+		}
 	}
 	fieldMap := sortPerm(len(f.Fields), func(i, j int) bool {
 		fi, fj := f.Fields[i], f.Fields[j]
@@ -290,11 +325,13 @@ func (b *Builder) Finish() (*File, error) {
 	})
 	applyPermFields(f, fieldMap)
 
-	for i := range f.Methods {
-		m := &f.Methods[i]
-		m.Class = typeMap[m.Class]
-		m.Proto = protoMap[m.Proto]
-		m.Name = stringMap[m.Name]
+	if stringMap != nil || typeMap != nil || protoMap != nil {
+		for i := range f.Methods {
+			m := &f.Methods[i]
+			m.Class = permAt(typeMap, m.Class)
+			m.Proto = permAt(protoMap, m.Proto)
+			m.Name = permAt(stringMap, m.Name)
+		}
 	}
 	methodMap := sortPerm(len(f.Methods), func(i, j int) bool {
 		mi, mj := f.Methods[i], f.Methods[j]
@@ -308,30 +345,33 @@ func (b *Builder) Finish() (*File, error) {
 	})
 	applyPermMethods(f, methodMap)
 
-	// Rewrite class definitions with the new indices.
+	// Rewrite class definitions with the new indices. Member lists are
+	// sorted even under identity maps: declaration order is not index order.
 	for ci := range f.Classes {
 		cd := &f.Classes[ci]
-		cd.Class = typeMap[cd.Class]
+		cd.Class = permAt(typeMap, cd.Class)
 		if cd.Superclass != NoIndex {
-			cd.Superclass = typeMap[cd.Superclass]
+			cd.Superclass = permAt(typeMap, cd.Superclass)
 		}
 		if cd.SourceFile != NoIndex {
-			cd.SourceFile = stringMap[cd.SourceFile]
+			cd.SourceFile = permAt(stringMap, cd.SourceFile)
 		}
 		for i := range cd.Interfaces {
-			cd.Interfaces[i] = typeMap[cd.Interfaces[i]]
+			cd.Interfaces[i] = permAt(typeMap, cd.Interfaces[i])
 		}
 		// Sort members by new index; static values track their fields.
 		sortFieldsWithValues(cd, fieldMap)
 		for i := range cd.InstFields {
-			cd.InstFields[i].Field = fieldMap[cd.InstFields[i].Field]
+			cd.InstFields[i].Field = permAt(fieldMap, cd.InstFields[i].Field)
 		}
 		sort.Slice(cd.InstFields, func(i, j int) bool {
 			return cd.InstFields[i].Field < cd.InstFields[j].Field
 		})
-		for _, list := range [][]EncodedMethod{cd.DirectMeths, cd.VirtualMeths} {
-			for i := range list {
-				list[i].Method = methodMap[list[i].Method]
+		if methodMap != nil {
+			for _, list := range [][]EncodedMethod{cd.DirectMeths, cd.VirtualMeths} {
+				for i := range list {
+					list[i].Method = methodMap[list[i].Method]
+				}
 			}
 		}
 		sort.Slice(cd.DirectMeths, func(i, j int) bool {
@@ -345,16 +385,20 @@ func (b *Builder) Finish() (*File, error) {
 			v := &cd.StaticValues[i]
 			switch v.Kind {
 			case ValueString:
-				v.Index = stringMap[v.Index]
+				v.Index = permAt(stringMap, v.Index)
 			case ValueType:
-				v.Index = typeMap[v.Index]
+				v.Index = permAt(typeMap, v.Index)
 			}
 		}
 	}
 
-	// Rewrite bytecode index operands.
-	if err := remapCode(f, stringMap, typeMap, fieldMap, methodMap); err != nil {
-		return nil, err
+	// Rewrite bytecode index operands. When every table was already in
+	// canonical order (cache-warm rebuilds) there is nothing to rewrite and
+	// the decode/re-encode pass over every method body is skipped entirely.
+	if stringMap != nil || typeMap != nil || fieldMap != nil || methodMap != nil {
+		if err := remapCode(f, b.workers, stringMap, typeMap, fieldMap, methodMap); err != nil {
+			return nil, err
+		}
 	}
 
 	if err := topoSortClasses(f); err != nil {
@@ -364,8 +408,21 @@ func (b *Builder) Finish() (*File, error) {
 }
 
 // sortPerm returns a mapping old index → new index induced by sorting
-// indices [0,n) with the given less function over *old* indices.
+// indices [0,n) with the given less function over *old* indices. A nil
+// result means the input is already sorted and the permutation is the
+// identity — callers skip their rewrite passes on nil (the common case on
+// cache-warm rebuilds, where symbols were interned in canonical order).
 func sortPerm(n int, less func(i, j int) bool) []uint32 {
+	sorted := true
+	for i := 1; i < n; i++ {
+		if less(i, i-1) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return nil
+	}
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
@@ -378,7 +435,18 @@ func sortPerm(n int, less func(i, j int) bool) []uint32 {
 	return perm
 }
 
+// permAt resolves an index through a permutation, treating nil as identity.
+func permAt(perm []uint32, i uint32) uint32 {
+	if perm == nil {
+		return i
+	}
+	return perm[i]
+}
+
 func applyPermStrings(f *File, perm []uint32) {
+	if perm == nil {
+		return
+	}
 	out := make([]string, len(f.Strings))
 	for old, s := range f.Strings {
 		out[perm[old]] = s
@@ -387,6 +455,9 @@ func applyPermStrings(f *File, perm []uint32) {
 }
 
 func applyPermU32(xs []uint32, perm []uint32) {
+	if perm == nil {
+		return
+	}
 	out := make([]uint32, len(xs))
 	for old, v := range xs {
 		out[perm[old]] = v
@@ -395,6 +466,9 @@ func applyPermU32(xs []uint32, perm []uint32) {
 }
 
 func applyPermProtos(f *File, perm []uint32) {
+	if perm == nil {
+		return
+	}
 	out := make([]Proto, len(f.Protos))
 	for old, p := range f.Protos {
 		out[perm[old]] = p
@@ -403,6 +477,9 @@ func applyPermProtos(f *File, perm []uint32) {
 }
 
 func applyPermFields(f *File, perm []uint32) {
+	if perm == nil {
+		return
+	}
 	out := make([]FieldID, len(f.Fields))
 	for old, fd := range f.Fields {
 		out[perm[old]] = fd
@@ -411,6 +488,9 @@ func applyPermFields(f *File, perm []uint32) {
 }
 
 func applyPermMethods(f *File, perm []uint32) {
+	if perm == nil {
+		return
+	}
 	out := make([]MethodID, len(f.Methods))
 	for old, m := range f.Methods {
 		out[perm[old]] = m
@@ -426,7 +506,7 @@ func sortFieldsWithValues(cd *ClassDef, fieldMap []uint32) {
 	pairs := make([]pair, len(cd.StaticFields))
 	for i := range cd.StaticFields {
 		pairs[i].f = cd.StaticFields[i]
-		pairs[i].f.Field = fieldMap[pairs[i].f.Field]
+		pairs[i].f.Field = permAt(fieldMap, pairs[i].f.Field)
 		if i < len(cd.StaticValues) {
 			pairs[i].v = cd.StaticValues[i]
 		}
@@ -440,59 +520,75 @@ func sortFieldsWithValues(cd *ClassDef, fieldMap []uint32) {
 	}
 }
 
-func remapCode(f *File, stringMap, typeMap, fieldMap, methodMap []uint32) error {
+// remapCode rewrites every index-bearing instruction of every method body.
+// Bodies are independent — each task touches only its own Code and reads
+// the shared permutations — so they fan out across a bounded worker set;
+// pipeline.ParallelDo returns the lowest-index error, keeping failures
+// deterministic across worker counts.
+func remapCode(f *File, workers int, stringMap, typeMap, fieldMap, methodMap []uint32) error {
+	type task struct {
+		code   *Code
+		method uint32
+	}
+	var tasks []task
 	for ci := range f.Classes {
 		cd := &f.Classes[ci]
 		for _, list := range [][]EncodedMethod{cd.DirectMeths, cd.VirtualMeths} {
 			for mi := range list {
-				code := list[mi].Code
-				if code == nil {
-					continue
-				}
-				for ti := range code.Tries {
-					for hi := range code.Tries[ti].Handlers {
-						h := &code.Tries[ti].Handlers[hi]
-						if int(h.Type) >= len(typeMap) {
-							return fmt.Errorf("dex: remap: catch type %d out of range", h.Type)
-						}
-						h.Type = typeMap[h.Type]
-					}
-				}
-				placed, err := bytecode.DecodeAll(code.Insns)
-				if err != nil {
-					return fmt.Errorf("dex: remap %s: %w",
-						f.MethodAt(list[mi].Method).Key(), err)
-				}
-				for _, p := range placed {
-					var m []uint32
-					switch p.Inst.Op.Index() {
-					case bytecode.IndexString:
-						m = stringMap
-					case bytecode.IndexType:
-						m = typeMap
-					case bytecode.IndexField:
-						m = fieldMap
-					case bytecode.IndexMethod:
-						m = methodMap
-					default:
-						continue
-					}
-					if int(p.Inst.Index) >= len(m) {
-						return fmt.Errorf("dex: remap: index %d out of range at pc %d",
-							p.Inst.Index, p.PC)
-					}
-					in := p.Inst
-					in.Index = m[p.Inst.Index]
-					units, err := bytecode.Encode(in)
-					if err != nil {
-						return fmt.Errorf("dex: remap re-encode: %w", err)
-					}
-					copy(code.Insns[p.PC:], units)
+				if list[mi].Code != nil {
+					tasks = append(tasks, task{code: list[mi].Code, method: list[mi].Method})
 				}
 			}
 		}
 	}
-	return nil
+	return pipeline.ParallelDo(workers, len(tasks), func(i int) error {
+		code, method := tasks[i].code, tasks[i].method
+		if typeMap != nil {
+			for ti := range code.Tries {
+				for hi := range code.Tries[ti].Handlers {
+					h := &code.Tries[ti].Handlers[hi]
+					if int(h.Type) >= len(typeMap) {
+						return fmt.Errorf("dex: remap: catch type %d out of range", h.Type)
+					}
+					h.Type = typeMap[h.Type]
+				}
+			}
+		}
+		placed, err := bytecode.DecodeAll(code.Insns)
+		if err != nil {
+			return fmt.Errorf("dex: remap %s: %w", f.MethodAt(method).Key(), err)
+		}
+		for _, p := range placed {
+			var m []uint32
+			switch p.Inst.Op.Index() {
+			case bytecode.IndexString:
+				m = stringMap
+			case bytecode.IndexType:
+				m = typeMap
+			case bytecode.IndexField:
+				m = fieldMap
+			case bytecode.IndexMethod:
+				m = methodMap
+			default:
+				continue
+			}
+			if m == nil {
+				continue // identity permutation: operand already final
+			}
+			if int(p.Inst.Index) >= len(m) {
+				return fmt.Errorf("dex: remap: index %d out of range at pc %d",
+					p.Inst.Index, p.PC)
+			}
+			in := p.Inst
+			in.Index = m[p.Inst.Index]
+			units, err := bytecode.Encode(in)
+			if err != nil {
+				return fmt.Errorf("dex: remap re-encode: %w", err)
+			}
+			copy(code.Insns[p.PC:], units)
+		}
+		return nil
+	})
 }
 
 // topoSortClasses orders class definitions so that superclasses and
@@ -505,6 +601,28 @@ func topoSortClasses(f *File) error {
 			return fmt.Errorf("dex: duplicate class %s", f.TypeName(f.Classes[i].Class))
 		}
 		byType[f.Classes[i].Class] = i
+	}
+	// Fast path: already topologically ordered (every in-file dependency
+	// precedes its dependent), which a warm rebuild hits every time.
+	ordered := true
+check:
+	for i := range f.Classes {
+		deps := f.Classes[i].Interfaces
+		if s := f.Classes[i].Superclass; s != NoIndex {
+			if j, ok := byType[s]; ok && j >= i {
+				ordered = false
+				break
+			}
+		}
+		for _, d := range deps {
+			if j, ok := byType[d]; ok && j >= i {
+				ordered = false
+				break check
+			}
+		}
+	}
+	if ordered {
+		return nil
 	}
 	const (
 		white = 0

@@ -30,8 +30,33 @@ func encodeMUTF8(s string) (data []byte, utf16Len int) {
 	return data, len(units)
 }
 
+// asciiNoNUL reports whether s is plain ASCII without NUL — the common
+// case for descriptors, identifiers and signatures — which encodes in
+// MUTF-8 as itself with UTF-16 length len(s).
+func asciiNoNUL(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 || s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
 // decodeMUTF8 decodes Modified UTF-8 bytes into a Go string.
 func decodeMUTF8(data []byte) (string, error) {
+	// ASCII fast path: the bytes are the string, one copy and no UTF-16
+	// round trip. Embedded NUL and multi-byte sequences take the slow path.
+	i := 0
+	for i < len(data) && data[i] != 0 && data[i] < 0x80 {
+		i++
+	}
+	if i == len(data) {
+		return string(data), nil
+	}
+	return decodeMUTF8Slow(data)
+}
+
+func decodeMUTF8Slow(data []byte) (string, error) {
 	units := make([]uint16, 0, len(data))
 	for i := 0; i < len(data); {
 		c := data[i]

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/adler32"
+	"unsafe"
 )
 
 // FormatError describes a malformed DEX file.
@@ -24,6 +25,27 @@ var ErrChecksum = errors.New("dex: checksum or signature mismatch")
 
 type byteReader struct {
 	buf []byte
+	// shared lets string payloads alias buf instead of copying (ReadShared).
+	shared bool
+	// insnArena batches the []uint16 instruction allocations of all code
+	// items into chunks, one allocation per chunk instead of per method.
+	insnArena []uint16
+}
+
+// insnSlice returns a zeroed []uint16 of length n carved from the arena.
+// Slices never overlap, so per-method in-place mutation (self-modifying
+// code under the runtime) stays confined to its own method.
+func (r *byteReader) insnSlice(n int) []uint16 {
+	const chunk = 4096
+	if n >= chunk {
+		return make([]uint16, n)
+	}
+	if len(r.insnArena) < n {
+		r.insnArena = make([]uint16, chunk)
+	}
+	s := r.insnArena[:n:n]
+	r.insnArena = r.insnArena[n:]
+	return s
 }
 
 func (r *byteReader) u16(off int) (uint16, error) {
@@ -43,15 +65,30 @@ func (r *byteReader) u32(off int) (uint32, error) {
 
 // Read parses a DEX binary produced by Write (or any conforming subset of
 // the real format) back into a File. The header checksum and signature are
-// verified.
+// verified. Every payload is copied out of buf, so the caller may reuse or
+// mutate buf afterwards.
 func Read(buf []byte) (*File, error) {
+	return read(buf, false)
+}
+
+// ReadShared parses like Read but lets payloads (string data) alias buf
+// instead of copying, eliminating the dominant decode allocations.
+// Ownership rule: the caller must not mutate buf for the lifetime of the
+// returned File or of any File derived from it. Use it where the buffer is
+// immutable by construction — e.g. on the fresh copy apk.Dex returns, or on
+// an encode result that is only verified and then dropped.
+func ReadShared(buf []byte) (*File, error) {
+	return read(buf, true)
+}
+
+func read(buf []byte, shared bool) (*File, error) {
 	if len(buf) < headerSize {
 		return nil, &FormatError{Offset: 0, Reason: "file smaller than header"}
 	}
 	if string(buf[:8]) != Magic {
 		return nil, &FormatError{Offset: 0, Reason: "bad magic"}
 	}
-	r := &byteReader{buf: buf}
+	r := &byteReader{buf: buf, shared: shared}
 	checksum, _ := r.u32(8)
 	if adler32.Checksum(buf[12:]) != checksum {
 		return nil, ErrChecksum
@@ -230,7 +267,21 @@ func (r *byteReader) readStringData(off int) (string, error) {
 	if end >= len(r.buf) {
 		return "", &FormatError{Offset: off, Reason: "unterminated string data"}
 	}
-	s, err := decodeMUTF8(r.buf[pos:end])
+	raw := r.buf[pos:end]
+	if r.shared && pos < end {
+		// Zero-copy path: an ASCII payload needs no transformation, so the
+		// string header can alias the file buffer directly. Safe under the
+		// ReadShared contract (the caller keeps buf immutable).
+		i := 0
+		for i < len(raw) && raw[i] != 0 && raw[i] < 0x80 {
+			i++
+		}
+		if i == len(raw) {
+			_ = u16len
+			return unsafe.String(&raw[0], len(raw)), nil
+		}
+	}
+	s, err := decodeMUTF8(raw)
 	if err != nil {
 		return "", &FormatError{Offset: off, Reason: err.Error()}
 	}
@@ -370,13 +421,15 @@ func (r *byteReader) readCodeItem(off int) (*Code, error) {
 		return nil, &FormatError{Offset: off, Reason: "instruction array too large"}
 	}
 	code := &Code{RegistersSize: regs, InsSize: ins, OutsSize: outs}
-	code.Insns = make([]uint16, insnsSize)
-	for i := 0; i < int(insnsSize); i++ {
-		u, err := r.u16(off + 16 + 2*i)
-		if err != nil {
-			return nil, err
-		}
-		code.Insns[i] = u
+	// One bounds check for the whole array, then a tight copy loop.
+	insnsStart := off + 16
+	if insnsStart < 0 || insnsStart+2*int(insnsSize) > len(r.buf) {
+		return nil, &FormatError{Offset: off, Reason: "truncated instruction array"}
+	}
+	code.Insns = r.insnSlice(int(insnsSize))
+	raw := r.buf[insnsStart : insnsStart+2*int(insnsSize)]
+	for i := range code.Insns {
+		code.Insns[i] = uint16(raw[2*i]) | uint16(raw[2*i+1])<<8
 	}
 	if triesSize == 0 {
 		return code, nil

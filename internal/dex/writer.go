@@ -2,10 +2,11 @@ package dex
 
 import (
 	"crypto/sha1"
+	"encoding/binary"
 	"fmt"
 	"hash/adler32"
 	"sort"
-	"strings"
+	"sync"
 )
 
 // Magic is the DEX file magic including the format version.
@@ -51,6 +52,11 @@ func (w *byteWriter) align4() {
 }
 func (w *byteWriter) len() int { return len(w.buf) }
 
+// scratchPool recycles the data-section and catch-handler scratch writers
+// across Write calls: a warm writer already holds a buffer sized by the
+// previous file, so the data section is built without growth reallocations.
+var scratchPool = sync.Pool{New: func() any { return new(byteWriter) }}
+
 // Write serializes the file to the DEX binary format, computing the header
 // checksum and SHA-1 signature.
 func (f *File) Write() ([]byte, error) {
@@ -66,7 +72,11 @@ func (f *File) Write() ([]byte, error) {
 	classDefsOff := methodIDsOff + 8*len(f.Methods)
 	dataOff := classDefsOff + 32*len(f.Classes)
 
-	data := &byteWriter{}
+	data := scratchPool.Get().(*byteWriter)
+	data.buf = data.buf[:0]
+	defer scratchPool.Put(data)
+	handlerScratch := scratchPool.Get().(*byteWriter)
+	defer scratchPool.Put(handlerScratch)
 	abs := func() uint32 { return uint32(dataOff + data.len()) }
 
 	type mapEntry struct {
@@ -88,25 +98,25 @@ func (f *File) Write() ([]byte, error) {
 	addMap(mapMethodID, len(f.Methods), uint32(methodIDsOff))
 	addMap(mapClassDef, len(f.Classes), uint32(classDefsOff))
 
-	// Type lists (proto parameters and class interfaces), deduplicated.
-	typeListOff := make(map[string]uint32)
-	listKey := func(ts []uint32) string {
-		var sb strings.Builder
-		for _, t := range ts {
-			fmt.Fprintf(&sb, "%d,", t)
-		}
-		return sb.String()
-	}
+	// Type lists (proto parameters and class interfaces), deduplicated. The
+	// dedup key is a varint encoding built in a reused scratch buffer and
+	// only materialized as a string for first-seen lists.
+	typeListOff := make(map[string]uint32, len(f.Protos))
+	var listKeyBuf []byte
 	var typeListCount int
 	var typeListFirst uint32
 	writeTypeList := func(ts []uint32) uint32 {
 		if len(ts) == 0 {
 			return 0
 		}
-		key := listKey(ts)
-		if off, ok := typeListOff[key]; ok {
+		listKeyBuf = listKeyBuf[:0]
+		for _, t := range ts {
+			listKeyBuf = binary.AppendUvarint(listKeyBuf, uint64(t))
+		}
+		if off, ok := typeListOff[string(listKeyBuf)]; ok {
 			return off
 		}
+		key := string(listKeyBuf)
 		data.align4()
 		off := abs()
 		if typeListCount == 0 {
@@ -150,7 +160,7 @@ func (f *File) Write() ([]byte, error) {
 				}
 				codeCount++
 				codeOffs[methodKey{ci, li, mi}] = off
-				if err := writeCodeItem(data, code); err != nil {
+				if err := writeCodeItem(data, code, handlerScratch); err != nil {
 					return nil, err
 				}
 			}
@@ -267,9 +277,16 @@ func (f *File) Write() ([]byte, error) {
 			strFirst = off
 		}
 		stringDataOff[i] = off
-		enc, u16len := encodeMUTF8(s)
-		data.uleb(uint32(u16len))
-		data.buf = append(data.buf, enc...)
+		if asciiNoNUL(s) {
+			// ASCII encodes as itself with UTF-16 length len(s): write the
+			// bytes straight into the data section, no scratch encoding.
+			data.uleb(uint32(len(s)))
+			data.buf = append(data.buf, s...)
+		} else {
+			enc, u16len := encodeMUTF8(s)
+			data.uleb(uint32(u16len))
+			data.buf = append(data.buf, enc...)
+		}
 		data.u8(0)
 	}
 	addMap(mapStringData, len(f.Strings), strFirst)
@@ -368,7 +385,7 @@ func offOrZero(n, off int) uint32 {
 	return uint32(off)
 }
 
-func writeCodeItem(w *byteWriter, code *Code) error {
+func writeCodeItem(w *byteWriter, code *Code, handlers *byteWriter) error {
 	w.u16(code.RegistersSize)
 	w.u16(code.InsSize)
 	w.u16(code.OutsSize)
@@ -385,8 +402,9 @@ func writeCodeItem(w *byteWriter, code *Code) error {
 		w.u16(0) // padding
 	}
 	// Each try gets its own encoded_catch_handler. Handler offsets are
-	// relative to the start of the encoded_catch_handler_list.
-	handlers := &byteWriter{}
+	// relative to the start of the encoded_catch_handler_list; the scratch
+	// writer is reused across code items.
+	handlers.buf = handlers.buf[:0]
 	handlers.uleb(uint32(len(code.Tries)))
 	handlerOff := make([]uint32, len(code.Tries))
 	for i, t := range code.Tries {

@@ -12,17 +12,38 @@ import (
 	"dexlego/internal/apk"
 	"dexlego/internal/bytecode"
 	"dexlego/internal/dex"
+	"dexlego/internal/pipeline"
 )
+
+// asmTask is one method body whose assembly has been deferred to Finish.
+// assemble is self-contained (it touches only the task's own Asm and Code)
+// and runs on a worker; tries may intern constants through the Builder and
+// therefore runs serially after every assemble completed.
+type asmTask struct {
+	assemble func() (map[string]int, error)
+	tries    func(labels map[string]int) error
+	labels   map[string]int
+}
 
 // Program accumulates classes and produces a dex.File or an APK.
 type Program struct {
-	b   *dex.Builder
-	err error
+	b       *dex.Builder
+	err     error
+	workers int
+	tasks   []*asmTask
 }
 
 // New returns an empty program.
 func New() *Program {
 	return &Program{b: dex.NewBuilder()}
+}
+
+// SetWorkers bounds the parallel fan-out Finish uses to assemble method
+// bodies and remap bytecode indices: 0 selects GOMAXPROCS, 1 forces the
+// serial path. Output is byte-identical at any worker count.
+func (p *Program) SetWorkers(n int) {
+	p.workers = n
+	p.b.SetWorkers(n)
 }
 
 func (p *Program) fail(format string, args ...any) {
@@ -44,10 +65,35 @@ func (p *Program) Class(descriptor, super string, interfaces ...string) *Class {
 	return &Class{p: p, cb: cb, desc: descriptor}
 }
 
-// Finish canonicalizes and returns the DEX file model.
+// Finish assembles every deferred method body — in parallel across the
+// worker set when SetWorkers allows it — then canonicalizes and returns the
+// DEX file model. Method ordering was fixed when the methods were declared
+// and instruction encoding is deterministic, so the result is byte-identical
+// at any worker count; pipeline.ParallelDo surfaces the lowest-index error,
+// matching what a serial run would report.
 func (p *Program) Finish() (*dex.File, error) {
 	if p.err != nil {
 		return nil, p.err
+	}
+	tasks := p.tasks
+	p.tasks = nil
+	if err := pipeline.ParallelDo(p.workers, len(tasks), func(i int) error {
+		labels, err := tasks[i].assemble()
+		tasks[i].labels = labels
+		return err
+	}); err != nil {
+		p.err = err
+		return nil, err
+	}
+	// Try tables resolve serially: they intern catch types in the Builder.
+	for _, t := range tasks {
+		if t.tries == nil {
+			continue
+		}
+		if err := t.tries(t.labels); err != nil {
+			p.err = err
+			return nil, err
+		}
 	}
 	return p.b.Finish()
 }
@@ -158,35 +204,47 @@ func (c *Class) Method(spec MethodSpec, gen func(a *Asm)) *Class {
 		params: len(spec.Params),
 	}
 	gen(a)
-	insns, labels, err := a.asm.AssembleWithLabels()
-	if err != nil {
-		c.p.fail("%s->%s: %v", c.desc, spec.Name, err)
-		return c
-	}
+	// The body was generated (interning every constant through the Builder);
+	// the pure assembly into code units is deferred so Finish can fan it out.
 	code := &dex.Code{
 		RegistersSize: uint16(locals + ins),
 		InsSize:       uint16(ins),
 		OutsSize:      uint16(a.outs),
-		Insns:         insns,
 	}
-	for _, tc := range a.tries {
-		start, ok1 := labels[tc.start]
-		end, ok2 := labels[tc.end]
-		handler, ok3 := labels[tc.handler]
-		if !ok1 || !ok2 || !ok3 || end < start {
-			c.p.fail("%s->%s: bad try/catch labels %+v", c.desc, spec.Name, tc)
-			return c
-		}
-		try := dex.Try{Start: uint32(start), Count: uint32(end - start), CatchAll: -1}
-		if tc.catchType == "" {
-			try.CatchAll = int32(handler)
-		} else {
-			try.Handlers = []dex.TypeAddr{{
-				Type: c.p.b.Type(tc.catchType), Addr: uint32(handler),
-			}}
-		}
-		code.Tries = append(code.Tries, try)
+	desc, mname, tries := c.desc, spec.Name, a.tries
+	task := &asmTask{
+		assemble: func() (map[string]int, error) {
+			insns, labels, err := a.asm.AssembleWithLabels()
+			if err != nil {
+				return nil, fmt.Errorf("dexgen: %s->%s: %v", desc, mname, err)
+			}
+			code.Insns = insns
+			return labels, nil
+		},
 	}
+	if len(tries) > 0 {
+		task.tries = func(labels map[string]int) error {
+			for _, tc := range tries {
+				start, ok1 := labels[tc.start]
+				end, ok2 := labels[tc.end]
+				handler, ok3 := labels[tc.handler]
+				if !ok1 || !ok2 || !ok3 || end < start {
+					return fmt.Errorf("dexgen: %s->%s: bad try/catch labels %+v", desc, mname, tc)
+				}
+				try := dex.Try{Start: uint32(start), Count: uint32(end - start), CatchAll: -1}
+				if tc.catchType == "" {
+					try.CatchAll = int32(handler)
+				} else {
+					try.Handlers = []dex.TypeAddr{{
+						Type: c.p.b.Type(tc.catchType), Addr: uint32(handler),
+					}}
+				}
+				code.Tries = append(code.Tries, try)
+			}
+			return nil
+		}
+	}
+	c.p.tasks = append(c.p.tasks, task)
 	flags := uint32(dex.AccPublic)
 	switch {
 	case spec.Static:
@@ -586,30 +644,38 @@ func (c *Class) RawMethod(name, ret string, params []string, flags uint32, rc Ra
 	}
 	a := &Asm{p: c.p, locals: int32(rc.Registers - rc.Ins), static: flags&dex.AccStatic != 0, params: len(params)}
 	rc.Build(a)
-	insns, labels, err := a.asm.AssembleWithLabels()
-	if err != nil {
-		c.p.fail("%s->%s: %v", c.desc, name, err)
-		return c
-	}
 	outs := rc.Outs
 	if a.outs > outs {
 		outs = a.outs
-	}
-	tries := rc.Tries
-	if rc.TriesFn != nil {
-		tries, err = rc.TriesFn(labels)
-		if err != nil {
-			c.p.fail("%s->%s: tries: %v", c.desc, name, err)
-			return c
-		}
 	}
 	code := &dex.Code{
 		RegistersSize: uint16(rc.Registers),
 		InsSize:       uint16(rc.Ins),
 		OutsSize:      uint16(outs),
-		Insns:         insns,
-		Tries:         tries,
+		Tries:         rc.Tries,
 	}
+	desc, mname, triesFn := c.desc, name, rc.TriesFn
+	task := &asmTask{
+		assemble: func() (map[string]int, error) {
+			insns, labels, err := a.asm.AssembleWithLabels()
+			if err != nil {
+				return nil, fmt.Errorf("dexgen: %s->%s: %v", desc, mname, err)
+			}
+			code.Insns = insns
+			return labels, nil
+		},
+	}
+	if triesFn != nil {
+		task.tries = func(labels map[string]int) error {
+			tries, err := triesFn(labels)
+			if err != nil {
+				return fmt.Errorf("dexgen: %s->%s: tries: %v", desc, mname, err)
+			}
+			code.Tries = tries
+			return nil
+		}
+	}
+	c.p.tasks = append(c.p.tasks, task)
 	switch {
 	case flags&dex.AccStatic != 0:
 		c.cb.DirectMethod(name, ret, params, flags, code)

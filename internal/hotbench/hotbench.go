@@ -1,0 +1,267 @@
+// Package hotbench is the steady-state benchmark harness of the reveal hot
+// path: the per-APK pipeline DEX decode → JIT collection → reassembly →
+// DEX encode → structural verify that every job of the reveal service pays.
+// It measures ns/op, B/op and allocs/op per stage over a pinned corpus and
+// emits the machine-readable report (BENCH_4.json) that the CI bench-gate
+// compares against the checked-in baseline.
+//
+// One op is one full pass over the corpus, so numbers are comparable only
+// between runs with the identical corpus; Compare refuses to gate across
+// corpus changes. Stage spans are attributed through internal/obs when a
+// Tracer is supplied, reusing the "stage.<name>" span vocabulary of
+// dexlego.Reveal so trace reports group bench and production runs alike.
+package hotbench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	root "dexlego"
+	"dexlego/internal/apk"
+	"dexlego/internal/art"
+	"dexlego/internal/collector"
+	"dexlego/internal/dex"
+	"dexlego/internal/droidbench"
+	"dexlego/internal/obs"
+	"dexlego/internal/reassembler"
+)
+
+// CorpusNames is the pinned benchmark corpus: DroidBench samples chosen to
+// cover the allocator-relevant shapes of the hot path — plain straight-line
+// leaks, loop-heavy methods (tree dedup pressure), branching and switches
+// (fall-through repair), reflection (bridge generation), try/catch
+// re-anchoring, and self-modifying code (divergence trees and variant
+// merge). Changing this list invalidates every recorded baseline, so the
+// gate embeds the corpus in the report and refuses cross-corpus compares.
+var CorpusNames = []string{
+	"DirectLeak1",
+	"LoopString3",
+	"Branching2",
+	"SwitchFlow1",
+	"Interproc5",
+	"CatchFlow1",
+	"Reflection3",
+	"AdvReflection2",
+	"SelfModifying1",
+	"SelfModifying2",
+}
+
+// The stage vocabulary of the report, in hot-path order. StageReveal is the
+// end-to-end number the acceptance gate tracks.
+const (
+	StageDecode     = "decode"
+	StageCollection = "collection"
+	StageReassembly = "reassembly"
+	StageEncode     = "encode"
+	StageVerify     = "verify"
+	StageReveal     = "reveal"
+)
+
+// app is one prepared corpus entry with every stage input precomputed, so a
+// stage benchmark measures exactly that stage.
+type app struct {
+	sample    *droidbench.Sample
+	pkg       *apk.APK
+	dexBytes  []byte            // input of decode
+	collected *collector.Result // input of reassembly
+	file      *dex.File         // input of encode
+	encoded   []byte            // input of verify
+}
+
+// Config parameterizes a harness run.
+type Config struct {
+	// BenchTime is the minimum measuring time per stage (default 1s).
+	BenchTime time.Duration
+	// MinIters is the minimum op count per stage regardless of BenchTime
+	// (default 3).
+	MinIters int
+	// Workers is the reassembly parallelism handed to the reassembler
+	// (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// Tracer, when set, receives one "stage.<name>" span per measured
+	// stage; its snapshot is embedded in the report.
+	Tracer *obs.Tracer
+}
+
+func (c Config) benchTime() time.Duration {
+	if c.BenchTime <= 0 {
+		return time.Second
+	}
+	return c.BenchTime
+}
+
+func (c Config) minIters() int {
+	if c.MinIters <= 0 {
+		return 3
+	}
+	return c.MinIters
+}
+
+// loadCorpus builds the pinned corpus and precomputes every stage input.
+func loadCorpus(workers int) ([]*app, error) {
+	apps := make([]*app, 0, len(CorpusNames))
+	for _, name := range CorpusNames {
+		s := droidbench.ByName(name)
+		if s == nil {
+			return nil, fmt.Errorf("hotbench: corpus sample %q does not exist", name)
+		}
+		pkg, err := s.Build()
+		if err != nil {
+			return nil, err
+		}
+		data, err := pkg.Dex()
+		if err != nil {
+			return nil, err
+		}
+		a := &app{sample: s, pkg: pkg, dexBytes: data}
+		if a.collected, err = collect(a); err != nil {
+			return nil, fmt.Errorf("hotbench: collect %s: %w", name, err)
+		}
+		f, _, err := reassembler.ReassembleCfg(a.collected, nil,
+			reassembler.Config{Workers: workers})
+		if err != nil {
+			return nil, fmt.Errorf("hotbench: reassemble %s: %w", name, err)
+		}
+		a.file = f
+		if a.encoded, err = f.Write(); err != nil {
+			return nil, fmt.Errorf("hotbench: encode %s: %w", name, err)
+		}
+		apps = append(apps, a)
+	}
+	return apps, nil
+}
+
+// collect runs one JIT-collection pass (the collection stage body).
+func collect(a *app) (*collector.Result, error) {
+	col := collector.New()
+	rt := art.NewRuntime(art.DefaultPhone())
+	a.sample.InstallNatives(rt)
+	rt.AddHooks(col.Hooks())
+	if err := rt.LoadAPK(a.pkg); err != nil {
+		return nil, err
+	}
+	_ = root.DefaultDriver(rt) // app-level failures do not abort collection
+	return col.Result(), nil
+}
+
+// measure runs op in a loop for at least benchTime and minIters ops and
+// returns per-op wall time and allocation figures. The first call warms
+// caches and is not measured, mirroring testing.B steady-state semantics.
+func measure(benchTime time.Duration, minIters int, op func() error) (StageBench, error) {
+	if err := op(); err != nil {
+		return StageBench{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	n := 0
+	for time.Since(start) < benchTime || n < minIters {
+		if err := op(); err != nil {
+			return StageBench{}, err
+		}
+		n++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return StageBench{
+		NsPerOp:     elapsed.Nanoseconds() / int64(n),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(n),
+		Iterations:  n,
+	}, nil
+}
+
+// Run loads the pinned corpus and measures every stage of the hot path.
+func Run(cfg Config) (*Report, error) {
+	apps, err := loadCorpus(cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Schema:      Schema,
+		Corpus:      append([]string(nil), CorpusNames...),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:     cfg.Workers,
+		BenchTimeNS: int64(cfg.benchTime()),
+	}
+	tr := cfg.Tracer
+	benchRoot := tr.Start("bench", "hotbench")
+	defer benchRoot.End()
+
+	stages := []struct {
+		name string
+		op   func() error
+	}{
+		{StageDecode, func() error {
+			for _, a := range apps {
+				if _, err := dex.Read(a.dexBytes); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{StageCollection, func() error {
+			for _, a := range apps {
+				if _, err := collect(a); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{StageReassembly, func() error {
+			for _, a := range apps {
+				if _, _, err := reassembler.ReassembleCfg(a.collected, nil,
+					reassembler.Config{Workers: cfg.Workers}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{StageEncode, func() error {
+			for _, a := range apps {
+				if _, err := a.file.Write(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{StageVerify, func() error {
+			for _, a := range apps {
+				f, err := dex.ReadShared(a.encoded)
+				if err != nil {
+					return err
+				}
+				if errs := dex.Verify(f); len(errs) > 0 {
+					return errs[0]
+				}
+			}
+			return nil
+		}},
+		{StageReveal, func() error {
+			for _, a := range apps {
+				if _, err := root.Reveal(a.pkg, root.Options{
+					Natives: a.sample.Natives(),
+					Workers: cfg.Workers,
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+	for _, st := range stages {
+		sp := benchRoot.Start("stage." + st.name)
+		sb, err := measure(cfg.benchTime(), cfg.minIters(), st.op)
+		sp.End()
+		if err != nil {
+			return nil, fmt.Errorf("hotbench: stage %s: %w", st.name, err)
+		}
+		sb.Stage = st.name
+		rep.Stages = append(rep.Stages, sb)
+	}
+	benchRoot.End()
+	rep.Obs = tr.Snapshot()
+	return rep, nil
+}

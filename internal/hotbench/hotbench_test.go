@@ -1,0 +1,134 @@
+package hotbench
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	root "dexlego"
+	"dexlego/internal/droidbench"
+)
+
+// TestSerialParallelByteIdentical is the golden test for the parallel
+// reassembly path: for every corpus sample, revealing with Workers: 1
+// (forced serial), Workers: 4 and Workers: 0 (GOMAXPROCS) must produce
+// byte-identical DEX output. Run under -race in CI, this also exercises the
+// worker pool for data races on the shared Builder.
+func TestSerialParallelByteIdentical(t *testing.T) {
+	for _, name := range CorpusNames {
+		t.Run(name, func(t *testing.T) {
+			s := droidbench.ByName(name)
+			if s == nil {
+				t.Fatalf("corpus sample %q does not exist", name)
+			}
+			reveal := func(workers int) []byte {
+				pkg, err := s.Build()
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				res, err := root.Reveal(pkg, root.Options{
+					Natives: s.Natives(),
+					Workers: workers,
+				})
+				if err != nil {
+					t.Fatalf("reveal (workers=%d): %v", workers, err)
+				}
+				data, err := res.Revealed.Dex()
+				if err != nil {
+					t.Fatalf("dex (workers=%d): %v", workers, err)
+				}
+				return data
+			}
+			serial := reveal(1)
+			for _, workers := range []int{4, 0} {
+				if got := reveal(workers); !bytes.Equal(serial, got) {
+					t.Errorf("workers=%d output differs from serial: %d vs %d bytes",
+						workers, len(got), len(serial))
+				}
+			}
+		})
+	}
+}
+
+// TestRunEmitsAllStages runs the harness with a minimal budget and checks
+// the report carries every stage with sane figures and survives a JSON
+// round trip.
+func TestRunEmitsAllStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run is slow under -short")
+	}
+	rep, err := Run(Config{BenchTime: time.Millisecond, MinIters: 1, Workers: 1})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{StageDecode, StageCollection, StageReassembly, StageEncode, StageVerify, StageReveal}
+	if len(rep.Stages) != len(want) {
+		t.Fatalf("got %d stages, want %d", len(rep.Stages), len(want))
+	}
+	for i, name := range want {
+		sb := rep.Stages[i]
+		if sb.Stage != name {
+			t.Errorf("stage[%d] = %q, want %q", i, sb.Stage, name)
+		}
+		if sb.NsPerOp <= 0 || sb.AllocsPerOp <= 0 || sb.Iterations < 1 {
+			t.Errorf("stage %s has degenerate figures: %+v", name, sb)
+		}
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatalf("DecodeReport: %v", err)
+	}
+	if len(back.Stages) != len(rep.Stages) || back.Schema != Schema {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if msgs := Compare(back, rep, DefaultNsTolerance, DefaultAllocsTolerance); len(msgs) != 0 {
+		t.Fatalf("self-compare flagged regressions: %v", msgs)
+	}
+}
+
+// TestCompareFlagsRegressions checks the gate arithmetic: ns/op beyond the
+// ns tolerance and allocs/op beyond the allocs tolerance each produce a
+// violation, and a corpus mismatch refuses the comparison outright.
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := &Report{
+		Schema: Schema,
+		Corpus: []string{"A", "B"},
+		Stages: []StageBench{{Stage: StageReveal, NsPerOp: 1000, BytesPerOp: 500, AllocsPerOp: 100, Iterations: 5}},
+	}
+	ok := &Report{
+		Schema: Schema,
+		Corpus: []string{"A", "B"},
+		Stages: []StageBench{{Stage: StageReveal, NsPerOp: 1100, BytesPerOp: 520, AllocsPerOp: 105, Iterations: 5}},
+	}
+	if msgs := Compare(base, ok, DefaultNsTolerance, DefaultAllocsTolerance); len(msgs) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", msgs)
+	}
+	slow := &Report{
+		Schema: Schema,
+		Corpus: []string{"A", "B"},
+		Stages: []StageBench{{Stage: StageReveal, NsPerOp: 1200, BytesPerOp: 500, AllocsPerOp: 100, Iterations: 5}},
+	}
+	if msgs := Compare(base, slow, DefaultNsTolerance, DefaultAllocsTolerance); len(msgs) != 1 {
+		t.Fatalf("ns/op regression not flagged exactly once: %v", msgs)
+	}
+	leaky := &Report{
+		Schema: Schema,
+		Corpus: []string{"A", "B"},
+		Stages: []StageBench{{Stage: StageReveal, NsPerOp: 1000, BytesPerOp: 500, AllocsPerOp: 120, Iterations: 5}},
+	}
+	if msgs := Compare(base, leaky, DefaultNsTolerance, DefaultAllocsTolerance); len(msgs) != 1 {
+		t.Fatalf("allocs/op regression not flagged exactly once: %v", msgs)
+	}
+	otherCorpus := &Report{
+		Schema: Schema,
+		Corpus: []string{"A", "C"},
+		Stages: base.Stages,
+	}
+	if msgs := Compare(base, otherCorpus, DefaultNsTolerance, DefaultAllocsTolerance); len(msgs) == 0 {
+		t.Fatal("corpus mismatch not refused")
+	}
+}

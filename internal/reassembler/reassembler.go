@@ -18,6 +18,7 @@ package reassembler
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"dexlego/internal/apk"
@@ -54,8 +55,24 @@ func Reassemble(res *collector.Result) (*dex.File, *Stats, error) {
 // ReassembleWith is Reassemble with trace events (stub emissions, variant
 // merges, reflection rewrites) attributed to span; nil disables them.
 func ReassembleWith(res *collector.Result, span *obs.Span) (*dex.File, *Stats, error) {
+	return ReassembleCfg(res, span, Config{})
+}
+
+// Config parameterizes a reassembly run.
+type Config struct {
+	// Workers bounds the parallel method-assembly and index-remap fan-out
+	// of the generated program: 0 selects GOMAXPROCS, 1 forces the serial
+	// path. Serial and parallel reassembly produce byte-identical DEX
+	// output (pinned by TestSerialParallelByteIdentical).
+	Workers int
+}
+
+// ReassembleCfg is ReassembleWith with explicit parallelism configuration.
+func ReassembleCfg(res *collector.Result, span *obs.Span, cfg Config) (*dex.File, *Stats, error) {
+	p := dexgen.New()
+	p.SetWorkers(cfg.Workers)
 	ra := &reassembler{
-		p:     dexgen.New(),
+		p:     p,
 		res:   res,
 		stats: &Stats{},
 		span:  span,
@@ -78,7 +95,13 @@ func ReassembleAPK(orig *apk.APK, res *collector.Result) (*apk.APK, *Stats, erro
 
 // ReassembleAPKWith is ReassembleAPK with trace events attributed to span.
 func ReassembleAPKWith(orig *apk.APK, res *collector.Result, span *obs.Span) (*apk.APK, *Stats, error) {
-	f, stats, err := ReassembleWith(res, span)
+	return ReassembleAPKCfg(orig, res, span, Config{})
+}
+
+// ReassembleAPKCfg is ReassembleAPKWith with explicit parallelism
+// configuration.
+func ReassembleAPKCfg(orig *apk.APK, res *collector.Result, span *obs.Span, cfg Config) (*apk.APK, *Stats, error) {
+	f, stats, err := ReassembleCfg(res, span, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -120,7 +143,7 @@ func (ra *reassembler) instrumentField(rec *collector.MethodRecord) string {
 	base := sanitize(rec.Class + "_" + rec.Name)
 	n := ra.fieldCounter[base]
 	ra.fieldCounter[base] = n + 1
-	name := fmt.Sprintf("%s_%d", base, n)
+	name := base + "_" + strconv.Itoa(n)
 	// Deliberately non-final and defaulted: the value is runtime-dependent
 	// (the paper uses random values), so value-sensitive analyses must treat
 	// both branches as reachable.
@@ -405,7 +428,13 @@ func (fl *flattener) assignIDs(n *collector.TreeNode) {
 }
 
 func (fl *flattener) label(n *collector.TreeNode, pc int) string {
-	return fmt.Sprintf("n%d_pc%d", fl.nodeID[n], pc)
+	// Built ~3x per instruction; strconv-append keeps it to one allocation.
+	buf := make([]byte, 0, 16)
+	buf = append(buf, 'n')
+	buf = strconv.AppendInt(buf, int64(fl.nodeID[n]), 10)
+	buf = append(buf, "_pc"...)
+	buf = strconv.AppendInt(buf, int64(pc), 10)
+	return string(buf)
 }
 
 // resolve maps an original dex_pc reference from node n to a layout label,
@@ -636,7 +665,7 @@ func (ra *reassembler) bridgeFor(targets []collector.ReflTarget) string {
 	if ra.bridgeCls == nil {
 		ra.bridgeCls = ra.p.Class(BridgeClass, "")
 	}
-	name := fmt.Sprintf("call_%d", ra.bridgeCounter)
+	name := "call_" + strconv.Itoa(ra.bridgeCounter)
 	ra.bridgeCounter++
 	ts := append([]collector.ReflTarget(nil), targets...)
 	ra.bridgeCls.Method(dexgen.MethodSpec{
