@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dexlego -apk app.apk -out revealed.apk [-collect dir] [-force] [-fuzz]
+//	dexlego -apk app.apk -out revealed.apk [-collect dir] [-force] [-fuzz] [-workers n]
 //	dexlego -sample SelfModifying1 -out revealed.apk [-trace-out trace.jsonl]
 //	dexlego -batch -out dir [-jobs n] [-metrics-out report.json] a.apk b.apk ...
 //	dexlego -serve [-addr host:port] [-store-dir dir] [-queue-depth n] [-jobs n]
@@ -73,6 +73,7 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "fuzzer seed")
 	batch := fs.Bool("batch", false, "batch mode: reveal every APK argument over a worker pool")
 	jobs := fs.Int("jobs", 0, "worker parallelism for -batch and -serve (default GOMAXPROCS)")
+	workers := fs.Int("workers", 0, "intra-reveal parallelism: reassembly fan-out and forced-run pool per APK (default GOMAXPROCS; output is byte-identical at any count)")
 	metricsOut := fs.String("metrics-out", "", "write the batch metrics report JSON to this file")
 	serve := fs.Bool("serve", false, "service mode: run the HTTP reveal job API until SIGTERM")
 	addr := fs.String("addr", "localhost:8080", "service listen address")
@@ -85,7 +86,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := validateFlags(fs, *serve, *jobs, *queueDepth); err != nil {
+	if err := validateFlags(fs, *serve, *jobs, *workers, *queueDepth); err != nil {
 		return err
 	}
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -114,6 +115,7 @@ func run(args []string) error {
 		Fuzz:           *fuzz,
 		FuzzSeed:       *seed,
 		ForceExecution: *force,
+		Workers:        *workers,
 	}
 	var sink *obs.JSONLSink
 	if *traceOut != "" {
@@ -125,7 +127,7 @@ func run(args []string) error {
 		sink = obs.NewJSONLSink(f)
 	}
 	if *serve {
-		return runServe(*addr, *storeDir, *queueDepth, *jobs, sink)
+		return runServe(*addr, *storeDir, *queueDepth, *jobs, *workers, sink)
 	}
 	if *batch {
 		return runBatch(fs.Args(), *outPath, *jobs, *metricsOut, sink, opts)
@@ -322,11 +324,14 @@ func writeMetrics(path, apkPath string, res *root.Result) error {
 // below 1 is a typo'd pool size, not a request for the default. -serve is
 // a long-running mode, so combining it with any one-shot input or output
 // flag silently ignoring one of them would be worse than an error.
-func validateFlags(fs *flag.FlagSet, serve bool, jobs, queueDepth int) error {
+func validateFlags(fs *flag.FlagSet, serve bool, jobs, workers, queueDepth int) error {
 	explicit := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if explicit["jobs"] && jobs < 1 {
 		return fmt.Errorf("-jobs must be at least 1 (got %d); omit it for GOMAXPROCS", jobs)
+	}
+	if explicit["workers"] && workers < 1 {
+		return fmt.Errorf("-workers must be at least 1 (got %d); omit it for GOMAXPROCS", workers)
 	}
 	if !serve {
 		return nil

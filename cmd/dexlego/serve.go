@@ -29,7 +29,7 @@ const drainTimeout = 30 * time.Second
 // runServe runs the reveal service until SIGTERM/SIGINT, then drains:
 // admission stops (POST 503, healthz 503), in-flight HTTP requests and
 // every admitted job complete, and only then does the process exit.
-func runServe(addr, storeDir string, queueDepth, workers int, sink *obs.JSONLSink) error {
+func runServe(addr, storeDir string, queueDepth, jobs, revealWorkers int, sink *obs.JSONLSink) error {
 	st, err := store.Open(storeDir, 0)
 	if err != nil {
 		return err
@@ -39,10 +39,11 @@ func runServe(addr, storeDir string, queueDepth, workers int, sink *obs.JSONLSin
 		obsSink = sink
 	}
 	srv, err := server.New(server.Config{
-		Store:      st,
-		Workers:    workers,
-		QueueDepth: queueDepth,
-		Sink:       obsSink,
+		Store:         st,
+		Workers:       jobs,
+		RevealWorkers: revealWorkers,
+		QueueDepth:    queueDepth,
+		Sink:          obsSink,
 	})
 	if err != nil {
 		return err

@@ -62,9 +62,10 @@ type Options struct {
 	// CollectDir, when set, receives the five collection files.
 	CollectDir string
 
-	// Workers bounds the parallel fan-out of the reassembly stage (method
-	// assembly and index remapping): 0 selects GOMAXPROCS, 1 forces the
-	// serial path. Output is byte-identical at any worker count.
+	// Workers bounds the intra-reveal parallel fan-out: the reassembly
+	// stage (method assembly and index remapping) and, when ForceExecution
+	// is on, the per-iteration forced-run pool. 0 selects GOMAXPROCS, 1
+	// forces the serial path. Output is byte-identical at any worker count.
 	Workers int
 
 	// Tracer, when set, records hierarchical spans and domain events for
@@ -202,11 +203,18 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 			eng := forceexec.New(pkg, files)
 			eng.InstallNatives = func(rt *art.Runtime) { setup(rt) }
 			eng.Driver = driver
-			eng.ExtraHooks = []*art.Hooks{col.Hooks()}
+			eng.Workers = opts.Workers
+			// The engine owns the collector for this stage: the baseline run
+			// collects directly, forced runs collect into per-run shards
+			// merged at each iteration barrier, and the result is
+			// canonicalized — byte-identical output at any worker count.
+			eng.Collector = col
 			eng.Span = sp
-			if _, err := eng.Run(tracker); err != nil {
+			stats, err := eng.Run(tracker)
+			if err != nil {
 				return fmt.Errorf("force execution: %w", err)
 			}
+			res.Metrics.AddStageCPU(pipeline.StageForceExec, time.Duration(stats.BusyNS))
 			rep := tracker.Report()
 			res.Coverage = &rep
 			return nil

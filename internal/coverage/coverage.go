@@ -155,7 +155,14 @@ func NewTracker(files []*dex.File) (*Tracker, error) {
 			}
 		}
 	}
-	t.hooks = &art.Hooks{
+	t.hooks = t.newHooks()
+	return t, nil
+}
+
+// newHooks builds the instrumentation closure over this tracker's covered
+// maps (totals are read-only after construction, so shards can share them).
+func (t *Tracker) newHooks() *art.Hooks {
+	return &art.Hooks{
 		Instruction: func(m *art.Method, pc int, insns []uint16) {
 			key := m.Key()
 			ik := insnKey{key, pc}
@@ -176,7 +183,57 @@ func NewTracker(files []*dex.File) (*Tracker, error) {
 			return false, false
 		},
 	}
-	return t, nil
+}
+
+// Shard returns a tracker that shares t's static totals (read-only after
+// construction) but owns fresh covered maps and hooks, so one forced run can
+// record coverage on its own goroutine without synchronizing with other
+// runs. Fold a shard's observations back with Merge.
+func (t *Tracker) Shard() *Tracker {
+	s := &Tracker{
+		totalClasses:  t.totalClasses,
+		totalMethods:  t.totalMethods,
+		totalInsns:    t.totalInsns,
+		totalLines:    t.totalLines,
+		totalEdges:    t.totalEdges,
+		totalHandlers: t.totalHandlers,
+		methodClass:   t.methodClass,
+		classes:       make(map[string]bool),
+		methods:       make(map[string]bool),
+		insns:         make(map[insnKey]bool),
+		lines:         make(map[lineKey]bool),
+		edges:         make(map[branchEdge]bool),
+		handlers:      make(map[insnKey]bool),
+	}
+	s.hooks = s.newHooks()
+	return s
+}
+
+// Merge unions other's covered sets into t. Coverage is monotone set
+// growth, so merging is commutative and associative — the merged tracker is
+// independent of shard order and count.
+func (t *Tracker) Merge(other *Tracker) {
+	if other == nil {
+		return
+	}
+	for k := range other.classes {
+		t.classes[k] = true
+	}
+	for k := range other.methods {
+		t.methods[k] = true
+	}
+	for k := range other.insns {
+		t.insns[k] = true
+	}
+	for k := range other.lines {
+		t.lines[k] = true
+	}
+	for k := range other.edges {
+		t.edges[k] = true
+	}
+	for k := range other.handlers {
+		t.handlers[k] = true
+	}
 }
 
 // Hooks returns the instrumentation to attach to a runtime.

@@ -112,3 +112,62 @@ func TestRatioFormatting(t *testing.T) {
 		t.Error("zero-total percent must be 0")
 	}
 }
+
+func TestShardMerge(t *testing.T) {
+	f, _ := buildCovApp(t)
+	tracker, err := coverage.NewTracker([]*dex.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two shards observe disjoint edges; the parent tracker sees nothing
+	// until the barrier merge.
+	run := func(shard *coverage.Tracker, arg int64) {
+		rt := art.NewRuntime(art.DefaultPhone())
+		rt.AddHooks(shard.Hooks())
+		if _, err := rt.LoadDex(f); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Call("Lcov/C;", "f", "(I)I", nil, []art.Value{art.IntVal(arg)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1, s2 := tracker.Shard(), tracker.Shard()
+	run(s1, 5)
+	run(s2, -5)
+
+	if got := tracker.Report().Branch.Covered; got != 0 {
+		t.Fatalf("parent saw shard coverage before merge: %d edges", got)
+	}
+	if s1.Report().Branch.Covered != 1 || s2.Report().Branch.Covered != 1 {
+		t.Fatalf("shard reports wrong: %+v / %+v", s1.Report(), s2.Report())
+	}
+	// Shards share totals by reference, not copy.
+	if s1.Report().Branch.Total != tracker.Report().Branch.Total {
+		t.Error("shard totals diverge from parent")
+	}
+
+	tracker.Merge(s1)
+	tracker.Merge(s2)
+	tracker.Merge(nil) // no-op
+	rep := tracker.Report()
+	if rep.Branch.Covered != 2 || rep.Method.Covered != 1 || rep.Class.Covered != 1 {
+		t.Errorf("merged coverage = %+v", rep)
+	}
+	if got := len(tracker.UncoveredBranches()); got != 0 {
+		t.Errorf("UCBs after merge = %d", got)
+	}
+
+	// Merge is idempotent and order-insensitive: merging again or in the
+	// other order changes nothing.
+	tracker2, err := coverage.NewTracker([]*dex.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracker2.Merge(s2)
+	tracker2.Merge(s1)
+	tracker2.Merge(s1)
+	if tracker2.Report() != rep {
+		t.Errorf("merge order changed report: %+v vs %+v", tracker2.Report(), rep)
+	}
+}

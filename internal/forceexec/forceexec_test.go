@@ -1,11 +1,14 @@
 package forceexec_test
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"testing"
 
 	"dexlego/internal/apk"
 	"dexlego/internal/bytecode"
+	"dexlego/internal/collector"
 	"dexlego/internal/coverage"
 	"dexlego/internal/dex"
 	"dexlego/internal/dexgen"
@@ -207,3 +210,125 @@ func TestForceExceptionEdges(t *testing.T) {
 		t.Errorf("exception-edge forcing left instructions uncovered: %v", withHandlers.Instruction)
 	}
 }
+
+// TestParallelForceExecutionDeterministic is the engine half of the
+// acceptance spine: the same campaign at every worker count must produce an
+// identical coverage report, identical campaign counters, and a canonical
+// collection result that encodes to identical bytes.
+func TestParallelForceExecutionDeterministic(t *testing.T) {
+	pkg, files := buildGatedApp(t)
+	run := func(workers int) (string, *forceexec.Stats, coverage.Report) {
+		tracker, err := coverage.NewTracker(files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := collector.New()
+		eng := forceexec.New(pkg, files)
+		eng.Workers = workers
+		eng.Collector = col
+		eng.ForceExceptionEdges = true
+		stats, err := eng.Run(tracker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(col.Result())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data), stats, tracker.Report()
+	}
+
+	base, baseStats, baseRep := run(1)
+	if baseStats.ForcedRuns == 0 {
+		t.Fatal("campaign scheduled no forced runs")
+	}
+	for _, w := range []int{2, 4, 8} {
+		got, stats, rep := run(w)
+		if got != base {
+			t.Errorf("workers=%d: collection result diverges from serial", w)
+		}
+		if rep != baseRep {
+			t.Errorf("workers=%d: coverage %+v, serial %+v", w, rep, baseRep)
+		}
+		if stats.ForcedRuns != baseStats.ForcedRuns ||
+			stats.Iterations != baseStats.Iterations ||
+			stats.PathsComputed != baseStats.PathsComputed ||
+			stats.ExceptionsCleared != baseStats.ExceptionsCleared ||
+			len(stats.Paths) != len(baseStats.Paths) {
+			t.Errorf("workers=%d: campaign counters diverge: %+v vs %+v", w, stats, baseStats)
+		}
+		if stats.Workers != w {
+			t.Errorf("workers=%d: Stats.Workers = %d", w, stats.Workers)
+		}
+		if stats.BusyNS <= 0 {
+			t.Errorf("workers=%d: no busy time attributed", w)
+		}
+	}
+}
+
+// TestForceHandlersBounded pins the budget fix: exception-edge forcing must
+// honor MaxRunsPerIter instead of running once per handler site unbounded.
+func TestForceHandlersBounded(t *testing.T) {
+	p := dexgen.New()
+	main := p.Class("Lhb/Main;", "Landroid/app/Activity;")
+	main.Ctor("Landroid/app/Activity;", nil)
+	main.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		for i := 0; i < 3; i++ {
+			ts, te, h, after := // distinct labels per try range
+				labelf("ts", i), labelf("te", i), labelf("h", i), labelf("after", i)
+			a.Label(ts)
+			a.Const(0, 8)
+			a.Const(1, 2)
+			a.Binop(bytecode.OpDivInt, 2, 0, 1) // never throws naturally
+			a.Label(te)
+			a.Goto(after)
+			a.Label(h)
+			a.MoveException(3)
+			a.Const(4, int64(i))
+			a.Label(after)
+			a.Nop()
+			a.Catch(ts, te, "Ljava/lang/ArithmeticException;", h)
+		}
+		a.ReturnVoid()
+	})
+	pkg, err := p.BuildAPK("hb", "1.0", "Lhb/Main;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := pkg.Dex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := dex.Read(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*dex.File{f}
+
+	tracker, err := coverage.NewTracker(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tracker.UncoveredHandlers()); got != 3 {
+		t.Fatalf("uncovered handler sites = %d, want 3", got)
+	}
+	eng := forceexec.New(pkg, files)
+	eng.MaxIterations = 0 // isolate the handler phase
+	eng.ForceExceptionEdges = true
+	eng.MaxRunsPerIter = 2
+	stats, err := eng.Run(tracker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ForcedRuns > 2 {
+		t.Errorf("handler phase ran %d forced runs, budget is 2", stats.ForcedRuns)
+	}
+	if stats.ForcedRuns == 0 {
+		t.Error("handler phase scheduled nothing")
+	}
+	if got := len(tracker.UncoveredHandlers()); got != 1 {
+		t.Errorf("uncovered handlers after budgeted phase = %d, want 1", got)
+	}
+}
+
+func labelf(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }

@@ -2,7 +2,7 @@
 // path: the per-APK pipeline DEX decode → JIT collection → reassembly →
 // DEX encode → structural verify that every job of the reveal service pays.
 // It measures ns/op, B/op and allocs/op per stage over a pinned corpus and
-// emits the machine-readable report (BENCH_4.json) that the CI bench-gate
+// emits the machine-readable report (BENCH_5.json) that the CI bench-gate
 // compares against the checked-in baseline.
 //
 // One op is one full pass over the corpus, so numbers are comparable only
@@ -20,9 +20,13 @@ import (
 	root "dexlego"
 	"dexlego/internal/apk"
 	"dexlego/internal/art"
+	"dexlego/internal/bytecode"
 	"dexlego/internal/collector"
+	"dexlego/internal/coverage"
 	"dexlego/internal/dex"
+	"dexlego/internal/dexgen"
 	"dexlego/internal/droidbench"
+	"dexlego/internal/forceexec"
 	"dexlego/internal/obs"
 	"dexlego/internal/reassembler"
 )
@@ -48,15 +52,25 @@ var CorpusNames = []string{
 }
 
 // The stage vocabulary of the report, in hot-path order. StageReveal is the
-// end-to-end number the acceptance gate tracks.
+// end-to-end number the acceptance gate tracks; StageForceExec measures one
+// full force-execution campaign over the gate farm at the configured worker
+// count, with StageForceExecW1 as the serial reference — their ratio is the
+// intra-reveal speedup.
 const (
-	StageDecode     = "decode"
-	StageCollection = "collection"
-	StageReassembly = "reassembly"
-	StageEncode     = "encode"
-	StageVerify     = "verify"
-	StageReveal     = "reveal"
+	StageDecode      = "decode"
+	StageCollection  = "collection"
+	StageReassembly  = "reassembly"
+	StageEncode      = "encode"
+	StageVerify      = "verify"
+	StageReveal      = "reveal"
+	StageForceExec   = "forceexec"
+	StageForceExecW1 = "forceexec-w1"
 )
+
+// gateFarmGates sizes the force-execution benchmark body: that many
+// independent never-taken branches, each becoming one forced run in the
+// campaign's first iteration — an embarrassingly parallel worklist.
+const gateFarmGates = 16
 
 // app is one prepared corpus entry with every stage input precomputed, so a
 // stage benchmark measures exactly that stage.
@@ -132,6 +146,45 @@ func loadCorpus(workers int) ([]*app, error) {
 	return apps, nil
 }
 
+// gateFarm builds the force-execution benchmark app: gateFarmGates
+// independent branches the launch never takes, each guarding a short block.
+// Every gate is one UCB, so one campaign schedules gateFarmGates forced
+// runs in its first iteration.
+func gateFarm() (*apk.APK, []*dex.File, error) {
+	p := dexgen.New()
+	main := p.Class("Lbench/Gates;", "Landroid/app/Activity;")
+	main.Ctor("Landroid/app/Activity;", nil)
+	main.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		for i := 0; i < gateFarmGates; i++ {
+			gate := fmt.Sprintf("gate%d", i)
+			after := fmt.Sprintf("after%d", i)
+			a.Const(0, 0)
+			a.IfZ(bytecode.OpIfNez, 0, gate) // never taken naturally
+			a.Goto(after)
+			a.Label(gate)
+			a.Const(1, int64(i))
+			a.Const(2, 3)
+			a.Binop(bytecode.OpAddInt, 3, 1, 2)
+			a.Label(after)
+			a.Nop()
+		}
+		a.ReturnVoid()
+	})
+	pkg, err := p.BuildAPK("bench.gates", "1.0", "Lbench/Gates;")
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := pkg.Dex()
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := dex.Read(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, []*dex.File{f}, nil
+}
+
 // collect runs one JIT-collection pass (the collection stage body).
 func collect(a *app) (*collector.Result, error) {
 	col := collector.New()
@@ -173,11 +226,36 @@ func measure(benchTime time.Duration, minIters int, op func() error) (StageBench
 	}, nil
 }
 
+// forceOp runs one full force-execution campaign over the gate farm — the
+// body of the forceexec stages.
+func forceOp(pkg *apk.APK, files []*dex.File, workers int) func() error {
+	return func() error {
+		tracker, err := coverage.NewTracker(files)
+		if err != nil {
+			return err
+		}
+		eng := forceexec.New(pkg, files)
+		eng.Workers = workers
+		eng.Collector = collector.New()
+		if _, err := eng.Run(tracker); err != nil {
+			return err
+		}
+		if left := len(tracker.UncoveredBranches()); left != 0 {
+			return fmt.Errorf("gate farm left %d UCBs uncovered", left)
+		}
+		return nil
+	}
+}
+
 // Run loads the pinned corpus and measures every stage of the hot path.
 func Run(cfg Config) (*Report, error) {
 	apps, err := loadCorpus(cfg.Workers)
 	if err != nil {
 		return nil, err
+	}
+	gfPkg, gfFiles, err := gateFarm()
+	if err != nil {
+		return nil, fmt.Errorf("hotbench: gate farm: %w", err)
 	}
 	rep := &Report{
 		Schema:      Schema,
@@ -250,6 +328,8 @@ func Run(cfg Config) (*Report, error) {
 			}
 			return nil
 		}},
+		{StageForceExec, forceOp(gfPkg, gfFiles, cfg.Workers)},
+		{StageForceExecW1, forceOp(gfPkg, gfFiles, 1)},
 	}
 	for _, st := range stages {
 		sp := benchRoot.Start("stage." + st.name)

@@ -39,6 +39,11 @@ type EventType uint8
 // reveal-as-a-service layer (internal/server, internal/store): cache
 // hit/miss against the content-addressed artifact store, the time a job
 // spent queued for a worker, and the job admission/completion lifecycle.
+// The parallel-collection events cover sharded force execution
+// (internal/forceexec): worker_merge is one collection shard folded into
+// the campaign result at an iteration barrier, and worker_clamp records
+// the service capping a job's worker budget to keep jobs x workers within
+// GOMAXPROCS.
 const (
 	EventSpanStart EventType = iota
 	EventSpanEnd
@@ -57,6 +62,8 @@ const (
 	EventQueueWait
 	EventJobEnqueued
 	EventJobDone
+	EventWorkerMerge
+	EventWorkerClamp
 	numEventTypes // sentinel, keep last
 )
 
@@ -78,6 +85,8 @@ var eventNames = [numEventTypes]string{
 	EventQueueWait:          "queue_wait",
 	EventJobEnqueued:        "job_enqueued",
 	EventJobDone:            "job_done",
+	EventWorkerMerge:        "worker_merge",
+	EventWorkerClamp:        "worker_clamp",
 }
 
 // EventTypes returns every known event type, in declaration order.
@@ -147,9 +156,10 @@ type Event struct {
 	Iter   int       `json:"iter,omitempty"`   // force-execution iteration
 	Branch string    `json:"branch,omitempty"` // ucb_flip: taken|fallthrough
 	Target string    `json:"target,omitempty"` // reflection_rewrite: bridge method
-	From   int       `json:"from,omitempty"`   // merge_variant: raw tree count
-	Count  int       `json:"count,omitempty"`  // merge_variant: arrays kept; method_collected: insns
-	Detail string    `json:"detail,omitempty"` // verify_defect, concurrent_entry; service events: cache key or job id
+	From   int       `json:"from,omitempty"`   // merge_variant: raw tree count; worker_merge: trees offered; worker_clamp: requested workers
+	Count  int       `json:"count,omitempty"`  // merge_variant: arrays kept; method_collected: insns; worker_merge: trees kept; worker_clamp: granted workers
+	Worker int       `json:"worker,omitempty"` // worker_merge: merged shard index
+	Detail string    `json:"detail,omitempty"` // verify_defect, concurrent_entry; service events: cache key or job id; worker_clamp: reason
 }
 
 // Sink receives encoded trace lines (each terminated by '\n').
@@ -412,6 +422,27 @@ func (s *Span) ConcurrentEntry(detail string) {
 		return
 	}
 	s.t.emit(&Event{Type: EventConcurrentEntry, Span: s.id, Detail: detail})
+}
+
+// WorkerMerge records one collection shard folded into the campaign result
+// at a force-execution barrier: shard index `worker` in iteration `iter`
+// offered `offered` collection trees of which `kept` were new (the rest
+// were fingerprint-dedup hits against trees already on record).
+func (s *Span) WorkerMerge(worker, iter, offered, kept int) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventWorkerMerge, Span: s.id, Worker: worker, Iter: iter, From: offered, Count: kept})
+}
+
+// WorkerClamp records the admission layer capping a job's reveal-internal
+// worker budget from `requested` to `granted` so concurrent jobs cannot
+// oversubscribe the machine; detail names the constraint that bound.
+func (s *Span) WorkerClamp(requested, granted int, detail string) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventWorkerClamp, Span: s.id, From: requested, Count: granted, Detail: detail})
 }
 
 // --- service emitters (internal/server, internal/store) ---------------------

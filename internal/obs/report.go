@@ -86,6 +86,19 @@ func (e *Event) Validate() error {
 			return fmt.Errorf("obs: job_done: bad outcome %q", e.Name)
 		}
 		return need(e.Detail != "", "job id")
+	case EventWorkerMerge:
+		if e.Worker < 0 {
+			return fmt.Errorf("obs: worker_merge: negative shard index %d", e.Worker)
+		}
+		if e.Count < 0 || e.From < e.Count {
+			return fmt.Errorf("obs: worker_merge: kept %d of %d offered trees", e.Count, e.From)
+		}
+		return nil
+	case EventWorkerClamp:
+		if e.Count < 1 || e.From < e.Count {
+			return fmt.Errorf("obs: worker_clamp: %d workers clamped to %d", e.From, e.Count)
+		}
+		return nil
 	}
 	return nil
 }
@@ -159,6 +172,9 @@ type AppTrace struct {
 	Converges        int
 	FlipsByIter      map[int]int
 	ExceptionsTol    int
+	ShardMerges      int // worker_merge events (collection shards folded in)
+	ShardTreesKept   int // trees adopted from shards
+	ShardDedupHits   int // shard trees discarded as fingerprint duplicates
 	Merges           []MergeDecision
 	Stubs            int
 	ReflRewrites     int
@@ -251,6 +267,10 @@ func (t *Trace) Apps() []*AppTrace {
 			a.FlipsByIter[ev.Iter]++
 		case EventExceptionTolerated:
 			a.ExceptionsTol++
+		case EventWorkerMerge:
+			a.ShardMerges++
+			a.ShardTreesKept += ev.Count
+			a.ShardDedupHits += ev.From - ev.Count
 		case EventMergeVariant:
 			a.Merges = append(a.Merges, MergeDecision{Method: ev.Method, From: ev.From, To: ev.Count})
 		case EventStubEmitted:
@@ -318,6 +338,10 @@ func (t *Trace) ReportString() string {
 				fmt.Fprintf(&sb, " iter%d:%d", it, a.FlipsByIter[it])
 			}
 			fmt.Fprintf(&sb, " (exceptions tolerated: %d)\n", a.ExceptionsTol)
+		}
+		if a.ShardMerges > 0 {
+			fmt.Fprintf(&sb, "  collection shards merged: %d (%d trees kept, %d dedup hits)\n",
+				a.ShardMerges, a.ShardTreesKept, a.ShardDedupHits)
 		}
 		if len(a.Merges) > 0 {
 			sb.WriteString("  merge decisions:\n")

@@ -67,14 +67,22 @@ func (s *Stage) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
-// StageTiming records the wall time one stage consumed.
+// StageTiming records the wall time one stage consumed, and — for stages
+// that fan work out across a worker pool — the aggregate CPU time the
+// workers spent inside it. CPUNS is zero for serial stages (wall is the
+// honest cost there); for parallel stages CPUNS/WallNS approximates the
+// effective parallelism the stage achieved.
 type StageTiming struct {
 	Stage  Stage `json:"stage"`
 	WallNS int64 `json:"wallNS"`
+	CPUNS  int64 `json:"cpuNS,omitempty"`
 }
 
 // Wall returns the recorded wall time as a duration.
 func (st StageTiming) Wall() time.Duration { return time.Duration(st.WallNS) }
+
+// CPU returns the recorded aggregate worker CPU time as a duration.
+func (st StageTiming) CPU() time.Duration { return time.Duration(st.CPUNS) }
 
 // AppMetrics is the structured outcome of one app's reveal: per-stage wall
 // times plus the collection and reassembly counters of the paper's
@@ -124,6 +132,30 @@ func (m *AppMetrics) AddStage(s Stage, d time.Duration) {
 	m.Stages = append(m.Stages, StageTiming{Stage: s, WallNS: int64(d)})
 }
 
+// AddStageCPU attributes aggregate worker CPU time to a stage, creating the
+// entry if the stage has not recorded wall time yet. Unlike wall time, CPU
+// time across workers may legitimately exceed the stage's wall time — that
+// surplus is exactly the parallelism the stage bought.
+func (m *AppMetrics) AddStageCPU(s Stage, d time.Duration) {
+	for i := range m.Stages {
+		if m.Stages[i].Stage == s {
+			m.Stages[i].CPUNS += int64(d)
+			return
+		}
+	}
+	m.Stages = append(m.Stages, StageTiming{Stage: s, CPUNS: int64(d)})
+}
+
+// StageCPU returns the aggregate worker CPU time recorded for s, or 0.
+func (m *AppMetrics) StageCPU(s Stage) time.Duration {
+	for _, st := range m.Stages {
+		if st.Stage == s {
+			return st.CPU()
+		}
+	}
+	return 0
+}
+
 // StageWall returns the recorded wall time of s, or 0 if it did not run.
 func (m *AppMetrics) StageWall(s Stage) time.Duration {
 	for _, st := range m.Stages {
@@ -166,6 +198,9 @@ func (m *AppMetrics) Validate() error {
 		}
 		if st.WallNS < 0 {
 			return fmt.Errorf("pipeline: %s: stage %q has negative wall time", m.Name, st.Stage)
+		}
+		if st.CPUNS < 0 {
+			return fmt.Errorf("pipeline: %s: stage %q has negative cpu time", m.Name, st.Stage)
 		}
 		last = idx
 	}
@@ -218,6 +253,7 @@ func BuildReport(workers int, wall time.Duration, apps []AppMetrics) *Report {
 		Apps:    apps,
 	}
 	stageTotals := make(map[Stage]int64)
+	stageCPU := make(map[Stage]int64)
 	for _, m := range apps {
 		if m.Err != "" {
 			r.Failed++
@@ -233,11 +269,12 @@ func BuildReport(workers int, wall time.Duration, apps []AppMetrics) *Report {
 		r.Obs = obs.MergeSnapshots(r.Obs, m.Obs)
 		for _, st := range m.Stages {
 			stageTotals[st.Stage] += st.WallNS
+			stageCPU[st.Stage] += st.CPUNS
 		}
 	}
 	for _, s := range Stages() {
 		if ns, ok := stageTotals[s]; ok {
-			r.StageTotals = append(r.StageTotals, StageTiming{Stage: s, WallNS: ns})
+			r.StageTotals = append(r.StageTotals, StageTiming{Stage: s, WallNS: ns, CPUNS: stageCPU[s]})
 		}
 	}
 	return r

@@ -53,7 +53,7 @@ func TestAddStageMergesDuplicates(t *testing.T) {
 
 func TestAppMetricsValidate(t *testing.T) {
 	ok := AppMetrics{Name: "a", WallNS: 100, Stages: []StageTiming{
-		{StageCollection, 60}, {StageReassembly, 30}, {StageVerify, 10}}}
+		{Stage: StageCollection, WallNS: 60}, {Stage: StageReassembly, WallNS: 30}, {Stage: StageVerify, WallNS: 10}}}
 	if err := ok.Validate(); err != nil {
 		t.Errorf("valid metrics rejected: %v", err)
 	}
@@ -63,19 +63,19 @@ func TestAppMetricsValidate(t *testing.T) {
 		want string
 	}{
 		{"unknown stage",
-			AppMetrics{WallNS: 10, Stages: []StageTiming{{Stage("linking"), 1}}},
+			AppMetrics{WallNS: 10, Stages: []StageTiming{{Stage: Stage("linking"), WallNS: 1}}},
 			"unknown stage"},
 		{"duplicate stage",
-			AppMetrics{WallNS: 10, Stages: []StageTiming{{StageCollection, 1}, {StageCollection, 1}}},
+			AppMetrics{WallNS: 10, Stages: []StageTiming{{Stage: StageCollection, WallNS: 1}, {Stage: StageCollection, WallNS: 1}}},
 			"duplicate stage"},
 		{"out of order",
-			AppMetrics{WallNS: 10, Stages: []StageTiming{{StageVerify, 1}, {StageCollection, 1}}},
+			AppMetrics{WallNS: 10, Stages: []StageTiming{{Stage: StageVerify, WallNS: 1}, {Stage: StageCollection, WallNS: 1}}},
 			"out of execution order"},
 		{"negative wall",
-			AppMetrics{WallNS: 10, Stages: []StageTiming{{StageCollection, -1}}},
+			AppMetrics{WallNS: 10, Stages: []StageTiming{{Stage: StageCollection, WallNS: -1}}},
 			"negative wall"},
 		{"double-counted",
-			AppMetrics{WallNS: 50, Stages: []StageTiming{{StageCollection, 40}, {StageVerify, 20}}},
+			AppMetrics{WallNS: 50, Stages: []StageTiming{{Stage: StageCollection, WallNS: 40}, {Stage: StageVerify, WallNS: 20}}},
 			"double-counted"},
 	}
 	for _, c := range cases {
@@ -89,7 +89,7 @@ func TestAppMetricsValidate(t *testing.T) {
 func TestDecodeReportValidates(t *testing.T) {
 	apps := []AppMetrics{
 		{Name: "a", WallNS: 100,
-			Stages: []StageTiming{{StageCollection, 60}, {StageVerify, 10}},
+			Stages: []StageTiming{{Stage: StageCollection, WallNS: 60}, {Stage: StageVerify, WallNS: 10}},
 			Obs:    &obs.Snapshot{Events: map[string]int64{"tree_fork": 2}}},
 		{Name: "b", Err: "panic: bad"},
 	}
@@ -151,5 +151,53 @@ func TestBuildReportMergesObsSnapshots(t *testing.T) {
 	}
 	if strings.Contains(string(data), `"obs"`) {
 		t.Error("untraced report must omit the obs key")
+	}
+}
+
+func TestStageCPUAccounting(t *testing.T) {
+	var m AppMetrics
+	m.AddStage(StageForceExec, 10*time.Millisecond)
+	// Aggregate worker CPU may exceed wall — that is the parallelism.
+	m.AddStageCPU(StageForceExec, 25*time.Millisecond)
+	m.AddStageCPU(StageForceExec, 5*time.Millisecond)
+	if got := m.StageCPU(StageForceExec); got != 30*time.Millisecond {
+		t.Errorf("StageCPU = %v, want 30ms", got)
+	}
+	if got := m.StageWall(StageForceExec); got != 10*time.Millisecond {
+		t.Errorf("StageWall = %v, want 10ms", got)
+	}
+	m.WallNS = int64(10 * time.Millisecond)
+	if err := m.Validate(); err != nil {
+		t.Errorf("CPU > wall must validate (parallel stage): %v", err)
+	}
+
+	// CPU recorded before wall still lands in one entry.
+	var m2 AppMetrics
+	m2.AddStageCPU(StageReassembly, time.Millisecond)
+	m2.AddStage(StageReassembly, 2*time.Millisecond)
+	if len(m2.Stages) != 1 || m2.StageCPU(StageReassembly) != time.Millisecond {
+		t.Errorf("CPU-first entry did not merge: %+v", m2.Stages)
+	}
+
+	bad := AppMetrics{WallNS: 10, Stages: []StageTiming{{Stage: StageCollection, WallNS: 1, CPUNS: -1}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "negative cpu") {
+		t.Errorf("negative CPU must be rejected, got %v", err)
+	}
+
+	// CPU survives the report round trip and aggregates in stage totals.
+	apps := []AppMetrics{
+		{Name: "a", WallNS: 100, Stages: []StageTiming{{Stage: StageForceExec, WallNS: 50, CPUNS: 180}}},
+		{Name: "b", WallNS: 100, Stages: []StageTiming{{Stage: StageForceExec, WallNS: 40, CPUNS: 120}}},
+	}
+	data, err := BuildReport(2, 200, apps).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.StageTotals) != 1 || back.StageTotals[0].CPUNS != 300 || back.StageTotals[0].WallNS != 90 {
+		t.Errorf("stage totals did not aggregate CPU: %+v", back.StageTotals)
 	}
 }

@@ -174,10 +174,10 @@ func TestBuildReportAggregation(t *testing.T) {
 	apps := []AppMetrics{
 		{Name: "a", WallNS: 100, ExecutedInsns: 10, Methods: 3, ExecutedMethods: 2,
 			Stubs: 1, Variants: 1, Divergences: 2,
-			Stages: []StageTiming{{StageCollection, 60}, {StageReassembly, 30}, {StageVerify, 10}}},
+			Stages: []StageTiming{{Stage: StageCollection, WallNS: 60}, {Stage: StageReassembly, WallNS: 30}, {Stage: StageVerify, WallNS: 10}}},
 		{Name: "b", WallNS: 200, ExecutedInsns: 20, Methods: 5, ExecutedMethods: 4,
 			Stubs: 1, Variants: 0, Divergences: 0,
-			Stages: []StageTiming{{StageCollection, 150}, {StageReassembly, 40}, {StageVerify, 10}}},
+			Stages: []StageTiming{{Stage: StageCollection, WallNS: 150}, {Stage: StageReassembly, WallNS: 40}, {Stage: StageVerify, WallNS: 10}}},
 		{Name: "c", Err: "reveal: bad dex"},
 	}
 	r := BuildReport(2, 200, apps)
@@ -193,7 +193,7 @@ func TestBuildReportAggregation(t *testing.T) {
 	if r.TotalExecutedInsns != 30 || r.TotalMethods != 8 || r.TotalStubs != 2 {
 		t.Errorf("totals wrong: %+v", r)
 	}
-	want := []StageTiming{{StageCollection, 210}, {StageReassembly, 70}, {StageVerify, 20}}
+	want := []StageTiming{{Stage: StageCollection, WallNS: 210}, {Stage: StageReassembly, WallNS: 70}, {Stage: StageVerify, WallNS: 20}}
 	if len(r.StageTotals) != len(want) {
 		t.Fatalf("stage totals = %v, want %v", r.StageTotals, want)
 	}
@@ -207,7 +207,7 @@ func TestBuildReportAggregation(t *testing.T) {
 func TestReportJSONRoundTrip(t *testing.T) {
 	apps := []AppMetrics{
 		{Name: "app1", WallNS: 1000, ExecutedInsns: 42,
-			Stages: []StageTiming{{StageCollection, 800}}},
+			Stages: []StageTiming{{Stage: StageCollection, WallNS: 800}}},
 		{Name: "app2", Err: "panic: bad"},
 	}
 	r := BuildReport(4, 1500, apps)

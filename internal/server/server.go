@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -62,8 +63,16 @@ type RevealFunc func(*apk.APK, dexlego.Options) (*dexlego.Result, error)
 type Config struct {
 	// Store caches reveal artifacts; required.
 	Store *store.Store
-	// Workers is the reveal parallelism (<= 0 selects GOMAXPROCS).
+	// Workers is the job-level parallelism: how many reveals run at once
+	// (<= 0 selects GOMAXPROCS).
 	Workers int
+	// RevealWorkers is the per-job worker budget handed to each reveal's
+	// intra-APK pools (reassembly fan-out, force-execution runs). Admission
+	// control clamps it so Workers × RevealWorkers never exceeds
+	// GOMAXPROCS — jobs-level and reveal-level parallelism multiply, and
+	// oversubscription would thrash rather than speed up. <= 0 grants each
+	// job the largest budget the cap allows.
+	RevealWorkers int
 	// QueueDepth bounds jobs admitted but not yet running (<= 0 selects
 	// 64). A full queue answers 429, never unbounded memory growth.
 	QueueDepth int
@@ -149,6 +158,9 @@ type Server struct {
 	pool   *pipeline.Pool
 	tracer *obs.Tracer
 	root   *obs.Span
+	// revealWorkers is the admitted per-job worker budget after the
+	// GOMAXPROCS oversubscription clamp in New.
+	revealWorkers int
 
 	mu       sync.Mutex
 	jobs     map[string]*job
@@ -191,8 +203,37 @@ func New(cfg Config) (*Server, error) {
 		jobs:   make(map[string]*job),
 		counts: make(map[State]int),
 	}
+	// Admission control for intra-reveal parallelism: the pool runs up to
+	// poolWorkers reveals at once and each reveal fans out RevealWorkers
+	// goroutines, so the products multiply. Clamp the per-job budget to
+	// GOMAXPROCS / poolWorkers (floor 1) so a busy server never schedules
+	// more runnable goroutines than cores. NewPool resolves <= 0 to
+	// GOMAXPROCS internally, so mirror that here to clamp against the
+	// actual pool size.
+	procs := runtime.GOMAXPROCS(0)
+	poolWorkers := cfg.Workers
+	if poolWorkers <= 0 {
+		poolWorkers = procs
+	}
+	budget := procs / poolWorkers
+	if budget < 1 {
+		budget = 1
+	}
+	s.revealWorkers = cfg.RevealWorkers
+	if s.revealWorkers <= 0 || s.revealWorkers > budget {
+		requested := cfg.RevealWorkers
+		s.revealWorkers = budget
+		if requested > budget {
+			s.root.WorkerClamp(requested, budget,
+				fmt.Sprintf("%d jobs x %d reveal workers exceeds GOMAXPROCS=%d",
+					poolWorkers, requested, procs))
+		}
+	}
 	return s, nil
 }
+
+// RevealWorkers reports the per-job worker budget after admission control.
+func (s *Server) RevealWorkers() int { return s.revealWorkers }
 
 // Handler returns the API routes.
 func (s *Server) Handler() http.Handler {
@@ -404,6 +445,10 @@ func (s *Server) runJob(j *job, submitTime time.Time, pkg *apk.APK, opts dexlego
 		o := opts
 		o.Tracer = obs.New(s.cfg.Sink)
 		o.TraceLabel = j.name
+		// The admitted budget, not the raw config: Workers is outside the
+		// options fingerprint (it never changes artifact bytes), so this
+		// cannot split the cache.
+		o.Workers = s.revealWorkers
 		var res *dexlego.Result
 		revealErr := pipeline.Isolate(func() error {
 			r, err := s.reveal(pkg, o)

@@ -7,7 +7,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -347,5 +349,85 @@ func TestDrainRefusesNewWorkAndHealthFlips(t *testing.T) {
 func TestNewRequiresStore(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("New without a store must fail")
+	}
+}
+
+// TestRevealWorkerBudgetClamp checks admission control over intra-reveal
+// parallelism: the per-job budget is clamped so pool workers × reveal
+// workers never exceeds GOMAXPROCS, a worker_clamp event records the
+// refusal, and runJob hands the admitted budget (not the raw config) to
+// the reveal.
+func TestRevealWorkerBudgetClamp(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+
+	// A sane request is granted verbatim and emits no clamp event.
+	st, err := store.Open(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: st, Workers: 1, RevealWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.RevealWorkers(); got != 1 {
+		t.Fatalf("workers=1 revealWorkers=1 granted %d, want 1", got)
+	}
+	if n := srv.tracer.Snapshot().EventCount(obs.EventWorkerClamp); n != 0 {
+		t.Errorf("unclamped config emitted %d worker_clamp events", n)
+	}
+	srv.Close()
+
+	// An oversubscribing request is clamped to GOMAXPROCS/poolWorkers
+	// (floor 1) and recorded.
+	st2, err := store.Open(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := New(Config{Store: st2, Workers: procs, RevealWorkers: procs + 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if got := srv2.RevealWorkers(); got != 1 {
+		t.Fatalf("workers=GOMAXPROCS revealWorkers=%d granted %d, want 1", procs+7, got)
+	}
+	if n := srv2.tracer.Snapshot().EventCount(obs.EventWorkerClamp); n != 1 {
+		t.Errorf("clamped config emitted %d worker_clamp events, want 1", n)
+	}
+
+	// An unset budget defaults to the largest the cap allows, silently.
+	st3, err := store.Open(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv3, err := New(Config{Store: st3, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv3.Close()
+	if got := srv3.RevealWorkers(); got != procs {
+		t.Fatalf("default budget granted %d, want GOMAXPROCS=%d", got, procs)
+	}
+	if n := srv3.tracer.Snapshot().EventCount(obs.EventWorkerClamp); n != 0 {
+		t.Errorf("defaulted budget emitted %d worker_clamp events", n)
+	}
+
+	// The admitted budget reaches the reveal.
+	var sawWorkers atomic.Int64
+	sawWorkers.Store(-1)
+	_, hs := newTestServer(t, func(c *Config) {
+		c.Workers = procs
+		c.RevealWorkers = procs + 7
+		c.Reveal = func(pkg *apk.APK, o dexlego.Options) (*dexlego.Result, error) {
+			sawWorkers.Store(int64(o.Workers))
+			return stubResult(pkg.Manifest.Package), nil
+		}
+	})
+	resp, job := postReveal(t, hs.URL, "?wait=1", buildBodyAPK(t, "clampapp"))
+	if resp.StatusCode != http.StatusOK || job.State != StateDone {
+		t.Fatalf("POST = %d, job = %+v", resp.StatusCode, job)
+	}
+	if got := sawWorkers.Load(); got != 1 {
+		t.Errorf("reveal ran with Options.Workers = %d, want admitted budget 1", got)
 	}
 }
