@@ -6,6 +6,7 @@ import (
 
 	root "dexlego"
 	"dexlego/internal/art"
+	"dexlego/internal/bytecode"
 	"dexlego/internal/collector"
 	"dexlego/internal/dex"
 	"dexlego/internal/dexgen"
@@ -413,7 +414,7 @@ func BenchmarkAblationTreeDedup(b *testing.B) {
 		rt := art.NewRuntime(art.DefaultPhone())
 		col := collector.New()
 		events = 0
-		rt.AddHooks(&art.Hooks{Instruction: func(m *art.Method, pc int, insns []uint16) {
+		rt.AddHooks(&art.Hooks{Instruction: func(m *art.Method, pc int, insns []uint16, in *bytecode.Inst) {
 			events++ // the naive trace length
 		}})
 		rt.AddHooks(col.Hooks())

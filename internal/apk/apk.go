@@ -18,6 +18,9 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+
+	"dexlego/internal/dex"
 )
 
 // DexEntry is the archive path of the primary DEX file.
@@ -41,6 +44,13 @@ type Manifest struct {
 type APK struct {
 	Manifest Manifest
 	files    map[string][]byte
+
+	// parsed memoizes DexFile: the reveal pipeline loads the same package
+	// into a fresh runtime for every collection pass and forced run, and
+	// re-parsing an immutable payload each time dominated LoadAPK. Guarded
+	// by mu; invalidated whenever the classes.dex entry is rewritten.
+	mu     sync.Mutex
+	parsed *dex.File
 }
 
 // New returns an empty APK with the given manifest identity.
@@ -68,6 +78,33 @@ func (a *APK) Dex() ([]byte, error) {
 		return nil, ErrNoDex
 	}
 	return append([]byte(nil), d...), nil
+}
+
+// DexFile returns the parsed classes.dex, cached until the entry is
+// rewritten. The returned File is shared between all callers and must be
+// treated as immutable — runtime linking already copies every code body it
+// may write to. The signature cache is built before the File is published,
+// so concurrent consumers never write to it.
+func (a *APK) DexFile() (*dex.File, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.parsed != nil {
+		return a.parsed, nil
+	}
+	d, ok := a.files[DexEntry]
+	if !ok {
+		return nil, ErrNoDex
+	}
+	// Parse a private copy: the archive entry can be rewritten (SetDex)
+	// while parsed Files from before the write are still in use, so the
+	// zero-copy parse must not alias a.files.
+	f, err := dex.ReadShared(append([]byte(nil), d...))
+	if err != nil {
+		return nil, err
+	}
+	f.BuildSignatureCache()
+	a.parsed = f
+	return f, nil
 }
 
 // AddAsset stores data under assets/name.
@@ -141,6 +178,11 @@ func (a *APK) put(path string, data []byte) {
 		a.files = make(map[string][]byte)
 	}
 	a.files[path] = append([]byte(nil), data...)
+	if path == DexEntry {
+		a.mu.Lock()
+		a.parsed = nil
+		a.mu.Unlock()
+	}
 }
 
 // Clone returns a deep copy of the APK.

@@ -711,7 +711,7 @@ func TestInstructionHookSeesLiveBytecode(t *testing.T) {
 	rt := buildLeakApp(t)
 	count := 0
 	rt.AddHooks(&art.Hooks{
-		Instruction: func(m *art.Method, pc int, insns []uint16) {
+		Instruction: func(m *art.Method, pc int, insns []uint16, in *bytecode.Inst) {
 			count++
 			if pc >= len(insns) {
 				t.Errorf("pc %d out of bounds %d", pc, len(insns))

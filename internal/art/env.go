@@ -74,6 +74,11 @@ func (e *Env) TamperMethod(classDesc, name string, mutate func(insns []uint16) [
 	if out := mutate(m.Insns); out != nil {
 		m.Insns = out
 	}
+	pc := -1
+	if caller, callerPC := e.Caller(); caller != nil {
+		pc = callerPC
+	}
+	m.invalidateCode(e.rt, pc)
 	return nil
 }
 

@@ -135,6 +135,9 @@ func (rt *Runtime) installFramework() {
 		})
 
 	str := rt.fw("Ljava/lang/String;", "Ljava/lang/Object;")
+	// NewString reads the singleton directly; bind it here so the template
+	// scratch runtime (which never runs cloneFramework) also has it.
+	rt.stringClass = str.c
 	str.method("length", "()I", false,
 		func(env *Env, recv *Object, args []Value) (Value, error) {
 			return IntVal(int64(len(recv.Str))).WithTaint(recv.Taint), nil
@@ -269,7 +272,7 @@ func (rt *Runtime) installFramework() {
 		})
 	integer.method("valueOf", "(I)Ljava/lang/Integer;", true,
 		func(env *Env, recv *Object, args []Value) (Value, error) {
-			box := env.rt.NewInstance(env.rt.classes["Ljava/lang/Integer;"])
+			box := env.rt.NewInstance(env.rt.lookupClass("Ljava/lang/Integer;"))
 			box.SetField("value", args[0])
 			return RefVal(box), nil
 		})
@@ -280,6 +283,7 @@ func (rt *Runtime) installFramework() {
 
 	// --- Reflection ------------------------------------------------------
 	class := rt.fw("Ljava/lang/Class;", "Ljava/lang/Object;")
+	rt.classClass = class.c
 	class.method("forName", "(Ljava/lang/String;)Ljava/lang/Class;", true,
 		func(env *Env, recv *Object, args []Value) (Value, error) {
 			name, ok := strOf(args[0])
@@ -309,7 +313,7 @@ func (rt *Runtime) installFramework() {
 		if m == nil {
 			return Value{}, env.Throw("Ljava/lang/NoSuchMethodException;", name)
 		}
-		mo := env.rt.NewInstance(env.rt.classes["Ljava/lang/reflect/Method;"])
+		mo := env.rt.NewInstance(env.rt.lookupClass("Ljava/lang/reflect/Method;"))
 		mo.Data = m
 		return RefVal(mo), nil
 	}
@@ -326,7 +330,7 @@ func (rt *Runtime) installFramework() {
 				return Value{}, err
 			}
 			for i, m := range c.Methods {
-				mo := env.rt.NewInstance(env.rt.classes["Ljava/lang/reflect/Method;"])
+				mo := env.rt.NewInstance(env.rt.lookupClass("Ljava/lang/reflect/Method;"))
 				mo.Data = m
 				arr.Elems[i] = RefVal(mo)
 			}
@@ -446,7 +450,7 @@ func (rt *Runtime) installFramework() {
 	sms := rt.fw("Landroid/telephony/SmsManager;", "Ljava/lang/Object;")
 	sms.method("getDefault", "()Landroid/telephony/SmsManager;", true,
 		func(env *Env, recv *Object, args []Value) (Value, error) {
-			return RefVal(env.rt.NewInstance(env.rt.classes["Landroid/telephony/SmsManager;"])), nil
+			return RefVal(env.rt.NewInstance(env.rt.lookupClass("Landroid/telephony/SmsManager;"))), nil
 		})
 	sms.method("sendTextMessage",
 		"(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;Ljava/lang/Object;Ljava/lang/Object;)V",
@@ -477,7 +481,7 @@ func (rt *Runtime) installFramework() {
 	locMgr := rt.fw("Landroid/location/LocationManager;", "Ljava/lang/Object;")
 	locMgr.method("getLastKnownLocation", "(Ljava/lang/String;)Landroid/location/Location;", false,
 		func(env *Env, recv *Object, args []Value) (Value, error) {
-			loc := env.rt.NewInstance(env.rt.classes["Landroid/location/Location;"])
+			loc := env.rt.NewInstance(env.rt.lookupClass("Landroid/location/Location;"))
 			loc.Taint = Taint(apimodel.TaintLocation)
 			return RefVal(loc), nil
 		})
@@ -490,7 +494,7 @@ func (rt *Runtime) installFramework() {
 	wifiMgr := rt.fw("Landroid/net/wifi/WifiManager;", "Ljava/lang/Object;")
 	wifiMgr.method("getConnectionInfo", "()Landroid/net/wifi/WifiInfo;", false,
 		func(env *Env, recv *Object, args []Value) (Value, error) {
-			return RefVal(env.rt.NewInstance(env.rt.classes["Landroid/net/wifi/WifiInfo;"])), nil
+			return RefVal(env.rt.NewInstance(env.rt.lookupClass("Landroid/net/wifi/WifiInfo;"))), nil
 		})
 
 	contacts := rt.fw("Landroid/content/ContactsReader;", "Ljava/lang/Object;")
@@ -563,7 +567,7 @@ func (rt *Runtime) installFramework() {
 	activity.method("setContentView", "(I)V", false, nop)
 	activity.method("getIntent", "()Landroid/content/Intent;", false,
 		func(env *Env, recv *Object, args []Value) (Value, error) {
-			return RefVal(env.rt.NewInstance(env.rt.classes["Landroid/content/Intent;"])), nil
+			return RefVal(env.rt.NewInstance(env.rt.lookupClass("Landroid/content/Intent;"))), nil
 		})
 	activity.method("findViewById", "(I)Landroid/view/View;", false,
 		func(env *Env, recv *Object, args []Value) (Value, error) {
@@ -571,7 +575,7 @@ func (rt *Runtime) installFramework() {
 		})
 	activity.method("getConfiguration", "()Landroid/content/res/Configuration;", false,
 		func(env *Env, recv *Object, args []Value) (Value, error) {
-			cfg := env.rt.NewInstance(env.rt.classes["Landroid/content/res/Configuration;"])
+			cfg := env.rt.NewInstance(env.rt.lookupClass("Landroid/content/res/Configuration;"))
 			cfg.SetField("screenLayout", IntVal(env.Device().screenLayout()))
 			return RefVal(cfg), nil
 		})
@@ -591,7 +595,7 @@ func (rt *Runtime) installFramework() {
 			default:
 				return NullVal(), nil
 			}
-			return RefVal(env.rt.NewInstance(env.rt.classes[desc])), nil
+			return RefVal(env.rt.NewInstance(env.rt.lookupClass(desc))), nil
 		})
 
 	loader := rt.fw("Ldalvik/system/DexClassLoader;", "Ljava/lang/Object;")
@@ -641,7 +645,7 @@ func boxIfPrimitive(env *Env, returnType string, v Value) Value {
 	case "V":
 		return NullVal()
 	case "I", "Z", "B", "S", "C":
-		box := env.rt.NewInstance(env.rt.classes["Ljava/lang/Integer;"])
+		box := env.rt.NewInstance(env.rt.lookupClass("Ljava/lang/Integer;"))
 		box.SetField("value", v)
 		box.Taint = v.Taint
 		return RefVal(box)

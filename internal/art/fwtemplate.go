@@ -1,0 +1,167 @@
+package art
+
+import "sync"
+
+// The framework model is identical for every runtime with the same Device:
+// installFramework builds the same class graph, the same native bindings and
+// the same Build constants every time. Constructing it declaratively is the
+// single most expensive part of NewRuntime, and the reveal pipeline creates
+// runtimes constantly (one per collection pass, one per forced run). The
+// template cache builds the graph once per distinct Device and stamps new
+// runtimes out by cloning the Class shells while sharing the immutable
+// members.
+//
+// What is shared and why it is safe:
+//   - Method objects. Framework methods are native or abstract — they have
+//     no Insns, so the interpreter never binds predecode state to them,
+//     TamperMethod rejects them, and their Key() cache is pinned at template
+//     build. Nothing writes to them after construction.
+//   - Field metadata. Field.Init is only written by LoadDex for app classes.
+//   - Native funcs only reach runtime state through the call-time *Env,
+//     never by capturing the defining runtime (enforced by construction in
+//     framework.go).
+//
+// What is cloned per runtime: the Class structs themselves (state and the
+// Super/Interfaces links live there) and every Statics map with its string
+// objects, because sput can write framework statics and two runtimes must
+// never observe each other's writes. The hierarchy is relinked through
+// indices precomputed at template build, so a clone is one slab allocation
+// plus the class-map fills — no per-clone identity map.
+var fwTemplates sync.Map // Device -> *fwTemplate
+
+// fwStatic is one template static: its slot name, the value, and the index
+// of the value's class in the template order (-1 for non-ref values).
+type fwStatic struct {
+	name   string
+	v      Value
+	clsIdx int32
+}
+
+// fwTemplate is the immutable framework snapshot for one Device. Classes
+// are held in a fixed order; superIdx, ifaceIdx and statics describe the
+// links of the class at the same position, as indices into that order.
+type fwTemplate struct {
+	classes  []*Class
+	superIdx []int32
+	ifaceIdx [][]int32
+	statics  [][]fwStatic
+	lookup   map[string]int32 // descriptor -> index, shared read-only by clones
+}
+
+// fwTemplateFor returns the framework template for the device, building it
+// on first use on a throwaway runtime via the declarative path.
+func fwTemplateFor(device Device) *fwTemplate {
+	if t, ok := fwTemplates.Load(device); ok {
+		return t.(*fwTemplate)
+	}
+	scratch := &Runtime{
+		Device:  device,
+		classes: make(map[string]*Class, 128),
+	}
+	scratch.installFramework()
+	t := &fwTemplate{classes: make([]*Class, 0, len(scratch.classes))}
+	pos := make(map[*Class]int32, len(scratch.classes))
+	for _, c := range scratch.classes {
+		// Pin the lazily-cached method keys now: shared methods must never
+		// be written to once the template is published.
+		for _, m := range c.Methods {
+			m.Key()
+		}
+		pos[c] = int32(len(t.classes))
+		t.classes = append(t.classes, c)
+	}
+	t.superIdx = make([]int32, len(t.classes))
+	t.ifaceIdx = make([][]int32, len(t.classes))
+	t.statics = make([][]fwStatic, len(t.classes))
+	t.lookup = make(map[string]int32, len(t.classes))
+	for i, c := range t.classes {
+		t.lookup[c.Descriptor] = int32(i)
+	}
+	for i, c := range t.classes {
+		t.superIdx[i] = -1
+		if c.Super != nil {
+			t.superIdx[i] = pos[c.Super]
+		}
+		for _, ifc := range c.Interfaces {
+			t.ifaceIdx[i] = append(t.ifaceIdx[i], pos[ifc])
+		}
+		for name, v := range c.Statics {
+			clsIdx := int32(-1)
+			if v.Kind == KindRef && v.Ref != nil {
+				if p, ok := pos[v.Ref.Class]; ok {
+					clsIdx = p
+				}
+			}
+			t.statics[i] = append(t.statics[i], fwStatic{name: name, v: v, clsIdx: clsIdx})
+		}
+	}
+	actual, _ := fwTemplates.LoadOrStore(device, t)
+	return actual.(*fwTemplate)
+}
+
+// cloneFramework installs the framework model into rt from the device's
+// template. Nothing is cloned up front: lookups go through the template's
+// shared descriptor index, and fwClass stamps out a Class shell the first
+// time the runtime actually touches it. An app pass resolves a few dozen of
+// the 100+ framework classes, so the lazy clone keeps NewRuntime to one
+// pointer-slab allocation instead of copying the whole class graph.
+func (rt *Runtime) cloneFramework() {
+	t := fwTemplateFor(rt.Device)
+	rt.fwTmpl = t
+	rt.fwSlab = make([]*Class, len(t.classes))
+	rt.fwLookup = t.lookup
+	// The string and class-mirror singletons back every NewString /
+	// classObject call; resolve them once, eagerly.
+	if i, ok := t.lookup["Ljava/lang/String;"]; ok {
+		rt.stringClass = rt.fwClass(i)
+	}
+	if i, ok := t.lookup["Ljava/lang/Class;"]; ok {
+		rt.classClass = rt.fwClass(i)
+	}
+}
+
+// fwClass returns this runtime's clone of template class i, materializing
+// it (and, through the links, its super chain, interfaces and static value
+// classes) on first use. The shell is published into the slab before its
+// links are filled so self-referential statics terminate.
+func (rt *Runtime) fwClass(i int32) *Class {
+	if c := rt.fwSlab[i]; c != nil {
+		return c
+	}
+	t := rt.fwTmpl
+	oc := t.classes[i]
+	nc := &Class{
+		Descriptor:   oc.Descriptor,
+		AccessFlags:  oc.AccessFlags,
+		Methods:      oc.Methods,
+		StaticMeta:   oc.StaticMeta,
+		InstanceMeta: oc.InstanceMeta,
+		state:        oc.state,
+		rt:           rt,
+	}
+	rt.fwSlab[i] = nc
+	if si := t.superIdx[i]; si >= 0 {
+		nc.Super = rt.fwClass(si)
+	}
+	if idx := t.ifaceIdx[i]; len(idx) > 0 {
+		nc.Interfaces = make([]*Class, len(idx))
+		for j, p := range idx {
+			nc.Interfaces[j] = rt.fwClass(p)
+		}
+	}
+	if sts := t.statics[i]; len(sts) > 0 {
+		nc.Statics = make(map[string]Value, len(sts))
+		for _, s := range sts {
+			v := s.v
+			if v.Kind == KindRef && v.Ref != nil {
+				o := *v.Ref
+				if s.clsIdx >= 0 {
+					o.Class = rt.fwClass(s.clsIdx)
+				}
+				v.Ref = &o
+			}
+			nc.Statics[s.name] = v
+		}
+	}
+	return nc
+}

@@ -26,8 +26,12 @@ type Hooks struct {
 	MethodExited func(m *Method)
 	// Instruction fires before each instruction executes. insns is the live
 	// instruction array — self-modified code is visible here, which is what
-	// makes instruction-level JIT collection possible.
-	Instruction func(m *Method, pc int, insns []uint16)
+	// makes instruction-level JIT collection possible. in is the decoded
+	// instruction about to execute (shared with the predecoded stream, so
+	// hooks must Clone before mutating), or nil when decoding failed at pc.
+	// Hooks must not write into insns; live-code mutation goes through
+	// Env.TamperMethod so the predecode cache is invalidated.
+	Instruction func(m *Method, pc int, insns []uint16, in *bytecode.Inst)
 	// Branch fires for each conditional branch with the evaluated outcome;
 	// returning override=true forces newTaken instead (force execution).
 	Branch func(m *Method, pc int, in bytecode.Inst, taken bool) (override, newTaken bool)
@@ -50,6 +54,15 @@ type Hooks struct {
 	InjectException func(m *Method, pc int) string
 	// SinkCall fires when a framework sink API executes.
 	SinkCall func(ev SinkEvent)
+	// PredecodeHit fires when the interpreter binds a method to a predecoded
+	// program that was already in the shared program cache (content match).
+	PredecodeHit func(m *Method)
+	// PredecodeInvalidate fires when a write into a method's live unit array
+	// drops its predecoded stream — the self-modification points where
+	// collection-tree forks originate. pc is the dex_pc at which the change
+	// was observed (the tampering call site, or the executing pc when a
+	// running frame detects a silent code swap); -1 when outside bytecode.
+	PredecodeInvalidate func(m *Method, pc int)
 }
 
 // SinkEvent records one execution of a sink API.

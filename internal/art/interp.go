@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dexlego/internal/bytecode"
+	"dexlego/internal/dex"
 )
 
 // execState carries the per-top-level-call interpreter state: the frame
@@ -23,6 +24,15 @@ type frame struct {
 	result  Value
 	hasRes  bool
 	pending *Object // caught exception awaiting move-exception
+
+	// Predecode binding (see predecode.go): the program this frame executes
+	// from, plus the live-code identity it was bound against. Any mismatch
+	// between these and the method's current state means the code was
+	// modified and the frame must rebind before the next step.
+	prog    *bytecode.Program
+	bindGen uint64
+	bindLen int
+	bindPtr *uint16
 }
 
 func (rt *Runtime) newExecState() *execState {
@@ -36,6 +46,40 @@ func (st *execState) callerFrame() *frame {
 		return nil
 	}
 	return st.frames[len(st.frames)-1]
+}
+
+// getFrame hands out a frame from the runtime's freelist with zeroed
+// registers, falling back to a fresh allocation. Frames never escape a
+// completed invoke, so pooling them (and their register arrays) removes the
+// two hottest allocations of the step loop.
+func (rt *Runtime) getFrame(m *Method) *frame {
+	n := len(rt.freeFrames)
+	if n == 0 {
+		return &frame{method: m, regs: make([]Value, m.RegistersSize)}
+	}
+	f := rt.freeFrames[n-1]
+	rt.freeFrames = rt.freeFrames[:n-1]
+	regs := f.regs
+	*f = frame{method: m}
+	if cap(regs) >= m.RegistersSize {
+		regs = regs[:m.RegistersSize]
+		clear(regs)
+		f.regs = regs
+	} else {
+		f.regs = make([]Value, m.RegistersSize)
+	}
+	return f
+}
+
+func (rt *Runtime) putFrame(f *frame) {
+	if len(rt.freeFrames) >= defaultMaxDepth {
+		return
+	}
+	f.method = nil
+	f.pending = nil
+	f.prog = nil
+	f.result = Value{}
+	rt.freeFrames = append(rt.freeFrames, f)
 }
 
 // invoke dispatches a method call: native bridge or bytecode frame.
@@ -62,7 +106,7 @@ func (rt *Runtime) invoke(st *execState, m *Method, recv *Object, args []Value) 
 		return Value{}, ErrStackOverfl
 	}
 
-	f := &frame{method: m, regs: make([]Value, m.RegistersSize)}
+	f := rt.getFrame(m)
 	// Parameters occupy the highest registers (ins).
 	base := m.RegistersSize - m.InsSize
 	if base < 0 {
@@ -97,6 +141,7 @@ func (rt *Runtime) invoke(st *execState, m *Method, recv *Object, args []Value) 
 			h.MethodExited(m)
 		}
 	}
+	rt.putFrame(f)
 	return v, err
 }
 
@@ -113,8 +158,10 @@ func (rt *Runtime) nativeFor(m *Method) NativeFunc {
 	return nil
 }
 
-// throwInApp wraps err so bytecode-level handlers can catch it: ThrownError
-// values pass through, infrastructure errors (budget, stack) do not.
+// handleThrow walks the frame's try blocks for a handler matching ex,
+// landing the frame on the handler when found: ThrownError values pass
+// through bytecode-level handlers, infrastructure errors (budget, stack)
+// do not.
 func (rt *Runtime) handleThrow(f *frame, ex *Object) bool {
 	for _, t := range f.method.Tries {
 		if !t.Covers(f.pc) {
@@ -141,9 +188,16 @@ func (rt *Runtime) handleThrow(f *frame, ex *Object) bool {
 	return false
 }
 
-// run executes a bytecode frame to completion.
+// run executes a bytecode frame to completion through the handler table,
+// fetching instructions from the method's predecoded program (with a live
+// bytecode.Decode fallback for unmapped pcs and predecode-off mode).
 func (rt *Runtime) run(st *execState, f *frame) (Value, error) {
 	m := f.method
+	rt.bindProgram(f)
+	// Decode buffer for pcs outside the predecoded stream, hoisted so the
+	// pointer handed to hooks and handlers does not force a per-iteration
+	// heap allocation (hooks must not retain it past the call).
+	var local bytecode.Inst
 	for {
 		st.steps++
 		if st.steps > st.budget {
@@ -152,34 +206,81 @@ func (rt *Runtime) run(st *execState, f *frame) (Value, error) {
 		if f.pc < 0 || f.pc >= len(m.Insns) {
 			return Value{}, fmt.Errorf("art: %s: pc %d out of bounds", m.Key(), f.pc)
 		}
-		for _, h := range rt.hooks {
-			if h.Instruction != nil {
-				h.Instruction(m, f.pc, m.Insns)
-			}
-		}
-		in, width, err := bytecode.Decode(m.Insns, f.pc)
-		if err != nil {
-			return Value{}, fmt.Errorf("art: %s: %w", m.Key(), err)
+		if f.prog != nil && f.bindStale() {
+			rt.bindProgram(f) // live code changed under us: drop and rebuild
 		}
 
-		// Forced exception edges: a hook may demand that this instruction
-		// throws instead of executing.
-		var injected error
-		for _, h := range rt.hooks {
-			if h.InjectException == nil {
-				continue
+		// Fetch: predecoded stream first, live decode for unmapped pcs.
+		var (
+			d     *bytecode.DecodedInst
+			in    *bytecode.Inst
+			width int
+			ci    = -1
+		)
+		if f.prog != nil {
+			d, ci = f.prog.Lookup(f.pc)
+		}
+		if d != nil {
+			in, width = &d.Inst, d.Width
+		} else {
+			var derr error
+			local, width, derr = bytecode.Decode(m.Insns, f.pc)
+			if derr != nil {
+				for _, h := range rt.hooks {
+					if h.Instruction != nil {
+						h.Instruction(m, f.pc, m.Insns, nil)
+					}
+				}
+				return Value{}, fmt.Errorf("art: %s: %w", m.Key(), derr)
 			}
-			if desc := h.InjectException(m, f.pc); desc != "" {
-				injected = rt.Throw(desc, "forced exception edge")
-				break
+			in = &local
+		}
+
+		fast := len(rt.hooks) == 0
+		var injected error
+		if !fast {
+			for _, h := range rt.hooks {
+				if h.Instruction != nil {
+					h.Instruction(m, f.pc, m.Insns, in)
+				}
+			}
+			// Forced exception edges: a hook may demand that this
+			// instruction throws instead of executing.
+			for _, h := range rt.hooks {
+				if h.InjectException == nil {
+					continue
+				}
+				if desc := h.InjectException(m, f.pc); desc != "" {
+					injected = rt.Throw(desc, "forced exception edge")
+					break
+				}
 			}
 		}
+
 		var v Value
 		var done bool
+		var err error
 		if injected != nil {
 			err = injected
 		} else {
-			v, done, err = rt.step(st, f, in, width)
+			// Format-aware bounds check over every register operand (A is a
+			// count, not a register, for invoke formats). Predecoded
+			// instructions carry the ceiling; the fallback recomputes it.
+			var maxReg int32
+			if d != nil {
+				maxReg = d.MaxReg
+			} else {
+				maxReg = bytecode.MaxRegister(*in)
+			}
+			if int(maxReg) >= len(f.regs) {
+				return Value{}, fmt.Errorf("art: %s: register v%d out of range at pc %d",
+					m.Key(), maxReg, f.pc)
+			}
+			if h := handlers[in.Op]; h != nil {
+				v, done, err = h(rt, st, f, in, width, ci)
+			} else {
+				err = fmt.Errorf("art: %s: unimplemented opcode %s", m.Key(), in.Op)
+			}
 		}
 		if err != nil {
 			var thrown *ThrownError
@@ -211,6 +312,50 @@ func (rt *Runtime) run(st *execState, f *frame) (Value, error) {
 		if done {
 			return v, nil
 		}
+
+		// Fused fast paths: with no hooks installed, the follow-up half of a
+		// hot pair executes inline — same per-instruction budget accounting,
+		// without another trip through the loop head. Only predecoded
+		// successors qualify, and never after a callee modified live code.
+		if fast && f.prog != nil {
+			switch {
+			case in.Op.IsInvoke():
+				if f.bindStale() {
+					continue // callee tampered the caller's code: rebind first
+				}
+				if nd, _ := f.prog.Lookup(f.pc); nd != nil &&
+					(nd.Op == bytecode.OpMoveResult || nd.Op == bytecode.OpMoveResultObj) &&
+					int(nd.MaxReg) < len(f.regs) {
+					st.steps++
+					if st.steps > st.budget {
+						return Value{}, ErrStepBudget
+					}
+					f.regs[nd.A] = f.result
+					f.hasRes = false
+					f.pc += nd.Width
+				}
+			case in.Op >= bytecode.OpConst4 && in.Op <= bytecode.OpConstHigh16:
+				if nd, _ := f.prog.Lookup(f.pc); nd != nil &&
+					(nd.Op == bytecode.OpMove || nd.Op == bytecode.OpMoveFrom16 ||
+						nd.Op == bytecode.OpMoveObject || nd.Op == bytecode.OpMoveObject16) &&
+					int(nd.MaxReg) < len(f.regs) {
+					st.steps++
+					if st.steps > st.budget {
+						return Value{}, ErrStepBudget
+					}
+					f.regs[nd.A] = f.regs[nd.B]
+					f.pc += nd.Width
+				}
+			case in.Op.IsBranch():
+				if nd, _ := f.prog.Lookup(f.pc); nd != nil && nd.Op.IsGoto() {
+					st.steps++
+					if st.steps > st.budget {
+						return Value{}, ErrStepBudget
+					}
+					f.pc += int(nd.Off)
+				}
+			}
+		}
 	}
 }
 
@@ -220,262 +365,6 @@ func asThrown(err error, out **ThrownError) bool {
 		*out = t
 	}
 	return ok
-}
-
-// step executes one decoded instruction. It returns done=true with the
-// method result for returns.
-func (rt *Runtime) step(st *execState, f *frame, in bytecode.Inst, width int) (Value, bool, error) {
-	m := f.method
-	regs := f.regs
-	// Format-aware bounds check over every register operand (A is a count,
-	// not a register, for invoke formats; MapRegisters knows the layout).
-	maxReg := int32(-1)
-	bytecode.MapRegisters(in, func(r int32) int32 {
-		if r > maxReg {
-			maxReg = r
-		}
-		return r
-	})
-	if int(maxReg) >= len(regs) {
-		return Value{}, false, fmt.Errorf("art: %s: register v%d out of range at pc %d",
-			m.Key(), maxReg, f.pc)
-	}
-	next := func() { f.pc += width }
-
-	switch in.Op {
-	case bytecode.OpNop:
-		next()
-
-	case bytecode.OpMove, bytecode.OpMoveFrom16,
-		bytecode.OpMoveObject, bytecode.OpMoveObject16:
-		regs[in.A] = regs[in.B]
-		next()
-
-	case bytecode.OpMoveResult, bytecode.OpMoveResultObj:
-		regs[in.A] = f.result
-		f.hasRes = false
-		next()
-
-	case bytecode.OpMoveException:
-		if f.pending == nil {
-			regs[in.A] = NullVal()
-		} else {
-			regs[in.A] = RefVal(f.pending)
-		}
-		f.pending = nil
-		next()
-
-	case bytecode.OpReturnVoid:
-		return Value{Kind: KindInt}, true, nil
-	case bytecode.OpReturn, bytecode.OpReturnObject:
-		return regs[in.A], true, nil
-
-	case bytecode.OpConst4, bytecode.OpConst16, bytecode.OpConst,
-		bytecode.OpConstHigh16:
-		regs[in.A] = IntVal(in.Lit)
-		next()
-
-	case bytecode.OpConstString:
-		regs[in.A] = RefVal(rt.NewString(m.Class.File.String(in.Index)))
-		next()
-
-	case bytecode.OpConstClass:
-		desc := m.Class.File.TypeName(in.Index)
-		cls, err := rt.FindClass(desc)
-		if err != nil {
-			return Value{}, false, rt.Throw("Ljava/lang/ClassNotFoundException;", desc)
-		}
-		regs[in.A] = RefVal(rt.classObject(cls))
-		next()
-
-	case bytecode.OpCheckCast:
-		if err := rt.checkCast(regs[in.A], m.Class.File.TypeName(in.Index)); err != nil {
-			return Value{}, false, err
-		}
-		next()
-
-	case bytecode.OpInstanceOf:
-		regs[in.A] = BoolVal(rt.instanceOf(regs[in.B], m.Class.File.TypeName(in.Index)))
-		next()
-
-	case bytecode.OpArrayLength:
-		arr := regs[in.B]
-		if arr.IsNull() {
-			return Value{}, false, rt.Throw("Ljava/lang/NullPointerException;", "array-length on null")
-		}
-		regs[in.A] = IntVal(int64(len(arr.Ref.Elems))).WithTaint(arr.Taint)
-		next()
-
-	case bytecode.OpNewInstance:
-		desc := m.Class.File.TypeName(in.Index)
-		cls, err := rt.FindClass(desc)
-		if err != nil {
-			return Value{}, false, rt.Throw("Ljava/lang/ClassNotFoundException;", desc)
-		}
-		if err := rt.ensureInitialized(st, cls); err != nil {
-			return Value{}, false, err
-		}
-		regs[in.A] = RefVal(rt.NewInstance(cls))
-		next()
-
-	case bytecode.OpNewArray:
-		n := regs[in.B].Int
-		if n < 0 {
-			return Value{}, false, rt.Throw("Ljava/lang/RuntimeException;", "negative array size")
-		}
-		arr, err := rt.NewArray(m.Class.File.TypeName(in.Index), int(n))
-		if err != nil {
-			return Value{}, false, err
-		}
-		regs[in.A] = RefVal(arr)
-		next()
-
-	case bytecode.OpThrow:
-		if regs[in.A].IsNull() {
-			return Value{}, false, rt.Throw("Ljava/lang/NullPointerException;", "throw null")
-		}
-		return Value{}, false, &ThrownError{Obj: regs[in.A].Ref}
-
-	case bytecode.OpGoto, bytecode.OpGoto16, bytecode.OpGoto32:
-		f.pc += int(in.Off)
-
-	case bytecode.OpPackedSwitch, bytecode.OpSparseSwitch:
-		key := int32(regs[in.A].Int)
-		target := width // fall through past the 31t instruction
-		for i, k := range in.Keys {
-			if k == key {
-				target = int(in.Targets[i])
-				break
-			}
-		}
-		f.pc += target
-
-	case bytecode.OpIfEq, bytecode.OpIfNe, bytecode.OpIfLt,
-		bytecode.OpIfGe, bytecode.OpIfGt, bytecode.OpIfLe:
-		taken := evalBranch(in.Op, regs[in.A], regs[in.B])
-		taken = rt.branchHook(m, f.pc, in, taken)
-		if taken {
-			f.pc += int(in.Off)
-		} else {
-			next()
-		}
-
-	case bytecode.OpIfEqz, bytecode.OpIfNez, bytecode.OpIfLtz,
-		bytecode.OpIfGez, bytecode.OpIfGtz, bytecode.OpIfLez:
-		// The z-form opcodes mirror the two-register forms shifted by 6.
-		taken := evalBranch(in.Op-6, regs[in.A], IntVal(0))
-		taken = rt.branchHook(m, f.pc, in, taken)
-		if taken {
-			f.pc += int(in.Off)
-		} else {
-			next()
-		}
-
-	case bytecode.OpAGet, bytecode.OpAGetObject:
-		v, err := rt.arrayGet(regs[in.B], regs[in.C])
-		if err != nil {
-			return Value{}, false, err
-		}
-		regs[in.A] = v
-		next()
-
-	case bytecode.OpAPut, bytecode.OpAPutObject:
-		if err := rt.arrayPut(regs[in.B], regs[in.C], regs[in.A]); err != nil {
-			return Value{}, false, err
-		}
-		next()
-
-	case bytecode.OpIGet, bytecode.OpIGetObject, bytecode.OpIGetBoolean:
-		obj := regs[in.B]
-		if obj.IsNull() {
-			return Value{}, false, rt.Throw("Ljava/lang/NullPointerException;",
-				"iget on null in "+m.Key())
-		}
-		ref := m.Class.File.FieldAt(in.Index)
-		regs[in.A] = obj.Ref.Field(ref.Name)
-		next()
-
-	case bytecode.OpIPut, bytecode.OpIPutObject, bytecode.OpIPutBoolean:
-		obj := regs[in.B]
-		if obj.IsNull() {
-			return Value{}, false, rt.Throw("Ljava/lang/NullPointerException;",
-				"iput on null in "+m.Key())
-		}
-		ref := m.Class.File.FieldAt(in.Index)
-		obj.Ref.SetField(ref.Name, regs[in.A])
-		next()
-
-	case bytecode.OpSGet, bytecode.OpSGetObject, bytecode.OpSGetBoolean:
-		v, err := rt.staticGet(st, m, in.Index)
-		if err != nil {
-			return Value{}, false, err
-		}
-		regs[in.A] = v
-		next()
-
-	case bytecode.OpSPut, bytecode.OpSPutObject, bytecode.OpSPutBoolean:
-		if err := rt.staticPut(st, m, in.Index, regs[in.A]); err != nil {
-			return Value{}, false, err
-		}
-		next()
-
-	case bytecode.OpInvokeVirtual, bytecode.OpInvokeSuper, bytecode.OpInvokeDirect,
-		bytecode.OpInvokeStatic, bytecode.OpInvokeInterface,
-		bytecode.OpInvokeVirtualR, bytecode.OpInvokeSuperR, bytecode.OpInvokeDirectR,
-		bytecode.OpInvokeStaticR, bytecode.OpInvokeInterR:
-		if err := rt.doInvoke(st, f, in); err != nil {
-			return Value{}, false, err
-		}
-		next()
-
-	case bytecode.OpNegInt:
-		regs[in.A] = IntVal(int64(-int32(regs[in.B].Int))).WithTaint(regs[in.B].Taint)
-		next()
-	case bytecode.OpNotInt:
-		regs[in.A] = IntVal(int64(^int32(regs[in.B].Int))).WithTaint(regs[in.B].Taint)
-		next()
-
-	case bytecode.OpAddInt, bytecode.OpSubInt, bytecode.OpMulInt,
-		bytecode.OpDivInt, bytecode.OpRemInt, bytecode.OpAndInt,
-		bytecode.OpOrInt, bytecode.OpXorInt, bytecode.OpShlInt,
-		bytecode.OpShrInt, bytecode.OpUshrInt:
-		r, err := rt.binop(in.Op, regs[in.B], regs[in.C])
-		if err != nil {
-			return Value{}, false, err
-		}
-		regs[in.A] = r
-		next()
-
-	case bytecode.OpAddIntLit16:
-		r, err := rt.binop(bytecode.OpAddInt, regs[in.B], IntVal(in.Lit))
-		if err != nil {
-			return Value{}, false, err
-		}
-		regs[in.A] = r
-		next()
-
-	case bytecode.OpAddIntLit8, bytecode.OpMulIntLit8, bytecode.OpDivIntLit8,
-		bytecode.OpRemIntLit8, bytecode.OpAndIntLit8, bytecode.OpOrIntLit8,
-		bytecode.OpXorIntLit8, bytecode.OpShlIntLit8, bytecode.OpShrIntLit8:
-		r, err := rt.binop(lit8Base(in.Op), regs[in.B], IntVal(in.Lit))
-		if err != nil {
-			return Value{}, false, err
-		}
-		regs[in.A] = r
-		next()
-
-	case bytecode.OpRsubIntLit8:
-		r, err := rt.binop(bytecode.OpSubInt, IntVal(in.Lit), regs[in.B])
-		if err != nil {
-			return Value{}, false, err
-		}
-		regs[in.A] = r
-		next()
-
-	default:
-		return Value{}, false, fmt.Errorf("art: %s: unimplemented opcode %s", m.Key(), in.Op)
-	}
-	return Value{}, false, nil
 }
 
 func lit8Base(op bytecode.Opcode) bytecode.Opcode {
@@ -623,11 +512,21 @@ func (rt *Runtime) arrayPut(arr, idx, val Value) error {
 	return nil
 }
 
-func (rt *Runtime) staticGet(st *execState, m *Method, fieldIdx uint32) (Value, error) {
-	ref := m.Class.File.FieldAt(fieldIdx)
-	c, err := rt.FindClass(ref.Class)
-	if err != nil {
-		return Value{}, rt.Throw("Ljava/lang/ClassNotFoundException;", ref.Class)
+func (rt *Runtime) staticGet(st *execState, m *Method, in *bytecode.Inst, site *icSite) (Value, error) {
+	var ref dex.FieldRef
+	var c *Class
+	if site != nil && site.valid && site.index == in.Index && site.cls != nil {
+		ref, c = site.fref, site.cls
+	} else {
+		ref = m.Class.File.FieldAt(in.Index)
+		cc, err := rt.FindClass(ref.Class)
+		if err != nil {
+			return Value{}, rt.Throw("Ljava/lang/ClassNotFoundException;", ref.Class)
+		}
+		c = cc
+		if site != nil {
+			*site = icSite{valid: true, index: in.Index, fref: ref, cls: c}
+		}
 	}
 	if err := rt.ensureInitialized(st, c); err != nil {
 		return Value{}, err
@@ -640,11 +539,21 @@ func (rt *Runtime) staticGet(st *execState, m *Method, fieldIdx uint32) (Value, 
 	return Value{}, rt.Throw("Ljava/lang/RuntimeException;", "no such static field "+ref.Key())
 }
 
-func (rt *Runtime) staticPut(st *execState, m *Method, fieldIdx uint32, v Value) error {
-	ref := m.Class.File.FieldAt(fieldIdx)
-	c, err := rt.FindClass(ref.Class)
-	if err != nil {
-		return rt.Throw("Ljava/lang/ClassNotFoundException;", ref.Class)
+func (rt *Runtime) staticPut(st *execState, m *Method, in *bytecode.Inst, site *icSite, v Value) error {
+	var ref dex.FieldRef
+	var c *Class
+	if site != nil && site.valid && site.index == in.Index && site.cls != nil {
+		ref, c = site.fref, site.cls
+	} else {
+		ref = m.Class.File.FieldAt(in.Index)
+		cc, err := rt.FindClass(ref.Class)
+		if err != nil {
+			return rt.Throw("Ljava/lang/ClassNotFoundException;", ref.Class)
+		}
+		c = cc
+		if site != nil {
+			*site = icSite{valid: true, index: in.Index, fref: ref, cls: c}
+		}
 	}
 	if err := rt.ensureInitialized(st, c); err != nil {
 		return err
@@ -654,6 +563,10 @@ func (rt *Runtime) staticPut(st *execState, m *Method, fieldIdx uint32, v Value)
 			k.Statics[ref.Name] = v
 			return nil
 		}
+	}
+	if c.Statics == nil {
+		// Framework clones without declared statics leave the map nil.
+		c.Statics = make(map[string]Value, 1)
 	}
 	c.Statics[ref.Name] = v
 	return nil
@@ -684,9 +597,18 @@ func (rt *Runtime) instanceOf(v Value, desc string) bool {
 	return v.Ref.Class.IsSubclassOf(target)
 }
 
-func (rt *Runtime) doInvoke(st *execState, f *frame, in bytecode.Inst) error {
+func (rt *Runtime) doInvoke(st *execState, f *frame, in *bytecode.Inst, ci int) error {
 	m := f.method
-	ref := m.Class.File.MethodAt(in.Index)
+	site := f.icAt(ci)
+	var ref dex.MethodRef
+	if site != nil && site.valid && site.index == in.Index {
+		ref = site.mref
+	} else {
+		ref = m.Class.File.MethodAt(in.Index)
+		if site != nil {
+			*site = icSite{valid: true, index: in.Index, mref: ref}
+		}
+	}
 	instance := in.Op != bytecode.OpInvokeStatic && in.Op != bytecode.OpInvokeStaticR
 
 	var recv *Object
@@ -715,20 +637,51 @@ func (rt *Runtime) doInvoke(st *execState, f *frame, in bytecode.Inst) error {
 	switch in.Op {
 	case bytecode.OpInvokeVirtual, bytecode.OpInvokeInterface,
 		bytecode.OpInvokeVirtualR, bytecode.OpInvokeInterR:
-		target = recv.Class.FindMethod(ref.Name, ref.Signature)
+		// Monomorphic inline cache: sites overwhelmingly see one receiver
+		// class, so the superclass/interface walk happens once per class.
+		if site != nil && site.recvTgt != nil && site.recvCls == recv.Class {
+			target = site.recvTgt
+		} else {
+			target = recv.Class.FindMethod(ref.Name, ref.Signature)
+			if site != nil && target != nil {
+				site.recvCls, site.recvTgt = recv.Class, target
+			}
+		}
 	case bytecode.OpInvokeSuper, bytecode.OpInvokeSuperR:
-		if m.Class.Super != nil {
+		if site != nil && site.target != nil {
+			target = site.target
+		} else if m.Class.Super != nil {
 			target = m.Class.Super.FindMethod(ref.Name, ref.Signature)
+			if site != nil {
+				site.target = target
+			}
 		}
 	default: // direct, static
-		c, err := rt.FindClass(ref.Class)
-		if err != nil {
-			return rt.Throw("Ljava/lang/ClassNotFoundException;", ref.Class)
+		var c *Class
+		if site != nil {
+			c = site.cls
+		}
+		if c == nil {
+			cc, err := rt.FindClass(ref.Class)
+			if err != nil {
+				return rt.Throw("Ljava/lang/ClassNotFoundException;", ref.Class)
+			}
+			c = cc
+			if site != nil {
+				site.cls = c
+			}
 		}
 		if err := rt.ensureInitialized(st, c); err != nil {
 			return err
 		}
-		target = c.FindMethod(ref.Name, ref.Signature)
+		if site != nil && site.target != nil {
+			target = site.target
+		} else {
+			target = c.FindMethod(ref.Name, ref.Signature)
+			if site != nil {
+				site.target = target
+			}
+		}
 	}
 	if target == nil {
 		return rt.Throw("Ljava/lang/NoSuchMethodException;", ref.Key())

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"dexlego/internal/apk"
+	"dexlego/internal/bytecode"
 	"dexlego/internal/dex"
 )
 
@@ -43,6 +44,9 @@ type Runtime struct {
 	MaxSteps int
 
 	classes      map[string]*Class
+	fwTmpl       *fwTemplate      // device framework template (see fwtemplate.go)
+	fwSlab       []*Class         // lazily cloned framework classes, by template index
+	fwLookup     map[string]int32 // shared immutable descriptor -> template index
 	natives      map[string]NativeFunc
 	hooks        []*Hooks
 	methodEnter  []func(*Method)
@@ -58,19 +62,37 @@ type Runtime struct {
 	logWriter    io.Writer
 	launchTarget string
 	methodArena  []Method // bulk allocation backing for newMethod
+
+	// Interpreter acceleration state (see predecode.go, interp.go).
+	predecode  bool
+	progCache  *bytecode.ProgramCache
+	freeFrames []*frame // bounded frame pool for the invoke hot path
+
+	// Hot framework singletons, resolved once at clone time so the
+	// per-allocation paths (NewString, classObject) skip the class lookup.
+	stringClass *Class
+	classClass  *Class
 }
 
-// newMethod hands out Method structs carved from chunked bulk allocations.
-// A runtime declares thousands of framework and app methods during
-// construction and linking; chunking turns one heap object per method into
-// one per 256. Arena chunks are retained as long as any method from them is.
+// newMethod hands out Method structs carved from bulk allocations. Linking
+// declares methods in bursts, so batching turns one heap object per method
+// into one per batch. Arena chunks are retained as long as any method from
+// them is; reserveMethods right-sizes the next chunk when the caller knows
+// the demand up front (LoadDex counts the file's methods before linking).
 func (rt *Runtime) newMethod() *Method {
 	if len(rt.methodArena) == 0 {
-		rt.methodArena = make([]Method, 256)
+		rt.methodArena = make([]Method, 64)
 	}
 	m := &rt.methodArena[0]
 	rt.methodArena = rt.methodArena[1:]
 	return m
+}
+
+// reserveMethods ensures the arena can hand out n methods without growing.
+func (rt *Runtime) reserveMethods(n int) {
+	if len(rt.methodArena) < n {
+		rt.methodArena = make([]Method, n)
+	}
 }
 
 // NewRuntime creates a runtime with the framework installed.
@@ -78,14 +100,16 @@ func NewRuntime(device Device) *Runtime {
 	rt := &Runtime{
 		Device:       device,
 		MaxSteps:     DefaultMaxSteps,
-		classes:      make(map[string]*Class, 128),
-		natives:      make(map[string]NativeFunc, 32),
+		classes:      make(map[string]*Class, 16),
+		natives:      make(map[string]NativeFunc, 8),
 		views:        make(map[int64]*Object),
 		intentExtras: make(map[string]string),
 		extFiles:     make(map[string]*Object),
 		classObjects: make(map[*Class]*Object),
+		predecode:    predecodeEnvDefault(),
+		progCache:    defaultProgramCache,
 	}
-	rt.installFramework()
+	rt.cloneFramework()
 	return rt
 }
 
@@ -157,15 +181,12 @@ func (rt *Runtime) ExternalFileContents(path string) (string, bool) {
 	return o.Str, true
 }
 
-// LoadAPK parses and links the package's classes.dex.
+// LoadAPK parses and links the package's classes.dex. The parse is memoized
+// on the package, so loading the same APK into many runtimes (one per
+// collection pass and forced run) parses once; LoadDex never mutates the
+// shared File.
 func (rt *Runtime) LoadAPK(a *apk.APK) error {
-	data, err := a.Dex()
-	if err != nil {
-		return err
-	}
-	// a.Dex() returns a fresh buffer that only the parsed file will retain,
-	// so the zero-copy parse is safe.
-	f, err := dex.ReadShared(data)
+	f, err := a.DexFile()
 	if err != nil {
 		return fmt.Errorf("art: parse classes.dex: %w", err)
 	}
@@ -178,13 +199,16 @@ func (rt *Runtime) LoadAPK(a *apk.APK) error {
 
 // LoadDex links every class in the file into the runtime and returns them.
 func (rt *Runtime) LoadDex(f *dex.File) ([]*Class, error) {
+	// Linking resolves a signature per method reference; memoize them all
+	// up front while the file is still confined to this goroutine.
+	f.BuildSignatureCache()
 	// Pass 1: create shells for classes not yet defined (first definition
 	// wins, like ART's class table).
 	created := make([]*Class, 0, len(f.Classes))
 	for ci := range f.Classes {
 		def := &f.Classes[ci]
 		desc := f.TypeName(def.Class)
-		if _, exists := rt.classes[desc]; exists {
+		if rt.lookupClass(desc) != nil {
 			continue
 		}
 		c := &Class{
@@ -200,12 +224,17 @@ func (rt *Runtime) LoadDex(f *dex.File) ([]*Class, error) {
 		created = append(created, c)
 	}
 	// Pass 2: link hierarchy and members.
+	nMethods := 0
+	for _, c := range created {
+		nMethods += len(c.Def.DirectMeths) + len(c.Def.VirtualMeths)
+	}
+	rt.reserveMethods(nMethods)
 	for _, c := range created {
 		def := c.Def
 		if def.Superclass != dex.NoIndex {
 			superDesc := f.TypeName(def.Superclass)
-			super, ok := rt.classes[superDesc]
-			if !ok {
+			super := rt.lookupClass(superDesc)
+			if super == nil {
 				delete(rt.classes, c.Descriptor)
 				return nil, fmt.Errorf("art: class %s: unresolved superclass %s",
 					c.Descriptor, superDesc)
@@ -214,8 +243,8 @@ func (rt *Runtime) LoadDex(f *dex.File) ([]*Class, error) {
 		}
 		for _, ti := range def.Interfaces {
 			ifcDesc := f.TypeName(ti)
-			ifc, ok := rt.classes[ifcDesc]
-			if !ok {
+			ifc := rt.lookupClass(ifcDesc)
+			if ifc == nil {
 				return nil, fmt.Errorf("art: class %s: unresolved interface %s",
 					c.Descriptor, ifcDesc)
 			}
@@ -275,16 +304,32 @@ func (rt *Runtime) LoadDex(f *dex.File) ([]*Class, error) {
 	return created, nil
 }
 
+// lookupClass resolves a descriptor against the two class tiers: the
+// per-runtime table (app classes, array classes) and the framework clone
+// slab, which is addressed through the template's shared immutable index so
+// NewRuntime never refills a 100+-entry map. Returns nil when undefined.
+func (rt *Runtime) lookupClass(descriptor string) *Class {
+	if c, ok := rt.classes[descriptor]; ok {
+		return c
+	}
+	if rt.fwLookup != nil {
+		if i, ok := rt.fwLookup[descriptor]; ok {
+			return rt.fwClass(i)
+		}
+	}
+	return nil
+}
+
 // FindClass resolves a class by descriptor. Array classes are synthesized
 // on demand.
 func (rt *Runtime) FindClass(descriptor string) (*Class, error) {
-	if c, ok := rt.classes[descriptor]; ok {
+	if c := rt.lookupClass(descriptor); c != nil {
 		return c, nil
 	}
 	if len(descriptor) > 1 && descriptor[0] == '[' {
 		c := &Class{
 			Descriptor: descriptor,
-			Super:      rt.classes["Ljava/lang/Object;"],
+			Super:      rt.lookupClass("Ljava/lang/Object;"),
 			state:      stateInitialized,
 			Statics:    make(map[string]Value),
 			rt:         rt,
@@ -297,8 +342,11 @@ func (rt *Runtime) FindClass(descriptor string) (*Class, error) {
 
 // Classes returns all loaded class descriptors in sorted order.
 func (rt *Runtime) Classes() []string {
-	out := make([]string, 0, len(rt.classes))
+	out := make([]string, 0, len(rt.classes)+len(rt.fwLookup))
 	for d := range rt.classes {
+		out = append(out, d)
+	}
+	for d := range rt.fwLookup {
 		out = append(out, d)
 	}
 	sort.Strings(out)
@@ -375,7 +423,7 @@ func (rt *Runtime) fromEncodedValue(c *Class, v dex.Value) Value {
 
 // NewString allocates a string object.
 func (rt *Runtime) NewString(s string) *Object {
-	return &Object{Class: rt.classes["Ljava/lang/String;"], Str: s}
+	return &Object{Class: rt.stringClass, Str: s}
 }
 
 // NewInstance allocates an uninitialized instance of c.
@@ -405,7 +453,7 @@ func (rt *Runtime) classObject(c *Class) *Object {
 	if o, ok := rt.classObjects[c]; ok {
 		return o
 	}
-	o := &Object{Class: rt.classes["Ljava/lang/Class;"], Data: c}
+	o := &Object{Class: rt.classClass, Data: c}
 	rt.classObjects[c] = o
 	return o
 }
@@ -413,9 +461,9 @@ func (rt *Runtime) classObject(c *Class) *Object {
 // NewException creates an exception object of the given class (which must
 // exist; unknown classes fall back to java/lang/RuntimeException).
 func (rt *Runtime) NewException(descriptor, msg string) *Object {
-	c, ok := rt.classes[descriptor]
-	if !ok {
-		c = rt.classes["Ljava/lang/RuntimeException;"]
+	c := rt.lookupClass(descriptor)
+	if c == nil {
+		c = rt.lookupClass("Ljava/lang/RuntimeException;")
 	}
 	o := rt.NewInstance(c)
 	o.SetField("message", RefVal(rt.NewString(msg)))
@@ -553,7 +601,7 @@ func (rt *Runtime) viewByID(id int64) *Object {
 	if v, ok := rt.views[id]; ok {
 		return v
 	}
-	v := rt.NewInstance(rt.classes["Landroid/view/View;"])
+	v := rt.NewInstance(rt.lookupClass("Landroid/view/View;"))
 	v.SetField("__id", IntVal(id))
 	v.SetField("__listener", NullVal())
 	rt.views[id] = v

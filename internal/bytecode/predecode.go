@@ -1,0 +1,226 @@
+package bytecode
+
+import "sync"
+
+// MaxRegister returns the highest register number named by any operand of
+// in, or -1 when the instruction has no register operands. It covers exactly
+// the operand layout MapRegisters transforms (A is a count, not a register,
+// for the invoke formats) without allocating, so interpreters can hoist the
+// per-instruction register bounds check out of the step loop.
+func MaxRegister(in Inst) int32 {
+	max := int32(-1)
+	switch in.Op.Format() {
+	case Fmt12x, Fmt22x, Fmt22b, Fmt22t, Fmt22s, Fmt22c:
+		max = in.A
+		if in.B > max {
+			max = in.B
+		}
+	case Fmt11n, Fmt11x, Fmt21t, Fmt21s, Fmt21h, Fmt21c, Fmt31i, Fmt31t:
+		max = in.A
+	case Fmt23x:
+		max = in.A
+		if in.B > max {
+			max = in.B
+		}
+		if in.C > max {
+			max = in.C
+		}
+	case Fmt35c, Fmt3rc:
+		for _, r := range in.Args {
+			if int32(r) > max {
+				max = int32(r)
+			}
+		}
+	}
+	return max
+}
+
+// DecodedInst is one predecoded instruction: the instruction itself plus
+// the per-step metadata (width, register ceiling) the interpreter would
+// otherwise recompute on every visit. The embedded Inst and its operand
+// slices are immutable once predecoded — Programs are shared across frames
+// and runtimes, so consumers must Clone before mutating.
+type DecodedInst struct {
+	Inst
+	Width  int
+	MaxReg int32
+	// IC is the compact inline-cache slot for instructions that carry a
+	// constant-pool reference (invoke/field/type formats), -1 otherwise.
+	// Numbering only those sites keeps a runtime's per-method cache array
+	// proportional to the resolution sites instead of the whole body.
+	IC int32
+}
+
+// carriesPoolRef reports whether the format embeds a constant-pool index
+// whose resolution an interpreter would want to cache per site.
+func carriesPoolRef(f Format) bool {
+	switch f {
+	case Fmt21c, Fmt22c, Fmt35c, Fmt3rc:
+		return true
+	}
+	return false
+}
+
+// Program is the predecoded form of one unit array: a dense instruction
+// stream plus a pc→instruction index. It is immutable after Predecode and
+// holds its own copy of the units, so it stays valid (as a snapshot) even
+// when the live array it was lowered from is modified in place.
+type Program struct {
+	units []uint16
+	idx   []int32 // pc -> index into code, offset by +1; 0 = no instruction
+	code  []DecodedInst
+	sites int // number of IC slots handed out (see DecodedInst.IC)
+}
+
+// Predecode lowers a unit array into a Program with one linear scan,
+// skipping switch payload regions. Decoding stops at the first malformed
+// instruction: the tail past it stays unmapped, so an interpreter falling
+// back to live Decode there surfaces the identical decode error.
+func Predecode(insns []uint16) *Program {
+	p := &Program{
+		units: append([]uint16(nil), insns...),
+		idx:   make([]int32, len(insns)),
+	}
+	p.code = make([]DecodedInst, 0, len(insns)/2+1)
+	for pc := 0; pc < len(insns); {
+		if w, ok := PayloadAt(insns, pc); ok {
+			pc += w
+			continue
+		}
+		in, width, err := Decode(insns, pc)
+		if err != nil {
+			break
+		}
+		ic := int32(-1)
+		if carriesPoolRef(in.Op.Format()) {
+			ic = int32(p.sites)
+			p.sites++
+		}
+		p.code = append(p.code, DecodedInst{Inst: in, Width: width, MaxReg: MaxRegister(in), IC: ic})
+		p.idx[pc] = int32(len(p.code))
+		pc += width
+	}
+	return p
+}
+
+// Lookup returns the predecoded instruction starting at pc and its index in
+// the instruction stream, or (nil, -1) when pc is not a decoded instruction
+// start (payload interior, misaligned pc, or past a malformed instruction).
+func (p *Program) Lookup(pc int) (*DecodedInst, int) {
+	if pc < 0 || pc >= len(p.idx) {
+		return nil, -1
+	}
+	i := p.idx[pc]
+	if i == 0 {
+		return nil, -1
+	}
+	return &p.code[i-1], int(i - 1)
+}
+
+// NumInsts returns the number of predecoded instructions.
+func (p *Program) NumInsts() int { return len(p.code) }
+
+// NumSites returns the number of inline-cache slots the program assigned.
+func (p *Program) NumSites() int { return p.sites }
+
+// ICOf returns the inline-cache slot of predecoded instruction index ci,
+// or -1 when ci is out of range or the instruction carries no pool ref.
+func (p *Program) ICOf(ci int) int32 {
+	if ci < 0 || ci >= len(p.code) {
+		return -1
+	}
+	return p.code[ci].IC
+}
+
+// Len returns the unit length of the predecoded snapshot.
+func (p *Program) Len() int { return len(p.units) }
+
+// Matches reports whether insns still has the exact content the program was
+// predecoded from.
+func (p *Program) Matches(insns []uint16) bool {
+	if len(insns) != len(p.units) {
+		return false
+	}
+	for i, u := range insns {
+		if u != p.units[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// programCacheLimit caps the number of cached programs; past it the cache is
+// dropped wholesale (coarse eviction — predecoding is cheap enough that a
+// cold restart is preferable to LRU bookkeeping on the hot path).
+const programCacheLimit = 4096
+
+// ProgramCache is a content-addressed, thread-safe cache of predecoded
+// programs. Keys are the full unit content (hash plus exact compare), never
+// the slice identity, so self-modified code can never alias a stale entry:
+// any content change simply hashes to a different program. Worker shards of
+// a force-execution campaign share one cache, as do all runtimes of a
+// process through the package default.
+type ProgramCache struct {
+	mu      sync.RWMutex
+	entries map[uint64][]*Program
+	size    int
+}
+
+// NewProgramCache returns an empty program cache.
+func NewProgramCache() *ProgramCache {
+	return &ProgramCache{entries: make(map[uint64][]*Program)}
+}
+
+// hashUnits is FNV-1a over the byte representation of the unit array.
+func hashUnits(insns []uint16) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, u := range insns {
+		h ^= uint64(u & 0xff)
+		h *= prime64
+		h ^= uint64(u >> 8)
+		h *= prime64
+	}
+	return h
+}
+
+// Get returns the predecoded program for the exact content of insns,
+// building and caching it on a miss. hit reports whether the program was
+// already cached.
+func (c *ProgramCache) Get(insns []uint16) (p *Program, hit bool) {
+	h := hashUnits(insns)
+	c.mu.RLock()
+	for _, cand := range c.entries[h] {
+		if cand.Matches(insns) {
+			c.mu.RUnlock()
+			return cand, true
+		}
+	}
+	c.mu.RUnlock()
+
+	p = Predecode(insns)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cand := range c.entries[h] {
+		if cand.Matches(insns) {
+			return cand, true // raced with another builder
+		}
+	}
+	if c.size >= programCacheLimit {
+		c.entries = make(map[uint64][]*Program)
+		c.size = 0
+	}
+	c.entries[h] = append(c.entries[h], p)
+	c.size++
+	return p, false
+}
+
+// Size returns the number of cached programs.
+func (c *ProgramCache) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.size
+}

@@ -1,0 +1,180 @@
+package bytecode
+
+import (
+	"testing"
+)
+
+// TestMaxRegisterMatchesMapRegisters checks the allocation-free register
+// ceiling against the authoritative MapRegisters operand layout for every
+// opcode and a spread of operand values.
+func TestMaxRegisterMatchesMapRegisters(t *testing.T) {
+	cases := []Inst{
+		{Op: OpNop},
+		{Op: OpReturnVoid},
+		{Op: OpMove, A: 3, B: 7},
+		{Op: OpMoveFrom16, A: 250, B: 9},
+		{Op: OpMoveResult, A: 12},
+		{Op: OpConst4, A: 5, Lit: -3},
+		{Op: OpConst, A: 200, Lit: 1 << 30},
+		{Op: OpConstString, A: 15, Index: 3},
+		{Op: OpInstanceOf, A: 1, B: 14, Index: 2},
+		{Op: OpAddInt, A: 9, B: 200, C: 3},
+		{Op: OpAddIntLit8, A: 3, B: 254, Lit: 7},
+		{Op: OpAddIntLit16, A: 13, B: 2, Lit: 1000},
+		{Op: OpIfEq, A: 4, B: 11, Off: 5},
+		{Op: OpIfEqz, A: 6, Off: -2},
+		{Op: OpGoto, Off: 3},
+		{Op: OpPackedSwitch, A: 8, Off: 4, Keys: []int32{0}, Targets: []int32{4}},
+		{Op: OpInvokeVirtual, A: 3, Index: 1, Args: []int{5, 2, 9}},
+		{Op: OpInvokeStaticR, A: 4, Index: 1, Args: []int{40, 41, 42, 43}},
+		{Op: OpInvokeStatic, A: 0, Index: 1}, // zero-arg: no register operands
+	}
+	for _, in := range cases {
+		want := int32(-1)
+		MapRegisters(in, func(r int32) int32 {
+			if r > want {
+				want = r
+			}
+			return r
+		})
+		if got := MaxRegister(in); got != want {
+			t.Errorf("MaxRegister(%s %+v) = %d, want %d", in.Op, in, got, want)
+		}
+	}
+}
+
+// checkPredecodeAgainstDecode verifies the core predecode contract on one
+// unit array: the predecoder's linear scan must mirror a step-by-step
+// bytecode.Decode walk exactly — same coverage, same (op, width, operands,
+// max register) per pc — and stop at the first malformed instruction so the
+// uncovered tail falls back to the live decoder.
+func checkPredecodeAgainstDecode(t *testing.T, insns []uint16) {
+	t.Helper()
+	p := Predecode(insns)
+	if got, want := p.Len(), len(insns); got != want {
+		t.Fatalf("Program.Len() = %d, want %d", got, want)
+	}
+	if !p.Matches(insns) {
+		t.Fatalf("Program does not match its own source units")
+	}
+	covered := make(map[int]bool)
+	n := 0
+	for pc := 0; pc < len(insns); {
+		if w, ok := PayloadAt(insns, pc); ok {
+			pc += w
+			continue
+		}
+		in, width, err := Decode(insns, pc)
+		if err != nil {
+			break // predecode must leave this pc and everything after unmapped
+		}
+		d, ci := p.Lookup(pc)
+		if d == nil {
+			t.Fatalf("pc %d: Decode succeeds but Lookup returned nil", pc)
+		}
+		if ci != n {
+			t.Fatalf("pc %d: instruction index %d, want %d", pc, ci, n)
+		}
+		if d.Width != width {
+			t.Fatalf("pc %d: predecoded width %d, want %d", pc, d.Width, width)
+		}
+		if !d.Inst.Equal(in) {
+			t.Fatalf("pc %d: predecoded %+v, want %+v", pc, d.Inst, in)
+		}
+		var want int32 = -1
+		MapRegisters(in, func(r int32) int32 {
+			if r > want {
+				want = r
+			}
+			return r
+		})
+		if d.MaxReg != want {
+			t.Fatalf("pc %d: predecoded MaxReg %d, want %d", pc, d.MaxReg, want)
+		}
+		covered[pc] = true
+		n++
+		pc += width
+	}
+	if p.NumInsts() != n {
+		t.Fatalf("predecoded %d instructions, linear decode walk found %d", p.NumInsts(), n)
+	}
+	for pc := -2; pc < len(insns)+2; pc++ {
+		d, _ := p.Lookup(pc)
+		if (d != nil) != covered[pc] {
+			t.Fatalf("pc %d: Lookup mapped=%v, decode walk covered=%v", pc, d != nil, covered[pc])
+		}
+	}
+}
+
+// FuzzPredecode feeds arbitrary unit arrays — valid streams, malformed
+// tails, payload fragments — through both decoders and requires identical
+// results, the equivalence that lets the interpreter swap the per-step
+// Decode for predecoded lookups.
+func FuzzPredecode(f *testing.F) {
+	var asm Assembler
+	asm.Const(0, 7)
+	asm.Const(1, 3)
+	asm.Binop(OpAddInt, 2, 0, 1)
+	asm.IfZ(OpIfNez, 2, "done")
+	asm.Nop()
+	asm.Label("done")
+	asm.Return(2)
+	valid, err := asm.Assemble()
+	if err != nil {
+		f.Fatalf("assemble seed: %v", err)
+	}
+	f.Add(unitsToBytes(valid))
+	f.Add(unitsToBytes([]uint16{0x0012, 0x000e}))
+	f.Add(unitsToBytes([]uint16{0x012b, 0x0002, 0x0000, PackedSwitchPayloadIdent, 0x0001, 0x0000, 0x0003, 0x0000}))
+	f.Add(unitsToBytes([]uint16{0x1a00}))         // const-string truncated
+	f.Add(unitsToBytes([]uint16{0xffff, 0x000e})) // unknown opcode
+	f.Add(unitsToBytes([]uint16{0x0100, 0x0002})) // bare payload ident
+	f.Add([]byte{0x0e})                           // odd byte count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("oversized input")
+		}
+		insns := make([]uint16, len(data)/2)
+		for i := range insns {
+			insns[i] = uint16(data[2*i]) | uint16(data[2*i+1])<<8
+		}
+		checkPredecodeAgainstDecode(t, insns)
+	})
+}
+
+func unitsToBytes(insns []uint16) []byte {
+	out := make([]byte, 2*len(insns))
+	for i, u := range insns {
+		out[2*i] = byte(u)
+		out[2*i+1] = byte(u >> 8)
+	}
+	return out
+}
+
+// TestProgramCacheContentKeyed checks that the cache keys by content, not
+// slice identity: equal content hits regardless of backing array, and an
+// in-place mutation misses instead of aliasing the stale program.
+func TestProgramCacheContentKeyed(t *testing.T) {
+	c := NewProgramCache()
+	a := []uint16{0x0012, 0x000e} // const/4 v0,0; return-void
+	p1, hit := c.Get(a)
+	if hit {
+		t.Fatal("first Get reported a hit")
+	}
+	b := append([]uint16(nil), a...)
+	p2, hit := c.Get(b)
+	if !hit || p2 != p1 {
+		t.Fatalf("equal-content Get: hit=%v same=%v, want hit on the same program", hit, p2 == p1)
+	}
+	a[0] = 0x1012 // const/4 v0,1 — self-modification of the live array
+	p3, hit := c.Get(a)
+	if hit || p3 == p1 {
+		t.Fatalf("mutated-content Get: hit=%v same=%v, want a fresh program", hit, p3 == p1)
+	}
+	if p1.Matches(a) {
+		t.Fatal("stale program claims to match mutated units")
+	}
+	if c.Size() != 2 {
+		t.Fatalf("cache size %d, want 2", c.Size())
+	}
+}

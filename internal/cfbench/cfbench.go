@@ -161,7 +161,11 @@ func MeasureLaunch(pkg *apk.APK, runs int, withCollector bool) (LaunchSample, er
 		return LaunchSample{}, fmt.Errorf("cfbench: runs must be positive")
 	}
 	durations := make([]float64, 0, runs)
-	for i := 0; i < runs; i++ {
+	// One untimed warmup launch: the framework template and the shared
+	// predecoded-program cache are process-global, so whichever
+	// configuration runs first would otherwise absorb their build cost and
+	// skew the instrumented/original ratio (it can even drop below 1x).
+	for i := -1; i < runs; i++ {
 		rt := art.NewRuntime(art.DefaultPhone())
 		rt.MaxSteps = 1 << 62
 		if withCollector {
@@ -175,7 +179,9 @@ func MeasureLaunch(pkg *apk.APK, runs int, withCollector bool) (LaunchSample, er
 		if _, err := rt.LaunchActivity(); err != nil {
 			return LaunchSample{}, err
 		}
-		durations = append(durations, float64(time.Since(start).Nanoseconds()))
+		if i >= 0 {
+			durations = append(durations, float64(time.Since(start).Nanoseconds()))
+		}
 	}
 	var sum float64
 	for _, d := range durations {

@@ -43,6 +43,13 @@ type Entry struct {
 // TreeNode is a node of the collection tree (Fig. 3): the Instruction List
 // (IL) in first-execution order, the Instruction Index Map (IIM) from
 // dex_pc to IL index, the divergence bounds, and child links.
+//
+// During collection the IIM is kept as the dense pcIdx array instead of the
+// map: dex_pcs are small code-unit offsets, so an array lookup replaces a
+// map hash on the per-instruction hot path. The map form is materialized by
+// buildIIM only when a unique tree is published into a MethodRecord —
+// duplicate executions (the steady state of loops and repeated calls) never
+// pay for map construction at all.
 type TreeNode struct {
 	IL       []Entry     `json:"il"`
 	IIM      map[int]int `json:"iim"`
@@ -50,21 +57,70 @@ type TreeNode struct {
 	SmEnd    int         `json:"smEnd"`   // convergence dex_pc; -1 if none
 	Children []*TreeNode `json:"children,omitempty"`
 	Parent   *TreeNode   `json:"-"`
+
+	// pcIdx[pc] is the IL index of the entry collected at dex_pc pc, or -1.
+	// Collection-time only; published trees carry the IIM map instead.
+	pcIdx []int32
 }
 
 func newNode(parent *TreeNode, smStart int) *TreeNode {
 	return &TreeNode{
-		IIM:     make(map[int]int),
 		SmStart: smStart,
 		SmEnd:   -1,
 		Parent:  parent,
 	}
 }
 
+// ilIndex is the collection-time IIM lookup: the IL index of the entry at
+// dex_pc pc, if one was collected in this node.
+func (n *TreeNode) ilIndex(pc int) (int, bool) {
+	if pc < 0 || pc >= len(n.pcIdx) || n.pcIdx[pc] < 0 {
+		return 0, false
+	}
+	return int(n.pcIdx[pc]), true
+}
+
 // push records an instruction in the node (Algorithm 1 lines 29-31).
 func (n *TreeNode) push(e Entry) {
-	n.IIM[e.DexPC] = len(n.IL)
+	if e.DexPC >= len(n.pcIdx) {
+		n.growPCIdx(e.DexPC)
+	}
+	n.pcIdx[e.DexPC] = int32(len(n.IL))
 	n.IL = append(n.IL, e)
+}
+
+// growPCIdx extends pcIdx to cover pc, filling new slots with -1. Growth
+// doubles so a method walked front to back reallocates O(log n) times, and
+// recycled nodes keep their backing array.
+func (n *TreeNode) growPCIdx(pc int) {
+	old := len(n.pcIdx)
+	if cap(n.pcIdx) > pc {
+		n.pcIdx = n.pcIdx[:pc+1]
+	} else {
+		newCap := pc + 1
+		if d := 2 * cap(n.pcIdx); d > newCap {
+			newCap = d
+		}
+		grown := make([]int32, pc+1, newCap)
+		copy(grown, n.pcIdx)
+		n.pcIdx = grown
+	}
+	for i := old; i < len(n.pcIdx); i++ {
+		n.pcIdx[i] = -1
+	}
+}
+
+// buildIIM materializes the published (map) form of the IIM for the subtree.
+// Within a node each dex_pc appears at most once in the IL (a re-executed pc
+// either deduplicates or forks a child), so the IL walk is exact.
+func buildIIM(n *TreeNode) {
+	n.IIM = make(map[int]int, len(n.IL))
+	for i := range n.IL {
+		n.IIM[n.IL[i].DexPC] = i
+	}
+	for _, c := range n.Children {
+		buildIIM(c)
+	}
 }
 
 // Size returns the total number of instructions in the subtree.
@@ -336,8 +392,14 @@ func (c *Collector) recycleTree(n *TreeNode) {
 	for _, ch := range n.Children {
 		c.recycleTree(ch)
 	}
+	// Reset only the pcIdx slots the IL actually touched: O(collected), not
+	// O(method size).
+	for i := range n.IL {
+		if pc := n.IL[i].DexPC; pc < len(n.pcIdx) {
+			n.pcIdx[pc] = -1
+		}
+	}
 	n.IL = n.IL[:0]
-	clear(n.IIM)
 	n.Children = n.Children[:0]
 	n.SmStart = -1
 	n.SmEnd = -1
@@ -369,11 +431,13 @@ func New() *Collector {
 		res: &Result{Methods: make(map[string]*MethodRecord)},
 	}
 	c.hooks = &art.Hooks{
-		MethodEntered:    c.methodEntered,
-		MethodExited:     c.methodExited,
-		Instruction:      c.instruction,
-		ClassInitialized: c.classInitialized,
-		ReflectiveCall:   c.reflectiveCall,
+		MethodEntered:       c.methodEntered,
+		MethodExited:        c.methodExited,
+		Instruction:         c.instruction,
+		ClassInitialized:    c.classInitialized,
+		ReflectiveCall:      c.reflectiveCall,
+		PredecodeHit:        c.predecodeHit,
+		PredecodeInvalidate: c.predecodeInvalidate,
 	}
 	return c
 }
@@ -453,6 +517,7 @@ func (c *Collector) methodExited(m *art.Method) {
 		return // keep only unique trees
 	}
 	rec.seen[string(c.fpBuf)] = true
+	buildIIM(root)
 	rec.Trees = append(rec.Trees, root)
 	if c.span.Enabled() {
 		c.span.MethodCollected(rec.Key(), root.Depth(), root.Size())
@@ -469,7 +534,7 @@ func layerDepth(n *TreeNode) int {
 }
 
 // instruction implements Algorithm 1 (BytecodeCollection).
-func (c *Collector) instruction(m *art.Method, pc int, insns []uint16) {
+func (c *Collector) instruction(m *art.Method, pc int, insns []uint16, inp *bytecode.Inst) {
 	c.enter()
 	defer c.leave()
 	if !appMethod(m) || len(c.stack) == 0 {
@@ -479,15 +544,15 @@ func (c *Collector) instruction(m *art.Method, pc int, insns []uint16) {
 	if top.method != m {
 		return
 	}
-	in, _, err := bytecode.Decode(insns, pc)
-	if err != nil {
+	if inp == nil {
 		return // malformed live code; the interpreter will surface it
 	}
+	in := *inp
 	// Symbol resolution is deferred past the dedup check below: the steady
 	// state (loop bodies, repeated calls) re-executes recorded instructions,
 	// which must not allocate.
 	cur := top.cur
-	if ilIdx, ok := cur.IIM[pc]; ok {
+	if ilIdx, ok := cur.ilIndex(pc); ok {
 		old := cur.IL[ilIdx]
 		if old.Inst.Equal(in) {
 			return // same instruction at same dex_pc: deduplicate
@@ -503,7 +568,7 @@ func (c *Collector) instruction(m *art.Method, pc int, insns []uint16) {
 		return
 	}
 	if cur.Parent != nil {
-		if pIdx, ok := cur.Parent.IIM[pc]; ok && cur.Parent.IL[pIdx].Inst.Equal(in) {
+		if pIdx, ok := cur.Parent.ilIndex(pc); ok && cur.Parent.IL[pIdx].Inst.Equal(in) {
 			// Convergence: this self-modification layer ended.
 			cur.SmEnd = pc
 			top.cur = cur.Parent
@@ -514,6 +579,31 @@ func (c *Collector) instruction(m *art.Method, pc int, insns []uint16) {
 		}
 	}
 	cur.push(Entry{DexPC: pc, Inst: in, Sym: resolveSym(m, in)})
+}
+
+// predecodeHit traces a method binding to a cached predecoded program.
+// Interpreter acceleration events ride the same reveal span as the
+// collection-tree events so per-app traces show cache behaviour alongside
+// the self-modification activity that invalidates it.
+func (c *Collector) predecodeHit(m *art.Method) {
+	c.enter()
+	defer c.leave()
+	if !appMethod(m) || !c.span.Enabled() {
+		return
+	}
+	c.span.PredecodeHit(m.Key())
+}
+
+// predecodeInvalidate traces a live-code write dropping a method's
+// predecoded stream — the same modification events that fork collection
+// trees, observed at the interpreter layer.
+func (c *Collector) predecodeInvalidate(m *art.Method, pc int) {
+	c.enter()
+	defer c.leave()
+	if !appMethod(m) || !c.span.Enabled() {
+		return
+	}
+	c.span.PredecodeInvalidate(m.Key(), pc)
 }
 
 func resolveSym(m *art.Method, in bytecode.Inst) *Symbol {

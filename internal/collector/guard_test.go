@@ -66,7 +66,7 @@ func TestGuardResetsAfterHookReturns(t *testing.T) {
 		h.ClassInitialized(nil) // early-returns on nil class
 		h.MethodEntered(sys)
 		h.MethodExited(sys)
-		h.Instruction(sys, 0, nil)
+		h.Instruction(sys, 0, nil, nil)
 		h.ReflectiveCall(nil, 0, nil)
 	}
 	if c.busy.Load() != 0 {

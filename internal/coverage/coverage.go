@@ -163,7 +163,7 @@ func NewTracker(files []*dex.File) (*Tracker, error) {
 // maps (totals are read-only after construction, so shards can share them).
 func (t *Tracker) newHooks() *art.Hooks {
 	return &art.Hooks{
-		Instruction: func(m *art.Method, pc int, insns []uint16) {
+		Instruction: func(m *art.Method, pc int, insns []uint16, in *bytecode.Inst) {
 			key := m.Key()
 			ik := insnKey{key, pc}
 			if !t.totalInsns[ik] {

@@ -36,6 +36,9 @@ type File struct {
 	Fields  []FieldID
 	Methods []MethodID
 	Classes []ClassDef
+
+	// sigs memoizes SignatureOf per proto index (see BuildSignatureCache).
+	sigs []string
 }
 
 // Proto is a method prototype (proto_id_item).
@@ -205,12 +208,21 @@ func (f *File) FieldAt(idx uint32) FieldRef {
 	}
 }
 
-// SignatureOf formats the proto at index idx as (params)return.
+// SignatureOf formats the proto at index idx as (params)return. Parsed
+// files answer from the signature cache; method resolution calls this for
+// every reference, so rebuilding the string each time shows up in the
+// collection hot path.
 func (f *File) SignatureOf(idx uint32) string {
+	if int(idx) < len(f.sigs) {
+		return f.sigs[idx]
+	}
 	if int(idx) >= len(f.Protos) {
 		return fmt.Sprintf("<bad-proto@%d>", idx)
 	}
-	p := f.Protos[idx]
+	return f.formatSignature(f.Protos[idx])
+}
+
+func (f *File) formatSignature(p Proto) string {
 	var sb strings.Builder
 	sb.WriteByte('(')
 	for _, t := range p.Params {
@@ -219,6 +231,22 @@ func (f *File) SignatureOf(idx uint32) string {
 	sb.WriteByte(')')
 	sb.WriteString(f.TypeName(p.Return))
 	return sb.String()
+}
+
+// BuildSignatureCache precomputes every proto signature. Linking resolves
+// the signature of each method reference it touches, so a class loader
+// calls this once before the fan-out; it must not race with concurrent
+// SignatureOf calls, and repeated calls are no-ops. Parse-only consumers
+// (decode benchmarks, verify passes) never pay for it.
+func (f *File) BuildSignatureCache() {
+	if f.sigs != nil {
+		return
+	}
+	sigs := make([]string, len(f.Protos))
+	for i, p := range f.Protos {
+		sigs[i] = f.formatSignature(p)
+	}
+	f.sigs = sigs
 }
 
 // FindClass returns the class definition with the given descriptor, or nil.

@@ -30,6 +30,44 @@ type byteReader struct {
 	// insnArena batches the []uint16 instruction allocations of all code
 	// items into chunks, one allocation per chunk instead of per method.
 	insnArena []uint16
+	// seenCode tracks code-item offsets already aliased into buf, so a
+	// duplicate code_off falls back to a private copy (see insnsAt).
+	seenCode map[int]bool
+}
+
+// hostLittleEndian reports whether uint16 values have the DEX file's byte
+// order in memory, making a zero-copy view of the instruction stream valid.
+var hostLittleEndian = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// insnsAt returns the code item's []uint16 instruction view. On a shared
+// little-endian read it aliases buf directly — the same ownership rule as
+// shared strings — saving the dominant per-method decode allocation. Every
+// later consumer that mutates instructions (the runtime's class linker, the
+// packer) copies out of the File first, so File-level instruction arrays
+// only see in-place writes from index remapping, which each File performs
+// on its own buffer. Two code items at the same offset must still never
+// share backing (a write through one method would leak into the other), so
+// only the first occurrence of an offset is aliased.
+func (r *byteReader) insnsAt(start, n int) []uint16 {
+	if r.shared && hostLittleEndian && n > 0 &&
+		uintptr(unsafe.Pointer(&r.buf[start]))%2 == 0 {
+		if r.seenCode == nil {
+			r.seenCode = make(map[int]bool)
+		}
+		if !r.seenCode[start] {
+			r.seenCode[start] = true
+			return unsafe.Slice((*uint16)(unsafe.Pointer(&r.buf[start])), n)
+		}
+	}
+	s := r.insnSlice(n)
+	raw := r.buf[start : start+2*n]
+	for i := range s {
+		s[i] = uint16(raw[2*i]) | uint16(raw[2*i+1])<<8
+	}
+	return s
 }
 
 // insnSlice returns a zeroed []uint16 of length n carved from the arena.
@@ -426,11 +464,7 @@ func (r *byteReader) readCodeItem(off int) (*Code, error) {
 	if insnsStart < 0 || insnsStart+2*int(insnsSize) > len(r.buf) {
 		return nil, &FormatError{Offset: off, Reason: "truncated instruction array"}
 	}
-	code.Insns = r.insnSlice(int(insnsSize))
-	raw := r.buf[insnsStart : insnsStart+2*int(insnsSize)]
-	for i := range code.Insns {
-		code.Insns[i] = uint16(raw[2*i]) | uint16(raw[2*i+1])<<8
-	}
+	code.Insns = r.insnsAt(insnsStart, int(insnsSize))
 	if triesSize == 0 {
 		return code, nil
 	}

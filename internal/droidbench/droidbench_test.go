@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dexlego/internal/art"
+	"dexlego/internal/bytecode"
 	"dexlego/internal/dex"
 	"dexlego/internal/droidbench"
 	"dexlego/internal/taint"
@@ -238,7 +239,7 @@ func TestRemoveHooksDetaches(t *testing.T) {
 	}
 	rt := art.NewRuntime(art.DefaultPhone())
 	count := 0
-	h := &art.Hooks{Instruction: func(m *art.Method, pc int, insns []uint16) { count++ }}
+	h := &art.Hooks{Instruction: func(m *art.Method, pc int, insns []uint16, in *bytecode.Inst) { count++ }}
 	rt.AddHooks(h)
 	rt.RemoveHooks(h)
 	if err := rt.LoadAPK(pkg); err != nil {

@@ -135,8 +135,12 @@ func TestFigure6Shape(t *testing.T) {
 	java, native, overall := res.Slowdowns()
 	// The absolute factors are host-dependent; the paper's shape is a large
 	// Java slowdown, a small native one, and an overall between the two.
-	if java < 1.5 {
-		t.Errorf("java slowdown = %.2fx, want substantial (>1.5x)", java)
+	// The predecoded handler-table interpreter narrowed the instrumented
+	// gap below the paper's (the collector shares the predecoded stream
+	// instead of re-decoding per instruction), so the Java bound is looser
+	// than Fig. 6's ~7.5x — the ordering assertions below carry the shape.
+	if java < 1.2 {
+		t.Errorf("java slowdown = %.2fx, want substantial (>1.2x)", java)
 	}
 	if native > 1.3 {
 		t.Errorf("native slowdown = %.2fx, want near 1x", native)

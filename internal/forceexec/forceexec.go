@@ -99,6 +99,11 @@ type Engine struct {
 	// only from the serial scheduling phase.
 	codeIdx map[string]*dex.Code
 	cfgs    map[string]*methodPaths
+
+	// progCache is the campaign-wide predecoded-program cache every worker
+	// shard's runtime resolves through, so each distinct method body is
+	// lowered once per campaign instead of once per forced run.
+	progCache *bytecode.ProgramCache
 }
 
 // New returns an engine with the defaults used in the experiments.
@@ -110,6 +115,7 @@ func New(pkg *apk.APK, files []*dex.File) *Engine {
 		MaxRunsPerIter: 500,
 		codeIdx:        buildCodeIndex(files),
 		cfgs:           make(map[string]*methodPaths),
+		progCache:      bytecode.NewProgramCache(),
 	}
 }
 
@@ -133,6 +139,9 @@ func (e *Engine) workers() int {
 
 func (e *Engine) newRuntime(tracker *coverage.Tracker, col *collector.Collector, extra ...*art.Hooks) (*art.Runtime, error) {
 	rt := art.NewRuntime(art.DefaultPhone())
+	if e.progCache != nil {
+		rt.SetProgramCache(e.progCache)
+	}
 	if e.InstallNatives != nil {
 		e.InstallNatives(rt)
 	}

@@ -2,7 +2,7 @@
 // path: the per-APK pipeline DEX decode → JIT collection → reassembly →
 // DEX encode → structural verify that every job of the reveal service pays.
 // It measures ns/op, B/op and allocs/op per stage over a pinned corpus and
-// emits the machine-readable report (BENCH_5.json) that the CI bench-gate
+// emits the machine-readable report (BENCH_6.json) that the CI bench-gate
 // compares against the checked-in baseline.
 //
 // One op is one full pass over the corpus, so numbers are comparable only

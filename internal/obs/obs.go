@@ -43,7 +43,12 @@ type EventType uint8
 // (internal/forceexec): worker_merge is one collection shard folded into
 // the campaign result at an iteration barrier, and worker_clamp records
 // the service capping a job's worker budget to keep jobs x workers within
-// GOMAXPROCS.
+// GOMAXPROCS. The interpreter events cover the predecoded handler-table
+// path (internal/art): predecode_hit is a method bound to a predecoded
+// program already in the shared content-keyed cache, and
+// predecode_invalidate is a write into a method's live unit array dropping
+// its predecoded stream — the observation points where self-modification
+// becomes visible to the collector.
 const (
 	EventSpanStart EventType = iota
 	EventSpanEnd
@@ -64,29 +69,33 @@ const (
 	EventJobDone
 	EventWorkerMerge
 	EventWorkerClamp
+	EventPredecodeHit
+	EventPredecodeInvalidate
 	numEventTypes // sentinel, keep last
 )
 
 var eventNames = [numEventTypes]string{
-	EventSpanStart:          "span_start",
-	EventSpanEnd:            "span_end",
-	EventMethodCollected:    "method_collected",
-	EventTreeFork:           "tree_fork",
-	EventTreeConverge:       "tree_converge",
-	EventUCBFlip:            "ucb_flip",
-	EventExceptionTolerated: "exception_tolerated",
-	EventReflectionRewrite:  "reflection_rewrite",
-	EventMergeVariant:       "merge_variant",
-	EventStubEmitted:        "stub_emitted",
-	EventVerifyDefect:       "verify_defect",
-	EventConcurrentEntry:    "concurrent_entry",
-	EventCacheHit:           "cache_hit",
-	EventCacheMiss:          "cache_miss",
-	EventQueueWait:          "queue_wait",
-	EventJobEnqueued:        "job_enqueued",
-	EventJobDone:            "job_done",
-	EventWorkerMerge:        "worker_merge",
-	EventWorkerClamp:        "worker_clamp",
+	EventSpanStart:           "span_start",
+	EventSpanEnd:             "span_end",
+	EventMethodCollected:     "method_collected",
+	EventTreeFork:            "tree_fork",
+	EventTreeConverge:        "tree_converge",
+	EventUCBFlip:             "ucb_flip",
+	EventExceptionTolerated:  "exception_tolerated",
+	EventReflectionRewrite:   "reflection_rewrite",
+	EventMergeVariant:        "merge_variant",
+	EventStubEmitted:         "stub_emitted",
+	EventVerifyDefect:        "verify_defect",
+	EventConcurrentEntry:     "concurrent_entry",
+	EventCacheHit:            "cache_hit",
+	EventCacheMiss:           "cache_miss",
+	EventQueueWait:           "queue_wait",
+	EventJobEnqueued:         "job_enqueued",
+	EventJobDone:             "job_done",
+	EventWorkerMerge:         "worker_merge",
+	EventWorkerClamp:         "worker_clamp",
+	EventPredecodeHit:        "predecode_hit",
+	EventPredecodeInvalidate: "predecode_invalidate",
 }
 
 // EventTypes returns every known event type, in declaration order.
@@ -355,6 +364,28 @@ func (s *Span) TreeConverge(method string, pc, depth int) {
 		return
 	}
 	s.t.emit(&Event{Type: EventTreeConverge, Span: s.id, Method: method, PC: pc, Depth: depth})
+}
+
+// PredecodeHit records a method binding to a predecoded program that was
+// already present in the shared program cache.
+func (s *Span) PredecodeHit(method string) {
+	if !s.Enabled() {
+		return
+	}
+	s.t.emit(&Event{Type: EventPredecodeHit, Span: s.id, Method: method})
+}
+
+// PredecodeInvalidate records a write into a method's live unit array
+// dropping its predecoded stream. pc is the dex_pc where the modification
+// was observed (-1 outside bytecode is recorded as pc 0 omitted).
+func (s *Span) PredecodeInvalidate(method string, pc int) {
+	if !s.Enabled() {
+		return
+	}
+	if pc < 0 {
+		pc = 0
+	}
+	s.t.emit(&Event{Type: EventPredecodeInvalidate, Span: s.id, Method: method, PC: pc})
 }
 
 // UCBFlip records a force-execution branch override in iteration iter.

@@ -99,6 +99,8 @@ func (e *Event) Validate() error {
 			return fmt.Errorf("obs: worker_clamp: %d workers clamped to %d", e.From, e.Count)
 		}
 		return nil
+	case EventPredecodeHit, EventPredecodeInvalidate:
+		return need(e.Method != "", "method")
 	}
 	return nil
 }
@@ -180,6 +182,8 @@ type AppTrace struct {
 	ReflRewrites     int
 	Defects          []string
 	ConcurrentUses   []string
+	PredecodeHits    int
+	PredecodeInvals  int
 }
 
 const unattributed = "(unattributed)"
@@ -281,6 +285,10 @@ func (t *Trace) Apps() []*AppTrace {
 			a.Defects = append(a.Defects, ev.Detail)
 		case EventConcurrentEntry:
 			a.ConcurrentUses = append(a.ConcurrentUses, ev.Detail)
+		case EventPredecodeHit:
+			a.PredecodeHits++
+		case EventPredecodeInvalidate:
+			a.PredecodeInvals++
 		}
 	}
 	out := make([]*AppTrace, 0, len(apps))
