@@ -26,8 +26,14 @@
 //
 // Observability: -trace-out streams the run's spans and domain events as
 // JSONL (schema: internal/obs); -trace-report renders trace files back
-// into per-app tables; -log-level sets the stderr log threshold; -pprof
-// serves net/http/pprof on the given address for the duration of the run.
+// into per-app tables, and -trace-job filters that report down to one
+// job's content-hash trace id; -flight-dir arms a per-job flight-recorder
+// ring and dumps it as <name>.flight.jsonl when a reveal fails or exceeds
+// the -slo latency objective; -log-level sets the stderr log threshold;
+// -pprof serves net/http/pprof on the given address for the duration of
+// the run. In -serve mode the same -flight-dir/-slo flags feed the
+// service's incident plane, and GET /metrics exposes the OpenMetrics
+// telemetry (lint it with cmd/omlint).
 // -sample builds a named droidbench sample in memory (with its native
 // stand-ins installed) instead of reading -apk, which gives a
 // self-contained quickstart for exercising the tracer.
@@ -37,6 +43,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"net"
@@ -45,6 +52,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	root "dexlego"
 	"dexlego/internal/apk"
@@ -81,12 +89,15 @@ func run(args []string) error {
 	queueDepth := fs.Int("queue-depth", 64, "service job queue bound; a full queue answers HTTP 429")
 	traceOut := fs.String("trace-out", "", "write the observability trace (JSONL) to this file")
 	traceReport := fs.Bool("trace-report", false, "render per-app tables from trace file arguments and exit")
+	traceJob := fs.String("trace-job", "", "filter -trace-report output to one job's trace id (a content-hash prefix)")
+	flightDir := fs.String("flight-dir", "", "directory receiving one JSONL flight recording per failed or SLO-violating reveal")
+	slo := fs.Duration("slo", 0, "per-reveal latency objective; runs exceeding it dump their flight recording (0 = failures only)")
 	logLevel := fs.String("log-level", "info", "stderr log threshold: debug, info, warn, error, off")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if err := validateFlags(fs, *serve, *jobs, *workers, *queueDepth); err != nil {
+	if err := validateFlags(fs, *serve, *jobs, *workers, *queueDepth, *slo); err != nil {
 		return err
 	}
 	lvl, err := obs.ParseLevel(*logLevel)
@@ -104,7 +115,7 @@ func run(args []string) error {
 		go func() { _ = http.Serve(ln, nil) }()
 	}
 	if *traceReport {
-		return runTraceReport(fs.Args())
+		return runTraceReport(fs.Args(), *traceJob)
 	}
 	opts := root.Options{
 		InstallNatives: func(rt *art.Runtime) {
@@ -127,10 +138,10 @@ func run(args []string) error {
 		sink = obs.NewJSONLSink(f)
 	}
 	if *serve {
-		return runServe(*addr, *storeDir, *queueDepth, *jobs, *workers, sink)
+		return runServe(*addr, *storeDir, *queueDepth, *jobs, *workers, sink, *flightDir, *slo)
 	}
 	if *batch {
-		return runBatch(fs.Args(), *outPath, *jobs, *metricsOut, sink, opts)
+		return runBatch(fs.Args(), *outPath, *jobs, *metricsOut, sink, *flightDir, *slo, opts)
 	}
 	var pkg *apk.APK
 	label := *apkPath
@@ -160,14 +171,35 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("-apk (or -sample) and -out are required")
 	}
-	if sink != nil {
+	// The flight recorder arms even without -trace-out: its ring is the
+	// only place the trace survives for a post-mortem dump in that case.
+	var rec *obs.FlightRecorder
+	if *flightDir != "" {
+		rec = obs.NewFlightRecorder(teeSink(sink), 0)
+		opts.Tracer = obs.New(rec)
+	} else if sink != nil {
 		opts.Tracer = obs.New(sink)
+	}
+	if opts.Tracer != nil {
 		opts.TraceLabel = label
+		opts.Tracer.SetTraceID(traceIDForAPK(pkg))
 	}
 	opts.CollectDir = *collectDir
+	runStart := time.Now()
 	res, err := root.Reveal(pkg, opts)
 	if err != nil {
+		if ferr := dumpFlight(rec, *flightDir, label, obs.FlightReasonFailed, opts.Tracer); ferr != nil {
+			obs.Warnf("flight dump: %v", ferr)
+		}
 		return err
+	}
+	if dur := time.Since(runStart); *slo > 0 && dur > *slo {
+		sp := opts.Tracer.Start("slo-check", label)
+		sp.SLOViolation(label, dur, *slo)
+		sp.End()
+		if ferr := dumpFlight(rec, *flightDir, label, obs.FlightReasonSLO, opts.Tracer); ferr != nil {
+			obs.Warnf("flight dump: %v", ferr)
+		}
 	}
 	out, err := res.Revealed.Bytes()
 	if err != nil {
@@ -199,21 +231,72 @@ func run(args []string) error {
 	return nil
 }
 
-// checkSink surfaces trace-write failures after the run: a trace file
-// missing events is worse than a failed run that says so.
+// checkSink surfaces trace loss after the run: a trace file missing events
+// is worse than a failed run that says so, and a non-zero dropped count
+// means the written file is silently incomplete even when no write error
+// latched.
 func checkSink(sink *obs.JSONLSink, tr *obs.Tracer, path string) error {
-	if sink == nil {
-		return nil
+	if sink != nil {
+		if err := sink.Err(); err != nil {
+			return fmt.Errorf("trace %s lost %d events: %w", path, tr.Dropped(), err)
+		}
 	}
-	if err := sink.Err(); err != nil {
-		return fmt.Errorf("trace %s lost %d events: %w", path, tr.Dropped(), err)
+	if n := tr.Dropped(); n > 0 {
+		return fmt.Errorf("trace %s is incomplete: %d events dropped", path, n)
 	}
-	obs.Debugf("trace written to %s", path)
+	if sink != nil {
+		obs.Debugf("trace written to %s", path)
+	}
 	return nil
 }
 
-// runTraceReport renders per-app tables from JSONL trace files.
-func runTraceReport(paths []string) error {
+// teeSink converts the optional JSONL sink into a Sink without producing
+// a typed-nil interface when -trace-out is unset.
+func teeSink(sink *obs.JSONLSink) obs.Sink {
+	if sink == nil {
+		return nil
+	}
+	return sink
+}
+
+// traceIDForAPK derives the stable trace identity stamped on every event
+// of one APK's reveal: a content-hash prefix, so reruns of the same input
+// share it and -trace-job can filter them out of any trace file.
+func traceIDForAPK(pkg *apk.APK) string {
+	h := pkg.ContentHash()
+	return fmt.Sprintf("%x", h[:6])
+}
+
+// dumpFlight writes rec's ring to dir as a JSONL flight recording and
+// announces the dump in the main trace. A nil recorder or empty dir is a
+// no-op, so callers invoke it unconditionally on the incident path.
+func dumpFlight(rec *obs.FlightRecorder, dir, label, reason string, tr *obs.Tracer) error {
+	if rec == nil || dir == "" {
+		return nil
+	}
+	var buf bytes.Buffer
+	n, err := rec.Dump(&buf)
+	if err != nil {
+		return err
+	}
+	sp := tr.Start("flight", label)
+	sp.FlightDump(label, n, reason)
+	sp.End()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.TrimSuffix(filepath.Base(label), ".apk") + ".flight.jsonl"
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	obs.Warnf("flight recording (%s, %d events) written to %s", reason, n, path)
+	return nil
+}
+
+// runTraceReport renders per-app tables from JSONL trace files; a
+// non-empty job filters the report down to one job's trace id.
+func runTraceReport(paths []string, job string) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("-trace-report needs at least one trace file argument")
 	}
@@ -227,6 +310,17 @@ func runTraceReport(paths []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
+		if job != "" {
+			filtered := tr.FilterTrace(job)
+			if len(filtered.Events) == 0 {
+				return fmt.Errorf("%s: no events for job %q; trace ids present: %s",
+					path, job, strings.Join(tr.TraceIDs(), ", "))
+			}
+			fmt.Printf("trace %s: %d of %d events for job %s\n",
+				path, len(filtered.Events), len(tr.Events), job)
+			fmt.Print(filtered.ReportString())
+			continue
+		}
 		fmt.Printf("trace %s: %d events\n", path, len(tr.Events))
 		fmt.Print(tr.ReportString())
 	}
@@ -234,8 +328,10 @@ func runTraceReport(paths []string) error {
 }
 
 // runBatch reveals every path over the worker pool and writes one
-// <name>.revealed.apk per input into outDir.
-func runBatch(paths []string, outDir string, workers int, metricsOut string, sink *obs.JSONLSink, opts root.Options) error {
+// <name>.revealed.apk per input into outDir. With -flight-dir every job
+// carries a flight-recorder ring; failed or SLO-violating jobs dump it.
+func runBatch(paths []string, outDir string, workers int, metricsOut string,
+	sink *obs.JSONLSink, flightDir string, slo time.Duration, opts root.Options) error {
 	if len(paths) == 0 {
 		return fmt.Errorf("-batch needs at least one APK argument")
 	}
@@ -246,6 +342,8 @@ func runBatch(paths []string, outDir string, workers int, metricsOut string, sin
 		return err
 	}
 	jobs := make([]root.BatchJob, 0, len(paths))
+	recs := make([]*obs.FlightRecorder, 0, len(paths))
+	tracers := make([]*obs.Tracer, 0, len(paths))
 	outNames := make(map[string]string, len(paths))
 	for _, path := range paths {
 		name := strings.TrimSuffix(filepath.Base(path), ".apk") + ".revealed.apk"
@@ -259,20 +357,39 @@ func runBatch(paths []string, outDir string, workers int, metricsOut string, sin
 			return fmt.Errorf("%s: %w", path, err)
 		}
 		jobOpts := opts
-		if sink != nil {
+		var rec *obs.FlightRecorder
+		if flightDir != "" {
+			// One ring per job, all teeing into the shared sink.
+			rec = obs.NewFlightRecorder(teeSink(sink), 0)
+			jobOpts.Tracer = obs.New(rec)
+		} else if sink != nil {
 			// One tracer per job (per-app snapshots), one shared sink
 			// (interleaved JSONL lines segment by root span on read).
 			jobOpts.Tracer = obs.New(sink)
 		}
+		jobOpts.Tracer.SetTraceID(traceIDForAPK(pkg))
+		recs = append(recs, rec)
+		tracers = append(tracers, jobOpts.Tracer)
 		jobs = append(jobs, root.BatchJob{Name: path, APK: pkg, Options: jobOpts})
 	}
 	batch := root.RevealBatch(jobs, workers)
 	failed := 0
-	for _, item := range batch.Items {
+	for i, item := range batch.Items {
 		if item.Err != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "dexlego: %s: %v\n", item.Name, item.Err)
+			if err := dumpFlight(recs[i], flightDir, item.Name, obs.FlightReasonFailed, tracers[i]); err != nil {
+				obs.Warnf("flight dump: %v", err)
+			}
 			continue
+		}
+		if slo > 0 && item.Result.Metrics != nil && item.Result.Metrics.Wall() > slo {
+			sp := tracers[i].Start("slo-check", item.Name)
+			sp.SLOViolation(item.Name, item.Result.Metrics.Wall(), slo)
+			sp.End()
+			if err := dumpFlight(recs[i], flightDir, item.Name, obs.FlightReasonSLO, tracers[i]); err != nil {
+				obs.Warnf("flight dump: %v", err)
+			}
 		}
 		data, err := item.Result.Revealed.Bytes()
 		if err != nil {
@@ -288,6 +405,13 @@ func runBatch(paths []string, outDir string, workers int, metricsOut string, sin
 		if err := sink.Err(); err != nil {
 			return fmt.Errorf("trace lost events: %w", err)
 		}
+	}
+	var dropped int64
+	for _, tr := range tracers {
+		dropped += tr.Dropped()
+	}
+	if dropped > 0 {
+		return fmt.Errorf("trace is incomplete: %d events dropped across jobs", dropped)
 	}
 	if metricsOut != "" {
 		data, err := batch.Report.JSON()
@@ -324,7 +448,7 @@ func writeMetrics(path, apkPath string, res *root.Result) error {
 // below 1 is a typo'd pool size, not a request for the default. -serve is
 // a long-running mode, so combining it with any one-shot input or output
 // flag silently ignoring one of them would be worse than an error.
-func validateFlags(fs *flag.FlagSet, serve bool, jobs, workers, queueDepth int) error {
+func validateFlags(fs *flag.FlagSet, serve bool, jobs, workers, queueDepth int, slo time.Duration) error {
 	explicit := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 	if explicit["jobs"] && jobs < 1 {
@@ -333,13 +457,19 @@ func validateFlags(fs *flag.FlagSet, serve bool, jobs, workers, queueDepth int) 
 	if explicit["workers"] && workers < 1 {
 		return fmt.Errorf("-workers must be at least 1 (got %d); omit it for GOMAXPROCS", workers)
 	}
+	if slo < 0 {
+		return fmt.Errorf("-slo must be non-negative (got %v)", slo)
+	}
+	if explicit["trace-job"] && !explicit["trace-report"] {
+		return fmt.Errorf("-trace-job filters -trace-report output and does nothing without it")
+	}
 	if !serve {
 		return nil
 	}
 	if queueDepth < 1 {
 		return fmt.Errorf("-queue-depth must be at least 1 (got %d)", queueDepth)
 	}
-	oneShot := []string{"apk", "sample", "batch", "out", "collect", "metrics-out", "trace-report"}
+	oneShot := []string{"apk", "sample", "batch", "out", "collect", "metrics-out", "trace-report", "trace-job"}
 	for _, name := range oneShot {
 		if explicit[name] {
 			return fmt.Errorf("-serve runs a long-lived service and cannot be combined with -%s; drop one of them", name)

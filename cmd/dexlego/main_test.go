@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dexlego/internal/dexgen"
@@ -238,6 +239,97 @@ func TestRunBatchWithTrace(t *testing.T) {
 	for _, a := range apps {
 		if a.MethodsCollected == 0 || a.StageNS["collection"] <= 0 {
 			t.Errorf("app %s trace incomplete: %+v", a.App, a)
+		}
+	}
+}
+
+// TestRunFlightRecorderAndTraceJob exercises the incident tooling in one
+// pass: a 1ns SLO forces a flight dump for a healthy reveal, the dump
+// validates as a trace whose events all carry the job's content-hash
+// trace id, and -trace-report -trace-job filters the main trace to it.
+func TestRunFlightRecorderAndTraceJob(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "revealed.apk")
+	trace := filepath.Join(dir, "trace.jsonl")
+	flightDir := filepath.Join(dir, "flight")
+	err := run([]string{"-sample", "SelfModifying1", "-out", out,
+		"-trace-out", trace, "-flight-dir", flightDir, "-slo", "1ns", "-log-level", "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight := filepath.Join(flightDir, "SelfModifying1.flight.jsonl")
+	f, err := os.Open(flight)
+	if err != nil {
+		t.Fatalf("slo-violating run wrote no flight recording: %v", err)
+	}
+	ftr, err := obs.ReadTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("flight recording does not validate: %v", err)
+	}
+	ids := ftr.TraceIDs()
+	if len(ids) != 1 || ids[0] == "" {
+		t.Fatalf("flight recording trace ids = %v, want exactly one non-empty id", ids)
+	}
+	if n := len(ftr.FilterTrace(ids[0]).Events); n != len(ftr.Events) {
+		t.Errorf("only %d of %d flight events carry trace id %s", n, len(ftr.Events), ids[0])
+	}
+	// The main trace filters down to the same job.
+	if err := run([]string{"-trace-report", "-trace-job", ids[0], trace}); err != nil {
+		t.Errorf("trace-report -trace-job %s failed: %v", ids[0], err)
+	}
+	// An unknown job id fails and names the ids that are present.
+	err = run([]string{"-trace-report", "-trace-job", "feedfacedead", trace})
+	if err == nil || !strings.Contains(err.Error(), ids[0]) {
+		t.Errorf("unknown -trace-job error = %v, want list containing %s", err, ids[0])
+	}
+	// A healthy run under a generous SLO leaves no recording behind.
+	calmDir := filepath.Join(dir, "calm")
+	err = run([]string{"-sample", "SelfModifying1", "-out", out,
+		"-flight-dir", calmDir, "-slo", "10m", "-log-level", "off"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries, _ := os.ReadDir(calmDir); len(entries) != 0 {
+		t.Errorf("healthy run dumped %d flight recordings, want 0", len(entries))
+	}
+}
+
+// TestRunBatchFlightDumps checks the batch path arms one ring per job and
+// dumps each SLO-violating job separately.
+func TestRunBatchFlightDumps(t *testing.T) {
+	dir := t.TempDir()
+	var ins []string
+	for i, name := range []string{"fast", "slow"} {
+		in := filepath.Join(dir, name+".apk")
+		desc := "Lflight/Main" + string(rune('A'+i)) + ";"
+		if err := os.WriteFile(in, buildPackedAPK(t, name, desc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ins = append(ins, in)
+	}
+	outDir := filepath.Join(dir, "revealed")
+	flightDir := filepath.Join(dir, "flight")
+	args := append([]string{"-batch", "-out", outDir,
+		"-flight-dir", flightDir, "-slo", "1ns", "-log-level", "off"}, ins...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fast", "slow"} {
+		flight := filepath.Join(flightDir, name+".flight.jsonl")
+		f, err := os.Open(flight)
+		if err != nil {
+			t.Errorf("job %s has no flight recording: %v", name, err)
+			continue
+		}
+		ftr, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("job %s flight recording invalid: %v", name, err)
+			continue
+		}
+		if ids := ftr.TraceIDs(); len(ids) != 1 {
+			t.Errorf("job %s flight recording has trace ids %v, want exactly one", name, ids)
 		}
 	}
 }

@@ -29,7 +29,8 @@ const drainTimeout = 30 * time.Second
 // runServe runs the reveal service until SIGTERM/SIGINT, then drains:
 // admission stops (POST 503, healthz 503), in-flight HTTP requests and
 // every admitted job complete, and only then does the process exit.
-func runServe(addr, storeDir string, queueDepth, jobs, revealWorkers int, sink *obs.JSONLSink) error {
+func runServe(addr, storeDir string, queueDepth, jobs, revealWorkers int,
+	sink *obs.JSONLSink, flightDir string, slo time.Duration) error {
 	st, err := store.Open(storeDir, 0)
 	if err != nil {
 		return err
@@ -38,12 +39,19 @@ func runServe(addr, storeDir string, queueDepth, jobs, revealWorkers int, sink *
 	if sink != nil {
 		obsSink = sink
 	}
+	if flightDir != "" {
+		if err := os.MkdirAll(flightDir, 0o755); err != nil {
+			return fmt.Errorf("-flight-dir: %w", err)
+		}
+	}
 	srv, err := server.New(server.Config{
 		Store:         st,
 		Workers:       jobs,
 		RevealWorkers: revealWorkers,
 		QueueDepth:    queueDepth,
 		Sink:          obsSink,
+		FlightDir:     flightDir,
+		SLO:           slo,
 	})
 	if err != nil {
 		return err

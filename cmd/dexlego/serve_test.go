@@ -27,7 +27,11 @@ func TestValidateFlagRejections(t *testing.T) {
 		{"serve+collect", []string{"-serve", "-collect", "dir"}, "cannot be combined with -collect"},
 		{"serve+metrics-out", []string{"-serve", "-metrics-out", "m.json"}, "cannot be combined with -metrics-out"},
 		{"serve+trace-report", []string{"-serve", "-trace-report", "t.jsonl"}, "cannot be combined with -trace-report"},
+		{"serve+trace-job", []string{"-serve", "-trace-job", "abc123"}, "does nothing without"},
+		{"serve+trace-job+report", []string{"-serve", "-trace-report", "-trace-job", "abc123"}, "cannot be combined with"},
 		{"serve queue zero", []string{"-serve", "-queue-depth", "0"}, "-queue-depth must be at least 1"},
+		{"negative slo", []string{"-slo", "-5s", "-sample", "SelfModifying1", "-out", "x.apk"}, "-slo must be non-negative"},
+		{"trace-job alone", []string{"-trace-job", "abc123", "-sample", "SelfModifying1", "-out", "x.apk"}, "does nothing without"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

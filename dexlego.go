@@ -134,14 +134,19 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 	root := opts.Tracer.Start("reveal", opts.TraceLabel)
 	defer root.End()
 	start := time.Now()
+	acct := pipeline.NewResourceAccountant()
 	// stage times one pipeline phase and wraps it in a child span; the
 	// closure receives the span so each phase can attribute its domain
-	// events to the stage that produced them.
+	// events to the stage that produced them. Each boundary also samples
+	// the heap, so every stage carries its allocation bill.
 	stage := func(s pipeline.Stage, f func(sp *obs.Span) error) error {
 		sp := root.Start("stage." + s.String())
 		t0 := time.Now()
 		err := f(sp)
 		res.Metrics.AddStage(s, time.Since(t0))
+		alloc, heapDelta := acct.StageDone()
+		res.Metrics.AddStageAlloc(s, alloc)
+		sp.ResourceSample(s.String(), alloc, heapDelta)
 		sp.End()
 		return err
 	}
@@ -278,6 +283,11 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 	m.Stubs = stats.Stubs
 	m.Variants = stats.Variants
 	m.Divergences = stats.Divergences
+	var cpu int64
+	for _, st := range m.Stages {
+		cpu += st.CPUNS
+	}
+	m.Resources = acct.Finish(cpu, m.WallNS)
 	// End the root span before snapshotting so its duration lands in the
 	// "reveal" histogram; the deferred End is a no-op afterwards.
 	root.End()

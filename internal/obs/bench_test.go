@@ -59,6 +59,30 @@ func BenchmarkJSONLEvent(b *testing.B) {
 	}
 }
 
+// BenchmarkFlightRecorderEmit measures the armed ring: claim a slot, one
+// pointer store, no tee.
+func BenchmarkFlightRecorderEmit(b *testing.B) {
+	f := NewFlightRecorder(nil, 256)
+	line := []byte(`{"t":"span_start","span":1}` + "\n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Emit(line)
+	}
+}
+
+// BenchmarkFlightRecorderDisarmed measures the disarmed recorder: one
+// atomic load, zero allocations — the cost every event pays when flight
+// recording is compiled in but switched off.
+func BenchmarkFlightRecorderDisarmed(b *testing.B) {
+	f := NewFlightRecorder(nil, 256)
+	f.SetEnabled(false)
+	line := []byte(`{"t":"span_start","span":1}` + "\n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Emit(line)
+	}
+}
+
 // BenchmarkCounterAdd isolates the sharded counter.
 func BenchmarkCounterAdd(b *testing.B) {
 	var c Counter

@@ -120,6 +120,64 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// bucketLower returns the smallest value a bucket with upper bound ub can
+// hold: bucket i covers [2^(i-1), 2^i - 1] (bucket 0 holds only 0), so the
+// lower bound is recoverable from the upper bound alone. The overflow
+// bucket (ub = MaxInt64) starts at 2^62.
+func bucketLower(ub int64) float64 {
+	switch {
+	case ub <= 0:
+		return 0
+	case ub == math.MaxInt64:
+		return float64(int64(1) << 62)
+	default:
+		return float64((ub + 1) / 2)
+	}
+}
+
+// Quantile estimates the q-quantile of the observed distribution by linear
+// interpolation inside the log2 bucket holding the target rank; q is
+// clamped into [0, 1]. The second return is false for an empty histogram
+// (there is no distribution to estimate). For the overflow bucket the
+// upper bound is unbounded, so the estimate is pinned to the bucket's
+// lower bound — a deliberate underestimate rather than a fabricated tail.
+func (s *HistSnapshot) Quantile(q float64) (float64, bool) {
+	if s == nil || s.Count <= 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for _, b := range s.Buckets {
+		if float64(cum+b.Count) >= rank {
+			lower := bucketLower(b.LeNS)
+			if b.LeNS == math.MaxInt64 {
+				return lower, true
+			}
+			if b.Count == 0 {
+				return float64(b.LeNS), true
+			}
+			frac := (rank - float64(cum)) / float64(b.Count)
+			return lower + frac*(float64(b.LeNS)-lower), true
+		}
+		cum += b.Count
+	}
+	// Rank past every bucket (a torn snapshot): report the largest bound.
+	if n := len(s.Buckets); n > 0 {
+		le := s.Buckets[n-1].LeNS
+		if le == math.MaxInt64 {
+			return bucketLower(le), true
+		}
+		return float64(le), true
+	}
+	return 0, false
+}
+
 // merge adds o into s, combining buckets by upper bound.
 func (s *HistSnapshot) merge(o HistSnapshot) {
 	s.Count += o.Count

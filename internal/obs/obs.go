@@ -48,7 +48,12 @@ type EventType uint8
 // program already in the shared content-keyed cache, and
 // predecode_invalidate is a write into a method's live unit array dropping
 // its predecoded stream — the observation points where self-modification
-// becomes visible to the collector.
+// becomes visible to the collector. The telemetry events cover the
+// production telemetry plane: resource_sample attributes heap allocation
+// and live-heap growth to one pipeline stage, slo_violation records a job
+// exceeding its configured latency objective, and flight_dump records the
+// per-job flight recorder persisting its ring of recent events after a
+// failure or SLO violation.
 const (
 	EventSpanStart EventType = iota
 	EventSpanEnd
@@ -71,6 +76,9 @@ const (
 	EventWorkerClamp
 	EventPredecodeHit
 	EventPredecodeInvalidate
+	EventResourceSample
+	EventSLOViolation
+	EventFlightDump
 	numEventTypes // sentinel, keep last
 )
 
@@ -96,6 +104,9 @@ var eventNames = [numEventTypes]string{
 	EventWorkerClamp:         "worker_clamp",
 	EventPredecodeHit:        "predecode_hit",
 	EventPredecodeInvalidate: "predecode_invalidate",
+	EventResourceSample:      "resource_sample",
+	EventSLOViolation:        "slo_violation",
+	EventFlightDump:          "flight_dump",
 }
 
 // EventTypes returns every known event type, in declaration order.
@@ -147,6 +158,13 @@ const (
 	JobFailed = "failed"
 )
 
+// Reason labels of a flight_dump event: the job failed (which includes a
+// panic isolated by the pipeline) or it finished but blew its latency SLO.
+const (
+	FlightReasonFailed = "failed"
+	FlightReasonSLO    = "slo"
+)
+
 // Event is one JSONL trace line. The struct is the union of all event
 // payloads; Validate (report.go) checks the per-type required fields.
 // Timestamps are nanoseconds on a process-wide monotonic clock, so events
@@ -156,9 +174,10 @@ type Event struct {
 	TS     int64     `json:"tsNS"`
 	Span   uint64    `json:"span,omitempty"`
 	Parent uint64    `json:"parent,omitempty"` // span_start: enclosing span
-	Name   string    `json:"name,omitempty"`   // span name; job_done: ok|failed
+	Trace  string    `json:"trace,omitempty"`  // stable job trace id (content-hash prefix), inherited by the whole span tree
+	Name   string    `json:"name,omitempty"`   // span name; job_done: ok|failed; resource_sample: stage; flight_dump: reason
 	App    string    `json:"app,omitempty"`    // root span: application label
-	DurNS  int64     `json:"durNS,omitempty"`  // span_end, queue_wait, job_done
+	DurNS  int64     `json:"durNS,omitempty"`  // span_end, queue_wait, job_done, slo_violation
 	Method string    `json:"method,omitempty"` // method key
 	PC     int       `json:"pc,omitempty"`     // dex_pc
 	Depth  int       `json:"depth,omitempty"`  // self-modification layer depth
@@ -166,9 +185,12 @@ type Event struct {
 	Branch string    `json:"branch,omitempty"` // ucb_flip: taken|fallthrough
 	Target string    `json:"target,omitempty"` // reflection_rewrite: bridge method
 	From   int       `json:"from,omitempty"`   // merge_variant: raw tree count; worker_merge: trees offered; worker_clamp: requested workers
-	Count  int       `json:"count,omitempty"`  // merge_variant: arrays kept; method_collected: insns; worker_merge: trees kept; worker_clamp: granted workers
+	Count  int       `json:"count,omitempty"`  // merge_variant: arrays kept; method_collected: insns; worker_merge: trees kept; worker_clamp: granted workers; flight_dump: events dumped
 	Worker int       `json:"worker,omitempty"` // worker_merge: merged shard index
 	Detail string    `json:"detail,omitempty"` // verify_defect, concurrent_entry; service events: cache key or job id; worker_clamp: reason
+	Bytes  int64     `json:"bytes,omitempty"`  // resource_sample: heap bytes allocated during the stage
+	Heap   int64     `json:"heap,omitempty"`   // resource_sample: live-heap delta vs run start after the stage
+	SLONS  int64     `json:"sloNS,omitempty"`  // slo_violation: the configured latency objective
 }
 
 // Sink receives encoded trace lines (each terminated by '\n').
@@ -219,6 +241,7 @@ var spanIDs atomic.Uint64
 type Tracer struct {
 	enabled  atomic.Bool
 	sink     Sink
+	traceID  string // stamped on every event; set before the first Start
 	counters [numEventTypes]Counter
 	maxDepth Gauge
 	dropped  atomic.Int64
@@ -242,6 +265,34 @@ func (t *Tracer) SetEnabled(on bool) {
 	if t != nil {
 		t.enabled.Store(on)
 	}
+}
+
+// SetTraceID names the stable trace identity (a content-hash prefix for
+// server jobs) stamped on every event this tracer emits, root and child
+// spans alike, so one job's span tree is extractable from a shared sink.
+// Call it before the first Start; it is not synchronized against
+// concurrent emission.
+func (t *Tracer) SetTraceID(id string) {
+	if t != nil {
+		t.traceID = id
+	}
+}
+
+// TraceID returns the stable trace identity ("" when unset or nil).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// EventCount returns the live count of one event type recorded by this
+// tracer (0 on nil).
+func (t *Tracer) EventCount(ty EventType) int64 {
+	if t == nil || int(ty) >= int(numEventTypes) {
+		return 0
+	}
+	return t.counters[ty].Load()
 }
 
 // Dropped counts events lost to sink or encoding errors.
@@ -288,8 +339,8 @@ func (t *Tracer) Start(name, app string) *Span {
 	if !t.Enabled() {
 		return nil
 	}
-	s := &Span{t: t, id: spanIDs.Add(1), name: name, start: time.Since(epoch)}
-	t.emit(&Event{Type: EventSpanStart, Span: s.id, Name: name, App: app})
+	s := &Span{t: t, id: spanIDs.Add(1), name: name, trace: t.traceID, start: time.Since(epoch)}
+	t.emit(&Event{Type: EventSpanStart, Span: s.id, Name: name, App: app, Trace: s.trace})
 	return s
 }
 
@@ -299,6 +350,7 @@ type Span struct {
 	t     *Tracer
 	id    uint64
 	name  string
+	trace string // inherited trace identity, stamped on every event
 	start time.Duration
 	ended atomic.Bool
 }
@@ -316,14 +368,28 @@ func (s *Span) ID() uint64 {
 	return s.id
 }
 
-// Start opens a child span.
+// Start opens a child span inheriting the parent's trace identity.
 func (s *Span) Start(name string) *Span {
 	if !s.Enabled() {
 		return nil
 	}
-	c := &Span{t: s.t, id: spanIDs.Add(1), name: name, start: time.Since(epoch)}
-	s.t.emit(&Event{Type: EventSpanStart, Span: c.id, Parent: s.id, Name: name})
+	c := &Span{t: s.t, id: spanIDs.Add(1), name: name, trace: s.trace, start: time.Since(epoch)}
+	s.emit(&Event{Type: EventSpanStart, Span: c.id, Parent: s.id, Name: name, Trace: c.trace})
 	return c
+}
+
+// Trace returns the span's inherited trace identity ("" on nil).
+func (s *Span) Trace() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
+}
+
+// emit stamps the span's trace identity and forwards to the tracer.
+func (s *Span) emit(ev *Event) {
+	ev.Trace = s.trace
+	s.t.emit(ev)
 }
 
 // End closes the span, observing its duration into the tracer's per-name
@@ -335,7 +401,7 @@ func (s *Span) End() {
 	}
 	d := time.Since(epoch) - s.start
 	s.t.spanHist(s.name).Observe(int64(d))
-	s.t.emit(&Event{Type: EventSpanEnd, Span: s.id, Name: s.name, DurNS: int64(d)})
+	s.emit(&Event{Type: EventSpanEnd, Span: s.id, Name: s.name, DurNS: int64(d)})
 }
 
 // --- typed domain emitters --------------------------------------------------
@@ -346,7 +412,7 @@ func (s *Span) MethodCollected(method string, depth, insns int) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventMethodCollected, Span: s.id, Method: method, Depth: depth, Count: insns})
+	s.emit(&Event{Type: EventMethodCollected, Span: s.id, Method: method, Depth: depth, Count: insns})
 }
 
 // TreeFork records a collection-tree divergence: a different instruction at
@@ -355,7 +421,7 @@ func (s *Span) TreeFork(method string, pc, depth int) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventTreeFork, Span: s.id, Method: method, PC: pc, Depth: depth})
+	s.emit(&Event{Type: EventTreeFork, Span: s.id, Method: method, PC: pc, Depth: depth})
 }
 
 // TreeConverge records the end of self-modification layer `depth` at pc.
@@ -363,7 +429,7 @@ func (s *Span) TreeConverge(method string, pc, depth int) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventTreeConverge, Span: s.id, Method: method, PC: pc, Depth: depth})
+	s.emit(&Event{Type: EventTreeConverge, Span: s.id, Method: method, PC: pc, Depth: depth})
 }
 
 // PredecodeHit records a method binding to a predecoded program that was
@@ -372,7 +438,7 @@ func (s *Span) PredecodeHit(method string) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventPredecodeHit, Span: s.id, Method: method})
+	s.emit(&Event{Type: EventPredecodeHit, Span: s.id, Method: method})
 }
 
 // PredecodeInvalidate records a write into a method's live unit array
@@ -385,7 +451,7 @@ func (s *Span) PredecodeInvalidate(method string, pc int) {
 	if pc < 0 {
 		pc = 0
 	}
-	s.t.emit(&Event{Type: EventPredecodeInvalidate, Span: s.id, Method: method, PC: pc})
+	s.emit(&Event{Type: EventPredecodeInvalidate, Span: s.id, Method: method, PC: pc})
 }
 
 // UCBFlip records a force-execution branch override in iteration iter.
@@ -397,7 +463,7 @@ func (s *Span) UCBFlip(method string, pc int, taken bool, iter int) {
 	if taken {
 		branch = BranchTaken
 	}
-	s.t.emit(&Event{Type: EventUCBFlip, Span: s.id, Method: method, PC: pc, Branch: branch, Iter: iter})
+	s.emit(&Event{Type: EventUCBFlip, Span: s.id, Method: method, PC: pc, Branch: branch, Iter: iter})
 }
 
 // ExceptionTolerated records an unhandled exception cleared by the
@@ -406,7 +472,7 @@ func (s *Span) ExceptionTolerated(method string, pc int) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventExceptionTolerated, Span: s.id, Method: method, PC: pc})
+	s.emit(&Event{Type: EventExceptionTolerated, Span: s.id, Method: method, PC: pc})
 }
 
 // ReflectionRewrite records a Method.invoke call site rewritten to the
@@ -415,7 +481,7 @@ func (s *Span) ReflectionRewrite(method string, pc int, target string) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventReflectionRewrite, Span: s.id, Method: method, PC: pc, Target: target})
+	s.emit(&Event{Type: EventReflectionRewrite, Span: s.id, Method: method, PC: pc, Target: target})
 }
 
 // MergeVariant records a reassembler merge decision: `from` raw collection
@@ -425,7 +491,7 @@ func (s *Span) MergeVariant(method string, from, to int) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventMergeVariant, Span: s.id, Method: method, From: from, Count: to})
+	s.emit(&Event{Type: EventMergeVariant, Span: s.id, Method: method, From: from, Count: to})
 }
 
 // StubEmitted records a declared-but-never-executed method emitted as a
@@ -434,7 +500,7 @@ func (s *Span) StubEmitted(method string) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventStubEmitted, Span: s.id, Method: method})
+	s.emit(&Event{Type: EventStubEmitted, Span: s.id, Method: method})
 }
 
 // VerifyDefect records one structural defect found in the revealed DEX.
@@ -442,7 +508,7 @@ func (s *Span) VerifyDefect(detail string) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventVerifyDefect, Span: s.id, Detail: detail})
+	s.emit(&Event{Type: EventVerifyDefect, Span: s.id, Detail: detail})
 }
 
 // ConcurrentEntry records a collector ownership violation observed by the
@@ -452,7 +518,7 @@ func (s *Span) ConcurrentEntry(detail string) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventConcurrentEntry, Span: s.id, Detail: detail})
+	s.emit(&Event{Type: EventConcurrentEntry, Span: s.id, Detail: detail})
 }
 
 // WorkerMerge records one collection shard folded into the campaign result
@@ -463,7 +529,7 @@ func (s *Span) WorkerMerge(worker, iter, offered, kept int) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventWorkerMerge, Span: s.id, Worker: worker, Iter: iter, From: offered, Count: kept})
+	s.emit(&Event{Type: EventWorkerMerge, Span: s.id, Worker: worker, Iter: iter, From: offered, Count: kept})
 }
 
 // WorkerClamp records the admission layer capping a job's reveal-internal
@@ -473,7 +539,7 @@ func (s *Span) WorkerClamp(requested, granted int, detail string) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventWorkerClamp, Span: s.id, From: requested, Count: granted, Detail: detail})
+	s.emit(&Event{Type: EventWorkerClamp, Span: s.id, From: requested, Count: granted, Detail: detail})
 }
 
 // --- service emitters (internal/server, internal/store) ---------------------
@@ -484,7 +550,7 @@ func (s *Span) CacheHit(key string) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventCacheHit, Span: s.id, Detail: key})
+	s.emit(&Event{Type: EventCacheHit, Span: s.id, Detail: key})
 }
 
 // CacheMiss records a reveal the store could not serve: the request's
@@ -493,7 +559,7 @@ func (s *Span) CacheMiss(key string) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventCacheMiss, Span: s.id, Detail: key})
+	s.emit(&Event{Type: EventCacheMiss, Span: s.id, Detail: key})
 }
 
 // QueueWait records how long job `id` waited in the admission queue before
@@ -502,7 +568,7 @@ func (s *Span) QueueWait(id string, wait time.Duration) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventQueueWait, Span: s.id, Detail: id, DurNS: int64(wait)})
+	s.emit(&Event{Type: EventQueueWait, Span: s.id, Detail: id, DurNS: int64(wait)})
 }
 
 // JobEnqueued records job `id` passing admission control into the queue.
@@ -510,7 +576,7 @@ func (s *Span) JobEnqueued(id string) {
 	if !s.Enabled() {
 		return
 	}
-	s.t.emit(&Event{Type: EventJobEnqueued, Span: s.id, Detail: id})
+	s.emit(&Event{Type: EventJobEnqueued, Span: s.id, Detail: id})
 }
 
 // JobDone records job `id` finishing after total latency `total`
@@ -523,5 +589,40 @@ func (s *Span) JobDone(id string, total time.Duration, ok bool) {
 	if ok {
 		outcome = JobOK
 	}
-	s.t.emit(&Event{Type: EventJobDone, Span: s.id, Detail: id, Name: outcome, DurNS: int64(total)})
+	s.emit(&Event{Type: EventJobDone, Span: s.id, Detail: id, Name: outcome, DurNS: int64(total)})
+}
+
+// --- telemetry-plane emitters ------------------------------------------------
+
+// ResourceSample attributes resource consumption to one pipeline stage:
+// alloc is the heap bytes allocated while the stage ran and heapDelta the
+// live-heap growth versus the start of the run observed at the stage
+// boundary (both process-wide runtime/metrics deltas — exact for a serial
+// process, an attribution upper bound under concurrent jobs).
+func (s *Span) ResourceSample(stage string, alloc, heapDelta int64) {
+	if !s.Enabled() {
+		return
+	}
+	if alloc < 0 {
+		alloc = 0
+	}
+	s.emit(&Event{Type: EventResourceSample, Span: s.id, Name: stage, Bytes: alloc, Heap: heapDelta})
+}
+
+// SLOViolation records job `id` completing after `total`, past its
+// configured latency objective `limit`.
+func (s *Span) SLOViolation(id string, total, limit time.Duration) {
+	if !s.Enabled() {
+		return
+	}
+	s.emit(&Event{Type: EventSLOViolation, Span: s.id, Detail: id, DurNS: int64(total), SLONS: int64(limit)})
+}
+
+// FlightDump records the flight recorder of job `id` persisting `events`
+// ring entries; reason is FlightReasonFailed or FlightReasonSLO.
+func (s *Span) FlightDump(id string, events int, reason string) {
+	if !s.Enabled() {
+		return
+	}
+	s.emit(&Event{Type: EventFlightDump, Span: s.id, Detail: id, Count: events, Name: reason})
 }

@@ -101,6 +101,24 @@ func (e *Event) Validate() error {
 		return nil
 	case EventPredecodeHit, EventPredecodeInvalidate:
 		return need(e.Method != "", "method")
+	case EventResourceSample:
+		if e.Bytes < 0 {
+			return fmt.Errorf("obs: resource_sample: negative alloc bytes %d", e.Bytes)
+		}
+		return need(e.Name != "", "stage")
+	case EventSLOViolation:
+		if e.SLONS <= 0 || e.DurNS < e.SLONS {
+			return fmt.Errorf("obs: slo_violation: latency %d within objective %d", e.DurNS, e.SLONS)
+		}
+		return need(e.Detail != "", "job id")
+	case EventFlightDump:
+		if e.Name != FlightReasonFailed && e.Name != FlightReasonSLO {
+			return fmt.Errorf("obs: flight_dump: bad reason %q", e.Name)
+		}
+		if e.Count < 0 {
+			return fmt.Errorf("obs: flight_dump: negative event count %d", e.Count)
+		}
+		return need(e.Detail != "", "job id")
 	}
 	return nil
 }
@@ -123,6 +141,33 @@ func ParseEvent(line []byte) (*Event, error) {
 // Trace is a parsed, validated trace file.
 type Trace struct {
 	Events []*Event
+}
+
+// FilterTrace keeps only the events stamped with the given trace identity —
+// one job's end-to-end span tree extracted from a shared sink. The result
+// shares the underlying events with the receiver.
+func (t *Trace) FilterTrace(id string) *Trace {
+	out := &Trace{}
+	for _, ev := range t.Events {
+		if ev.Trace == id {
+			out.Events = append(out.Events, ev)
+		}
+	}
+	return out
+}
+
+// TraceIDs returns the distinct non-empty trace identities present, in
+// first-seen order.
+func (t *Trace) TraceIDs() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, ev := range t.Events {
+		if ev.Trace != "" && !seen[ev.Trace] {
+			seen[ev.Trace] = true
+			out = append(out, ev.Trace)
+		}
+	}
+	return out
 }
 
 // ReadTrace parses a JSONL trace, validating every line; the returned error
@@ -184,6 +229,11 @@ type AppTrace struct {
 	ConcurrentUses   []string
 	PredecodeHits    int
 	PredecodeInvals  int
+	ResourceSamples  int
+	AllocBytes       int64 // summed resource_sample allocation
+	PeakHeapDelta    int64 // max live-heap growth observed at a stage boundary
+	SLOViolations    int
+	FlightDumps      int
 }
 
 const unattributed = "(unattributed)"
@@ -289,6 +339,16 @@ func (t *Trace) Apps() []*AppTrace {
 			a.PredecodeHits++
 		case EventPredecodeInvalidate:
 			a.PredecodeInvals++
+		case EventResourceSample:
+			a.ResourceSamples++
+			a.AllocBytes += ev.Bytes
+			if ev.Heap > a.PeakHeapDelta {
+				a.PeakHeapDelta = ev.Heap
+			}
+		case EventSLOViolation:
+			a.SLOViolations++
+		case EventFlightDump:
+			a.FlightDumps++
 		}
 	}
 	out := make([]*AppTrace, 0, len(apps))
@@ -356,6 +416,14 @@ func (t *Trace) ReportString() string {
 			for _, m := range a.Merges {
 				fmt.Fprintf(&sb, "    %-60s %d tree(s) -> %d array(s)\n", m.Method, m.From, m.To)
 			}
+		}
+		if a.ResourceSamples > 0 {
+			fmt.Fprintf(&sb, "  resources: %d samples, %d bytes allocated, peak heap delta %d bytes\n",
+				a.ResourceSamples, a.AllocBytes, a.PeakHeapDelta)
+		}
+		if a.SLOViolations > 0 || a.FlightDumps > 0 {
+			fmt.Fprintf(&sb, "  SLO violations: %d, flight dumps: %d\n",
+				a.SLOViolations, a.FlightDumps)
 		}
 		fmt.Fprintf(&sb, "  stubs: %d, reflection rewrites: %d, verify defects: %d\n",
 			a.Stubs, a.ReflRewrites, len(a.Defects))

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestReadTraceRejectsBadLines(t *testing.T) {
@@ -24,6 +25,14 @@ func TestReadTraceRejectsBadLines(t *testing.T) {
 		{"queue wait negative", `{"ev":"queue_wait","tsNS":1,"detail":"job-1","durNS":-5}`},
 		{"job done bad outcome", `{"ev":"job_done","tsNS":1,"detail":"job-1","name":"maybe"}`},
 		{"job done without job id", `{"ev":"job_done","tsNS":1,"name":"ok"}`},
+		{"resource sample without stage", `{"ev":"resource_sample","tsNS":1,"bytes":10}`},
+		{"resource sample negative bytes", `{"ev":"resource_sample","tsNS":1,"name":"collection","bytes":-1}`},
+		{"slo violation without job id", `{"ev":"slo_violation","tsNS":1,"durNS":10,"sloNS":5}`},
+		{"slo violation without objective", `{"ev":"slo_violation","tsNS":1,"detail":"job-1","durNS":10}`},
+		{"slo violation not violated", `{"ev":"slo_violation","tsNS":1,"detail":"job-1","durNS":3,"sloNS":5}`},
+		{"flight dump bad reason", `{"ev":"flight_dump","tsNS":1,"detail":"job-1","name":"sunny","count":3}`},
+		{"flight dump without job id", `{"ev":"flight_dump","tsNS":1,"name":"failed","count":3}`},
+		{"flight dump negative count", `{"ev":"flight_dump","tsNS":1,"detail":"job-1","name":"failed","count":-3}`},
 		{"not json", `hello`},
 	}
 	for _, c := range cases {
@@ -127,6 +136,46 @@ func TestTraceAppsAttribution(t *testing.T) {
 	}
 	if b.MethodsCollected != 1 || len(b.ForksByMethod) != 0 {
 		t.Errorf("app-b contaminated by app-a events: %+v", b)
+	}
+}
+
+// TestTelemetryEventsAggregation drives the three telemetry emitters
+// through a real tracer and checks both schema acceptance and per-app
+// aggregation of the resource/SLO/flight counters.
+func TestTelemetryEventsAggregation(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(NewJSONLSink(&buf))
+	root := tr.Start("reveal", "app-a")
+	root.ResourceSample("collection", 1000, 400)
+	root.ResourceSample("reassembly", 500, 900)
+	root.ResourceSample("verify", 200, -100) // heap shrank: legal, not a peak
+	root.SLOViolation("job-1", 10*time.Millisecond, 5*time.Millisecond)
+	root.FlightDump("job-1", 42, FlightReasonSLO)
+	root.End()
+
+	trace, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatalf("telemetry events failed schema validation: %v", err)
+	}
+	apps := trace.Apps()
+	if len(apps) != 1 {
+		t.Fatalf("got %d apps, want 1", len(apps))
+	}
+	a := apps[0]
+	if a.ResourceSamples != 3 || a.AllocBytes != 1700 {
+		t.Errorf("samples/alloc = %d/%d, want 3/1700", a.ResourceSamples, a.AllocBytes)
+	}
+	if a.PeakHeapDelta != 900 {
+		t.Errorf("peak heap delta = %d, want 900", a.PeakHeapDelta)
+	}
+	if a.SLOViolations != 1 || a.FlightDumps != 1 {
+		t.Errorf("slo/flight = %d/%d, want 1/1", a.SLOViolations, a.FlightDumps)
+	}
+	rep := trace.ReportString()
+	for _, want := range []string{"resources:", "SLO violations: 1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
 	}
 }
 

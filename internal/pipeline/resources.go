@@ -1,0 +1,138 @@
+package pipeline
+
+import (
+	"fmt"
+	runtimemetrics "runtime/metrics"
+)
+
+// The two runtime/metrics series resource accounting is built on: a
+// monotonic total of heap bytes ever allocated, and the live-heap
+// occupancy. Both are process-wide — deltas across a window are exact when
+// one reveal runs at a time and an upper bound when reveals share the
+// process, which is the honest direction for capacity planning.
+const (
+	allocsMetric = "/gc/heap/allocs:bytes"
+	heapMetric   = "/memory/classes/heap/objects:bytes"
+)
+
+// MemSample is one point-in-time reading of the Go heap.
+type MemSample struct {
+	// AllocBytes is the monotonic total of heap bytes allocated by the
+	// process; the difference of two samples is the allocation volume of
+	// the window between them.
+	AllocBytes int64
+	// HeapBytes is the live heap occupancy at the sample.
+	HeapBytes int64
+}
+
+// ReadMemSample reads the current heap counters. It is cheap (two
+// runtime/metrics reads, no stop-the-world) and safe to call at stage
+// boundaries on every job.
+func ReadMemSample() MemSample {
+	s := [2]runtimemetrics.Sample{{Name: allocsMetric}, {Name: heapMetric}}
+	runtimemetrics.Read(s[:])
+	var m MemSample
+	if s[0].Value.Kind() == runtimemetrics.KindUint64 {
+		m.AllocBytes = int64(s[0].Value.Uint64())
+	}
+	if s[1].Value.Kind() == runtimemetrics.KindUint64 {
+		m.HeapBytes = int64(s[1].Value.Uint64())
+	}
+	return m
+}
+
+// ResourceUsage is the per-job resource bill: CPU consumed, heap churn and
+// peak occupancy delta, and where the job's latency went. It rides on
+// AppMetrics (and through it on store artifacts and batch reports) and on
+// the server's job status.
+type ResourceUsage struct {
+	// CPUNS is the aggregate worker CPU time attributed to the job's
+	// stages (the sum of StageTiming.CPUNS).
+	CPUNS int64 `json:"cpuNS,omitempty"`
+	// AllocBytes is the heap allocation volume of the run window.
+	AllocBytes int64 `json:"allocBytes,omitempty"`
+	// HeapPeakBytes is the largest live-heap growth observed at any stage
+	// boundary relative to the run's starting occupancy (never negative; a
+	// run that only shrank the heap records 0).
+	HeapPeakBytes int64 `json:"heapPeakBytes,omitempty"`
+	// QueueNS, RunNS and TotalNS split a served job's latency: time waiting
+	// for a worker, time inside Reveal, and admission-to-completion.
+	// Stand-alone runs record RunNS only.
+	QueueNS int64 `json:"queueNS,omitempty"`
+	RunNS   int64 `json:"runNS,omitempty"`
+	TotalNS int64 `json:"totalNS,omitempty"`
+}
+
+// Validate checks the resource invariants: nothing is negative, and the
+// total latency (when recorded) covers both the queue wait and the run.
+func (r *ResourceUsage) Validate() error {
+	if r == nil {
+		return nil
+	}
+	if r.CPUNS < 0 || r.AllocBytes < 0 || r.HeapPeakBytes < 0 ||
+		r.QueueNS < 0 || r.RunNS < 0 || r.TotalNS < 0 {
+		return fmt.Errorf("pipeline: negative resource usage: %+v", *r)
+	}
+	if r.TotalNS > 0 && (r.TotalNS < r.RunNS || r.TotalNS < r.QueueNS) {
+		return fmt.Errorf("pipeline: total latency %d below its queue %d / run %d components",
+			r.TotalNS, r.QueueNS, r.RunNS)
+	}
+	return nil
+}
+
+// ResourceAccountant samples the heap at stage boundaries and folds the
+// readings into a ResourceUsage. One accountant covers one Reveal; it is
+// not safe for concurrent use (stages run serially within a job).
+type ResourceAccountant struct {
+	start MemSample
+	last  MemSample
+	peak  int64
+}
+
+// NewResourceAccountant starts accounting at the current heap state.
+func NewResourceAccountant() *ResourceAccountant {
+	base := ReadMemSample()
+	return &ResourceAccountant{start: base, last: base}
+}
+
+// StageDone samples the heap at a stage boundary. It returns the bytes
+// allocated since the previous boundary (the stage's allocation bill,
+// clamped at 0) and the live-heap delta versus the run start, and tracks
+// the peak of that delta.
+func (a *ResourceAccountant) StageDone() (allocBytes, heapDelta int64) {
+	now := ReadMemSample()
+	allocBytes = now.AllocBytes - a.last.AllocBytes
+	if allocBytes < 0 {
+		allocBytes = 0
+	}
+	heapDelta = now.HeapBytes - a.start.HeapBytes
+	if heapDelta > a.peak {
+		a.peak = heapDelta
+	}
+	a.last = now
+	return allocBytes, heapDelta
+}
+
+// Finish closes the accounting window and returns the job's resource bill.
+// cpu is the aggregate stage CPU time and run the job's wall time, both in
+// nanoseconds; queue/total latency are the server's to fill in.
+func (a *ResourceAccountant) Finish(cpu, run int64) *ResourceUsage {
+	end := ReadMemSample()
+	alloc := end.AllocBytes - a.start.AllocBytes
+	if alloc < 0 {
+		alloc = 0
+	}
+	peak := a.peak
+	if d := end.HeapBytes - a.start.HeapBytes; d > peak {
+		peak = d
+	}
+	if peak < 0 {
+		peak = 0
+	}
+	return &ResourceUsage{
+		CPUNS:         cpu,
+		AllocBytes:    alloc,
+		HeapPeakBytes: peak,
+		RunNS:         run,
+	}
+}

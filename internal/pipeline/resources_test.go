@@ -1,0 +1,144 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestResourceUsageValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		ru   *ResourceUsage
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"zero", &ResourceUsage{}, true},
+		{"full", &ResourceUsage{CPUNS: 1, AllocBytes: 2, HeapPeakBytes: 3, QueueNS: 4, RunNS: 5, TotalNS: 9}, true},
+		{"run only", &ResourceUsage{RunNS: 5}, true},
+		{"negative alloc", &ResourceUsage{AllocBytes: -1}, false},
+		{"negative cpu", &ResourceUsage{CPUNS: -1}, false},
+		{"total below run", &ResourceUsage{RunNS: 10, TotalNS: 5}, false},
+		{"total below queue", &ResourceUsage{QueueNS: 10, TotalNS: 5}, false},
+	}
+	for _, c := range cases {
+		if err := c.ru.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate = %v, want ok=%t", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestResourceAccountantTracksAllocation(t *testing.T) {
+	a := NewResourceAccountant()
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 16<<10))
+	}
+	alloc, _ := a.StageDone()
+	// The runtime's allocation counter is assembled from per-P caches and
+	// may lag by a few slots, so assert a generous lower bound rather than
+	// the exact volume.
+	if alloc < 64*(16<<10)/2 {
+		t.Errorf("stage allocated ~1MiB but accountant saw only %d bytes", alloc)
+	}
+	_ = sink
+	ru := a.Finish(123, 456)
+	if ru.CPUNS != 123 || ru.RunNS != 456 {
+		t.Errorf("Finish did not carry cpu/run: %+v", ru)
+	}
+	if ru.AllocBytes < alloc {
+		t.Errorf("run total %d below stage bill %d", ru.AllocBytes, alloc)
+	}
+	if ru.HeapPeakBytes < 0 {
+		t.Errorf("negative heap peak %d", ru.HeapPeakBytes)
+	}
+	if err := ru.Validate(); err != nil {
+		t.Errorf("accountant produced invalid usage: %v", err)
+	}
+}
+
+func TestAddStageAllocAccumulates(t *testing.T) {
+	var m AppMetrics
+	m.AddStage(StageCollection, time.Millisecond)
+	m.AddStageAlloc(StageCollection, 100)
+	m.AddStageAlloc(StageCollection, 50)
+	if len(m.Stages) != 1 || m.Stages[0].AllocBytes != 150 {
+		t.Errorf("stage alloc = %+v, want one entry with 150", m.Stages)
+	}
+	m.AddStageAlloc(StageVerify, 7)
+	if len(m.Stages) != 2 || m.Stages[1].AllocBytes != 7 {
+		t.Errorf("new stage entry not created: %+v", m.Stages)
+	}
+}
+
+func TestValidateResourceInvariants(t *testing.T) {
+	m := AppMetrics{Name: "a", WallNS: int64(time.Second)}
+	m.AddStage(StageCollection, time.Millisecond)
+	m.AddStageAlloc(StageCollection, 1000)
+	m.Resources = &ResourceUsage{AllocBytes: 500}
+	if err := m.Validate(); err == nil ||
+		!strings.Contains(err.Error(), "exceeds run total") {
+		t.Errorf("stage alloc above run total not caught: %v", err)
+	}
+	m.Resources.AllocBytes = 1000
+	if err := m.Validate(); err != nil {
+		t.Errorf("valid resources rejected: %v", err)
+	}
+	m.Stages[0].AllocBytes = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative stage alloc not caught")
+	}
+}
+
+func TestBuildReportAggregatesResources(t *testing.T) {
+	apps := []AppMetrics{
+		{Name: "a", WallNS: 10, Resources: &ResourceUsage{CPUNS: 5, AllocBytes: 100, HeapPeakBytes: 30, RunNS: 10}},
+		{Name: "b", WallNS: 20, Resources: &ResourceUsage{CPUNS: 7, AllocBytes: 200, HeapPeakBytes: 80, RunNS: 20}},
+		{Name: "fail", Err: "boom", Resources: &ResourceUsage{AllocBytes: 999}},
+	}
+	r := BuildReport(2, 30, apps)
+	ru := r.Resources
+	if ru == nil {
+		t.Fatal("report has no resource aggregate")
+	}
+	if ru.CPUNS != 12 || ru.AllocBytes != 300 || ru.RunNS != 30 {
+		t.Errorf("sums wrong: %+v", ru)
+	}
+	if ru.HeapPeakBytes != 80 {
+		t.Errorf("peak heap = %d, want batch max 80", ru.HeapPeakBytes)
+	}
+	if !strings.Contains(r.String(), "resources:") {
+		t.Errorf("report text omits resources:\n%s", r.String())
+	}
+
+	// No app recorded resources -> no aggregate fabricated.
+	if r := BuildReport(1, 1, []AppMetrics{{Name: "x", WallNS: 1}}); r.Resources != nil {
+		t.Errorf("aggregate fabricated from nothing: %+v", r.Resources)
+	}
+}
+
+func TestReportRoundTripWithResources(t *testing.T) {
+	apps := []AppMetrics{{
+		Name:   "a",
+		WallNS: int64(time.Second),
+		Stages: []StageTiming{{Stage: StageCollection, WallNS: 1000, AllocBytes: 64}},
+		Resources: &ResourceUsage{
+			CPUNS: 1, AllocBytes: 128, HeapPeakBytes: 2, QueueNS: 3, RunNS: 4, TotalNS: 8,
+		},
+	}}
+	data, err := BuildReport(1, time.Second, apps).JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.Apps[0].Resources
+	if got == nil || *got != *apps[0].Resources {
+		t.Errorf("resources did not round trip: %+v", got)
+	}
+	if back.Apps[0].Stages[0].AllocBytes != 64 {
+		t.Errorf("stage alloc did not round trip: %+v", back.Apps[0].Stages)
+	}
+}

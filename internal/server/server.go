@@ -18,7 +18,11 @@
 //	                             Retry-After when the queue is full.
 //	GET  /v1/jobs/{id}           job status/result JSON
 //	GET  /v1/jobs/{id}/artifact  revealed APK bytes (zip)
+//	GET  /v1/jobs/{id}/flight    JSONL flight recording (failed or
+//	                             SLO-violating jobs only)
 //	GET  /v1/metrics             job/store counters + merged obs snapshot
+//	GET  /metrics                OpenMetrics text exposition of the same
+//	                             plane, for Prometheus-style scrapers
 //	GET  /healthz                200 serving, 503 draining
 package server
 
@@ -83,6 +87,16 @@ type Config struct {
 	// Sink, when set, receives the JSONL trace of the server span and of
 	// every reveal; nil keeps metrics without trace lines.
 	Sink obs.Sink
+	// FlightEvents bounds each job's flight-recorder ring — the most recent
+	// trace events retained for incident dumps (<= 0 selects 256).
+	FlightEvents int
+	// FlightDir, when set, receives one <jobid>.jsonl flight recording per
+	// failed or SLO-violating job. The directory must exist.
+	FlightDir string
+	// SLO, when > 0, is the admission-to-completion latency objective: jobs
+	// exceeding it emit an slo_violation event and dump their flight ring
+	// even though they succeeded.
+	SLO time.Duration
 	// Reveal substitutes the reveal implementation in tests; nil selects
 	// dexlego.Reveal.
 	Reveal RevealFunc
@@ -98,14 +112,22 @@ type job struct {
 	key  string
 	name string
 
+	// trace is the job's stable trace identity: a prefix of its content
+	// address, stamped on every event of the job's span tree.
+	trace string
+
 	// Guarded by Server.mu.
-	state     State
-	cacheHit  bool
-	err       string
-	submitted time.Time
-	queueNS   int64
-	runNS     int64
-	artifact  *store.Artifact
+	state        State
+	cacheHit     bool
+	err          string
+	submitted    time.Time
+	queueNS      int64
+	runNS        int64
+	totalNS      int64
+	resources    *pipeline.ResourceUsage
+	flight       []byte // JSONL flight recording; nil unless the job failed or blew its SLO
+	flightReason string
+	artifact     *store.Artifact
 
 	done chan struct{} // closed on completion
 }
@@ -121,8 +143,18 @@ type JobStatus struct {
 	// concurrent identical request) without running.
 	CacheHit bool   `json:"cacheHit"`
 	Err      string `json:"err,omitempty"`
-	QueueNS  int64  `json:"queueNS,omitempty"`
-	RunNS    int64  `json:"runNS,omitempty"`
+	// Trace is the job's stable trace identity (a content-address prefix);
+	// filter a shared JSONL trace on it to extract this job's span tree.
+	Trace   string `json:"trace,omitempty"`
+	QueueNS int64  `json:"queueNS,omitempty"`
+	RunNS   int64  `json:"runNS,omitempty"`
+	TotalNS int64  `json:"totalNS,omitempty"`
+	// Resources is the job's resource bill as the server observed it:
+	// latency split always, CPU/heap figures when the job actually ran.
+	Resources *pipeline.ResourceUsage `json:"resources,omitempty"`
+	// FlightReason is set ("failed" or "slo") when a flight recording is
+	// available at /v1/jobs/{id}/flight.
+	FlightReason string `json:"flightReason,omitempty"`
 	// RevealedBytes sizes the artifact available at /v1/jobs/{id}/artifact.
 	RevealedBytes int                  `json:"revealedBytes,omitempty"`
 	Metrics       *pipeline.AppMetrics `json:"metrics,omitempty"`
@@ -144,6 +176,10 @@ type Metrics struct {
 		Evicted  int64 `json:"evicted"`
 		Resident int   `json:"resident"`
 	} `json:"store"`
+	// DroppedEvents totals trace events lost anywhere in the plane (live
+	// server tracer plus completed per-job tracers); non-zero means the
+	// trace is incomplete and the sink needs attention.
+	DroppedEvents int64 `json:"droppedEvents"`
 	// Obs merges the server lifecycle snapshot (cache_hit/cache_miss,
 	// queue_wait, job_enqueued/job_done) with every completed reveal's
 	// per-app snapshot.
@@ -158,6 +194,7 @@ type Server struct {
 	pool   *pipeline.Pool
 	tracer *obs.Tracer
 	root   *obs.Span
+	tel    *telemetry
 	// revealWorkers is the admitted per-job worker budget after the
 	// GOMAXPROCS oversubscription clamp in New.
 	revealWorkers int
@@ -203,6 +240,7 @@ func New(cfg Config) (*Server, error) {
 		jobs:   make(map[string]*job),
 		counts: make(map[State]int),
 	}
+	s.tel = newTelemetry(s)
 	// Admission control for intra-reveal parallelism: the pool runs up to
 	// poolWorkers reveals at once and each reveal fans out RevealWorkers
 	// goroutines, so the products multiply. Clamp the per-job budget to
@@ -241,7 +279,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/reveal", s.handleReveal)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifact", s.handleArtifact)
+	mux.HandleFunc("GET /v1/jobs/{id}/flight", s.handleFlight)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handleOpenMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -331,7 +371,11 @@ func (s *Server) handleReveal(w http.ResponseWriter, r *http.Request) {
 	// round trip. The job record still exists so the id is pollable.
 	if art, ok := s.cfg.Store.Get(key); ok {
 		j := s.newJob(key, name)
+		total := time.Since(j.submitted)
+		s.tel.observeJob(0, 0, total, nil, false)
 		s.mu.Lock()
+		j.totalNS = int64(total)
+		j.resources = &pipeline.ResourceUsage{TotalNS: int64(total)}
 		s.finishLocked(j, art, true, nil, 0)
 		s.mu.Unlock()
 		s.root.CacheHit(key)
@@ -373,6 +417,7 @@ func (s *Server) newJob(key, name string) *job {
 		id:        fmt.Sprintf("job-%06d", s.ids.Add(1)),
 		key:       key,
 		name:      name,
+		trace:     traceIDFor(key),
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -424,11 +469,17 @@ func (s *Server) trimLocked() {
 	s.order = kept
 }
 
-// runJob executes one admitted job on a pool worker.
+// runJob executes one admitted job on a pool worker. The job's whole span
+// tree — lifecycle span and reveal spans alike — flows through a per-job
+// tracer pair sharing one flight-recorder ring and one trace ID, so an
+// incident can dump the job's recent history end to end while the happy
+// path pays only one ring store per event.
 func (s *Server) runJob(j *job, submitTime time.Time, pkg *apk.APK, opts dexlego.Options) {
 	wait := time.Since(submitTime)
-	span := s.root.Start("job")
-	defer span.End()
+	rec := obs.NewFlightRecorder(s.cfg.Sink, s.cfg.FlightEvents)
+	jobTracer := obs.New(rec)
+	jobTracer.SetTraceID(j.trace)
+	span := jobTracer.Start("job", j.name)
 	span.QueueWait(j.id, wait)
 
 	s.mu.Lock()
@@ -438,12 +489,16 @@ func (s *Server) runJob(j *job, submitTime time.Time, pkg *apk.APK, opts dexlego
 	s.counts[StateRunning]++
 	s.mu.Unlock()
 
+	// The reveal owns a second tracer (the per-app snapshot riding in the
+	// artifact must cover only reveal events) sharing the job's ring and
+	// trace ID, so the flight recording holds the end-to-end tree.
+	revealTracer := obs.New(rec)
+	revealTracer.SetTraceID(j.trace)
+
 	runStart := time.Now()
 	art, hit, err := s.cfg.Store.GetOrReveal(j.key, func() (*store.Artifact, error) {
-		// Each reveal owns a tracer (per-app snapshot contract) sharing
-		// the server's sink; its snapshot rides in the stored metrics.
 		o := opts
-		o.Tracer = obs.New(s.cfg.Sink)
+		o.Tracer = revealTracer
 		o.TraceLabel = j.name
 		// The admitted budget, not the raw config: Workers is outside the
 		// options fingerprint (it never changes artifact bytes), so this
@@ -475,11 +530,53 @@ func (s *Server) runJob(j *job, submitTime time.Time, pkg *apk.APK, opts dexlego
 	} else if err == nil {
 		span.CacheMiss(j.key)
 	}
+	run := time.Since(runStart)
+	total := time.Since(submitTime)
+	fresh := !hit && err == nil
+
+	// The job's resource bill: latency split from the server's clocks,
+	// CPU/heap figures from the reveal when this job actually ran one.
+	ru := &pipeline.ResourceUsage{QueueNS: int64(wait), RunNS: int64(run), TotalNS: int64(total)}
+	if fresh && art.Metrics != nil && art.Metrics.Resources != nil {
+		r := *art.Metrics.Resources
+		r.QueueNS = int64(wait)
+		r.TotalNS = int64(total)
+		ru = &r
+	}
+
+	sloViolated := s.cfg.SLO > 0 && total > s.cfg.SLO
+	if sloViolated {
+		s.tel.sloViolations.Add(1)
+		span.SLOViolation(j.id, total, s.cfg.SLO)
+	}
+	span.JobDone(j.id, total, err == nil)
+	switch {
+	case err != nil:
+		s.dumpFlight(j, rec, span, obs.FlightReasonFailed)
+	case sloViolated:
+		s.dumpFlight(j, rec, span, obs.FlightReasonSLO)
+	}
+	span.End()
+
+	var m *pipeline.AppMetrics
+	if art != nil {
+		m = art.Metrics
+	}
+	s.tel.observeJob(wait, run, total, m, fresh)
 
 	s.mu.Lock()
-	s.finishLocked(j, art, hit, err, time.Since(runStart))
+	j.totalNS = int64(total)
+	j.resources = ru
+	s.finishLocked(j, art, hit, err, run)
+	// Fold the job's lifecycle tracer into the aggregate. The reveal
+	// tracer's snapshot rides in the artifact for successes (finishLocked
+	// merges it); on failure no artifact exists to carry it, so merge the
+	// reveal tracer directly — its drop count must not vanish.
+	s.agg = obs.MergeSnapshots(s.agg, jobTracer.Snapshot())
+	if err != nil {
+		s.agg = obs.MergeSnapshots(s.agg, revealTracer.Snapshot())
+	}
 	s.mu.Unlock()
-	span.JobDone(j.id, time.Since(submitTime), err == nil)
 }
 
 // finishLocked records a job's completion and publishes its obs snapshot
@@ -505,14 +602,18 @@ func (s *Server) finishLocked(j *job, art *store.Artifact, hit bool, err error, 
 // statusLocked snapshots a job into its JSON shape. Callers hold s.mu.
 func (j *job) statusLocked() *JobStatus {
 	st := &JobStatus{
-		ID:       j.id,
-		State:    j.state,
-		Name:     j.name,
-		Key:      j.key,
-		CacheHit: j.cacheHit,
-		Err:      j.err,
-		QueueNS:  j.queueNS,
-		RunNS:    j.runNS,
+		ID:           j.id,
+		State:        j.state,
+		Name:         j.name,
+		Key:          j.key,
+		CacheHit:     j.cacheHit,
+		Err:          j.err,
+		Trace:        j.trace,
+		QueueNS:      j.queueNS,
+		RunNS:        j.runNS,
+		TotalNS:      j.totalNS,
+		Resources:    j.resources,
+		FlightReason: j.flightReason,
 	}
 	if j.artifact != nil {
 		st.RevealedBytes = len(j.artifact.Revealed)
@@ -584,6 +685,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := obs.MergeSnapshots(nil, s.agg)
 	s.mu.Unlock()
 	m.Obs = obs.MergeSnapshots(snap, s.tracer.Snapshot())
+	if m.Obs != nil {
+		m.DroppedEvents = m.Obs.Dropped
+	}
 	writeJSON(w, http.StatusOK, &m)
 }
 

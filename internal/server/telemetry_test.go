@@ -1,0 +1,295 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	dexlego "dexlego"
+	"dexlego/internal/apk"
+	"dexlego/internal/obs"
+)
+
+// lockedBuffer is a concurrency-safe obs.Sink capturing the full trace.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Emit(line []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, err := b.buf.Write(line)
+	return err
+}
+
+func (b *lockedBuffer) bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// TestOpenMetricsScrapeLints is the exposition acceptance test: after a
+// real reveal, GET /metrics must serve OpenMetrics text that survives the
+// strict parser and covers jobs, cache traffic, per-stage latency and
+// resource accounting.
+func TestOpenMetricsScrapeLints(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	if resp, _ := postReveal(t, hs.URL, "?sample=SelfModifying1&wait=1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reveal = %d", resp.StatusCode)
+	}
+	code, body := getBody(t, hs.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	e, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("scrape does not lint: %v\n%s", err, body)
+	}
+	if v, ok := e.Value("dexlego_jobs_submitted_total"); !ok || v != 1 {
+		t.Errorf("jobs_submitted_total = %v,%t want 1", v, ok)
+	}
+	if v, ok := e.Value("dexlego_store_misses_total"); !ok || v != 1 {
+		t.Errorf("store_misses_total = %v,%t want 1", v, ok)
+	}
+	if v, ok := e.Value("dexlego_jobs", obs.L("state", "done")); !ok || v != 1 {
+		t.Errorf("jobs{state=done} = %v,%t want 1", v, ok)
+	}
+	if v, ok := e.Value("dexlego_trace_dropped_events_total"); !ok || v != 0 {
+		t.Errorf("trace_dropped_events_total = %v,%t want 0", v, ok)
+	}
+	if f := e.Family("dexlego_stage_latency_nanoseconds"); f == nil || f.Type != "histogram" {
+		t.Fatalf("stage latency family missing: %+v", f)
+	}
+	if v, ok := e.Value("dexlego_stage_latency_nanoseconds_count", obs.L("stage", "collection")); !ok || v != 1 {
+		t.Errorf("collection stage count = %v,%t want 1", v, ok)
+	}
+	if v, ok := e.Value("dexlego_job_total_latency_nanoseconds_count"); !ok || v != 1 {
+		t.Errorf("total latency count = %v,%t want 1", v, ok)
+	}
+	if v, ok := e.Value("dexlego_reveal_alloc_bytes_total"); !ok || v <= 0 {
+		t.Errorf("reveal_alloc_bytes_total = %v,%t want > 0", v, ok)
+	}
+	if v, ok := e.Value("dexlego_reveal_heap_peak_bytes"); !ok || v < 0 {
+		t.Errorf("reveal_heap_peak_bytes = %v,%t want >= 0", v, ok)
+	}
+}
+
+// TestFlightDumpOnFailedJob checks the incident path end to end: a failed
+// job keeps a flight recording, serves it at /v1/jobs/{id}/flight, writes
+// it to FlightDir, and every recorded event replays under the job's trace
+// ID through the schema-validating reader.
+func TestFlightDumpOnFailedJob(t *testing.T) {
+	dir := t.TempDir()
+	_, hs := newTestServer(t, func(c *Config) {
+		c.FlightDir = dir
+		c.Reveal = func(*apk.APK, dexlego.Options) (*dexlego.Result, error) {
+			return nil, errors.New("synthetic reveal failure")
+		}
+	})
+	resp, st := postReveal(t, hs.URL, "?sample=SelfModifying1&wait=1", nil)
+	if resp.StatusCode != http.StatusOK || st.State != StateFailed {
+		t.Fatalf("job = %d %+v, want completed failed", resp.StatusCode, st)
+	}
+	if st.FlightReason != obs.FlightReasonFailed {
+		t.Errorf("flight reason = %q, want failed", st.FlightReason)
+	}
+	if st.Trace == "" || !strings.HasPrefix(st.Key, st.Trace) {
+		t.Errorf("trace id %q is not a prefix of key %q", st.Trace, st.Key)
+	}
+
+	code, dump := getBody(t, hs.URL+"/v1/jobs/"+st.ID+"/flight")
+	if code != http.StatusOK || len(dump) == 0 {
+		t.Fatalf("GET flight = %d (%d bytes), want non-empty 200", code, len(dump))
+	}
+	trace, err := obs.ReadTrace(bytes.NewReader(dump))
+	if err != nil {
+		t.Fatalf("flight dump fails schema validation: %v", err)
+	}
+	if n := len(trace.FilterTrace(st.Trace).Events); n != len(trace.Events) || n == 0 {
+		t.Errorf("dump holds %d events, %d under the job's trace id", len(trace.Events), n)
+	}
+	var sawQueueWait, sawJobDone bool
+	for _, ev := range trace.Events {
+		sawQueueWait = sawQueueWait || ev.Type == obs.EventQueueWait
+		sawJobDone = sawJobDone || ev.Type == obs.EventJobDone
+	}
+	if !sawQueueWait || !sawJobDone {
+		t.Errorf("dump lacks lifecycle events (queue_wait=%t job_done=%t)", sawQueueWait, sawJobDone)
+	}
+
+	disk, err := os.ReadFile(filepath.Join(dir, st.ID+".jsonl"))
+	if err != nil || !bytes.Equal(disk, dump) {
+		t.Errorf("FlightDir recording missing or differs: %v", err)
+	}
+
+	code, body := getBody(t, hs.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	e, err := obs.ParseExposition(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("scrape does not lint: %v", err)
+	}
+	if v, ok := e.Value("dexlego_flight_dumps_total", obs.L("reason", "failed")); !ok || v != 1 {
+		t.Errorf("flight_dumps_total{reason=failed} = %v,%t want 1", v, ok)
+	}
+}
+
+// TestSLOViolationDumpsFlight: a successful job that blows the latency
+// objective still produces its artifact but also a flight recording with
+// reason "slo" and an slo_violation event inside it.
+func TestSLOViolationDumpsFlight(t *testing.T) {
+	_, hs := newTestServer(t, func(c *Config) { c.SLO = time.Nanosecond })
+	resp, st := postReveal(t, hs.URL, "?sample=SelfModifying1&wait=1", nil)
+	if resp.StatusCode != http.StatusOK || st.State != StateDone {
+		t.Fatalf("job = %d %+v, want done", resp.StatusCode, st)
+	}
+	if st.FlightReason != obs.FlightReasonSLO {
+		t.Errorf("flight reason = %q, want slo", st.FlightReason)
+	}
+	code, dump := getBody(t, hs.URL+"/v1/jobs/"+st.ID+"/flight")
+	if code != http.StatusOK || len(dump) == 0 {
+		t.Fatalf("GET flight = %d (%d bytes), want non-empty 200", code, len(dump))
+	}
+	trace, err := obs.ReadTrace(bytes.NewReader(dump))
+	if err != nil {
+		t.Fatalf("flight dump fails schema validation: %v", err)
+	}
+	var sawViolation bool
+	for _, ev := range trace.Events {
+		sawViolation = sawViolation || ev.Type == obs.EventSLOViolation
+	}
+	if !sawViolation {
+		t.Error("dump lacks the slo_violation event")
+	}
+	// The exposition counts the violation alongside the dump.
+	code, scrape := getBody(t, hs.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", code)
+	}
+	exp, err := obs.ParseExposition(bytes.NewReader(scrape))
+	if err != nil {
+		t.Fatalf("exposition does not lint: %v", err)
+	}
+	if v, ok := exp.Value("dexlego_slo_violations_total"); !ok || v != 1 {
+		t.Errorf("slo_violations_total = %v (present %t), want 1", v, ok)
+	}
+	if v, ok := exp.Value("dexlego_flight_dumps_total", obs.L("reason", obs.FlightReasonSLO)); !ok || v != 1 {
+		t.Errorf("flight_dumps_total{reason=slo} = %v (present %t), want 1", v, ok)
+	}
+}
+
+// TestHealthyJobHasNoFlight: on the happy path the ring is discarded and
+// the flight endpoint answers 404.
+func TestHealthyJobHasNoFlight(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	resp, st := postReveal(t, hs.URL, "?sample=SelfModifying1&wait=1", nil)
+	if resp.StatusCode != http.StatusOK || st.State != StateDone {
+		t.Fatalf("job = %d %+v, want done", resp.StatusCode, st)
+	}
+	if st.FlightReason != "" {
+		t.Errorf("healthy job has flight reason %q", st.FlightReason)
+	}
+	if code, _ := getBody(t, hs.URL+"/v1/jobs/"+st.ID+"/flight"); code != http.StatusNotFound {
+		t.Errorf("GET flight on healthy job = %d, want 404", code)
+	}
+	if code, _ := getBody(t, hs.URL+"/v1/jobs/nope/flight"); code != http.StatusNotFound {
+		t.Errorf("GET flight on unknown job = %d, want 404", code)
+	}
+}
+
+// TestTraceIDPropagatesEndToEnd submits one job with a shared sink and
+// checks the full span tree — lifecycle span, reveal root, stage spans,
+// collector events — carries the job's trace ID, so -trace-report can
+// filter one job out of a busy server's interleaved trace.
+func TestTraceIDPropagatesEndToEnd(t *testing.T) {
+	sink := &lockedBuffer{}
+	_, hs := newTestServer(t, func(c *Config) { c.Sink = sink })
+	resp, st := postReveal(t, hs.URL, "?sample=SelfModifying1&wait=1", nil)
+	if resp.StatusCode != http.StatusOK || st.State != StateDone {
+		t.Fatalf("job = %d %+v, want done", resp.StatusCode, st)
+	}
+	trace, err := obs.ReadTrace(bytes.NewReader(sink.bytes()))
+	if err != nil {
+		t.Fatalf("server trace invalid: %v", err)
+	}
+	got := trace.FilterTrace(st.Trace)
+	if len(got.Events) == 0 {
+		t.Fatalf("no events under trace %q", st.Trace)
+	}
+	spanNames := map[string]bool{}
+	for _, ev := range got.Events {
+		if ev.Type == obs.EventSpanStart {
+			spanNames[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"job", "reveal", "stage.collection", "stage.reassembly", "stage.verify"} {
+		if !spanNames[want] {
+			t.Errorf("span %q missing from the job's trace (have %v)", want, spanNames)
+		}
+	}
+	// The server span itself carries no job trace id.
+	if ids := trace.TraceIDs(); len(ids) != 1 || ids[0] != st.Trace {
+		t.Errorf("TraceIDs = %v, want exactly [%s]", ids, st.Trace)
+	}
+}
+
+// TestJobResourceAccounting: a completed job reports its latency split and
+// the reveal's CPU/heap bill through the status API.
+func TestJobResourceAccounting(t *testing.T) {
+	_, hs := newTestServer(t, nil)
+	resp, st := postReveal(t, hs.URL, "?sample=SelfModifying1&wait=1", nil)
+	if resp.StatusCode != http.StatusOK || st.State != StateDone {
+		t.Fatalf("job = %d %+v, want done", resp.StatusCode, st)
+	}
+	ru := st.Resources
+	if ru == nil {
+		t.Fatal("job status has no resources")
+	}
+	if err := ru.Validate(); err != nil {
+		t.Errorf("job resources invalid: %v", err)
+	}
+	if ru.TotalNS <= 0 || st.TotalNS != ru.TotalNS {
+		t.Errorf("total latency %d / %d inconsistent", st.TotalNS, ru.TotalNS)
+	}
+	if ru.AllocBytes <= 0 {
+		t.Errorf("reveal allocated nothing? %+v", ru)
+	}
+	if st.Metrics == nil || st.Metrics.Resources == nil {
+		t.Fatalf("artifact metrics carry no resources: %+v", st.Metrics)
+	}
+	if got := st.Metrics.Stages; len(got) == 0 || got[0].AllocBytes <= 0 {
+		t.Errorf("stage allocation bill missing: %+v", got)
+	}
+
+	// The cache-hit job reports latency only — it ran nothing.
+	_, hit := postReveal(t, hs.URL, "?sample=SelfModifying1&wait=1", nil)
+	if !hit.CacheHit || hit.Resources == nil {
+		t.Fatalf("hit = %+v, want cache hit with resources", hit)
+	}
+	if hit.Resources.AllocBytes != 0 || hit.Resources.TotalNS <= 0 {
+		t.Errorf("cache hit resources = %+v, want latency only", hit.Resources)
+	}
+}
