@@ -7,9 +7,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"dexlego/internal/fleet"
 	"dexlego/internal/obs"
 	"dexlego/internal/server"
 	"dexlego/internal/store"
@@ -26,58 +28,111 @@ var serveHooks struct {
 // in-flight requests and queued jobs get this long to finish.
 const drainTimeout = 30 * time.Second
 
-// runServe runs the reveal service until SIGTERM/SIGINT, then drains:
-// admission stops (POST 503, healthz 503), in-flight HTTP requests and
-// every admitted job complete, and only then does the process exit.
-func runServe(addr, storeDir string, queueDepth, jobs, revealWorkers int,
-	sink *obs.JSONLSink, flightDir string, slo time.Duration) error {
-	st, err := store.Open(storeDir, 0)
+// serveConfig carries the -serve flag set into runServe.
+type serveConfig struct {
+	addr          string
+	storeDir      string
+	queueDepth    int
+	jobs          int
+	revealWorkers int
+	sink          *obs.JSONLSink
+	flightDir     string
+	slo           time.Duration
+	// fleetPeers enables fleet mode (non-empty): this node joins a
+	// consistent-hash reveal fleet with the listed peers.
+	fleetPeers       []string
+	fleetSelf        string
+	fleetReplication int
+}
+
+// runServe runs the reveal service — standalone or as one fleet node —
+// until SIGTERM/SIGINT, then drains: admission stops (POST 503, readiness
+// flips), in-flight HTTP requests and every admitted job complete, and
+// only then does the process exit.
+func runServe(sc serveConfig) error {
+	st, err := store.Open(sc.storeDir, 0)
 	if err != nil {
 		return err
 	}
 	var obsSink obs.Sink
-	if sink != nil {
-		obsSink = sink
+	if sc.sink != nil {
+		obsSink = sc.sink
 	}
-	if flightDir != "" {
-		if err := os.MkdirAll(flightDir, 0o755); err != nil {
+	if sc.flightDir != "" {
+		if err := os.MkdirAll(sc.flightDir, 0o755); err != nil {
 			return fmt.Errorf("-flight-dir: %w", err)
 		}
 	}
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Store:         st,
-		Workers:       jobs,
-		RevealWorkers: revealWorkers,
-		QueueDepth:    queueDepth,
+		Workers:       sc.jobs,
+		RevealWorkers: sc.revealWorkers,
+		QueueDepth:    sc.queueDepth,
 		Sink:          obsSink,
-		FlightDir:     flightDir,
-		SLO:           slo,
-	})
-	if err != nil {
-		return err
+		FlightDir:     sc.flightDir,
+		SLO:           sc.slo,
 	}
-	ln, err := net.Listen("tcp", addr)
+
+	// Fleet mode wraps the server in a placement router; standalone mode
+	// serves the server directly. Both expose the same job API, so the
+	// drain path below is identical.
+	var (
+		handler http.Handler
+		srv     *server.Server
+		closeFn func()
+	)
+	if len(sc.fleetPeers) > 0 {
+		self := sc.fleetSelf
+		if self == "" {
+			self = "http://" + sc.addr
+		}
+		node, err := fleet.New(fleet.Config{
+			Server:      scfg,
+			Self:        self,
+			Peers:       sc.fleetPeers,
+			Replication: sc.fleetReplication,
+		})
+		if err != nil {
+			return err
+		}
+		handler, srv, closeFn = node.Handler(), node.Server(), node.Close
+	} else {
+		s, err := server.New(scfg)
+		if err != nil {
+			return err
+		}
+		handler, srv, closeFn = s.Handler(), s, s.Close
+	}
+
+	ln, err := net.Listen("tcp", sc.addr)
 	if err != nil {
+		closeFn()
 		return fmt.Errorf("-addr: %w", err)
 	}
 	if serveHooks.listener != nil {
 		serveHooks.listener(ln)
 	}
 	hs := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
+	storeDir := sc.storeDir
 	if storeDir == "" {
 		storeDir = "(memory only)"
 	}
-	fmt.Printf("dexlego service on http://%s (store %s, queue %d)\n", ln.Addr(), storeDir, queueDepth)
+	if len(sc.fleetPeers) > 0 {
+		fmt.Printf("dexlego fleet node on http://%s (peers %s, store %s, queue %d)\n",
+			ln.Addr(), strings.Join(sc.fleetPeers, " "), storeDir, sc.queueDepth)
+	} else {
+		fmt.Printf("dexlego service on http://%s (store %s, queue %d)\n", ln.Addr(), storeDir, sc.queueDepth)
+	}
 	select {
 	case err := <-errc:
-		srv.Close()
+		closeFn()
 		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
 	case <-serveHooks.stop:
@@ -89,7 +144,7 @@ func runServe(addr, storeDir string, queueDepth, jobs, revealWorkers int,
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		obs.Warnf("drain: http shutdown: %v", err)
 	}
-	srv.Close()
+	closeFn()
 	fmt.Println("dexlego service drained")
 	return nil
 }

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -39,5 +42,37 @@ func TestLintRejectsBrokenExposition(t *testing.T) {
 		if err := run([]string{path}); err == nil {
 			t.Errorf("%s: lint passed, want error", name)
 		}
+	}
+}
+
+// TestLintScrapesURLs: URL arguments are fetched live, all of them lint in
+// one invocation, and a failure names the offending node.
+func TestLintScrapesURLs(t *testing.T) {
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, goodExposition)
+	}))
+	defer good.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "# TYPE a counter\na_total 1\n") // no # EOF terminator
+	}))
+	defer bad.Close()
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	}))
+	defer down.Close()
+
+	if err := run([]string{good.URL, good.URL}); err != nil {
+		t.Errorf("two healthy nodes rejected: %v", err)
+	}
+	err := run([]string{good.URL, bad.URL})
+	if err == nil {
+		t.Fatal("malformed node passed the lint")
+	}
+	if !strings.Contains(err.Error(), bad.URL) {
+		t.Errorf("error %q does not name the failing node %s", err, bad.URL)
+	}
+	err = run([]string{down.URL})
+	if err == nil || !strings.Contains(err.Error(), down.URL) {
+		t.Errorf("unscrapable node error %v must name %s", err, down.URL)
 	}
 }

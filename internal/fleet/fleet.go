@@ -1,0 +1,564 @@
+// Package fleet scales the reveal service horizontally: N internal/server
+// nodes sharing one logical artifact tier. Each node wraps a full server
+// (queue, workers, store, telemetry) with a router that places every
+// submission on a consistent-hash ring keyed by the artifact's content
+// address (store.KeyFor over ContentHash × Options fingerprint), so the
+// fleet runs each unique reveal exactly once no matter which node a client
+// hits:
+//
+//   - A forwarded request (FleetHopsHeader present) always executes
+//     locally — one hop maximum, no forwarding loops.
+//   - A locally cached artifact is served locally.
+//   - Otherwise the key's ring owner handles it. A non-owner first tries a
+//     peer fetch (GET /v1/peer/artifact/{key}) — if the owner already has
+//     the artifact, it is copied into the local store and served without
+//     any job queue round trip; on a miss the request is forwarded to the
+//     owner, whose store singleflight is the fleet-wide reveal lease.
+//   - An owner answering 429 escalates to the least-loaded alive replica
+//     of the key before the client ever sees the shed.
+//   - A connection error marks the target dead, rebuilds the ring, and
+//     retries against the key's new owner (lease handover); if the ring
+//     lands the key on this node, it takes the work over itself.
+//
+// Artifacts an owner serves repeatedly (HotThreshold) are pushed to the
+// key's ring successors (PUT /v1/peer/artifact/{key}), so hot keys survive
+// their owner's death already warm. Membership is a static peer list
+// refined by heartbeats (see membership.go). Everything speaks plain HTTP,
+// so a fleet runs equally over httptest loopback in CI and real listeners
+// in production.
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dexlego/internal/obs"
+	"dexlego/internal/server"
+	"dexlego/internal/store"
+)
+
+// Config parameterizes one fleet node.
+type Config struct {
+	// Server configures the wrapped reveal server; Server.Store is
+	// required.
+	Server server.Config
+	// Self is this node's base URL (e.g. "http://10.0.0.1:8080") — its
+	// identity on the hash ring and the hop name stamped into forwarded
+	// requests. Required.
+	Self string
+	// Peers are the other nodes' base URLs. Every node must be configured
+	// with the same total membership (order irrelevant) so rings agree.
+	Peers []string
+	// Replication sizes each key's replica set: the owner plus
+	// Replication-1 ring successors receive hot-artifact pushes and serve
+	// as 429 escalation targets (<= 0 selects 2).
+	Replication int
+	// HotThreshold is the per-key serve count at which the owner pushes
+	// the artifact to the key's replicas (<= 0 selects 3).
+	HotThreshold int
+	// HeartbeatInterval paces membership probes (<= 0 selects 1s).
+	HeartbeatInterval time.Duration
+	// FailureThreshold is the consecutive missed heartbeats that declare a
+	// peer dead (<= 0 selects 3).
+	FailureThreshold int
+	// ForwardAttempts bounds how many targets one submission is forwarded
+	// to before answering 502 (<= 0 selects 3).
+	ForwardAttempts int
+	// Client issues all fleet-internal HTTP (forwards, peer fetches,
+	// heartbeats); nil selects a default client with no global timeout —
+	// heartbeats apply their own per-probe deadline.
+	Client *http.Client
+}
+
+// fleetMetrics are the dexlego_fleet_* series, registered into the wrapped
+// server's registry so every node's /metrics carries its fleet counters.
+type fleetMetrics struct {
+	peerHits        *obs.Counter
+	peerMisses      *obs.Counter
+	forwardOwner    *obs.Counter
+	forwardReplica  *obs.Counter
+	forwardTakeover *obs.Counter
+	leaseContention *obs.Counter
+	ringRebuilds    *obs.Counter
+	replications    *obs.Counter
+	peerServes      *obs.Counter
+}
+
+// Node is one fleet member: a reveal server plus the placement router in
+// front of it.
+type Node struct {
+	cfg    Config
+	srv    *server.Server
+	inner  http.Handler
+	client *http.Client
+
+	tracer *obs.Tracer
+	span   *obs.Span
+	m      fleetMetrics
+
+	ring atomic.Pointer[ring]
+
+	mu       sync.Mutex
+	members  map[string]*member
+	inflight map[string]int // local reveal lease refcounts, keyed by artifact key
+	hot      map[string]int // owner-side per-key serve counts
+	pushed   map[string]bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// hotMapCap bounds the owner-side serve-count map; when full it resets,
+// trading exact counts for bounded memory (a truly hot key re-crosses the
+// threshold immediately).
+const hotMapCap = 4096
+
+// New builds a fleet node around a fresh server. The node starts
+// not-ready, joins its ring, launches the heartbeat loop, and only then
+// reports ready — peers never route to a node that cannot place keys yet.
+func New(cfg Config) (*Node, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("fleet: Config.Self (this node's base URL) is required")
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 2
+	}
+	if cfg.HotThreshold <= 0 {
+		cfg.HotThreshold = 3
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.ForwardAttempts <= 0 {
+		cfg.ForwardAttempts = 3
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	srv, err := server.New(cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	srv.SetReady(false)
+
+	n := &Node{
+		cfg:      cfg,
+		srv:      srv,
+		inner:    srv.Handler(),
+		client:   cfg.Client,
+		tracer:   obs.New(cfg.Server.Sink),
+		members:  make(map[string]*member, len(cfg.Peers)+1),
+		inflight: make(map[string]int),
+		hot:      make(map[string]int, hotMapCap),
+		pushed:   make(map[string]bool),
+		stop:     make(chan struct{}),
+	}
+	n.span = n.tracer.Start("fleet", cfg.Self)
+	n.registerMetrics(srv.Registry())
+
+	n.members[cfg.Self] = &member{id: cfg.Self, alive: true, ready: true}
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			continue
+		}
+		// Peers start presumed alive: a static list is the operator's claim
+		// of membership, and heartbeats demote the dead ones within
+		// FailureThreshold intervals.
+		n.members[p] = &member{id: p, alive: true, ready: true}
+	}
+	n.mu.Lock()
+	n.rebuildRingLocked(cfg.Self)
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go n.heartbeatLoop()
+	srv.SetReady(true)
+	return n, nil
+}
+
+// registerMetrics wires the dexlego_fleet_* series into the server's
+// registry.
+func (n *Node) registerMetrics(r *obs.Registry) {
+	n.m.peerHits = r.Counter("fleet_peer_fetches",
+		"Peer artifact fetches by outcome.", obs.L("outcome", "hit"))
+	n.m.peerMisses = r.Counter("fleet_peer_fetches",
+		"Peer artifact fetches by outcome.", obs.L("outcome", "miss"))
+	n.m.forwardOwner = r.Counter("fleet_forwards",
+		"Submissions forwarded to another node, by target role.", obs.L("role", "owner"))
+	n.m.forwardReplica = r.Counter("fleet_forwards",
+		"Submissions forwarded to another node, by target role.", obs.L("role", "replica"))
+	n.m.forwardTakeover = r.Counter("fleet_forwards",
+		"Submissions forwarded to another node, by target role.", obs.L("role", "takeover"))
+	n.m.leaseContention = r.Counter("fleet_lease_contention",
+		"Local submissions that joined an already in-flight reveal lease for the same key.")
+	n.m.ringRebuilds = r.Counter("fleet_ring_rebuilds",
+		"Hash-ring rebuilds caused by membership changes.")
+	n.m.replications = r.Counter("fleet_replications",
+		"Hot artifacts pushed to replica nodes.")
+	n.m.peerServes = r.Counter("fleet_peer_serves",
+		"Artifacts served to peers over the peer fetch endpoint.")
+	r.GaugeFunc("fleet_nodes_alive", "Fleet members this node believes alive.", func() int64 {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		var alive int64
+		for _, m := range n.members {
+			if m.alive {
+				alive++
+			}
+		}
+		return alive
+	})
+	r.CounterFunc("fleet_trace_dropped_events",
+		"Fleet-router trace events lost to sink or encoding errors.", n.tracer.Dropped)
+}
+
+// Server exposes the wrapped reveal server (tests and the serve loop drain
+// it through the usual BeginDrain/Close sequence).
+func (n *Node) Server() *server.Server { return n.srv }
+
+// Handler returns the node's routes: the placement router on POST
+// /v1/reveal, the peer protocol under /v1/peer/, and the wrapped server
+// for everything else.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/reveal", n.handleReveal)
+	mux.HandleFunc("GET /v1/peer/artifact/{key}", n.handlePeerArtifact)
+	mux.HandleFunc("PUT /v1/peer/artifact/{key}", n.handlePeerPush)
+	mux.HandleFunc("GET /v1/peer/state", n.handlePeerState)
+	mux.Handle("/", n.inner)
+	return mux
+}
+
+// Close stops the heartbeat loop and shuts the wrapped server down.
+func (n *Node) Close() {
+	close(n.stop)
+	n.wg.Wait()
+	n.srv.Close()
+	n.span.End()
+}
+
+// maxBody mirrors the wrapped server's body bound for fleet-side reads.
+func (n *Node) maxBody() int64 {
+	if n.cfg.Server.MaxBodyBytes > 0 {
+		return n.cfg.Server.MaxBodyBytes
+	}
+	return 64 << 20
+}
+
+// handleReveal is the placement router (see the package comment for the
+// decision ladder).
+func (n *Node) handleReveal(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, n.maxBody()))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read body: %v", err), http.StatusBadRequest)
+		return
+	}
+	pkg, opts, _, err := server.ParseSubmission(r.URL.Query(), body)
+	if err != nil {
+		// Malformed submissions are answered by the local server so error
+		// shapes match standalone mode.
+		n.delegateLocal(w, r, body, "")
+		return
+	}
+	key := store.KeyFor(pkg.ContentHash(), opts.Fingerprint())
+
+	// Forwarded once already: execute here, never forward again.
+	if r.Header.Get(server.FleetHopsHeader) != "" {
+		n.countServe(key)
+		n.delegateLocal(w, r, body, key)
+		return
+	}
+	// Local artifact: the wrapped server's fast path serves it.
+	if _, ok := n.srv.Store().Get(key); ok {
+		n.countServe(key)
+		n.delegateLocal(w, r, body, key)
+		return
+	}
+	owner := n.aliveRing().owner(key)
+	if owner == "" || owner == n.cfg.Self {
+		n.countServe(key)
+		n.delegateLocal(w, r, body, key)
+		return
+	}
+	// Non-owner with a cold cache: copy the artifact from the owner if it
+	// exists, recompute nothing.
+	if art := n.peerFetch(owner, key); art != nil {
+		if err := n.srv.Store().Put(art); err == nil {
+			n.delegateLocal(w, r, body, key)
+			return
+		}
+	}
+	n.forward(w, r, body, key, owner)
+}
+
+// delegateLocal replays the submission against the wrapped server,
+// tracking the key's local reveal lease so cross-node singleflight
+// contention is visible in the metrics.
+func (n *Node) delegateLocal(w http.ResponseWriter, r *http.Request, body []byte, key string) {
+	if key != "" {
+		n.mu.Lock()
+		n.inflight[key]++
+		if n.inflight[key] > 1 {
+			n.m.leaseContention.Add(1)
+		}
+		n.mu.Unlock()
+		defer func() {
+			n.mu.Lock()
+			if n.inflight[key]--; n.inflight[key] <= 0 {
+				delete(n.inflight, key)
+			}
+			n.mu.Unlock()
+		}()
+	}
+	w.Header().Set(NodeHeader, n.cfg.Self)
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	n.inner.ServeHTTP(w, r)
+}
+
+// forward relays the submission to target (the key's owner), walking the
+// failure ladder: connection errors mark the target dead and retry against
+// the rebuilt ring's owner (taking over locally if that is us), a 429
+// escalates once to the least-loaded alive replica, and anything else is
+// relayed to the client as-is.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, body []byte, key, target string) {
+	role := obs.ForwardOwner
+	tried := []string{n.cfg.Self}
+	for attempt := 0; attempt < n.cfg.ForwardAttempts; attempt++ {
+		if target == n.cfg.Self {
+			// The ring moved the key onto us mid-flight: take the work over.
+			n.m.forwardTakeover.Add(1)
+			n.span.FleetForward(key, n.cfg.Self, obs.ForwardTakeover)
+			n.countServe(key)
+			n.delegateLocal(w, r, body, key)
+			return
+		}
+		n.countForward(key, target, role)
+		resp, err := n.post(r, target, body)
+		if err != nil {
+			// Dead target: rebuild and chase the key to its new owner.
+			n.markDown(target)
+			tried = append(tried, target)
+			target, role = n.aliveRing().owner(key), obs.ForwardOwner
+			if target == "" {
+				break
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && role == obs.ForwardOwner {
+			if alt := n.leastLoadedReplica(key, append(tried, target)...); alt != "" {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				tried = append(tried, target)
+				target, role = alt, obs.ForwardReplica
+				continue
+			}
+		}
+		n.relay(w, resp, target)
+		return
+	}
+	http.Error(w, "fleet: no node could accept the submission", http.StatusBadGateway)
+}
+
+// countForward records one forward by target role.
+func (n *Node) countForward(key, target, role string) {
+	switch role {
+	case obs.ForwardReplica:
+		n.m.forwardReplica.Add(1)
+	default:
+		n.m.forwardOwner.Add(1)
+	}
+	n.span.FleetForward(key, target, role)
+}
+
+// post re-issues the submission to a peer, stamping this node into the hop
+// chain.
+func (n *Node) post(r *http.Request, target string, body []byte) (*http.Response, error) {
+	url := target + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+	req.Header.Set(server.FleetHopsHeader, n.cfg.Self)
+	return n.client.Do(req)
+}
+
+// NodeHeader names the node that actually answered a fleet-routed request,
+// so clients know where the job record (and its artifact/flight endpoints)
+// lives.
+const NodeHeader = "X-Dexlego-Node"
+
+// relay copies a peer's response through to the client.
+func (n *Node) relay(w http.ResponseWriter, resp *http.Response, target string) {
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", "Retry-After", "Location"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(NodeHeader, target)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// --- peer artifact protocol --------------------------------------------------
+
+// peerFetch copies an artifact from a peer's store; nil on any miss or
+// error. A connection error marks the peer down, exactly like one on the
+// forward path.
+func (n *Node) peerFetch(peer, key string) *store.Artifact {
+	req, err := http.NewRequest(http.MethodGet, peer+"/v1/peer/artifact/"+key, nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.markDown(peer)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		n.m.peerMisses.Add(1)
+		n.span.PeerFetch(key, peer, false)
+		return nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, n.maxBody()+int64(64<<10)))
+	if err != nil {
+		n.m.peerMisses.Add(1)
+		n.span.PeerFetch(key, peer, false)
+		return nil
+	}
+	art, err := store.WireDecode(data)
+	if err != nil || art.Key != key {
+		n.m.peerMisses.Add(1)
+		n.span.PeerFetch(key, peer, false)
+		return nil
+	}
+	n.m.peerHits.Add(1)
+	n.span.PeerFetch(key, peer, true)
+	return art
+}
+
+// handlePeerArtifact serves a locally stored artifact to a peer (memory or
+// disk tier only — a peer fetch never triggers a reveal).
+func (n *Node) handlePeerArtifact(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		http.Error(w, "bad artifact key", http.StatusBadRequest)
+		return
+	}
+	art, ok := n.srv.Store().Get(key)
+	if !ok {
+		http.Error(w, "artifact not stored here", http.StatusNotFound)
+		return
+	}
+	frame, err := store.WireEncode(art)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	n.m.peerServes.Add(1)
+	n.countServe(key)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(frame)
+}
+
+// handlePeerPush accepts a replication push, validating the frame against
+// the same invariants the store enforces locally.
+func (n *Node) handlePeerPush(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !store.ValidKey(key) {
+		http.Error(w, "bad artifact key", http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, n.maxBody()+int64(64<<10)))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read frame: %v", err), http.StatusBadRequest)
+		return
+	}
+	art, err := store.WireDecode(data)
+	if err != nil || art.Key != key {
+		http.Error(w, "frame does not decode to the named artifact", http.StatusBadRequest)
+		return
+	}
+	if err := n.srv.Store().Put(art); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- hot-artifact replication ------------------------------------------------
+
+// countServe tallies one local serve of key; crossing HotThreshold pushes
+// the artifact to the key's replicas in the background.
+func (n *Node) countServe(key string) {
+	n.mu.Lock()
+	if len(n.hot) >= hotMapCap {
+		n.hot = make(map[string]int, hotMapCap)
+	}
+	n.hot[key]++
+	trigger := n.hot[key] >= n.cfg.HotThreshold && !n.pushed[key]
+	if trigger {
+		n.pushed[key] = true
+		if len(n.pushed) > hotMapCap {
+			n.pushed = make(map[string]bool)
+		}
+	}
+	n.mu.Unlock()
+	if !trigger {
+		return
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.replicate(key)
+	}()
+}
+
+// replicate pushes key's artifact to the alive members of its replica set.
+// Best-effort: a failed push leaves the replica cold, and the peer-fetch
+// path still works.
+func (n *Node) replicate(key string) {
+	art, ok := n.srv.Store().Get(key)
+	if !ok {
+		return
+	}
+	frame, err := store.WireEncode(art)
+	if err != nil {
+		return
+	}
+	for _, peer := range n.aliveRing().successors(key, n.cfg.Replication) {
+		if peer == n.cfg.Self {
+			continue
+		}
+		req, err := http.NewRequest(http.MethodPut, peer+"/v1/peer/artifact/"+key, bytes.NewReader(frame))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := n.client.Do(req)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNoContent {
+			n.m.replications.Add(1)
+		}
+	}
+}

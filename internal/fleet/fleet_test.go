@@ -1,0 +1,607 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	dexlego "dexlego"
+	"dexlego/internal/apk"
+	"dexlego/internal/obs"
+	"dexlego/internal/pipeline"
+	"dexlego/internal/server"
+	"dexlego/internal/store"
+)
+
+// killSwitch fronts a node's handler so tests can crash it: once dead,
+// every request (including in-flight retries) aborts with an empty reply,
+// exactly as a killed process looks to its peers.
+type killSwitch struct {
+	dead atomic.Bool
+	h    atomic.Value // http.Handler
+}
+
+func (k *killSwitch) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if k.dead.Load() {
+		panic(http.ErrAbortHandler)
+	}
+	h, _ := k.h.Load().(http.Handler)
+	if h == nil {
+		http.Error(w, "booting", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+type testNode struct {
+	node  *Node
+	ts    *httptest.Server
+	ks    *killSwitch
+	url   string
+	trace *bytes.Buffer
+}
+
+// kill simulates the node's process dying: new requests abort, in-flight
+// responses are cut mid-stream.
+func (tn *testNode) kill() {
+	tn.ks.dead.Store(true)
+	tn.ts.CloseClientConnections()
+}
+
+// startFleet boots a size-node in-process fleet over httptest loopback.
+// mutate can adjust any node's config once the full URL set is known
+// (e.g. to plant a blocking reveal on a specific key's owner). Every
+// node's JSONL trace is schema-validated at cleanup.
+func startFleet(t *testing.T, size int, mutate func(i int, urls []string, cfg *Config)) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, size)
+	urls := make([]string, size)
+	for i := range nodes {
+		ks := &killSwitch{}
+		ts := httptest.NewServer(ks)
+		nodes[i] = &testNode{ts: ts, ks: ks, url: ts.URL, trace: &bytes.Buffer{}}
+		urls[i] = ts.URL
+	}
+	for i, tn := range nodes {
+		st, err := store.Open(t.TempDir(), 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers := make([]string, 0, size-1)
+		for j, u := range urls {
+			if j != i {
+				peers = append(peers, u)
+			}
+		}
+		cfg := Config{
+			Server: server.Config{
+				Store:          st,
+				Workers:        2,
+				QueueDepth:     16,
+				RequestTimeout: 20 * time.Second,
+				Sink:           obs.NewJSONLSink(tn.trace),
+				Reveal: func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
+					return stubResult(pkg.Manifest.Package), nil
+				},
+			},
+			Self:              tn.url,
+			Peers:             peers,
+			HeartbeatInterval: 200 * time.Millisecond,
+		}
+		if mutate != nil {
+			mutate(i, urls, &cfg)
+		}
+		node, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.node = node
+		tn.ks.h.Store(node.Handler())
+	}
+	t.Cleanup(func() {
+		for _, tn := range nodes {
+			tn.node.Close()
+			tn.ts.Close()
+		}
+		// Every event any node emitted — fleet router and server alike —
+		// must pass the trace schema.
+		for i, tn := range nodes {
+			if _, err := obs.ReadTrace(bytes.NewReader(tn.trace.Bytes())); err != nil {
+				t.Errorf("node %d emitted an invalid trace: %v", i, err)
+			}
+		}
+	})
+	return nodes
+}
+
+func stubResult(name string) *dexlego.Result {
+	pkg := apk.New(name, "1.0", "L"+name+";")
+	pkg.SetDex([]byte{0x64, 0x65, 0x78})
+	return &dexlego.Result{Revealed: pkg, Metrics: &pipeline.AppMetrics{WallNS: 1}}
+}
+
+func buildBody(t *testing.T, name string) []byte {
+	t.Helper()
+	pkg := apk.New(name, "1.0", "L"+name+"/Main;")
+	pkg.SetDex([]byte(name + "-dex"))
+	data, err := pkg.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// keyOf computes the artifact key the fleet will place the body under.
+func keyOf(t *testing.T, body []byte) string {
+	t.Helper()
+	pkg, opts, _, err := server.ParseSubmission(url.Values{}, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store.KeyFor(pkg.ContentHash(), opts.Fingerprint())
+}
+
+// post submits a reveal to base, returning the response and decoded job
+// status (when 2xx). Extra headers simulate fleet-internal forwards.
+func post(t *testing.T, base, query string, body []byte, hdr map[string]string) (*http.Response, *server.JobStatus) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/reveal"+query, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/zip")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &server.JobStatus{}
+	if resp.StatusCode < 300 {
+		if err := json.Unmarshal(data, st); err != nil {
+			t.Fatalf("status %d, body not a JobStatus: %s", resp.StatusCode, data)
+		}
+	}
+	return resp, st
+}
+
+// scrape fetches and lints one node's OpenMetrics exposition.
+func scrape(t *testing.T, base string) *obs.Exposition {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	expo, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("%s/metrics failed the OpenMetrics lint: %v", base, err)
+	}
+	return expo
+}
+
+func metricValue(t *testing.T, base, sample string, labels ...obs.Label) float64 {
+	t.Helper()
+	v, _ := scrape(t, base).Value(sample, labels...)
+	return v
+}
+
+// fetchArtifact downloads a job's revealed bytes from the node that owns
+// its record.
+func fetchArtifact(t *testing.T, base, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/artifact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("artifact fetch from %s = %d: %s", base, resp.StatusCode, data)
+	}
+	return data
+}
+
+// TestFleetExactlyOnceUnderDuplicateStorm is the core guarantee: M
+// concurrent submissions of one APK, sprayed across a 5-node fleet, run
+// exactly one reveal fleet-wide and hand every caller byte-identical
+// artifacts.
+func TestFleetExactlyOnceUnderDuplicateStorm(t *testing.T) {
+	var reveals atomic.Int64
+	nodes := startFleet(t, 5, func(i int, urls []string, cfg *Config) {
+		cfg.Server.Reveal = func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
+			reveals.Add(1)
+			time.Sleep(30 * time.Millisecond) // widen the duplicate window
+			return stubResult(pkg.Manifest.Package), nil
+		}
+	})
+	body := buildBody(t, "storm")
+	const dups = 40
+	type outcome struct {
+		code     int
+		answered string
+		st       *server.JobStatus
+	}
+	results := make(chan outcome, dups)
+	var wg sync.WaitGroup
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, st := post(t, nodes[i%len(nodes)].url, "?wait=1", body, nil)
+			results <- outcome{resp.StatusCode, resp.Header.Get(NodeHeader), st}
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+
+	var first []byte
+	for r := range results {
+		if r.code != http.StatusOK || r.st.State != server.StateDone {
+			t.Fatalf("storm submission = %d %+v, want 200 done", r.code, r.st)
+		}
+		if r.answered == "" {
+			t.Fatalf("response missing %s header", NodeHeader)
+		}
+		art := fetchArtifact(t, r.answered, r.st.ID)
+		if first == nil {
+			first = art
+		} else if !bytes.Equal(first, art) {
+			t.Fatal("two callers received different artifact bytes for one key")
+		}
+	}
+	if n := reveals.Load(); n != 1 {
+		t.Fatalf("fleet ran %d reveals for one unique key, want exactly 1", n)
+	}
+
+	// The fleet-wide cache hit ratio on a pure-duplicate workload: one
+	// miss, everything else served from some store tier or lease.
+	var misses int64
+	for _, tn := range nodes {
+		misses += tn.node.Server().Store().Misses()
+	}
+	if misses != 1 {
+		t.Errorf("store misses across the fleet = %d, want 1", misses)
+	}
+	ratio := float64(dups-1) / float64(dups)
+	if ratio < 0.8 {
+		t.Errorf("fleet cache-hit ratio %.2f below the 0.8 gate", ratio)
+	}
+
+	// Every node's exposition lints and carries the fleet plane; nobody
+	// dropped an obs event.
+	for _, tn := range nodes {
+		expo := scrape(t, tn.url)
+		for _, fam := range []string{
+			"dexlego_fleet_peer_fetches", "dexlego_fleet_forwards",
+			"dexlego_fleet_ring_rebuilds", "dexlego_fleet_lease_contention",
+			"dexlego_fleet_nodes_alive", "dexlego_fleet_replications",
+		} {
+			if expo.Family(fam) == nil {
+				t.Errorf("node %s exposition is missing family %s", tn.url, fam)
+			}
+		}
+		if alive, _ := expo.Value("dexlego_fleet_nodes_alive"); alive != 5 {
+			t.Errorf("node %s believes %v nodes alive, want 5", tn.url, alive)
+		}
+		for _, dropped := range []string{
+			"dexlego_trace_dropped_events_total", "dexlego_fleet_trace_dropped_events_total",
+		} {
+			if v, ok := expo.Value(dropped); !ok || v != 0 {
+				t.Errorf("node %s %s = %v, want 0", tn.url, dropped, v)
+			}
+		}
+	}
+}
+
+// TestFleetPeerFetchWarmsNonOwner: once the owner holds an artifact, a
+// submission to any other node is served by copying it over the peer
+// protocol — no forward, no recompute.
+func TestFleetPeerFetchWarmsNonOwner(t *testing.T) {
+	nodes := startFleet(t, 3, nil)
+	urls := []string{nodes[0].url, nodes[1].url, nodes[2].url}
+	body := buildBody(t, "warm")
+	key := keyOf(t, body)
+	ownerURL := buildRing(urls).owner(key)
+	var owner, other *testNode
+	for _, tn := range nodes {
+		if tn.url == ownerURL {
+			owner = tn
+		} else if other == nil {
+			other = tn
+		}
+	}
+
+	if resp, st := post(t, owner.url, "?wait=1", body, nil); resp.StatusCode != http.StatusOK || st.CacheHit {
+		t.Fatalf("seeding the owner = %d %+v", resp.StatusCode, st)
+	}
+	resp, st := post(t, other.url, "?wait=1", body, nil)
+	if resp.StatusCode != http.StatusOK || st.State != server.StateDone || !st.CacheHit {
+		t.Fatalf("non-owner submission = %d %+v, want local cache hit after peer fetch", resp.StatusCode, st)
+	}
+	if got := resp.Header.Get(NodeHeader); got != other.url {
+		t.Errorf("answered by %s, want the non-owner %s to serve locally", got, other.url)
+	}
+	if v := metricValue(t, other.url, "dexlego_fleet_peer_fetches_total", obs.L("outcome", "hit")); v != 1 {
+		t.Errorf("non-owner peer fetch hits = %v, want 1", v)
+	}
+	if v := metricValue(t, other.url, "dexlego_fleet_forwards_total", obs.L("role", "owner")); v != 0 {
+		t.Errorf("non-owner forwarded %v times, want 0 (peer fetch must suffice)", v)
+	}
+	if v := metricValue(t, owner.url, "dexlego_fleet_peer_serves_total"); v != 1 {
+		t.Errorf("owner peer serves = %v, want 1", v)
+	}
+	if _, ok := other.node.Server().Store().Get(key); !ok {
+		t.Error("peer-fetched artifact never landed in the non-owner's store")
+	}
+}
+
+// TestFleetForwardToOwnerStampsHops: a cold key submitted to a non-owner
+// is forwarded to its ring owner, and the job record names the path it
+// took.
+func TestFleetForwardToOwnerStampsHops(t *testing.T) {
+	nodes := startFleet(t, 3, nil)
+	urls := []string{nodes[0].url, nodes[1].url, nodes[2].url}
+	body := buildBody(t, "cold")
+	key := keyOf(t, body)
+	ownerURL := buildRing(urls).owner(key)
+	var other *testNode
+	for _, tn := range nodes {
+		if tn.url != ownerURL {
+			other = tn
+			break
+		}
+	}
+	resp, st := post(t, other.url, "?wait=1", body, nil)
+	if resp.StatusCode != http.StatusOK || st.State != server.StateDone {
+		t.Fatalf("forwarded submission = %d %+v", resp.StatusCode, st)
+	}
+	if got := resp.Header.Get(NodeHeader); got != ownerURL {
+		t.Errorf("answered by %s, want the owner %s", got, ownerURL)
+	}
+	if len(st.Hops) != 1 || st.Hops[0] != other.url {
+		t.Errorf("job hops = %v, want the forwarding node %s", st.Hops, other.url)
+	}
+	if v := metricValue(t, other.url, "dexlego_fleet_forwards_total", obs.L("role", "owner")); v != 1 {
+		t.Errorf("forwarder owner-forwards = %v, want 1", v)
+	}
+	if v := metricValue(t, other.url, "dexlego_fleet_peer_fetches_total", obs.L("outcome", "miss")); v != 1 {
+		t.Errorf("forwarder peer-fetch misses = %v, want 1", v)
+	}
+	if _, ok := other.node.Server().Store().Get(key); ok {
+		t.Error("forwarder stored an artifact it never fetched")
+	}
+}
+
+// TestFleetHotArtifactReplicates: an owner that keeps serving one key
+// pushes the artifact to the key's ring successor, so the replica is warm
+// before the owner ever dies.
+func TestFleetHotArtifactReplicates(t *testing.T) {
+	nodes := startFleet(t, 3, func(i int, urls []string, cfg *Config) {
+		cfg.HotThreshold = 2
+	})
+	urls := []string{nodes[0].url, nodes[1].url, nodes[2].url}
+	body := buildBody(t, "hot")
+	key := keyOf(t, body)
+	replicas := buildRing(urls).successors(key, 2)
+	var owner, replica *testNode
+	for _, tn := range nodes {
+		switch tn.url {
+		case replicas[0]:
+			owner = tn
+		case replicas[1]:
+			replica = tn
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if resp, _ := post(t, owner.url, "?wait=1", body, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("serve %d = %d", i, resp.StatusCode)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if art, ok := replica.node.Server().Store().Get(key); ok {
+			if len(art.Revealed) == 0 {
+				t.Fatal("replicated artifact is empty")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("hot artifact never reached the replica")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if v := metricValue(t, owner.url, "dexlego_fleet_replications_total"); v < 1 {
+		t.Errorf("owner replications = %v, want >= 1", v)
+	}
+}
+
+// TestFleetNodeDeathHandsLeaseOver: killing a key's owner mid-reveal must
+// not lose the accepted job — the forwarder marks the owner dead, rebuilds
+// its ring, and chases the key to the new owner, where the reveal runs to
+// completion.
+func TestFleetNodeDeathHandsLeaseOver(t *testing.T) {
+	body := buildBody(t, "handover")
+	key := keyOf(t, body)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var startedOnce sync.Once
+	var liveReveals atomic.Int64
+	var ownerURL string
+	nodes := startFleet(t, 3, func(i int, urls []string, cfg *Config) {
+		ownerURL = buildRing(urls).owner(key)
+		self := cfg.Self
+		if self == ownerURL {
+			// The doomed owner: its reveal hangs until the test releases it,
+			// modeling a node that dies mid-run.
+			cfg.Server.Reveal = func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
+				startedOnce.Do(func() { close(started) })
+				<-release
+				return stubResult(pkg.Manifest.Package), nil
+			}
+			return
+		}
+		cfg.Server.Reveal = func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
+			liveReveals.Add(1)
+			return stubResult(pkg.Manifest.Package), nil
+		}
+	})
+	t.Cleanup(func() { close(release) }) // runs before node Close drains the pool
+	var owner, forwarder *testNode
+	for _, tn := range nodes {
+		if tn.url == ownerURL {
+			owner = tn
+		} else if forwarder == nil {
+			forwarder = tn
+		}
+	}
+
+	type outcome struct {
+		code int
+		st   *server.JobStatus
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		resp, st := post(t, forwarder.url, "?wait=1", body, nil)
+		done <- outcome{resp.StatusCode, st}
+	}()
+	<-started // the owner accepted the forwarded job and is mid-reveal
+	owner.kill()
+
+	select {
+	case r := <-done:
+		if r.code != http.StatusOK || r.st.State != server.StateDone {
+			t.Fatalf("handover submission = %d %+v, want 200 done", r.code, r.st)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("submission never completed after the owner died")
+	}
+	if n := liveReveals.Load(); n != 1 {
+		t.Errorf("surviving nodes ran %d reveals, want exactly 1 takeover", n)
+	}
+	if v := metricValue(t, forwarder.url, "dexlego_fleet_ring_rebuilds_total"); v < 1 {
+		t.Errorf("forwarder ring rebuilds = %v, want >= 1 after the owner died", v)
+	}
+	owners := metricValue(t, forwarder.url, "dexlego_fleet_forwards_total", obs.L("role", "owner"))
+	takeovers := metricValue(t, forwarder.url, "dexlego_fleet_forwards_total", obs.L("role", "takeover"))
+	if owners+takeovers < 2 && takeovers == 0 {
+		t.Errorf("forwards owner=%v takeover=%v: no handover is visible in the metrics", owners, takeovers)
+	}
+}
+
+// TestFleetLoadShedEscalatesToReplica: an owner answering 429 does not
+// shed the client — the forwarder escalates to the least-loaded alive
+// replica, which executes the job itself.
+func TestFleetLoadShedEscalatesToReplica(t *testing.T) {
+	body := buildBody(t, "shed")
+	key := keyOf(t, body)
+	fillGate := make(chan struct{})
+	var ownerURL string
+	nodes := startFleet(t, 3, func(i int, urls []string, cfg *Config) {
+		ownerURL = buildRing(urls).owner(key)
+		cfg.Replication = 3 // every node is in the replica set
+		if cfg.Self == ownerURL {
+			cfg.Server.Workers = 1
+			cfg.Server.QueueDepth = 1
+			cfg.Server.Reveal = func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
+				<-fillGate
+				return stubResult(pkg.Manifest.Package), nil
+			}
+		}
+	})
+	t.Cleanup(func() { close(fillGate) })
+	var owner, forwarder, replica *testNode
+	for _, tn := range nodes {
+		switch {
+		case tn.url == ownerURL:
+			owner = tn
+		case forwarder == nil:
+			forwarder = tn
+		default:
+			replica = tn
+		}
+	}
+
+	// Saturate the owner: one running job, one queued. The hops header
+	// makes the owner execute these locally instead of routing them away.
+	hops := map[string]string{server.FleetHopsHeader: "test-filler"}
+	for i := 0; i < 2; i++ {
+		resp, _ := post(t, owner.url, "", buildBody(t, fmt.Sprintf("filler-%d", i)), hops)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("filler %d = %d, want 202", i, resp.StatusCode)
+		}
+	}
+
+	resp, st := post(t, forwarder.url, "?wait=1", body, nil)
+	if resp.StatusCode != http.StatusOK || st.State != server.StateDone {
+		t.Fatalf("escalated submission = %d %+v, want the replica to run it", resp.StatusCode, st)
+	}
+	if got := resp.Header.Get(NodeHeader); got != replica.url {
+		t.Errorf("answered by %s, want the replica %s", got, replica.url)
+	}
+	if v := metricValue(t, forwarder.url, "dexlego_fleet_forwards_total", obs.L("role", "replica")); v != 1 {
+		t.Errorf("replica escalations = %v, want 1", v)
+	}
+	if v := metricValue(t, forwarder.url, "dexlego_fleet_forwards_total", obs.L("role", "owner")); v != 1 {
+		t.Errorf("owner forwards = %v, want 1 (the shed attempt)", v)
+	}
+}
+
+// TestFleetLeaseContentionIsVisible: concurrent duplicate forwards landing
+// on one node surface as lease contention, the owner-side singleflight
+// signal.
+func TestFleetLeaseContentionIsVisible(t *testing.T) {
+	gate := make(chan struct{})
+	var once sync.Once
+	running := make(chan struct{})
+	nodes := startFleet(t, 3, func(i int, urls []string, cfg *Config) {
+		cfg.Server.Reveal = func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
+			once.Do(func() { close(running) })
+			<-gate
+			return stubResult(pkg.Manifest.Package), nil
+		}
+	})
+	body := buildBody(t, "contended")
+	target := nodes[0]
+	hops := map[string]string{server.FleetHopsHeader: "test-peer"}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, st := post(t, target.url, "?wait=1", body, hops)
+			if resp.StatusCode != http.StatusOK || st.State != server.StateDone {
+				t.Errorf("contended submission = %d %+v", resp.StatusCode, st)
+			}
+		}()
+	}
+	<-running
+	// Give the duplicates time to join the leader's lease, then release.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if v := metricValue(t, target.url, "dexlego_fleet_lease_contention_total"); v < 1 {
+		t.Errorf("lease contention = %v, want >= 1 for concurrent duplicates", v)
+	}
+	if v := metricValue(t, target.url, "dexlego_jobs_coalesced_total"); v < 1 {
+		t.Errorf("jobs coalesced = %v, want >= 1", v)
+	}
+}

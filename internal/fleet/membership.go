@@ -1,0 +1,194 @@
+// Membership: a static peer list refined by heartbeats. Every node
+// periodically polls each peer's GET /v1/peer/state; FailureThreshold
+// consecutive misses mark the peer dead and rebuild the hash ring without
+// it, which is the lease handover — keys the dead node owned now route to
+// their ring successor, whose local store singleflight becomes the lease
+// for any retried work. A recovering peer is folded back in the same way.
+// Connection errors observed on the forward path mark the target down
+// immediately rather than waiting out the heartbeat cycle.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// PeerState is the JSON shape of GET /v1/peer/state: the signals routing
+// needs about a member — whether it accepts work and how loaded it is.
+type PeerState struct {
+	ID    string `json:"id"`
+	Ready bool   `json:"ready"`
+	// Load is the peer's admitted-but-unfinished job count; the 429
+	// escalation path forwards to the least-loaded alive replica.
+	Load int `json:"load"`
+}
+
+// member is this node's view of one fleet member (including itself).
+type member struct {
+	id     string
+	alive  bool
+	ready  bool
+	load   int
+	missed int // consecutive failed heartbeats
+}
+
+// handlePeerState answers a heartbeat probe with this node's own state.
+func (n *Node) handlePeerState(w http.ResponseWriter, _ *http.Request) {
+	st := PeerState{ID: n.cfg.Self, Ready: n.srv.Ready(), Load: n.srv.Load()}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// heartbeatLoop probes every peer once per interval until Close.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			n.heartbeatRound()
+		}
+	}
+}
+
+// heartbeatRound probes each peer and folds the results into membership.
+func (n *Node) heartbeatRound() {
+	for _, peer := range n.cfg.Peers {
+		st, err := n.probe(peer)
+		if err != nil {
+			n.recordMiss(peer)
+			continue
+		}
+		n.recordBeat(peer, st)
+	}
+}
+
+// probe fetches one peer's state with a deadline of one heartbeat
+// interval, so a hung peer cannot stall the membership loop.
+func (n *Node) probe(peer string) (*PeerState, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.HeartbeatInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/v1/peer/state", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: peer state = %d", resp.StatusCode)
+	}
+	st := &PeerState{}
+	if err := json.NewDecoder(resp.Body).Decode(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// recordBeat marks a successful probe, reviving a dead peer (and
+// rebuilding the ring) when one comes back.
+func (n *Node) recordBeat(peer string, st *PeerState) {
+	n.mu.Lock()
+	m := n.members[peer]
+	if m == nil {
+		n.mu.Unlock()
+		return
+	}
+	m.missed = 0
+	m.ready, m.load = st.Ready, st.Load
+	revived := !m.alive
+	if revived {
+		m.alive = true
+		n.rebuildRingLocked(peer)
+	}
+	n.mu.Unlock()
+}
+
+// recordMiss counts a failed probe, declaring the peer dead at
+// FailureThreshold consecutive misses.
+func (n *Node) recordMiss(peer string) {
+	n.mu.Lock()
+	m := n.members[peer]
+	if m == nil {
+		n.mu.Unlock()
+		return
+	}
+	m.missed++
+	if m.alive && m.missed >= n.cfg.FailureThreshold {
+		m.alive = false
+		m.ready = false
+		n.rebuildRingLocked(peer)
+	}
+	n.mu.Unlock()
+}
+
+// markDown declares a peer dead immediately — called when the forward path
+// observes a connection error, which is stronger evidence than a missed
+// heartbeat.
+func (n *Node) markDown(peer string) {
+	n.mu.Lock()
+	m := n.members[peer]
+	if m != nil && m.alive {
+		m.alive = false
+		m.ready = false
+		m.missed = n.cfg.FailureThreshold
+		n.rebuildRingLocked(peer)
+	}
+	n.mu.Unlock()
+}
+
+// rebuildRingLocked rebuilds placement over the currently alive members.
+// changed names the member whose state flipped, for the trace. Caller
+// holds n.mu.
+func (n *Node) rebuildRingLocked(changed string) {
+	alive := make([]string, 0, len(n.members))
+	for id, m := range n.members {
+		if m.alive {
+			alive = append(alive, id)
+		}
+	}
+	n.ring.Store(buildRing(alive))
+	n.m.ringRebuilds.Add(1)
+	n.span.RingRebuild(len(alive), len(n.members), changed)
+}
+
+// aliveRing returns the current placement snapshot.
+func (n *Node) aliveRing() *ring { return n.ring.Load() }
+
+// leastLoadedReplica picks the alive, ready member of key's replica set
+// with the smallest last-heartbeat load, excluding the members in skip —
+// the 429 escalation target. "" when no eligible replica exists.
+func (n *Node) leastLoadedReplica(key string, skip ...string) string {
+	replicas := n.aliveRing().successors(key, n.cfg.Replication)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	best, bestLoad := "", int(^uint(0)>>1)
+	for _, id := range replicas {
+		skipped := false
+		for _, s := range skip {
+			if id == s {
+				skipped = true
+				break
+			}
+		}
+		if skipped {
+			continue
+		}
+		m := n.members[id]
+		if m == nil || !m.alive || !m.ready {
+			continue
+		}
+		if m.load < bestLoad {
+			best, bestLoad = id, m.load
+		}
+	}
+	return best
+}

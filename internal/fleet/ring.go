@@ -1,0 +1,113 @@
+// Consistent-hash placement: every artifact key owns a point on a ring of
+// virtual nodes, and the node whose virtual point follows it clockwise is
+// the key's owner — the one node allowed to run the reveal fleet-wide.
+// Virtual nodes (ringPointsPerNode sha256-derived points per member) keep
+// the key space balanced even at the 3–5 node scale the fleet targets, and
+// make a membership change move only the dead node's arcs instead of
+// reshuffling every key.
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// ringPointsPerNode is the virtual-node fan-out. 64 points per member
+// bounds per-node share skew to a few percent at fleet scale while keeping
+// a rebuild (sort of nodes×64 points) trivially cheap.
+const ringPointsPerNode = 64
+
+// ringPoint is one virtual node: a position on the uint64 ring and the
+// member it routes to.
+type ringPoint struct {
+	pos  uint64
+	node string
+}
+
+// ring is an immutable placement snapshot over the members that were alive
+// at build time. Lookups are lock-free; membership changes build a new
+// ring rather than mutating this one.
+type ring struct {
+	points []ringPoint // sorted by pos
+	nodes  []string    // distinct members, sorted, for reports
+}
+
+// buildRing places ringPointsPerNode virtual points per member. The point
+// positions derive only from the member's ID, so two nodes with the same
+// peer list always agree on placement without coordination.
+func buildRing(members []string) *ring {
+	r := &ring{
+		points: make([]ringPoint, 0, len(members)*ringPointsPerNode),
+		nodes:  append([]string(nil), members...),
+	}
+	sort.Strings(r.nodes)
+	for _, m := range r.nodes {
+		for i := 0; i < ringPointsPerNode; i++ {
+			sum := sha256.Sum256([]byte(m + "#" + strconv.Itoa(i)))
+			r.points = append(r.points, ringPoint{
+				pos:  binary.BigEndian.Uint64(sum[:8]),
+				node: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].pos < r.points[j].pos })
+	return r
+}
+
+// keyPoint maps an artifact key onto the ring. Keys are already sha256 hex
+// (store.KeyFor), so the first 16 hex digits are a uniformly distributed
+// uint64 — no second hash needed.
+func keyPoint(key string) uint64 {
+	var p uint64
+	for i := 0; i < 16 && i < len(key); i++ {
+		p <<= 4
+		c := key[i]
+		switch {
+		case c >= '0' && c <= '9':
+			p |= uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			p |= uint64(c-'a') + 10
+		}
+	}
+	return p
+}
+
+// owner returns the member owning key: the first virtual point at or after
+// the key's position, wrapping at the top of the ring. Empty ring returns
+// "".
+func (r *ring) owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	p := keyPoint(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= p })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// successors returns up to n distinct members clockwise from key's
+// position, starting with the owner — the key's replica set.
+func (r *ring) successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	p := keyPoint(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= p })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		node := r.points[(start+i)%len(r.points)].node
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}

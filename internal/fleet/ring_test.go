@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+// testKey fabricates a valid-shaped artifact key from a seed.
+func testKey(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func fleetMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://node-%d:8080", i)
+	}
+	return out
+}
+
+// TestRingAgreement: placement depends only on the membership set, never
+// on the order peers were listed — the property that lets nodes route
+// without coordinating.
+func TestRingAgreement(t *testing.T) {
+	members := fleetMembers(5)
+	reversed := make([]string, len(members))
+	for i, m := range members {
+		reversed[len(members)-1-i] = m
+	}
+	a, b := buildRing(members), buildRing(reversed)
+	for i := 0; i < 500; i++ {
+		k := testKey(i)
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("key %s: owners disagree across member orderings: %s vs %s",
+				k[:8], a.owner(k), b.owner(k))
+		}
+	}
+}
+
+// TestRingBalance: virtual nodes keep per-member shares within a sane band
+// (no member starved, none dominating).
+func TestRingBalance(t *testing.T) {
+	members := fleetMembers(5)
+	r := buildRing(members)
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(testKey(i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / keys
+		if share < 0.05 || share > 0.45 {
+			t.Errorf("member %s owns %.1f%% of keys; balance is broken: %v",
+				m, share*100, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one member must not move any key
+// between surviving members — only the dead member's keys relocate.
+func TestRingMinimalDisruption(t *testing.T) {
+	members := fleetMembers(5)
+	full := buildRing(members)
+	dead := members[2]
+	shrunk := buildRing(append(append([]string(nil), members[:2]...), members[3:]...))
+	moved, total := 0, 2000
+	for i := 0; i < total; i++ {
+		k := testKey(i)
+		before, after := full.owner(k), shrunk.owner(k)
+		if before == dead {
+			moved++
+			if after == dead {
+				t.Fatalf("key %s still owned by removed member", k[:8])
+			}
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %s moved %s -> %s though neither died", k[:8], before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys; test is vacuous")
+	}
+}
+
+// TestRingSuccessors: the replica set starts at the owner, holds distinct
+// members, and clamps to the membership size.
+func TestRingSuccessors(t *testing.T) {
+	members := fleetMembers(3)
+	r := buildRing(members)
+	k := testKey(7)
+	succ := r.successors(k, 2)
+	if len(succ) != 2 {
+		t.Fatalf("successors = %v, want 2 members", succ)
+	}
+	if succ[0] != r.owner(k) {
+		t.Errorf("replica set %v does not start at owner %s", succ, r.owner(k))
+	}
+	if succ[0] == succ[1] {
+		t.Errorf("replica set %v repeats a member", succ)
+	}
+	if got := r.successors(k, 10); len(got) != 3 {
+		t.Errorf("oversized ask returned %v, want all 3 members", got)
+	}
+	if got := buildRing(nil).successors(k, 2); got != nil {
+		t.Errorf("empty ring successors = %v, want nil", got)
+	}
+	if got := buildRing(nil).owner(k); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+}

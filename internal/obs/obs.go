@@ -53,7 +53,13 @@ type EventType uint8
 // and live-heap growth to one pipeline stage, slo_violation records a job
 // exceeding its configured latency objective, and flight_dump records the
 // per-job flight recorder persisting its ring of recent events after a
-// failure or SLO violation.
+// failure or SLO violation. The fleet events cover the multi-node reveal
+// fleet (internal/fleet): peer_fetch is one node pulling an artifact from a
+// peer's store instead of recomputing it, fleet_forward is a submission
+// routed to another node (the key's ring owner, a replica absorbing an
+// owner shed, or a takeover after the owner died), fleet_hop stamps the
+// nodes a forwarded submission traversed into the executing job's trace,
+// and ring_rebuild records membership changing the consistent-hash ring.
 const (
 	EventSpanStart EventType = iota
 	EventSpanEnd
@@ -79,6 +85,10 @@ const (
 	EventResourceSample
 	EventSLOViolation
 	EventFlightDump
+	EventPeerFetch
+	EventFleetForward
+	EventFleetHop
+	EventRingRebuild
 	numEventTypes // sentinel, keep last
 )
 
@@ -107,6 +117,10 @@ var eventNames = [numEventTypes]string{
 	EventResourceSample:      "resource_sample",
 	EventSLOViolation:        "slo_violation",
 	EventFlightDump:          "flight_dump",
+	EventPeerFetch:           "peer_fetch",
+	EventFleetForward:        "fleet_forward",
+	EventFleetHop:            "fleet_hop",
+	EventRingRebuild:         "ring_rebuild",
 }
 
 // EventTypes returns every known event type, in declaration order.
@@ -163,6 +177,21 @@ const (
 const (
 	FlightReasonFailed = "failed"
 	FlightReasonSLO    = "slo"
+)
+
+// Outcome labels of a peer_fetch event.
+const (
+	PeerHit  = "hit"
+	PeerMiss = "miss"
+)
+
+// Role labels of a fleet_forward event: the target is the key's ring
+// owner, a replica absorbing an owner shed, or the forwarding node itself
+// taking the key over after its owner died.
+const (
+	ForwardOwner    = "owner"
+	ForwardReplica  = "replica"
+	ForwardTakeover = "takeover"
 )
 
 // Event is one JSONL trace line. The struct is the union of all event
@@ -625,4 +654,50 @@ func (s *Span) FlightDump(id string, events int, reason string) {
 		return
 	}
 	s.emit(&Event{Type: EventFlightDump, Span: s.id, Detail: id, Count: events, Name: reason})
+}
+
+// --- fleet emitters (internal/fleet) -----------------------------------------
+
+// PeerFetch records an attempt to pull the artifact under cache key `key`
+// from peer node `peer` instead of recomputing it; hit selects the
+// PeerHit/PeerMiss outcome label.
+func (s *Span) PeerFetch(key, peer string, hit bool) {
+	if !s.Enabled() {
+		return
+	}
+	outcome := PeerMiss
+	if hit {
+		outcome = PeerHit
+	}
+	s.emit(&Event{Type: EventPeerFetch, Span: s.id, Detail: key, Target: peer, Name: outcome})
+}
+
+// FleetForward records the submission for cache key `key` being routed to
+// node `target`; role is ForwardOwner, ForwardReplica or ForwardTakeover.
+func (s *Span) FleetForward(key, target, role string) {
+	if !s.Enabled() {
+		return
+	}
+	s.emit(&Event{Type: EventFleetForward, Span: s.id, Detail: key, Target: target, Name: role})
+}
+
+// FleetHop records that job `id`, now executing locally, previously
+// traversed fleet node `node` — the per-hop stamp that makes a forwarded
+// submission's path reconstructible from the executing job's flight
+// recording.
+func (s *Span) FleetHop(id, node string) {
+	if !s.Enabled() {
+		return
+	}
+	s.emit(&Event{Type: EventFleetHop, Span: s.id, Detail: id, Target: node})
+}
+
+// RingRebuild records the consistent-hash ring being rebuilt after node
+// `changed` joined or left: `alive` of `total` configured members remain
+// routable.
+func (s *Span) RingRebuild(alive, total int, changed string) {
+	if !s.Enabled() {
+		return
+	}
+	s.emit(&Event{Type: EventRingRebuild, Span: s.id, Count: alive, From: total, Target: changed})
 }

@@ -119,6 +119,23 @@ func (e *Event) Validate() error {
 			return fmt.Errorf("obs: flight_dump: negative event count %d", e.Count)
 		}
 		return need(e.Detail != "", "job id")
+	case EventPeerFetch:
+		if e.Name != PeerHit && e.Name != PeerMiss {
+			return fmt.Errorf("obs: peer_fetch: bad outcome %q", e.Name)
+		}
+		return need(e.Detail != "" && e.Target != "", "cache key or peer")
+	case EventFleetForward:
+		if e.Name != ForwardOwner && e.Name != ForwardReplica && e.Name != ForwardTakeover {
+			return fmt.Errorf("obs: fleet_forward: bad role %q", e.Name)
+		}
+		return need(e.Detail != "" && e.Target != "", "cache key or target node")
+	case EventFleetHop:
+		return need(e.Detail != "" && e.Target != "", "job id or node")
+	case EventRingRebuild:
+		if e.Count < 1 || e.From < e.Count {
+			return fmt.Errorf("obs: ring_rebuild: %d of %d members alive", e.Count, e.From)
+		}
+		return nil
 	}
 	return nil
 }

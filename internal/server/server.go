@@ -23,7 +23,10 @@
 //	GET  /v1/metrics             job/store counters + merged obs snapshot
 //	GET  /metrics                OpenMetrics text exposition of the same
 //	                             plane, for Prometheus-style scrapers
-//	GET  /healthz                200 serving, 503 draining
+//	GET  /healthz                liveness: 200 while the process serves
+//	GET  /readyz                 readiness: 200 accepting work, 503 while
+//	                             draining or before the node joined its
+//	                             fleet
 package server
 
 import (
@@ -31,9 +34,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"net/url"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -115,6 +121,9 @@ type job struct {
 	// trace is the job's stable trace identity: a prefix of its content
 	// address, stamped on every event of the job's span tree.
 	trace string
+	// hops are the fleet nodes the submission traversed before landing
+	// here (FleetHopsHeader); each is stamped into the job's flight trace.
+	hops []string
 
 	// Guarded by Server.mu.
 	state        State
@@ -145,10 +154,13 @@ type JobStatus struct {
 	Err      string `json:"err,omitempty"`
 	// Trace is the job's stable trace identity (a content-address prefix);
 	// filter a shared JSONL trace on it to extract this job's span tree.
-	Trace   string `json:"trace,omitempty"`
-	QueueNS int64  `json:"queueNS,omitempty"`
-	RunNS   int64  `json:"runNS,omitempty"`
-	TotalNS int64  `json:"totalNS,omitempty"`
+	Trace string `json:"trace,omitempty"`
+	// Hops are the fleet nodes the submission traversed before the node
+	// that answered it (empty outside fleet mode).
+	Hops    []string `json:"hops,omitempty"`
+	QueueNS int64    `json:"queueNS,omitempty"`
+	RunNS   int64    `json:"runNS,omitempty"`
+	TotalNS int64    `json:"totalNS,omitempty"`
 	// Resources is the job's resource bill as the server observed it:
 	// latency split always, CPU/heap figures when the job actually ran.
 	Resources *pipeline.ResourceUsage `json:"resources,omitempty"`
@@ -169,6 +181,9 @@ type Metrics struct {
 		Done      int   `json:"done"`
 		Failed    int   `json:"failed"`
 		Rejected  int64 `json:"rejected"`
+		// Coalesced counts submissions that joined an already-active job
+		// for the same key instead of enqueueing a duplicate.
+		Coalesced int64 `json:"coalesced"`
 	} `json:"jobs"`
 	Store struct {
 		Hits     int64 `json:"hits"`
@@ -199,15 +214,23 @@ type Server struct {
 	// GOMAXPROCS oversubscription clamp in New.
 	revealWorkers int
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // submission order, for history trimming
-	agg      *obs.Snapshot
-	counts   map[State]int
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for history trimming
+	agg    *obs.Snapshot
+	counts map[State]int
+	// active indexes the queued/running job per artifact key: later
+	// submissions of the same key join it (the key's reveal lease) instead
+	// of burning a queue slot on a duplicate.
+	active   map[string]*job
 	draining atomic.Bool
+	// notReady inverts the readiness default so the zero value is ready:
+	// only a fleet layer that has not finished joining flips it.
+	notReady atomic.Bool
 
 	submitted atomic.Int64
 	rejected  atomic.Int64
+	coalesced atomic.Int64
 	ids       atomic.Uint64
 }
 
@@ -238,6 +261,7 @@ func New(cfg Config) (*Server, error) {
 		tracer: tracer,
 		root:   tracer.Start("server", "dexlego-serve"),
 		jobs:   make(map[string]*job),
+		active: make(map[string]*job),
 		counts: make(map[State]int),
 	}
 	s.tel = newTelemetry(s)
@@ -283,15 +307,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics", s.handleOpenMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
 }
 
-// BeginDrain stops admitting work: POST answers 503 and /healthz flips, so
-// load balancers stop routing here while in-flight jobs finish.
+// BeginDrain stops admitting work: POST answers 503 and /readyz flips, so
+// load balancers stop routing here while in-flight jobs finish (/healthz
+// liveness stays 200 throughout).
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Draining reports whether BeginDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// SetReady flips the node's readiness as served by /readyz. A standalone
+// server is ready from construction; a fleet node starts not-ready and
+// flips true once it has joined its ring, so peers never route to a node
+// that cannot yet place keys.
+func (s *Server) SetReady(ready bool) { s.notReady.Store(!ready) }
+
+// Ready reports whether the node accepts routed work (and is not draining).
+func (s *Server) Ready() bool { return !s.notReady.Load() && !s.draining.Load() }
+
+// Load reports the node's admitted-but-unfinished job count (queued plus
+// running) — the signal the fleet's least-loaded-replica escalation and
+// peer heartbeats read.
+func (s *Server) Load() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[StateQueued] + s.counts[StateRunning]
+}
+
+// Registry exposes the server's typed metric registry so layers wrapping
+// the server (the fleet router) can register their own series into the
+// same /metrics exposition.
+func (s *Server) Registry() *obs.Registry { return s.tel.reg }
+
+// Store exposes the content-addressed artifact store backing this server.
+func (s *Server) Store() *store.Store { return s.cfg.Store }
 
 // Close drains the queue (every admitted job still completes), stops the
 // workers, and ends the server span. Call after BeginDrain and the HTTP
@@ -304,7 +356,18 @@ func (s *Server) Close() {
 
 // parseRequest builds the (APK, Options, name) of one submission.
 func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*apk.APK, dexlego.Options, string, error) {
-	q := r.URL.Query()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		return nil, dexlego.Options{}, "", fmt.Errorf("read body: %v", err)
+	}
+	return ParseSubmission(r.URL.Query(), body)
+}
+
+// ParseSubmission builds the (APK, Options, name) of one reveal submission
+// from its query parameters and raw body, the shared request vocabulary of
+// this server and the fleet router in front of it (which must derive the
+// cache key before deciding which node handles the request).
+func ParseSubmission(q url.Values, body []byte) (*apk.APK, dexlego.Options, string, error) {
 	opts := dexlego.Options{
 		InstallNatives: installAllPackers,
 		ForceExecution: q.Get("force") == "1",
@@ -329,10 +392,6 @@ func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*apk.APK,
 		opts.Natives = sm.Natives()
 		return pkg, opts, sample, nil
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
-	if err != nil {
-		return nil, opts, "", fmt.Errorf("read body: %v", err)
-	}
 	if len(body) == 0 {
 		return nil, opts, "", errors.New("empty body: send APK bytes or ?sample=Name")
 	}
@@ -342,6 +401,34 @@ func (s *Server) parseRequest(w http.ResponseWriter, r *http.Request) (*apk.APK,
 	}
 	h := pkg.ContentHash()
 	return pkg, opts, fmt.Sprintf("apk-%x", h[:6]), nil
+}
+
+// RetryAfterJitter returns a randomized Retry-After value — whole seconds
+// in [1,3] — for 429 responses. Synchronized clients (and fleet-internal
+// forwards, which all observe an overloaded node at the same instant)
+// would otherwise retry in lockstep and re-create the very queue spike
+// that shed them; the jitter de-correlates the retry wave.
+func RetryAfterJitter() string { return strconv.Itoa(1 + rand.IntN(3)) }
+
+// FleetHopsHeader carries the comma-separated node IDs a fleet-forwarded
+// submission traversed before reaching the node that executes it. The
+// fleet router appends itself when forwarding; the executing server stamps
+// each hop into the job's flight-recorder trace.
+const FleetHopsHeader = "X-Dexlego-Fleet-Hops"
+
+// fleetHops parses FleetHopsHeader ("" outside fleet mode).
+func fleetHops(h http.Header) []string {
+	raw := h.Get(FleetHopsHeader)
+	if raw == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(raw, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 // installAllPackers is the server-wide native setup: the shell libraries
@@ -367,10 +454,12 @@ func (s *Server) handleReveal(w http.ResponseWriter, r *http.Request) {
 	key := store.KeyFor(pkg.ContentHash(), opts.Fingerprint())
 	s.submitted.Add(1)
 
+	hops := fleetHops(r.Header)
+
 	// Fast path: the artifact already exists — answer without a job queue
 	// round trip. The job record still exists so the id is pollable.
 	if art, ok := s.cfg.Store.Get(key); ok {
-		j := s.newJob(key, name)
+		j := s.newJob(key, name, hops)
 		total := time.Since(j.submitted)
 		s.tel.observeJob(0, 0, total, nil, false)
 		s.mu.Lock()
@@ -383,18 +472,54 @@ func (s *Server) handleReveal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j := s.newJob(key, name)
+	// Admission lease: a queued/running job for the same key absorbs this
+	// submission — no second queue slot, no second reveal. The fleet router
+	// concentrates every duplicate of a key on its ring owner, so this
+	// coalescing is what bounds a fleet-wide duplicate storm to exactly one
+	// reveal instead of shedding duplicates with 429s.
+	s.mu.Lock()
+	leader := s.active[key]
+	s.mu.Unlock()
+	if leader != nil {
+		s.coalesced.Add(1)
+		s.respondAdmitted(w, r, leader)
+		return
+	}
+
+	j := s.newJob(key, name, hops)
+	s.mu.Lock()
+	if cur := s.active[key]; cur != nil {
+		// Lost the publication race: another request just became leader.
+		s.mu.Unlock()
+		s.dropJob(j)
+		s.coalesced.Add(1)
+		s.respondAdmitted(w, r, cur)
+		return
+	}
+	s.active[key] = j
+	s.mu.Unlock()
+
 	submitTime := time.Now()
 	accepted := s.pool.TrySubmit(func() { s.runJob(j, submitTime, pkg, opts) })
 	if !accepted {
+		s.mu.Lock()
+		if s.active[key] == j {
+			delete(s.active, key)
+		}
+		s.mu.Unlock()
 		s.rejected.Add(1)
 		s.dropJob(j)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", RetryAfterJitter())
 		httpError(w, http.StatusTooManyRequests, "queue full, retry later")
 		return
 	}
 	s.root.JobEnqueued(j.id)
+	s.respondAdmitted(w, r, j)
+}
 
+// respondAdmitted answers an admitted (or joined) submission: blocking on
+// completion under ?wait=1, 202 + Location otherwise.
+func (s *Server) respondAdmitted(w http.ResponseWriter, r *http.Request, j *job) {
 	if r.URL.Query().Get("wait") == "1" {
 		select {
 		case <-j.done:
@@ -403,7 +528,6 @@ func (s *Server) handleReveal(w http.ResponseWriter, r *http.Request) {
 			s.writeJob(w, http.StatusAccepted, j)
 		case <-r.Context().Done():
 			// Client went away; the job still completes and is pollable.
-			return
 		}
 		return
 	}
@@ -412,12 +536,13 @@ func (s *Server) handleReveal(w http.ResponseWriter, r *http.Request) {
 }
 
 // newJob registers a queued job record, trimming finished history.
-func (s *Server) newJob(key, name string) *job {
+func (s *Server) newJob(key, name string, hops []string) *job {
 	j := &job{
 		id:        fmt.Sprintf("job-%06d", s.ids.Add(1)),
 		key:       key,
 		name:      name,
 		trace:     traceIDFor(key),
+		hops:      hops,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -481,6 +606,11 @@ func (s *Server) runJob(j *job, submitTime time.Time, pkg *apk.APK, opts dexlego
 	jobTracer.SetTraceID(j.trace)
 	span := jobTracer.Start("job", j.name)
 	span.QueueWait(j.id, wait)
+	// Stamp the submission's fleet path into the flight ring: an incident
+	// dump then shows which nodes the request traversed before it ran here.
+	for _, hop := range j.hops {
+		span.FleetHop(j.id, hop)
+	}
 
 	s.mu.Lock()
 	s.counts[j.state]--
@@ -582,6 +712,9 @@ func (s *Server) runJob(j *job, submitTime time.Time, pkg *apk.APK, opts dexlego
 // finishLocked records a job's completion and publishes its obs snapshot
 // into the server aggregate. Callers hold s.mu.
 func (s *Server) finishLocked(j *job, art *store.Artifact, hit bool, err error, run time.Duration) {
+	if s.active[j.key] == j {
+		delete(s.active, j.key)
+	}
 	s.counts[j.state]--
 	j.runNS = int64(run)
 	j.cacheHit = hit
@@ -609,6 +742,7 @@ func (j *job) statusLocked() *JobStatus {
 		CacheHit:     j.cacheHit,
 		Err:          j.err,
 		Trace:        j.trace,
+		Hops:         j.hops,
 		QueueNS:      j.queueNS,
 		RunNS:        j.runNS,
 		TotalNS:      j.totalNS,
@@ -671,6 +805,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	var m Metrics
 	m.Jobs.Submitted = s.submitted.Load()
 	m.Jobs.Rejected = s.rejected.Load()
+	m.Jobs.Coalesced = s.coalesced.Load()
 	m.Store.Hits = s.cfg.Store.Hits()
 	m.Store.Misses = s.cfg.Store.Misses()
 	m.Store.Evicted = s.cfg.Store.Evicted()
@@ -691,13 +826,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, &m)
 }
 
+// handleHealth is liveness: the process is up and serving HTTP. It stays
+// 200 through a drain — a draining node is alive, it just takes no new
+// work — so orchestrators never kill a node for refusing admissions.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		httpError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleReady is readiness: whether this node should receive new work. A
+// draining node or one that has not yet joined its fleet (SetReady(false))
+// answers 503, so routers and fleet peers exclude it while liveness stays
+// green.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case s.draining.Load():
+		httpError(w, http.StatusServiceUnavailable, "draining")
+	case !s.Ready():
+		httpError(w, http.StatusServiceUnavailable, "not ready")
+	default:
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ready\n")
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -303,19 +303,28 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
-func TestDrainRefusesNewWorkAndHealthFlips(t *testing.T) {
+// getStatus fetches path and returns the HTTP status code.
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestDrainRefusesNewWorkAndReadinessFlips(t *testing.T) {
 	srv, hs := newTestServer(t, func(c *Config) {
 		c.Reveal = func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
 			return stubResult(pkg.Manifest.Package), nil
 		}
 	})
-	hr, err := http.Get(hs.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	if code := getStatus(t, hs.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
 	}
-	hr.Body.Close()
-	if hr.StatusCode != http.StatusOK {
-		t.Fatalf("healthz = %d", hr.StatusCode)
+	if code := getStatus(t, hs.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz = %d", code)
 	}
 	// A job admitted before the drain still completes.
 	resp, st := postReveal(t, hs.URL, "?wait=1", buildBodyAPK(t, "pre-drain"))
@@ -323,13 +332,13 @@ func TestDrainRefusesNewWorkAndHealthFlips(t *testing.T) {
 		t.Fatalf("pre-drain job = %d %+v", resp.StatusCode, st)
 	}
 	srv.BeginDrain()
-	hr2, err := http.Get(hs.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	// Liveness stays green through a drain — the process still serves
+	// polls and artifact downloads; only readiness flips.
+	if code := getStatus(t, hs.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("draining healthz = %d, want 200 (liveness)", code)
 	}
-	hr2.Body.Close()
-	if hr2.StatusCode != http.StatusServiceUnavailable {
-		t.Errorf("draining healthz = %d, want 503", hr2.StatusCode)
+	if code := getStatus(t, hs.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("draining readyz = %d, want 503", code)
 	}
 	resp2, _ := postReveal(t, hs.URL, "", buildBodyAPK(t, "post-drain"))
 	if resp2.StatusCode != http.StatusServiceUnavailable {
@@ -343,6 +352,158 @@ func TestDrainRefusesNewWorkAndHealthFlips(t *testing.T) {
 	jr.Body.Close()
 	if jr.StatusCode != http.StatusOK {
 		t.Errorf("draining job poll = %d", jr.StatusCode)
+	}
+}
+
+// TestReadinessGate covers the fleet join handshake: a node marked not
+// ready reports 503 on /readyz while staying live on /healthz, and flips
+// back to 200 once SetReady(true) is called.
+func TestReadinessGate(t *testing.T) {
+	srv, hs := newTestServer(t, nil)
+	srv.SetReady(false)
+	if code := getStatus(t, hs.URL+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("not-ready readyz = %d, want 503", code)
+	}
+	if code := getStatus(t, hs.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("not-ready healthz = %d, want 200", code)
+	}
+	if srv.Ready() {
+		t.Error("Ready() = true after SetReady(false)")
+	}
+	srv.SetReady(true)
+	if code := getStatus(t, hs.URL+"/readyz"); code != http.StatusOK {
+		t.Errorf("re-readied readyz = %d, want 200", code)
+	}
+	if !srv.Ready() {
+		t.Error("Ready() = false after SetReady(true)")
+	}
+}
+
+// TestRetryAfterJitter checks the 429 backoff hint stays in its documented
+// 1–3 s window and actually varies, so a synchronized client herd spreads
+// its retries instead of stampeding in lockstep.
+func TestRetryAfterJitter(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		v := RetryAfterJitter()
+		if v != "1" && v != "2" && v != "3" {
+			t.Fatalf("RetryAfterJitter() = %q, want 1..3", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("200 draws produced only %v; jitter must vary", seen)
+	}
+}
+
+// TestFleetHopsStamped checks a forwarded submission's hop chain (the
+// X-Dexlego-Fleet-Hops header) surfaces in the job status and lands in the
+// job's trace as fleet_hop events.
+func TestFleetHopsStamped(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	_, hs := newTestServer(t, func(c *Config) {
+		c.Sink = sink
+		c.Reveal = func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
+			return stubResult(pkg.Manifest.Package), nil
+		}
+	})
+	req, err := http.NewRequest("POST", hs.URL+"/v1/reveal?wait=1", bytes.NewReader(buildBodyAPK(t, "hopped")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(FleetHopsHeader, "http://node-a:1 , http://node-b:2,")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || st.State != StateDone {
+		t.Fatalf("forwarded job = %d %+v", resp.StatusCode, st)
+	}
+	want := []string{"http://node-a:1", "http://node-b:2"}
+	if len(st.Hops) != len(want) || st.Hops[0] != want[0] || st.Hops[1] != want[1] {
+		t.Fatalf("hops = %v, want %v", st.Hops, want)
+	}
+	trace := buf.String()
+	for _, node := range want {
+		if !strings.Contains(trace, `"ev":"fleet_hop"`) || !strings.Contains(trace, node) {
+			t.Errorf("trace missing fleet_hop for %s:\n%s", node, trace)
+		}
+	}
+
+	// A direct submission carries no hops.
+	resp2, st2 := postReveal(t, hs.URL, "?wait=1", buildBodyAPK(t, "direct"))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("direct POST = %d", resp2.StatusCode)
+	}
+	if len(st2.Hops) != 0 {
+		t.Errorf("direct submission hops = %v, want none", st2.Hops)
+	}
+}
+
+// TestSameKeyAdmissionCoalesces: concurrent submissions of one key share
+// a single job (the key's reveal lease) instead of burning queue slots on
+// duplicates — the property the fleet's exactly-once guarantee rests on.
+func TestSameKeyAdmissionCoalesces(t *testing.T) {
+	gate := make(chan struct{})
+	var reveals atomic.Int64
+	srv, hs := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueDepth = 1
+		c.Reveal = func(pkg *apk.APK, _ dexlego.Options) (*dexlego.Result, error) {
+			reveals.Add(1)
+			<-gate
+			return stubResult(pkg.Manifest.Package), nil
+		}
+	})
+	body := buildBodyAPK(t, "shared")
+	const dups = 6
+	type outcome struct {
+		code int
+		st   *JobStatus
+	}
+	results := make(chan outcome, dups)
+	for i := 0; i < dups; i++ {
+		go func() {
+			resp, st := postReveal(t, hs.URL, "?wait=1", body)
+			results <- outcome{resp.StatusCode, st}
+		}()
+	}
+	// Wait until the leader's reveal is running, then release it. With
+	// Workers=1 and QueueDepth=1, any duplicate that did NOT coalesce
+	// would have been shed with a 429 instead of completing.
+	for reveals.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // let the stragglers join the lease
+	close(gate)
+	ids := map[string]bool{}
+	for i := 0; i < dups; i++ {
+		r := <-results
+		if r.code != http.StatusOK || r.st.State != StateDone {
+			t.Fatalf("duplicate submission = %d %+v, want coalesced 200", r.code, r.st)
+		}
+		ids[r.st.ID] = true
+	}
+	if len(ids) != 1 {
+		t.Errorf("duplicates spread over %d job records, want 1 shared lease", len(ids))
+	}
+	if n := reveals.Load(); n != 1 {
+		t.Errorf("reveals = %d, want exactly 1", n)
+	}
+	if c := srv.coalesced.Load(); c == 0 {
+		t.Error("coalesced counter never moved")
+	}
+	// The lease is released with the job: a later identical submission is
+	// a plain cache hit, not a join.
+	resp, st := postReveal(t, hs.URL, "?wait=1", body)
+	if resp.StatusCode != http.StatusOK || !st.CacheHit {
+		t.Errorf("post-lease submission = %d %+v, want cache hit", resp.StatusCode, st)
 	}
 }
 

@@ -47,6 +47,9 @@ func newTelemetry(s *Server) *telemetry {
 		s.submitted.Load)
 	r.CounterFunc("jobs_rejected", "Jobs answered 429 because the queue was full.",
 		s.rejected.Load)
+	r.CounterFunc("jobs_coalesced",
+		"Submissions that joined an already-active job for the same key.",
+		s.coalesced.Load)
 	for _, st := range []State{StateQueued, StateRunning, StateDone, StateFailed} {
 		st := st
 		r.GaugeFunc("jobs", "Jobs by lifecycle state.", func() int64 {

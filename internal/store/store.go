@@ -215,6 +215,27 @@ func (s *Store) GetOrReveal(key string, reveal func() (*Artifact, error)) (*Arti
 	return art, hit, nil
 }
 
+// Put inserts an externally produced artifact — a peer fetch or a fleet
+// replication push — under art.Key, persisting it exactly like a locally
+// revealed one. Put counts neither a hit nor a miss: those series measure
+// this node's reveal work, and the fleet layer accounts for peer traffic
+// separately.
+func (s *Store) Put(art *Artifact) error {
+	if art == nil || !ValidKey(art.Key) {
+		return ErrBadKey
+	}
+	if len(art.Revealed) == 0 {
+		return errors.New("store: refusing to cache an empty artifact")
+	}
+	if err := s.persist(art); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.insertLocked(art.Key, art)
+	s.mu.Unlock()
+	return nil
+}
+
 // fill resolves a singleflight leader's miss: disk first, then the reveal
 // callback, persisting a fresh artifact before publishing it.
 func (s *Store) fill(key string, reveal func() (*Artifact, error)) (*Artifact, bool, error) {

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Wire format for node-to-node artifact transfer (fleet peer fetch and
+// hot-artifact replication): an 8-byte big-endian metadata length, the
+// JSON-encoded Artifact metadata (Key, Name, Metrics — the same shape the
+// disk tier persists), then the raw revealed-APK bytes. The length prefix
+// keeps the multi-megabyte payload out of the JSON encoder, so a transfer
+// costs one copy rather than a base64 round trip.
+
+// wireMetaCap bounds the metadata segment a decoder will accept; metadata
+// is a per-app metrics report, so anything larger is a corrupt or hostile
+// frame, not a real artifact.
+const wireMetaCap = 64 << 20
+
+// WireEncode serializes an artifact for transfer to a peer node.
+func WireEncode(art *Artifact) ([]byte, error) {
+	if art == nil || !ValidKey(art.Key) {
+		return nil, ErrBadKey
+	}
+	if len(art.Revealed) == 0 {
+		return nil, errors.New("store: refusing to encode an empty artifact")
+	}
+	meta, err := json.Marshal(art)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode artifact metadata: %w", err)
+	}
+	out := make([]byte, 8+len(meta)+len(art.Revealed))
+	binary.BigEndian.PutUint64(out, uint64(len(meta)))
+	copy(out[8:], meta)
+	copy(out[8+len(meta):], art.Revealed)
+	return out, nil
+}
+
+// WireDecode parses a transfer frame back into an artifact, validating the
+// same invariants Put enforces so a corrupt peer response can never enter
+// a store.
+func WireDecode(data []byte) (*Artifact, error) {
+	if len(data) < 8 {
+		return nil, errors.New("store: artifact frame shorter than its length prefix")
+	}
+	metaLen := binary.BigEndian.Uint64(data)
+	if metaLen > wireMetaCap || metaLen > uint64(len(data)-8) {
+		return nil, fmt.Errorf("store: artifact frame claims %d metadata bytes of %d", metaLen, len(data)-8)
+	}
+	art := &Artifact{}
+	if err := json.Unmarshal(data[8:8+metaLen], art); err != nil {
+		return nil, fmt.Errorf("store: decode artifact metadata: %w", err)
+	}
+	if !ValidKey(art.Key) {
+		return nil, ErrBadKey
+	}
+	revealed := data[8+metaLen:]
+	if len(revealed) == 0 {
+		return nil, errors.New("store: artifact frame carries no revealed bytes")
+	}
+	// Copy out of the caller's buffer: artifacts are immutable once stored,
+	// so they must not alias a transport buffer the caller may reuse.
+	art.Revealed = append([]byte(nil), revealed...)
+	return art, nil
+}
