@@ -70,6 +70,7 @@ import (
 	"dexlego/internal/obs"
 	"dexlego/internal/packer"
 	"dexlego/internal/pipeline"
+	"dexlego/internal/store"
 )
 
 func main() {
@@ -93,6 +94,7 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "intra-reveal parallelism: reassembly fan-out and forced-run pool per APK (default GOMAXPROCS; output is byte-identical at any count)")
 	metricsOut := fs.String("metrics-out", "", "write the batch metrics report JSON to this file")
 	serve := fs.Bool("serve", false, "service mode: run the HTTP reveal job API until SIGTERM")
+	incremental := fs.Bool("incremental", false, "incremental reveal: cache per-method collection trees and splice them for unchanged methods (on by default in -serve; -incremental=false disables)")
 	addr := fs.String("addr", "localhost:8080", "service listen address")
 	storeDir := fs.String("store-dir", "", "service artifact store directory (empty = in-memory cache only)")
 	queueDepth := fs.Int("queue-depth", 64, "service job queue bound; a full queue answers HTTP 429")
@@ -140,6 +142,16 @@ func run(args []string) error {
 		ForceExecution: *force,
 		Workers:        *workers,
 	}
+	if *incremental && !*serve {
+		// One-shot modes get a memory-only cache: useless for a lone APK,
+		// but -batch runs over a version corpus share trees across inputs.
+		mc, err := store.OpenMethodCache("", 0)
+		if err != nil {
+			return err
+		}
+		opts.Incremental = true
+		opts.MethodCache = mc
+	}
 	var sink *obs.JSONLSink
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -150,9 +162,14 @@ func run(args []string) error {
 		sink = obs.NewJSONLSink(f)
 	}
 	if *serve {
+		// Incremental reveal is the service default: a long-lived job API is
+		// exactly where version chains of the same app keep arriving. Only an
+		// explicit -incremental=false opts out.
+		serveIncremental := *incremental || !flagWasSet(fs, "incremental")
 		return runServe(serveConfig{
 			addr:             *addr,
 			storeDir:         *storeDir,
+			incremental:      serveIncremental,
 			queueDepth:       *queueDepth,
 			jobs:             *jobs,
 			revealWorkers:    *workers,
@@ -465,6 +482,18 @@ func writeMetrics(path, apkPath string, res *root.Result) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// flagWasSet reports whether the named flag appeared explicitly on the
+// command line, distinguishing a default from a deliberate choice.
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // validateFlags rejects contradictory invocations before any work runs.

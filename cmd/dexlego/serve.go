@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -32,6 +33,7 @@ const drainTimeout = 30 * time.Second
 type serveConfig struct {
 	addr          string
 	storeDir      string
+	incremental   bool
 	queueDepth    int
 	jobs          int
 	revealWorkers int
@@ -63,8 +65,21 @@ func runServe(sc serveConfig) error {
 			return fmt.Errorf("-flight-dir: %w", err)
 		}
 	}
+	var mcache *store.MethodCache
+	if sc.incremental {
+		// The method cache persists beside the artifact store when one is on
+		// disk, so warm trees survive restarts along with the artifacts.
+		dir := ""
+		if sc.storeDir != "" {
+			dir = filepath.Join(sc.storeDir, "methods")
+		}
+		if mcache, err = store.OpenMethodCache(dir, 0); err != nil {
+			return err
+		}
+	}
 	scfg := server.Config{
 		Store:         st,
+		MethodCache:   mcache,
 		Workers:       sc.jobs,
 		RevealWorkers: sc.revealWorkers,
 		QueueDepth:    sc.queueDepth,

@@ -7,7 +7,7 @@
 //
 //	perfbench -figure 6
 //	perfbench -table 8 [-runs 30]
-//	perfbench -bench [-bench-out BENCH_6.json] [-baseline bench/baseline.json]
+//	perfbench -bench [-bench-out BENCH_7.json] [-baseline bench/baseline.json]
 //	perfbench -bench -profile prof/ [-bench-time 2s] [-workers 0]
 //
 // -bench measures ns/op, B/op and allocs/op per hot-path stage over the
@@ -46,7 +46,7 @@ func run(args []string) error {
 	table := fs.Int("table", 0, "table to regenerate (8)")
 	runs := fs.Int("runs", 30, "launch repetitions per app (table 8)")
 	bench := fs.Bool("bench", false, "run the reveal hot-path benchmark harness")
-	benchOut := fs.String("bench-out", "BENCH_6.json", "benchmark report output path")
+	benchOut := fs.String("bench-out", "BENCH_7.json", "benchmark report output path")
 	baseline := fs.String("baseline", "", "baseline report to gate against (fails on regression)")
 	benchTime := fs.Duration("bench-time", time.Second, "minimum measuring time per stage")
 	workers := fs.Int("workers", 0, "intra-reveal workers: reassembly fan-out and forced-run pool (0 = GOMAXPROCS, 1 = serial)")

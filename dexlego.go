@@ -30,6 +30,7 @@ import (
 	"dexlego/internal/obs"
 	"dexlego/internal/pipeline"
 	"dexlego/internal/reassembler"
+	"dexlego/internal/store"
 )
 
 // Options configures a Reveal run.
@@ -77,6 +78,18 @@ type Options struct {
 	// TraceLabel names the run in the trace (the root span's app label);
 	// RevealBatch defaults it to the job name.
 	TraceLabel string
+
+	// Incremental enables the per-method collection cache: methods whose
+	// body fingerprint (MethodFingerprints) resolves to a cached tree in
+	// MethodCache are skipped during execution and their trees spliced into
+	// the result, producing byte-identical output to the full path. Both
+	// fields are excluded from Options.Fingerprint: the incremental path is
+	// an execution strategy, not an output parameter. Incremental without a
+	// MethodCache is ignored.
+	Incremental bool
+	// MethodCache is the method-tree keyspace consulted and filled by the
+	// incremental path; safe to share across concurrent Reveal calls.
+	MethodCache *store.MethodCache
 }
 
 // Result is the outcome of a Reveal run.
@@ -172,59 +185,104 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 		return nil
 	}
 
-	if err := stage(pipeline.StageCollection, func(sp *obs.Span) error {
-		col.SetSpan(sp)
-		return runPlain(driver)
-	}); err != nil {
-		return nil, fmt.Errorf("dexlego: collection run: %w", err)
+	// The incremental path is planned before any execution: fingerprint
+	// every method, look each up in the method cache, and build the skip
+	// set the collector and force engine honor. A nil plan (incremental
+	// off, cache empty, unparsable dex) leaves the full path untouched.
+	inc := planIncremental(pkg, opts, root)
+	if inc != nil {
+		col.SetSkip(inc.skip)
 	}
-	if opts.Fuzz {
-		if err := stage(pipeline.StageFuzz, func(sp *obs.Span) error {
+
+	// runExecution runs the collection, fuzz and force-execution stages
+	// against the current collector. It exists as a closure so a skip
+	// violation (a cached method whose code was written at runtime) can
+	// discard the collector, drop the plan, and run it all again in full —
+	// AddStage merges the re-entered stage timings.
+	runExecution := func() error {
+		if err := stage(pipeline.StageCollection, func(sp *obs.Span) error {
 			col.SetSpan(sp)
-			fz := fuzzer.New(opts.FuzzSeed)
-			return runPlain(func(rt *art.Runtime) error {
-				return fz.Drive(rt, nil)
-			})
+			return runPlain(driver)
 		}); err != nil {
-			return nil, fmt.Errorf("dexlego: fuzzing run: %w", err)
+			return fmt.Errorf("dexlego: collection run: %w", err)
 		}
+		if opts.Fuzz {
+			if err := stage(pipeline.StageFuzz, func(sp *obs.Span) error {
+				col.SetSpan(sp)
+				fz := fuzzer.New(opts.FuzzSeed)
+				return runPlain(func(rt *art.Runtime) error {
+					return fz.Drive(rt, nil)
+				})
+			}); err != nil {
+				return fmt.Errorf("dexlego: fuzzing run: %w", err)
+			}
+		}
+		if opts.ForceExecution {
+			if err := stage(pipeline.StageForceExec, func(sp *obs.Span) error {
+				col.SetSpan(sp)
+				data, err := pkg.Dex()
+				if err != nil {
+					return err
+				}
+				f, err := dex.Read(data)
+				if err != nil {
+					return fmt.Errorf("force execution needs a parsable classes.dex: %w", err)
+				}
+				files := []*dex.File{f}
+				tracker, err := coverage.NewTracker(files)
+				if err != nil {
+					return err
+				}
+				eng := forceexec.New(pkg, files)
+				eng.InstallNatives = func(rt *art.Runtime) { setup(rt) }
+				eng.Driver = driver
+				eng.Workers = opts.Workers
+				// The engine owns the collector for this stage: the baseline run
+				// collects directly, forced runs collect into per-run shards
+				// merged at each iteration barrier, and the result is
+				// canonicalized — byte-identical output at any worker count.
+				eng.Collector = col
+				eng.Span = sp
+				if inc != nil {
+					eng.Skip = inc.skip
+				}
+				stats, err := eng.Run(tracker)
+				if err != nil {
+					return fmt.Errorf("force execution: %w", err)
+				}
+				res.Metrics.AddStageCPU(pipeline.StageForceExec, time.Duration(stats.BusyNS))
+				rep := tracker.Report()
+				res.Coverage = &rep
+				return nil
+			}); err != nil {
+				return fmt.Errorf("dexlego: %w", err)
+			}
+		}
+		return nil
 	}
-	if opts.ForceExecution {
-		if err := stage(pipeline.StageForceExec, func(sp *obs.Span) error {
-			col.SetSpan(sp)
-			data, err := pkg.Dex()
-			if err != nil {
-				return err
+	if err := runExecution(); err != nil {
+		return nil, err
+	}
+	if inc != nil {
+		if v := col.SkipViolations(); len(v) > 0 {
+			// A skip-listed method's live code was written at runtime: its
+			// cached tree describes a body that no longer exists, so the
+			// plan is void. Discard the partial collection and run in full.
+			obs.Warnf("incremental: %d skip violation(s) (first %s); falling back to full reveal",
+				len(v), v[0])
+			col = collector.New()
+			inc = nil
+			if err := runExecution(); err != nil {
+				return nil, err
 			}
-			f, err := dex.Read(data)
-			if err != nil {
-				return fmt.Errorf("force execution needs a parsable classes.dex: %w", err)
+		} else {
+			inc.splice(col, res.Metrics, root)
+			if opts.ForceExecution {
+				// Spliced trees entered after the engine canonicalized;
+				// re-impose the history-independent order. Idempotent for
+				// everything already sorted.
+				col.Result().Canonicalize()
 			}
-			files := []*dex.File{f}
-			tracker, err := coverage.NewTracker(files)
-			if err != nil {
-				return err
-			}
-			eng := forceexec.New(pkg, files)
-			eng.InstallNatives = func(rt *art.Runtime) { setup(rt) }
-			eng.Driver = driver
-			eng.Workers = opts.Workers
-			// The engine owns the collector for this stage: the baseline run
-			// collects directly, forced runs collect into per-run shards
-			// merged at each iteration barrier, and the result is
-			// canonicalized — byte-identical output at any worker count.
-			eng.Collector = col
-			eng.Span = sp
-			stats, err := eng.Run(tracker)
-			if err != nil {
-				return fmt.Errorf("force execution: %w", err)
-			}
-			res.Metrics.AddStageCPU(pipeline.StageForceExec, time.Duration(stats.BusyNS))
-			rep := tracker.Report()
-			res.Coverage = &rep
-			return nil
-		}); err != nil {
-			return nil, fmt.Errorf("dexlego: %w", err)
 		}
 	}
 
@@ -270,6 +328,12 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 		return nil
 	}); err != nil {
 		return nil, err
+	}
+	if inc != nil {
+		// Store back only after verify: a record enters the cache only from
+		// a reveal whose output round-tripped, in its final (canonical on
+		// the force path, execution-order on the plain path) tree order.
+		inc.storeBack(col.Result(), opts.MethodCache)
 	}
 	res.Revealed = revealed
 	res.RevealedDex = parsed

@@ -63,6 +63,12 @@ type Hooks struct {
 	// was observed (the tampering call site, or the executing pc when a
 	// running frame detects a silent code swap); -1 when outside bytecode.
 	PredecodeInvalidate func(m *Method, pc int)
+	// CodeWritten fires whenever a write into a method's live unit array is
+	// observed, in both predecode modes — unlike PredecodeInvalidate, which
+	// only fires when a predecoded stream existed to drop. The incremental
+	// reveal path uses it to mark self-modified methods uncacheable. pc is
+	// the dex_pc of the observation site; -1 when outside bytecode.
+	CodeWritten func(m *Method, pc int)
 }
 
 // SinkEvent records one execution of a sink API.

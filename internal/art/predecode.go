@@ -102,6 +102,9 @@ func (rt *Runtime) bindProgram(f *frame) {
 				if h.PredecodeInvalidate != nil {
 					h.PredecodeInvalidate(m, f.pc)
 				}
+				if h.CodeWritten != nil {
+					h.CodeWritten(m, f.pc)
+				}
 			}
 		}
 		var hit bool
@@ -144,6 +147,14 @@ func (f *frame) bindStale() bool {
 // tampering call site (-1 when tampered from outside bytecode).
 func (m *Method) invalidateCode(rt *Runtime, pc int) {
 	m.codeGen++
+	// CodeWritten fires before the predecode-state check: a tamper with
+	// predecode off (or before the first bind) is still a code write, and
+	// the incremental reveal cache must learn about it in every mode.
+	for _, h := range rt.hooks {
+		if h.CodeWritten != nil {
+			h.CodeWritten(m, pc)
+		}
+	}
 	if m.prog == nil {
 		return
 	}

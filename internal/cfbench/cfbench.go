@@ -10,6 +10,7 @@ package cfbench
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"dexlego/internal/apk"
@@ -148,7 +149,14 @@ func Run(cfg Config) (Comparison, error) {
 	return Comparison{Unmodified: base, DexLego: lego}, nil
 }
 
-// LaunchSample is a mean/std launch-time measurement.
+// LaunchSample is a mean/std launch-time measurement. Mean is an
+// upper-trimmed mean: the slowest quarter of runs is dropped before
+// averaging. Launch times have a hard floor (the interpreter's work) but no
+// ceiling — a run that loses the CPU to the scheduler or a GC cycle only
+// ever reads high — so high outliers are host artifacts, not interpreter
+// cost, and a plain mean lets a single preempted run skew the
+// instrumented/original ratio by several x. Std still covers all runs, as a
+// dispersion report.
 type LaunchSample struct {
 	Mean time.Duration
 	Std  time.Duration
@@ -193,8 +201,14 @@ func MeasureLaunch(pkg *apk.APK, runs int, withCollector bool) (LaunchSample, er
 		varsum += (d - mean) * (d - mean)
 	}
 	std := math.Sqrt(varsum / float64(len(durations)))
+	sort.Float64s(durations)
+	kept := durations[:len(durations)-len(durations)/4]
+	sum = 0
+	for _, d := range kept {
+		sum += d
+	}
 	return LaunchSample{
-		Mean: time.Duration(mean),
+		Mean: time.Duration(sum / float64(len(kept))),
 		Std:  time.Duration(std),
 	}, nil
 }

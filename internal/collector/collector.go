@@ -234,6 +234,11 @@ type MethodRecord struct {
 	// ReflTargets maps a call-site dex_pc of Method.invoke to the resolved
 	// direct-call targets observed there.
 	ReflTargets map[int][]ReflTarget `json:"reflTargets,omitempty"`
+	// Written records that the runtime observed a write into this method's
+	// live unit array (art.Hooks.CodeWritten). A written method's trees are
+	// a function of runtime state, not of its static body, so the record is
+	// never admitted into the incremental method cache.
+	Written bool `json:"written,omitempty"`
 
 	seen map[string]bool
 }
@@ -243,6 +248,23 @@ func (r *MethodRecord) Key() string { return r.Class + "->" + r.Name + r.Signatu
 
 // Executed reports whether any bytecode was collected for the method.
 func (r *MethodRecord) Executed() bool { return len(r.Trees) > 0 }
+
+// Cacheable reports whether the record may be served from the incremental
+// method cache: it must hold at least one tree, the method's code must
+// never have been written at runtime, and no tree may carry divergence
+// children (a forked tree proves self-modification even when the write
+// itself was not hooked — e.g. silent slice swaps with predecode off).
+func (r *MethodRecord) Cacheable() bool {
+	if r.Written || len(r.Trees) == 0 {
+		return false
+	}
+	for _, t := range r.Trees {
+		if len(t.Children) > 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // TryRecord is a try/catch range anchored at original dex_pcs.
 type TryRecord struct {
@@ -367,6 +389,15 @@ type Collector struct {
 	busy  atomic.Int32
 	span  *obs.Span
 
+	// Incremental-reveal skip state (SetSkip). Skipped methods are served
+	// from the method cache: they push no execution frame and collect no
+	// trees, but the collector records which of them actually ran (touched)
+	// so only those get their cached trees spliced, and which were written
+	// at runtime (violated) so the reveal can fall back to a full run.
+	skip     map[string]bool
+	touched  map[string]bool
+	violated map[string]bool
+
 	// Scratch reused across hook invocations. The single-runtime ownership
 	// contract above makes unsynchronized reuse safe: hooks never overlap.
 	fpBuf     []byte        // fingerprint scratch (methodExited)
@@ -438,8 +469,57 @@ func New() *Collector {
 		ReflectiveCall:      c.reflectiveCall,
 		PredecodeHit:        c.predecodeHit,
 		PredecodeInvalidate: c.predecodeInvalidate,
+		CodeWritten:         c.codeWritten,
 	}
 	return c
+}
+
+// SetSkip installs the set of method keys to serve from the incremental
+// method cache. Skipped methods record touch-only: no frame, no trees.
+// Must be set before the collector's runtime executes.
+func (c *Collector) SetSkip(skip map[string]bool) {
+	c.skip = skip
+	c.touched = make(map[string]bool)
+	c.violated = make(map[string]bool)
+}
+
+// SkipTouched returns the skip-listed method keys that were actually
+// entered during execution — the methods whose cached trees must be
+// spliced into the result. Never-entered skipped methods stay absent and
+// reassemble as stubs, exactly as on the full path.
+func (c *Collector) SkipTouched() map[string]bool { return c.touched }
+
+// SkipViolations returns, sorted, the skip-listed methods whose live code
+// was written at runtime. A non-empty slice means the cached trees cannot
+// be trusted for this run and the caller must fall back to a full reveal.
+func (c *Collector) SkipViolations() []string {
+	keys := make([]string, 0, len(c.violated))
+	for k := range c.violated {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// AbsorbSkipState unions another collector's touched and violated sets into
+// c. The force-execution engine calls it when merging worker-shard results,
+// so touches observed only under forced branches still splice.
+func (c *Collector) AbsorbSkipState(other *Collector) {
+	if other == nil {
+		return
+	}
+	for k := range other.touched {
+		if c.touched == nil {
+			c.touched = make(map[string]bool)
+		}
+		c.touched[k] = true
+	}
+	for k := range other.violated {
+		if c.violated == nil {
+			c.violated = make(map[string]bool)
+		}
+		c.violated[k] = true
+	}
 }
 
 // Hooks returns the instrumentation to attach via Runtime.AddHooks.
@@ -454,6 +534,13 @@ func (c *Collector) methodEntered(m *art.Method) {
 	c.enter()
 	defer c.leave()
 	if !appMethod(m) {
+		return
+	}
+	if c.skip != nil && c.skip[m.Key()] {
+		// Served from the method cache: record the touch and push no frame.
+		// The top-of-stack method guards in instruction and methodExited
+		// keep nested non-skipped callees collecting correctly.
+		c.touched[m.Key()] = true
 		return
 	}
 	root := c.newNode(nil, -1)
@@ -604,6 +691,22 @@ func (c *Collector) predecodeInvalidate(m *art.Method, pc int) {
 		return
 	}
 	c.span.PredecodeInvalidate(m.Key(), pc)
+}
+
+// codeWritten marks a method whose live unit array was written: its record
+// becomes permanently uncacheable, and if the method was on the skip list
+// the cached tree served for it is no longer trustworthy (violation).
+func (c *Collector) codeWritten(m *art.Method, pc int) {
+	c.enter()
+	defer c.leave()
+	if !appMethod(m) {
+		return
+	}
+	key := m.Key()
+	if c.skip != nil && c.skip[key] {
+		c.violated[key] = true
+	}
+	c.res.method(m).Written = true
 }
 
 func resolveSym(m *art.Method, in bytecode.Inst) *Symbol {

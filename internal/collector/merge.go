@@ -67,6 +67,8 @@ func (r *Result) Merge(other *Result) MergeStats {
 		// merge commutative if they ever diverge.
 		rm.RegistersSize = max(rm.RegistersSize, om.RegistersSize)
 		rm.InsSize = max(rm.InsSize, om.InsSize)
+		// A code write observed in any shard poisons cacheability everywhere.
+		rm.Written = rm.Written || om.Written
 		if rm.Tries == nil {
 			rm.Tries = om.Tries
 		}

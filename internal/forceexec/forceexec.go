@@ -93,6 +93,13 @@ type Engine struct {
 	// flips, tolerated exceptions, shard merges) to a reveal stage; nil
 	// disables them.
 	Span *obs.Span
+	// Skip lists method keys served from the incremental method cache:
+	// their uncovered branches and handler edges are never scheduled (the
+	// cached tree already holds their forced coverage), and every collector
+	// shard skips them. Cross-method effects are unaffected — forced runs
+	// targeting other methods still execute skipped methods normally, and
+	// divergence forks they trigger are detected as skip violations.
+	Skip map[string]bool
 
 	// codeIdx indexes method bodies by key (built once in New); cfgs
 	// memoizes the per-method BFS over the static CFG. Both are touched
@@ -183,6 +190,11 @@ func (e *Engine) newTask(tracker *coverage.Tracker, path PathFile, site *coverag
 	t := &task{path: path, site: site, tracker: tracker.Shard()}
 	if e.Collector != nil {
 		t.col = collector.New()
+		if e.Skip != nil {
+			// Shards honor the same skip list as the main collector, so the
+			// cached/fresh tree partition survives the iteration barrier.
+			t.col.SetSkip(e.Skip)
+		}
 	}
 	return t
 }
@@ -215,6 +227,9 @@ func (e *Engine) Run(tracker *coverage.Tracker) (*Stats, error) {
 		// on pool timing.
 		var tasks []*task
 		for _, ucb := range ucbs {
+			if e.Skip[ucb.Method] {
+				continue // served from the method cache; no run needed
+			}
 			if attempted[ucb] || len(tasks) >= e.MaxRunsPerIter {
 				continue
 			}
@@ -269,6 +284,9 @@ func (e *Engine) forceHandlers(tracker *coverage.Tracker, active map[string]map[
 	defer span.End()
 	var tasks []*task
 	for _, site := range tracker.UncoveredHandlers() {
+		if e.Skip[site.Method] {
+			continue // served from the method cache; no injection needed
+		}
 		if len(tasks) >= e.MaxRunsPerIter {
 			break // same per-iteration budget as branch forcing
 		}
@@ -353,6 +371,7 @@ func (e *Engine) mergeTasks(span *obs.Span, tracker *coverage.Tracker, tasks []*
 		tracker.Merge(t.tracker)
 		if t.col != nil {
 			st := e.Collector.Result().Merge(t.col.Result())
+			e.Collector.AbsorbSkipState(t.col)
 			if span.Enabled() {
 				span.WorkerMerge(ti, iter, st.TreesOffered, st.TreesKept)
 			}

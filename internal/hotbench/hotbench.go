@@ -2,7 +2,7 @@
 // path: the per-APK pipeline DEX decode → JIT collection → reassembly →
 // DEX encode → structural verify that every job of the reveal service pays.
 // It measures ns/op, B/op and allocs/op per stage over a pinned corpus and
-// emits the machine-readable report (BENCH_6.json) that the CI bench-gate
+// emits the machine-readable report (BENCH_7.json) that the CI bench-gate
 // compares against the checked-in baseline.
 //
 // One op is one full pass over the corpus, so numbers are comparable only
@@ -29,6 +29,8 @@ import (
 	"dexlego/internal/forceexec"
 	"dexlego/internal/obs"
 	"dexlego/internal/reassembler"
+	"dexlego/internal/store"
+	"dexlego/internal/workload"
 )
 
 // CorpusNames is the pinned benchmark corpus: DroidBench samples chosen to
@@ -65,12 +67,25 @@ const (
 	StageReveal      = "reveal"
 	StageForceExec   = "forceexec"
 	StageForceExecW1 = "forceexec-w1"
+	// The incremental pair: StageRevealChain cold-reveals v2 of the
+	// generated version chain with force execution; StageRevealIncr reveals
+	// the same link against a warm method cache, splicing cached trees for
+	// every unchanged method. Their ratio is the incremental speedup the
+	// acceptance gate tracks (>= 3x).
+	StageRevealChain = "reveal-chain"
+	StageRevealIncr  = "reveal-incr"
 )
 
 // gateFarmGates sizes the force-execution benchmark body: that many
 // independent never-taken branches, each becoming one forced run in the
 // campaign's first iteration — an embarrassingly parallel worklist.
 const gateFarmGates = 16
+
+// chainMethods sizes the version-chain benchmark app: that many worker
+// methods, each with its own never-taken gate, so a cold forced reveal pays
+// one forced run per worker while the warm incremental reveal re-executes
+// only the single mutated link.
+const chainMethods = 32
 
 // app is one prepared corpus entry with every stage input precomputed, so a
 // stage benchmark measures exactly that stage.
@@ -185,6 +200,33 @@ func gateFarm() (*apk.APK, []*dex.File, error) {
 	return pkg, []*dex.File{f}, nil
 }
 
+// chainBench prepares the incremental benchmark: the 1-mutation version
+// chain (v1, v2) and a method cache warmed by one incremental reveal of v1.
+// Warming is setup, not measurement. After the first measured op v2's own
+// fresh methods are resident too, so steady-state ops splice every method —
+// the intended hot case of a service revealing successive app versions.
+func chainBench(workers int) (*apk.APK, *store.MethodCache, error) {
+	chain, err := workload.VersionChain(workload.ChainConfig{
+		Methods: chainMethods, Links: 1, Seed: 11,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	mc, err := store.OpenMethodCache("", 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := root.Reveal(chain[0].APK, root.Options{
+		ForceExecution: true,
+		Workers:        workers,
+		Incremental:    true,
+		MethodCache:    mc,
+	}); err != nil {
+		return nil, nil, err
+	}
+	return chain[1].APK, mc, nil
+}
+
 // collect runs one JIT-collection pass (the collection stage body).
 func collect(a *app) (*collector.Result, error) {
 	col := collector.New()
@@ -256,6 +298,10 @@ func Run(cfg Config) (*Report, error) {
 	gfPkg, gfFiles, err := gateFarm()
 	if err != nil {
 		return nil, fmt.Errorf("hotbench: gate farm: %w", err)
+	}
+	chainV2, chainCache, err := chainBench(cfg.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("hotbench: version chain: %w", err)
 	}
 	rep := &Report{
 		Schema:      Schema,
@@ -330,6 +376,22 @@ func Run(cfg Config) (*Report, error) {
 		}},
 		{StageForceExec, forceOp(gfPkg, gfFiles, cfg.Workers)},
 		{StageForceExecW1, forceOp(gfPkg, gfFiles, 1)},
+		{StageRevealChain, func() error {
+			_, err := root.Reveal(chainV2, root.Options{
+				ForceExecution: true,
+				Workers:        cfg.Workers,
+			})
+			return err
+		}},
+		{StageRevealIncr, func() error {
+			_, err := root.Reveal(chainV2, root.Options{
+				ForceExecution: true,
+				Workers:        cfg.Workers,
+				Incremental:    true,
+				MethodCache:    chainCache,
+			})
+			return err
+		}},
 	}
 	for _, st := range stages {
 		sp := benchRoot.Start("stage." + st.name)

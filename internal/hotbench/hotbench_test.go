@@ -65,7 +65,7 @@ func TestRunEmitsAllStages(t *testing.T) {
 		t.Fatalf("Run: %v", err)
 	}
 	want := []string{StageDecode, StageCollection, StageReassembly, StageEncode, StageVerify,
-		StageReveal, StageForceExec, StageForceExecW1}
+		StageReveal, StageForceExec, StageForceExecW1, StageRevealChain, StageRevealIncr}
 	if len(rep.Stages) != len(want) {
 		t.Fatalf("got %d stages, want %d", len(rep.Stages), len(want))
 	}

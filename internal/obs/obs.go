@@ -60,6 +60,10 @@ type EventType uint8
 // owner shed, or a takeover after the owner died), fleet_hop stamps the
 // nodes a forwarded submission traversed into the executing job's trace,
 // and ring_rebuild records membership changing the consistent-hash ring.
+// The incremental-reveal events cover the per-method collection cache:
+// method_cache_hit and method_cache_miss record one method's fingerprint
+// lookup against the method-tree keyspace, and tree_splice records a cached
+// collection tree grafted into the result in place of re-execution.
 const (
 	EventSpanStart EventType = iota
 	EventSpanEnd
@@ -89,6 +93,9 @@ const (
 	EventFleetForward
 	EventFleetHop
 	EventRingRebuild
+	EventMethodCacheHit
+	EventMethodCacheMiss
+	EventTreeSplice
 	numEventTypes // sentinel, keep last
 )
 
@@ -121,6 +128,9 @@ var eventNames = [numEventTypes]string{
 	EventFleetForward:        "fleet_forward",
 	EventFleetHop:            "fleet_hop",
 	EventRingRebuild:         "ring_rebuild",
+	EventMethodCacheHit:      "method_cache_hit",
+	EventMethodCacheMiss:     "method_cache_miss",
+	EventTreeSplice:          "tree_splice",
 }
 
 // EventTypes returns every known event type, in declaration order.
@@ -589,6 +599,34 @@ func (s *Span) CacheMiss(key string) {
 		return
 	}
 	s.emit(&Event{Type: EventCacheMiss, Span: s.id, Detail: key})
+}
+
+// MethodCacheHit records one method served from the incremental per-method
+// collection cache: its fingerprint resolved to a stored tree, so force
+// execution skips it and the tree is spliced later.
+func (s *Span) MethodCacheHit(method string) {
+	if !s.Enabled() {
+		return
+	}
+	s.emit(&Event{Type: EventMethodCacheHit, Span: s.id, Method: method})
+}
+
+// MethodCacheMiss records one method the incremental cache could not serve
+// (changed body, changed callee, uncacheable record): it executes in full.
+func (s *Span) MethodCacheMiss(method string) {
+	if !s.Enabled() {
+		return
+	}
+	s.emit(&Event{Type: EventMethodCacheMiss, Span: s.id, Method: method})
+}
+
+// TreeSplice records `trees` cached collection trees grafted into the
+// result for `method` in place of re-execution.
+func (s *Span) TreeSplice(method string, trees int) {
+	if !s.Enabled() {
+		return
+	}
+	s.emit(&Event{Type: EventTreeSplice, Span: s.id, Method: method, Count: trees})
 }
 
 // QueueWait records how long job `id` waited in the admission queue before

@@ -136,6 +136,13 @@ func (e *Event) Validate() error {
 			return fmt.Errorf("obs: ring_rebuild: %d of %d members alive", e.Count, e.From)
 		}
 		return nil
+	case EventMethodCacheHit, EventMethodCacheMiss:
+		return need(e.Method != "", "method")
+	case EventTreeSplice:
+		if e.Count < 1 {
+			return fmt.Errorf("obs: tree_splice: spliced %d trees", e.Count)
+		}
+		return need(e.Method != "", "method")
 	}
 	return nil
 }
@@ -246,6 +253,9 @@ type AppTrace struct {
 	ConcurrentUses   []string
 	PredecodeHits    int
 	PredecodeInvals  int
+	MethodCacheHits  int
+	MethodCacheMiss  int
+	TreesSpliced     int // trees adopted from the incremental method cache
 	ResourceSamples  int
 	AllocBytes       int64 // summed resource_sample allocation
 	PeakHeapDelta    int64 // max live-heap growth observed at a stage boundary
@@ -356,6 +366,12 @@ func (t *Trace) Apps() []*AppTrace {
 			a.PredecodeHits++
 		case EventPredecodeInvalidate:
 			a.PredecodeInvals++
+		case EventMethodCacheHit:
+			a.MethodCacheHits++
+		case EventMethodCacheMiss:
+			a.MethodCacheMiss++
+		case EventTreeSplice:
+			a.TreesSpliced += ev.Count
 		case EventResourceSample:
 			a.ResourceSamples++
 			a.AllocBytes += ev.Bytes
@@ -433,6 +449,10 @@ func (t *Trace) ReportString() string {
 			for _, m := range a.Merges {
 				fmt.Fprintf(&sb, "    %-60s %d tree(s) -> %d array(s)\n", m.Method, m.From, m.To)
 			}
+		}
+		if a.MethodCacheHits > 0 || a.MethodCacheMiss > 0 {
+			fmt.Fprintf(&sb, "  method cache: %d hits, %d misses, %d trees spliced\n",
+				a.MethodCacheHits, a.MethodCacheMiss, a.TreesSpliced)
 		}
 		if a.ResourceSamples > 0 {
 			fmt.Fprintf(&sb, "  resources: %d samples, %d bytes allocated, peak heap delta %d bytes\n",

@@ -111,6 +111,12 @@ type AppMetrics struct {
 	// Divergences counts merged self-modification layers.
 	Variants    int `json:"variants"`
 	Divergences int `json:"divergences"`
+	// MethodsCached counts methods served from the incremental per-method
+	// collection cache (trees spliced, no execution); MethodsExecuted
+	// counts methods that collected fresh trees. Both are zero when the
+	// incremental path was off.
+	MethodsCached   int `json:"methodsCached,omitempty"`
+	MethodsExecuted int `json:"methodsExecuted,omitempty"`
 
 	// Obs carries the run's observability snapshot (event counts, tree
 	// depth, span histograms); nil when tracing was off.
@@ -273,6 +279,8 @@ type Report struct {
 	TotalStubs           int `json:"totalStubs"`
 	TotalVariants        int `json:"totalVariants"`
 	TotalDivergences     int `json:"totalDivergences"`
+	TotalMethodsCached   int `json:"totalMethodsCached,omitempty"`
+	TotalMethodsExecuted int `json:"totalMethodsExecuted,omitempty"`
 
 	// Obs merges the per-app observability snapshots (event counts add,
 	// tree depth maxes, span histograms combine); nil when tracing was off.
@@ -311,6 +319,8 @@ func BuildReport(workers int, wall time.Duration, apps []AppMetrics) *Report {
 		r.TotalStubs += m.Stubs
 		r.TotalVariants += m.Variants
 		r.TotalDivergences += m.Divergences
+		r.TotalMethodsCached += m.MethodsCached
+		r.TotalMethodsExecuted += m.MethodsExecuted
 		r.Obs = obs.MergeSnapshots(r.Obs, m.Obs)
 		if ru := m.Resources; ru != nil {
 			if r.Resources == nil {

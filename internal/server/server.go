@@ -106,6 +106,10 @@ type Config struct {
 	// Reveal substitutes the reveal implementation in tests; nil selects
 	// dexlego.Reveal.
 	Reveal RevealFunc
+	// MethodCache, when set, enables the incremental reveal path for every
+	// job: reveals skip methods whose fingerprinted collection trees are
+	// already cached and splice them instead (see dexlego.Options).
+	MethodCache *store.MethodCache
 }
 
 // maxFinishedJobs bounds the completed-job history the server retains for
@@ -634,6 +638,12 @@ func (s *Server) runJob(j *job, submitTime time.Time, pkg *apk.APK, opts dexlego
 		// options fingerprint (it never changes artifact bytes), so this
 		// cannot split the cache.
 		o.Workers = s.revealWorkers
+		// Same reasoning for the incremental method cache: an execution
+		// strategy, byte-identical output, outside the fingerprint.
+		if s.cfg.MethodCache != nil {
+			o.Incremental = true
+			o.MethodCache = s.cfg.MethodCache
+		}
 		var res *dexlego.Result
 		revealErr := pipeline.Isolate(func() error {
 			r, err := s.reveal(pkg, o)

@@ -33,6 +33,9 @@ type telemetry struct {
 	revealCPUNS     obs.Counter
 	revealAllocB    obs.Counter
 	revealHeapPeakB obs.Gauge
+
+	methodsCached   obs.Counter
+	methodsExecuted obs.Counter
 }
 
 // newTelemetry builds the registry over the server's live state.
@@ -95,6 +98,26 @@ func newTelemetry(s *Server) *telemetry {
 		t.revealAllocB.Load)
 	r.GaugeFunc("reveal_heap_peak_bytes",
 		"Largest live-heap growth any single reveal has caused.", t.revealHeapPeakB.Load)
+
+	// The incremental method-cache family exists whenever the server has a
+	// method cache (the default in -serve); all series are lazy funcs over
+	// the cache plus two per-job counters fed by observeJob.
+	if mc := s.cfg.MethodCache; mc != nil {
+		r.CounterFunc("methodcache_hits", "Method-tree cache hits.", mc.Hits)
+		r.CounterFunc("methodcache_misses", "Method-tree cache misses.", mc.Misses)
+		r.CounterFunc("methodcache_evicted", "Method trees evicted from memory.", mc.Evicted)
+		r.GaugeFunc("methodcache_resident", "Method trees resident in memory.", func() int64 {
+			return int64(mc.Len())
+		})
+		r.GaugeFunc("methodcache_resident_bytes",
+			"Serialized size of resident method trees.", mc.Bytes)
+		r.CounterFunc("methodcache_methods_cached",
+			"Methods served by tree splicing across completed reveals.",
+			t.methodsCached.Load)
+		r.CounterFunc("methodcache_methods_executed",
+			"Methods executed fresh across completed incremental reveals.",
+			t.methodsExecuted.Load)
+	}
 	return t
 }
 
@@ -118,6 +141,8 @@ func (t *telemetry) observeJob(queue, run, total time.Duration, m *pipeline.AppM
 		t.revealAllocB.Add(ru.AllocBytes)
 		t.revealHeapPeakB.Max(ru.HeapPeakBytes)
 	}
+	t.methodsCached.Add(int64(m.MethodsCached))
+	t.methodsExecuted.Add(int64(m.MethodsExecuted))
 }
 
 // droppedEvents totals trace events lost anywhere in the plane: the live

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"fmt"
+
+	"dexlego/internal/bytecode"
+	"dexlego/internal/dexgen"
+)
+
+// The version-chain generator models an app under maintenance: v1 is a farm
+// of independent worker methods the launch activity calls in turn, and each
+// later link applies one small edit — a method-body change, a new method, a
+// removed method, or a renamed class — while everything else stays
+// bit-identical at the source level. Consecutive links therefore share
+// almost all method-body fingerprints, which is exactly the workload the
+// incremental reveal path (per-method tree cache + splice) is built for.
+//
+// Every worker body opens with a never-taken gate, so force-execution
+// schedules one forced run per worker: a cold reveal pays O(methods) runs
+// while a warm incremental reveal pays only the changed ones.
+
+// ChainConfig parameterizes VersionChain.
+type ChainConfig struct {
+	// Methods is the worker-method count of v1 (default 24).
+	Methods int
+	// Links is the number of successor versions after v1 (default 4).
+	Links int
+	// Mutations is how many method bodies a body-edit link rewrites
+	// (default 1: the minimal app update).
+	Mutations int
+	// Seed varies every generated body deterministically.
+	Seed uint32
+}
+
+func (c ChainConfig) methods() int {
+	if c.Methods <= 0 {
+		return 24
+	}
+	return c.Methods
+}
+
+func (c ChainConfig) links() int {
+	if c.Links <= 0 {
+		return 4
+	}
+	return c.Links
+}
+
+func (c ChainConfig) mutations() int {
+	if c.Mutations <= 0 {
+		return 1
+	}
+	return c.Mutations
+}
+
+// chainWorker is one worker method's identity across versions: its class is
+// Lgen/chain/W<id>g<gen>; (gen bumps on rename), its body derives from seed.
+type chainWorker struct {
+	id   int
+	gen  int
+	seed uint32
+}
+
+func (w chainWorker) desc() string {
+	if w.gen == 0 {
+		return fmt.Sprintf("Lgen/chain/W%d;", w.id)
+	}
+	return fmt.Sprintf("Lgen/chain/W%dg%d;", w.id, w.gen)
+}
+
+// VersionChain generates versions v1..v(Links+1) of one synthetic app.
+// Link l (1-based) applies mutation kind (l-1) mod 4: 0 rewrites Mutations
+// worker bodies, 1 adds a worker, 2 removes one, 3 renames one worker's
+// class. All choices are deterministic in ChainConfig.
+func VersionChain(cfg ChainConfig) ([]App, error) {
+	workers := make([]chainWorker, cfg.methods())
+	for i := range workers {
+		workers[i] = chainWorker{id: i, seed: cfg.Seed + uint32(i)*2654435761}
+	}
+	nextID := len(workers)
+	var out []App
+	for link := 0; link <= cfg.links(); link++ {
+		if link > 0 {
+			switch (link - 1) % 4 {
+			case 0: // body edit
+				for m := 0; m < cfg.mutations() && m < len(workers); m++ {
+					i := (link*7 + m) % len(workers)
+					workers[i].seed = workers[i].seed*1664525 + 1013904223 + uint32(link)
+				}
+			case 1: // added method
+				workers = append(workers, chainWorker{
+					id:   nextID,
+					seed: cfg.Seed + uint32(nextID)*2654435761 + uint32(link),
+				})
+				nextID++
+			case 2: // removed method
+				if len(workers) > 1 {
+					i := (link * 5) % len(workers)
+					workers = append(workers[:i], workers[i+1:]...)
+				}
+			case 3: // renamed class
+				workers[(link*3)%len(workers)].gen++
+			}
+		}
+		app, err := buildChainVersion(workers, link)
+		if err != nil {
+			return nil, fmt.Errorf("workload: chain v%d: %w", link+1, err)
+		}
+		out = append(out, app)
+	}
+	return out, nil
+}
+
+// buildChainVersion assembles one link: every worker class plus the launch
+// activity invoking each worker once.
+func buildChainVersion(workers []chainWorker, link int) (App, error) {
+	p := dexgen.New()
+	for _, w := range workers {
+		w := w
+		cls := p.Class(w.desc(), "")
+		cls.Static("work", "I", nil, func(a *dexgen.Asm) {
+			chainWorkerBody(a, w.seed)
+		})
+	}
+	mainDesc := "Lgen/chain/Main;"
+	main := p.Class(mainDesc, "Landroid/app/Activity;")
+	main.Ctor("Landroid/app/Activity;", nil)
+	main.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		for _, w := range workers {
+			a.InvokeStatic(w.desc(), "work", "()I")
+			a.MoveResult(0)
+		}
+		a.ReturnVoid()
+	})
+	version := fmt.Sprintf("1.%d", link)
+	pkg, err := p.BuildAPK("gen.chain", version, mainDesc)
+	if err != nil {
+		return App{}, err
+	}
+	return App{
+		Name:    fmt.Sprintf("chain-v%d", link+1),
+		Package: "gen.chain",
+		Version: version,
+		APK:     pkg,
+	}, nil
+}
+
+// chainWorkerBody emits one worker: a never-taken gate (one UCB, hence one
+// forced run per campaign) guarding a short block, then a seeded arithmetic
+// chain whose shape and constants both change when the seed does.
+func chainWorkerBody(a *dexgen.Asm, seed uint32) {
+	a.Const(0, 0)
+	a.IfZ(bytecode.OpIfNez, 0, "gated")
+	a.Goto("body")
+	a.Label("gated")
+	a.Const(1, int64(seed%31)+1)
+	a.Binop(bytecode.OpMulInt, 0, 1, 1)
+	a.Label("body")
+	a.Const(0, int64(seed%97)+1)
+	a.Const(1, int64(seed%13)+3)
+	ops := []bytecode.Opcode{
+		bytecode.OpAddInt, bytecode.OpSubInt, bytecode.OpMulInt,
+		bytecode.OpXorInt, bytecode.OpOrInt,
+	}
+	state := seed
+	for i := 0; i < 6+int(seed%5); i++ {
+		state = state*1664525 + 1013904223
+		a.Binop(ops[state%uint32(len(ops))], 0, 0, 1)
+	}
+	a.Return(0)
+}
