@@ -60,6 +60,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -95,6 +96,7 @@ func run(args []string) error {
 	metricsOut := fs.String("metrics-out", "", "write the batch metrics report JSON to this file")
 	serve := fs.Bool("serve", false, "service mode: run the HTTP reveal job API until SIGTERM")
 	incremental := fs.Bool("incremental", false, "incremental reveal: cache per-method collection trees and splice them for unchanged methods (on by default in -serve; -incremental=false disables)")
+	memBudget := fs.String("mem-budget", "", "reveal heap-footprint budget, e.g. 512MiB or 2G (empty = unlimited): reveals spill collection records to a cache mid-run and stream the DEX output; in -serve mode admission additionally gates on the budget")
 	addr := fs.String("addr", "localhost:8080", "service listen address")
 	storeDir := fs.String("store-dir", "", "service artifact store directory (empty = in-memory cache only)")
 	queueDepth := fs.Int("queue-depth", 64, "service job queue bound; a full queue answers HTTP 429")
@@ -113,6 +115,10 @@ func run(args []string) error {
 	}
 	if err := validateFlags(fs, *serve, *jobs, *workers, *queueDepth, *slo, *fleetReplication); err != nil {
 		return err
+	}
+	memBudgetBytes, err := parseByteSize(*memBudget)
+	if err != nil {
+		return fmt.Errorf("-mem-budget: %w", err)
 	}
 	lvl, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -152,6 +158,17 @@ func run(args []string) error {
 		opts.Incremental = true
 		opts.MethodCache = mc
 	}
+	if memBudgetBytes > 0 && !*serve {
+		// One-shot and batch modes get the spill tier (records displaced to
+		// a memory-bounded cache mid-reveal, streamed DEX output) but no
+		// admission gate — gating belongs to the service, where independent
+		// submissions contend for one heap.
+		sc, err := store.OpenMethodCache("", memBudgetBytes/4)
+		if err != nil {
+			return err
+		}
+		opts.SpillCache = sc
+	}
 	var sink *obs.JSONLSink
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -170,6 +187,7 @@ func run(args []string) error {
 			addr:             *addr,
 			storeDir:         *storeDir,
 			incremental:      serveIncremental,
+			memBudget:        memBudgetBytes,
 			queueDepth:       *queueDepth,
 			jobs:             *jobs,
 			revealWorkers:    *workers,
@@ -540,6 +558,40 @@ func validateFlags(fs *flag.FlagSet, serve bool, jobs, workers, queueDepth int, 
 		}
 	}
 	return nil
+}
+
+// parseByteSize parses a human byte size: a non-negative integer with an
+// optional binary-scale suffix (K/M/G, KB/MB/GB, KiB/MiB/GiB — all 1024
+// multiples, case-insensitive). "" parses to 0, the unlimited default.
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(s)
+	shift := 0
+	for _, suf := range []struct {
+		text  string
+		shift int
+	}{
+		{"KIB", 10}, {"MIB", 20}, {"GIB", 30},
+		{"KB", 10}, {"MB", 20}, {"GB", 30},
+		{"K", 10}, {"M", 20}, {"G", 30},
+	} {
+		if strings.HasSuffix(upper, suf.text) {
+			upper = strings.TrimSuffix(upper, suf.text)
+			shift = suf.shift
+			break
+		}
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte size %q (want e.g. 512MiB, 2G, 1048576)", s)
+	}
+	if shift > 0 && n > (1<<62)>>shift {
+		return 0, fmt.Errorf("byte size %q overflows", s)
+	}
+	return n << shift, nil
 }
 
 // splitPeers parses the -fleet-peers list, dropping empty segments so a

@@ -14,6 +14,7 @@ import (
 
 	"dexlego/internal/fleet"
 	"dexlego/internal/obs"
+	"dexlego/internal/pipeline"
 	"dexlego/internal/server"
 	"dexlego/internal/store"
 )
@@ -31,9 +32,12 @@ const drainTimeout = 30 * time.Second
 
 // serveConfig carries the -serve flag set into runServe.
 type serveConfig struct {
-	addr          string
-	storeDir      string
-	incremental   bool
+	addr        string
+	storeDir    string
+	incremental bool
+	// memBudget caps the estimated heap footprint of concurrently running
+	// reveals and enables the spill tier (0 = unlimited, no spilling).
+	memBudget     int64
 	queueDepth    int
 	jobs          int
 	revealWorkers int
@@ -77,9 +81,26 @@ func runServe(sc serveConfig) error {
 			return err
 		}
 	}
+	var memBudget *pipeline.MemoryBudget
+	var spillCache *store.MethodCache
+	if sc.memBudget > 0 {
+		memBudget = pipeline.NewMemoryBudget(sc.memBudget)
+		// The spill tier persists beside the artifact store when one is on
+		// disk; its in-memory LRU gets a quarter of the budget so spilled
+		// bytes cannot themselves defeat the cap.
+		dir := ""
+		if sc.storeDir != "" {
+			dir = filepath.Join(sc.storeDir, "spill")
+		}
+		if spillCache, err = store.OpenMethodCache(dir, sc.memBudget/4); err != nil {
+			return err
+		}
+	}
 	scfg := server.Config{
 		Store:         st,
 		MethodCache:   mcache,
+		MemBudget:     memBudget,
+		SpillCache:    spillCache,
 		Workers:       sc.jobs,
 		RevealWorkers: sc.revealWorkers,
 		QueueDepth:    sc.queueDepth,

@@ -199,3 +199,71 @@ func TestRunServeRejectsBadAddr(t *testing.T) {
 		t.Errorf("bad addr error = %v, want -addr error", err)
 	}
 }
+
+// TestRunServeWithMemBudget boots the service with -mem-budget through
+// run(): a reveal completes normally, the spill directory appears beside
+// the artifact store, and the exposition carries the dexlego_mem_* family.
+func TestRunServeWithMemBudget(t *testing.T) {
+	storeDir := t.TempDir()
+	lnc := make(chan net.Listener, 1)
+	stop := make(chan struct{})
+	serveHooks.listener = func(ln net.Listener) { lnc <- ln }
+	serveHooks.stop = stop
+	defer func() {
+		serveHooks.listener = nil
+		serveHooks.stop = nil
+	}()
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{"-serve", "-addr", "127.0.0.1:0",
+			"-store-dir", storeDir, "-mem-budget", "256MiB", "-log-level", "off"})
+	}()
+	var base string
+	select {
+	case ln := <-lnc:
+		base = "http://" + ln.Addr().String()
+	case err := <-errc:
+		t.Fatalf("serve exited before binding: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve never bound a listener")
+	}
+	resp, err := http.Post(base+"/v1/reveal?sample=SelfModifying1&wait=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var js server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&js); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || js.State != server.StateDone {
+		t.Fatalf("reveal = %d state=%s err=%s, want done", resp.StatusCode, js.State, js.Err)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil || mresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d %v", mresp.StatusCode, err)
+	}
+	for _, series := range []string{
+		"dexlego_mem_budget_bytes", "dexlego_mem_inuse_bytes",
+		"dexlego_mem_admit_waits_total", "dexlego_mem_spills_total",
+		"dexlego_mem_spilled_bytes_total",
+	} {
+		if !strings.Contains(string(scrape), series) {
+			t.Errorf("exposition lacks %s", series)
+		}
+	}
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("serve returned %v after drain, want nil", err)
+		}
+	case <-time.After(45 * time.Second):
+		t.Fatal("serve did not drain")
+	}
+}

@@ -7,15 +7,16 @@
 //
 //	perfbench -figure 6
 //	perfbench -table 8 [-runs 30]
-//	perfbench -bench [-bench-out BENCH_7.json] [-baseline bench/baseline.json]
+//	perfbench -bench [-bench-out BENCH_8.json] [-baseline bench/baseline.json]
 //	perfbench -bench -profile prof/ [-bench-time 2s] [-workers 0]
 //
 // -bench measures ns/op, B/op and allocs/op per hot-path stage over the
 // pinned corpus (internal/hotbench) and writes the machine-readable report.
 // With -baseline it additionally gates the run: any stage regressing more
 // than -ns-tol (default 15%) in ns/op or -allocs-tol (default 10%) in
-// allocs/op against the baseline exits non-zero, with a benchstat-style
-// delta table on stderr. -profile writes cpu.pprof and heap.pprof captured
+// allocs/op — or, on the reassembly and encode stages, more than -bytes-tol
+// (default 15%) in B/op — against the baseline exits non-zero, with a
+// benchstat-style delta table on stderr. -profile writes cpu.pprof and heap.pprof captured
 // over the benchmark loop into the given directory.
 package main
 
@@ -46,19 +47,20 @@ func run(args []string) error {
 	table := fs.Int("table", 0, "table to regenerate (8)")
 	runs := fs.Int("runs", 30, "launch repetitions per app (table 8)")
 	bench := fs.Bool("bench", false, "run the reveal hot-path benchmark harness")
-	benchOut := fs.String("bench-out", "BENCH_7.json", "benchmark report output path")
+	benchOut := fs.String("bench-out", "BENCH_8.json", "benchmark report output path")
 	baseline := fs.String("baseline", "", "baseline report to gate against (fails on regression)")
 	benchTime := fs.Duration("bench-time", time.Second, "minimum measuring time per stage")
 	workers := fs.Int("workers", 0, "intra-reveal workers: reassembly fan-out and forced-run pool (0 = GOMAXPROCS, 1 = serial)")
 	profileDir := fs.String("profile", "", "directory for cpu.pprof and heap.pprof of the bench run")
 	nsTol := fs.Float64("ns-tol", hotbench.DefaultNsTolerance, "ns/op regression tolerance (fraction)")
 	allocsTol := fs.Float64("allocs-tol", hotbench.DefaultAllocsTolerance, "allocs/op regression tolerance (fraction)")
+	bytesTol := fs.Float64("bytes-tol", hotbench.DefaultBytesTolerance, "B/op regression tolerance on reassembly/encode (fraction)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	switch {
 	case *bench:
-		return runBench(*benchOut, *baseline, *profileDir, *benchTime, *workers, *nsTol, *allocsTol)
+		return runBench(*benchOut, *baseline, *profileDir, *benchTime, *workers, *nsTol, *allocsTol, *bytesTol)
 	case *figure == 6:
 		res, err := experiments.RunFigure6()
 		if err != nil {
@@ -78,7 +80,7 @@ func run(args []string) error {
 	return nil
 }
 
-func runBench(outPath, baselinePath, profileDir string, benchTime time.Duration, workers int, nsTol, allocsTol float64) error {
+func runBench(outPath, baselinePath, profileDir string, benchTime time.Duration, workers int, nsTol, allocsTol, bytesTol float64) error {
 	if profileDir != "" {
 		if err := os.MkdirAll(profileDir, 0o755); err != nil {
 			return err
@@ -137,7 +139,7 @@ func runBench(outPath, baselinePath, profileDir string, benchTime time.Duration,
 		return fmt.Errorf("baseline: %w", err)
 	}
 	fmt.Print(hotbench.Delta(base, rep))
-	if violations := hotbench.Compare(base, rep, nsTol, allocsTol); len(violations) > 0 {
+	if violations := hotbench.Compare(base, rep, nsTol, allocsTol, bytesTol); len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", v)
 		}

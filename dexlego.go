@@ -90,6 +90,17 @@ type Options struct {
 	// MethodCache is the method-tree keyspace consulted and filled by the
 	// incremental path; safe to share across concurrent Reveal calls.
 	MethodCache *store.MethodCache
+
+	// SpillCache, when set, enables the memory-budgeted output path: after
+	// collection, completed method records are displaced from the live
+	// result into this cache as flat bytes and re-inflated one class at a
+	// time during reassembly, and the DEX image is emitted through the
+	// section-streaming writer. Output stays byte-identical to the
+	// all-resident path (pinned by TestWhaleSpillByteIdentity). Like the
+	// incremental fields this is an execution strategy, not an output
+	// parameter, so it is excluded from Options.Fingerprint. Safe to share
+	// across concurrent Reveal calls.
+	SpillCache *store.MethodCache
 }
 
 // Result is the outcome of a Reveal run.
@@ -288,15 +299,25 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 
 	var revealed *apk.APK
 	var stats *reassembler.Stats
+	var spill *spillSet
 	if err := stage(pipeline.StageReassembly, func(sp *obs.Span) error {
 		if opts.CollectDir != "" {
+			// The collection files need the full result; write them before
+			// any record is displaced.
 			if err := col.Result().WriteFiles(opts.CollectDir); err != nil {
 				return err
 			}
 		}
+		if opts.SpillCache != nil {
+			spill = spillResult(col.Result(), opts.SpillCache, sp)
+		}
 		var err error
 		revealed, stats, err = reassembler.ReassembleAPKCfg(pkg, col.Result(), sp,
-			reassembler.Config{Workers: opts.Workers})
+			reassembler.Config{
+				Workers: opts.Workers,
+				Fetch:   spill.fetch,
+				Stream:  opts.SpillCache != nil,
+			})
 		if err != nil {
 			return fmt.Errorf("dexlego: reassemble: %w", err)
 		}
@@ -333,7 +354,10 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 		// Store back only after verify: a record enters the cache only from
 		// a reveal whose output round-tripped, in its final (canonical on
 		// the force path, execution-order on the plain path) tree order.
+		// Spilled records left the result before reassembly, so the spill
+		// set stores them back from its retained bytes under the same rules.
 		inc.storeBack(col.Result(), opts.MethodCache)
+		spill.storeBack(inc, opts.MethodCache)
 	}
 	res.Revealed = revealed
 	res.RevealedDex = parsed
@@ -341,7 +365,14 @@ func Reveal(pkg *apk.APK, opts Options) (*Result, error) {
 	res.Stats = stats
 	m := res.Metrics
 	m.WallNS = int64(time.Since(start))
+	// Spilled records are no longer in the result map; their instruction
+	// counts were banked at spill time.
 	m.ExecutedInsns = res.Collection.ExecutedInstructionCount()
+	if spill != nil {
+		m.ExecutedInsns += spill.insns
+		m.MethodsSpilled = spill.count()
+		m.SpilledBytes = spill.bytes
+	}
 	m.Methods = stats.Methods
 	m.ExecutedMethods = stats.ExecutedMethods
 	m.Stubs = stats.Stubs

@@ -5,22 +5,37 @@ import (
 	"sort"
 )
 
+// LabelID identifies one label in a single Assembler's namespace. Hot
+// callers (the reassembler's flattener) allocate anonymous IDs directly and
+// never pay for label-name strings; the string Label API interns names into
+// the same namespace lazily.
+type LabelID int32
+
 // Assembler builds a method body from instructions and symbolic labels and
 // resolves branch offsets and switch payloads into a final code-unit array.
 //
 // The zero value is ready to use. All mutating methods record the first
 // error and subsequent calls become no-ops; Assemble returns that error.
 type Assembler struct {
-	items []asmItem
-	err   error
+	items   []asmItem
+	binds   []labelBind
+	nLabels int32
+	byName  map[string]LabelID // lazily allocated: only named labels pay
+	err     error
 }
 
 type asmItem struct {
-	labels  []string // labels bound to this position
 	inst    Inst
-	branch  string   // label for Off-based formats
-	targets []string // labels for switch targets
-	present bool     // false for a trailing label-only item
+	branch  LabelID   // label for Off-based formats; -1 = none
+	targets []LabelID // labels for switch targets
+}
+
+// labelBind records that a label precedes the item-index'th instruction
+// (item == len(items) at assemble time binds past the last instruction).
+// Binds are appended in emission order, so the list is sorted by item.
+type labelBind struct {
+	item int32
+	id   LabelID
 }
 
 func (a *Assembler) fail(format string, args ...any) {
@@ -29,27 +44,67 @@ func (a *Assembler) fail(format string, args ...any) {
 	}
 }
 
+// NewLabel allocates a fresh anonymous label. It carries no name and costs
+// no map entry; bind it with BindLabel and reference it from the *ID
+// emitters.
+func (a *Assembler) NewLabel() LabelID {
+	id := LabelID(a.nLabels)
+	a.nLabels++
+	return id
+}
+
+// NewLabelBlock allocates n consecutive anonymous labels and returns the
+// first; the block spans [id, id+n). The reassembler's flattener reserves
+// one block per collection-tree node so a (node, instruction) pair maps to a
+// label by arithmetic instead of a map lookup or a formatted name.
+func (a *Assembler) NewLabelBlock(n int) LabelID {
+	id := LabelID(a.nLabels)
+	a.nLabels += int32(n)
+	return id
+}
+
+// Intern returns the LabelID for name, allocating it on first sight.
+func (a *Assembler) Intern(name string) LabelID {
+	if id, ok := a.byName[name]; ok {
+		return id
+	}
+	if a.byName == nil {
+		a.byName = make(map[string]LabelID, 8)
+	}
+	id := a.NewLabel()
+	a.byName[name] = id
+	return id
+}
+
+// nameOf recovers a label's name for diagnostics ("#N" for anonymous ones).
+func (a *Assembler) nameOf(id LabelID) string {
+	for n, i := range a.byName {
+		if i == id {
+			return n
+		}
+	}
+	return "#" + fmt.Sprint(int32(id))
+}
+
+// BindLabel binds id to the next emitted instruction.
+func (a *Assembler) BindLabel(id LabelID) *Assembler {
+	if a.err != nil {
+		return a
+	}
+	a.binds = append(a.binds, labelBind{item: int32(len(a.items)), id: id})
+	return a
+}
+
 // Label binds name to the next emitted instruction.
 func (a *Assembler) Label(name string) *Assembler {
 	if a.err != nil {
 		return a
 	}
-	if len(a.items) > 0 && !a.items[len(a.items)-1].present {
-		a.items[len(a.items)-1].labels = append(a.items[len(a.items)-1].labels, name)
-		return a
-	}
-	a.items = append(a.items, asmItem{labels: []string{name}})
-	return a
+	return a.BindLabel(a.Intern(name))
 }
 
 func (a *Assembler) push(it asmItem) *Assembler {
 	if a.err != nil {
-		return a
-	}
-	it.present = true
-	if len(a.items) > 0 && !a.items[len(a.items)-1].present {
-		it.labels = append(a.items[len(a.items)-1].labels, it.labels...)
-		a.items[len(a.items)-1] = it
 		return a
 	}
 	a.items = append(a.items, it)
@@ -58,22 +113,44 @@ func (a *Assembler) push(it asmItem) *Assembler {
 
 // Raw emits a fully formed instruction with no label operands.
 func (a *Assembler) Raw(in Inst) *Assembler {
-	return a.push(asmItem{inst: in})
+	return a.push(asmItem{inst: in, branch: -1})
+}
+
+// RawBranchID emits an instruction whose Off operand resolves from id.
+func (a *Assembler) RawBranchID(in Inst, id LabelID) *Assembler {
+	return a.push(asmItem{inst: in, branch: id})
 }
 
 // RawBranch emits an instruction whose Off operand is resolved from label.
 func (a *Assembler) RawBranch(in Inst, label string) *Assembler {
-	return a.push(asmItem{inst: in, branch: label})
+	if a.err != nil {
+		return a
+	}
+	return a.RawBranchID(in, a.Intern(label))
+}
+
+// RawSwitchID emits a switch instruction whose case targets resolve from
+// ids (copied; the caller may reuse the slice). in.Keys must already hold
+// the case keys.
+func (a *Assembler) RawSwitchID(in Inst, ids []LabelID) *Assembler {
+	if len(in.Keys) != len(ids) {
+		a.fail("%s: %d keys but %d labels", in.Op, len(in.Keys), len(ids))
+		return a
+	}
+	return a.push(asmItem{inst: in, branch: -1, targets: append([]LabelID(nil), ids...)})
 }
 
 // RawSwitch emits a switch instruction whose case targets are resolved from
 // labels; in.Keys must already hold the case keys.
 func (a *Assembler) RawSwitch(in Inst, labels []string) *Assembler {
-	if len(in.Keys) != len(labels) {
-		a.fail("%s: %d keys but %d labels", in.Op, len(in.Keys), len(labels))
+	if a.err != nil {
 		return a
 	}
-	return a.push(asmItem{inst: in, targets: append([]string(nil), labels...)})
+	ids := make([]LabelID, len(labels))
+	for i, l := range labels {
+		ids[i] = a.Intern(l)
+	}
+	return a.RawSwitchID(in, ids)
 }
 
 // Nop emits a nop.
@@ -176,6 +253,11 @@ func (a *Assembler) Throw(v int32) *Assembler { return a.Raw(Inst{Op: OpThrow, A
 // Goto emits an unconditional jump to label (16-bit reach).
 func (a *Assembler) Goto(label string) *Assembler {
 	return a.RawBranch(Inst{Op: OpGoto16}, label)
+}
+
+// GotoID emits an unconditional jump to a label ID (16-bit reach).
+func (a *Assembler) GotoID(id LabelID) *Assembler {
+	return a.RawBranchID(Inst{Op: OpGoto16}, id)
 }
 
 // If emits a two-register conditional branch (if-eq .. if-le) to label.
@@ -290,53 +372,101 @@ func (a *Assembler) SparseSwitch(v int32, keys []int32, labels []string) *Assemb
 	return a.RawSwitch(Inst{Op: OpSparseSwitch, A: v, Keys: sk}, sl)
 }
 
+// IndexFixup records that the instruction at PC carries a constant-pool
+// index of the given kind. The 16-bit index operand of every index-bearing
+// format this assembler emits (21c, 22c, 35c, 3rc) sits in the code unit at
+// PC+1, so a later table permutation can patch operands in place without
+// decoding the instruction stream (see dex.Builder.Finish).
+type IndexFixup struct {
+	PC   int32
+	Kind IndexKind
+}
+
+// Labels holds the resolved dex_pc of every label after assembly.
+type Labels struct {
+	pcs    []int32 // by LabelID; -1 = never bound
+	byName map[string]LabelID
+}
+
+// PC returns the resolved position of a label ID.
+func (l *Labels) PC(id LabelID) (int, bool) {
+	if l == nil || int(id) >= len(l.pcs) || id < 0 || l.pcs[id] < 0 {
+		return 0, false
+	}
+	return int(l.pcs[id]), true
+}
+
+// Name returns the resolved position of a named label.
+func (l *Labels) Name(name string) (int, bool) {
+	if l == nil {
+		return 0, false
+	}
+	id, ok := l.byName[name]
+	if !ok {
+		return 0, false
+	}
+	return l.PC(id)
+}
+
+// AsmResult is the output of AssembleFull.
+type AsmResult struct {
+	Insns  []uint16
+	Labels Labels
+	Fixups []IndexFixup // non-nil; one entry per index-bearing instruction
+}
+
 // Assemble lays out the program, resolves labels and switch payloads, and
 // returns the final code-unit array.
 func (a *Assembler) Assemble() ([]uint16, error) {
-	insns, _, err := a.AssembleWithLabels()
-	return insns, err
+	res, err := a.AssembleFull()
+	return res.Insns, err
 }
 
-// AssembleWithLabels is Assemble plus the resolved dex_pc of every label
-// (used to anchor try/catch ranges).
-func (a *Assembler) AssembleWithLabels() ([]uint16, map[string]int, error) {
+// AssembleFull is Assemble plus the resolved dex_pc of every label (used to
+// anchor try/catch ranges) and the index-operand fixup list.
+func (a *Assembler) AssembleFull() (AsmResult, error) {
 	if a.err != nil {
-		return nil, nil, a.err
+		return AsmResult{}, a.err
 	}
 	// First pass: assign dex_pc to every instruction and label.
-	pcOf := make(map[string]int)
-	pc := 0
-	type placedItem struct {
-		pc int
-		it asmItem
+	pcs := make([]int32, a.nLabels)
+	for i := range pcs {
+		pcs[i] = -1
 	}
-	placed := make([]placedItem, 0, len(a.items))
-	for _, it := range a.items {
-		for _, l := range it.labels {
-			if _, dup := pcOf[l]; dup {
-				return nil, nil, fmt.Errorf("bytecode: asm: duplicate label %q", l)
-			}
-			pcOf[l] = pc
+	itemPC := make([]int32, len(a.items)+1)
+	pc := 0
+	fixups := make([]IndexFixup, 0, len(a.items)/4+1)
+	for i := range a.items {
+		itemPC[i] = int32(pc)
+		in := &a.items[i].inst
+		if in.Op.Index() != IndexNone {
+			fixups = append(fixups, IndexFixup{PC: int32(pc), Kind: in.Op.Index()})
 		}
-		if !it.present {
-			continue
+		pc += in.Width()
+	}
+	itemPC[len(a.items)] = int32(pc)
+	for _, bind := range a.binds {
+		if pcs[bind.id] >= 0 {
+			return AsmResult{}, fmt.Errorf("bytecode: asm: duplicate label %q", a.nameOf(bind.id))
 		}
-		placed = append(placed, placedItem{pc, it})
-		pc += it.inst.Width()
+		pcs[bind.id] = itemPC[bind.item]
 	}
 	bodyLen := pc
 
 	// Second pass: place switch payloads after the body, 4-byte aligned.
-	payloadPC := make([]int, len(placed))
-	for i, p := range placed {
-		if !p.it.inst.Op.IsSwitch() {
+	var payloadPC []int
+	for i := range a.items {
+		if !a.items[i].inst.Op.IsSwitch() {
 			continue
+		}
+		if payloadPC == nil {
+			payloadPC = make([]int, len(a.items))
 		}
 		if pc%2 != 0 {
 			pc++ // nop pad
 		}
 		payloadPC[i] = pc
-		pc += p.it.inst.PayloadWidth()
+		pc += a.items[i].inst.PayloadWidth()
 	}
 
 	out := make([]uint16, 0, pc)
@@ -345,60 +475,63 @@ func (a *Assembler) AssembleWithLabels() ([]uint16, map[string]int, error) {
 			out = append(out, uint16(OpNop))
 		}
 	}
-	resolve := func(label string, at int) (int32, error) {
-		t, ok := pcOf[label]
-		if !ok {
-			return 0, fmt.Errorf("bytecode: asm: undefined label %q", label)
+	resolve := func(id LabelID, at int) (int32, error) {
+		if int(id) >= len(pcs) || pcs[id] < 0 {
+			return 0, fmt.Errorf("bytecode: asm: undefined label %q", a.nameOf(id))
 		}
-		return int32(t - at), nil
+		return pcs[id] - int32(at), nil
 	}
-	for i, p := range placed {
-		in := p.it.inst
-		if p.it.branch != "" {
-			off, err := resolve(p.it.branch, p.pc)
+	for i := range a.items {
+		it := &a.items[i]
+		in := it.inst
+		at := int(itemPC[i])
+		if it.branch >= 0 {
+			off, err := resolve(it.branch, at)
 			if err != nil {
-				return nil, nil, err
+				return AsmResult{}, err
 			}
 			in.Off = off
 		}
-		if len(p.it.targets) > 0 {
-			in.Targets = make([]int32, len(p.it.targets))
-			for j, l := range p.it.targets {
-				off, err := resolve(l, p.pc)
+		if len(it.targets) > 0 {
+			in.Targets = make([]int32, len(it.targets))
+			for j, l := range it.targets {
+				off, err := resolve(l, at)
 				if err != nil {
-					return nil, nil, err
+					return AsmResult{}, err
 				}
 				in.Targets[j] = off
 			}
-			in.Off = int32(payloadPC[i] - p.pc)
+			in.Off = int32(payloadPC[i] - at)
 		}
 		units, err := Encode(in)
 		if err != nil {
-			return nil, nil, err
+			return AsmResult{}, err
 		}
-		emitTo(p.pc)
+		emitTo(at)
 		out = append(out, units...)
 	}
 	emitTo(bodyLen)
-	for i, p := range placed {
-		if !p.it.inst.Op.IsSwitch() {
+	for i := range a.items {
+		it := &a.items[i]
+		if !it.inst.Op.IsSwitch() {
 			continue
 		}
-		in := p.it.inst
-		in.Targets = make([]int32, len(p.it.targets))
-		for j, l := range p.it.targets {
-			off, err := resolve(l, p.pc)
+		in := it.inst
+		at := int(itemPC[i])
+		in.Targets = make([]int32, len(it.targets))
+		for j, l := range it.targets {
+			off, err := resolve(l, at)
 			if err != nil {
-				return nil, nil, err
+				return AsmResult{}, err
 			}
 			in.Targets[j] = off
 		}
 		payload, err := EncodePayload(in)
 		if err != nil {
-			return nil, nil, err
+			return AsmResult{}, err
 		}
 		emitTo(payloadPC[i])
 		out = append(out, payload...)
 	}
-	return out, pcOf, nil
+	return AsmResult{Insns: out, Labels: Labels{pcs: pcs, byName: a.byName}, Fixups: fixups}, nil
 }

@@ -141,7 +141,20 @@ func (b *Builder) Method(class, name, ret string, params ...string) uint32 {
 }
 
 // MethodSig interns a method reference given a (params)ret signature.
+//
+// The interned-method key Method builds is exactly class->name+sig, so a
+// warm call resolves against the method map directly without parsing the
+// signature (ParseSignature allocates a params slice); only first-sight
+// references pay for the parse.
 func (b *Builder) MethodSig(class, name, sig string) (uint32, error) {
+	buf := append(b.keyBuf[:0], class...)
+	buf = append(buf, "->"...)
+	buf = append(buf, name...)
+	buf = append(buf, sig...)
+	b.keyBuf = buf
+	if idx, ok := b.methodIdx[string(buf)]; ok {
+		return idx, nil
+	}
 	params, ret, err := ParseSignature(sig)
 	if err != nil {
 		return 0, err
@@ -412,27 +425,72 @@ func (b *Builder) Finish() (*File, error) {
 // result means the input is already sorted and the permutation is the
 // identity — callers skip their rewrite passes on nil (the common case on
 // cache-warm rebuilds, where symbols were interned in canonical order).
+//
+// Interned pools are built from sorted runs: symbols arrive grouped by the
+// class or method that interned them, and within a group largely in
+// canonical order already. sortPerm therefore detects the ascending runs of
+// the interned sequence and merges them bottom-up (a natural merge sort)
+// instead of handing the whole table to a comparison sort that ignores the
+// pre-existing order. One run is the identity; few runs cost ~n compares
+// per level over log(runs) levels; fully random input degrades gracefully
+// to an ordinary mergesort.
 func sortPerm(n int, less func(i, j int) bool) []uint32 {
-	sorted := true
-	for i := 1; i < n; i++ {
-		if less(i, i-1) {
-			sorted = false
-			break
-		}
-	}
-	if sorted {
+	if n < 2 {
 		return nil
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	// Run boundaries: bounds[k]..bounds[k+1] is the k-th ascending run.
+	bounds := []int{0}
+	for i := 1; i < n; i++ {
+		if less(i, i-1) {
+			bounds = append(bounds, i)
+		}
 	}
-	sort.SliceStable(order, func(a, b int) bool { return less(order[a], order[b]) })
+	if len(bounds) == 1 {
+		return nil
+	}
+	bounds = append(bounds, n)
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	buf := make([]int32, n)
+	for len(bounds) > 2 {
+		merged := bounds[:1]
+		for k := 0; k+2 < len(bounds); k += 2 {
+			lo, mid, hi := bounds[k], bounds[k+1], bounds[k+2]
+			mergeRuns(order, buf, lo, mid, hi, less)
+			merged = append(merged, hi)
+		}
+		if len(bounds)%2 == 0 { // odd run count: last run carries over
+			merged = append(merged, bounds[len(bounds)-1])
+		}
+		bounds = merged
+	}
 	perm := make([]uint32, n)
 	for newIdx, oldIdx := range order {
 		perm[oldIdx] = uint32(newIdx)
 	}
 	return perm
+}
+
+// mergeRuns merges the sorted runs order[lo:mid] and order[mid:hi] in place
+// (through buf), comparing original indices with less. Stable: the left run
+// wins ties, matching what a stable comparison sort would produce.
+func mergeRuns(order, buf []int32, lo, mid, hi int, less func(i, j int) bool) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if less(int(order[j]), int(order[i])) {
+			buf[k] = order[j]
+			j++
+		} else {
+			buf[k] = order[i]
+			i++
+		}
+		k++
+	}
+	copy(buf[k:], order[i:mid])
+	copy(buf[k+mid-i:hi], order[j:hi])
+	copy(order[lo:hi], buf[lo:hi])
 }
 
 // permAt resolves an index through a permutation, treating nil as identity.
@@ -553,6 +611,43 @@ func remapCode(f *File, workers int, stringMap, typeMap, fieldMap, methodMap []u
 					h.Type = typeMap[h.Type]
 				}
 			}
+		}
+		// Fast path: the assembler recorded where every index operand sits
+		// (always one 16-bit code unit past the opcode for the formats it
+		// emits), so patch those units in place with no decode/re-encode.
+		if code.IndexFixups != nil {
+			for _, fx := range code.IndexFixups {
+				var m []uint32
+				switch fx.Kind {
+				case bytecode.IndexString:
+					m = stringMap
+				case bytecode.IndexType:
+					m = typeMap
+				case bytecode.IndexField:
+					m = fieldMap
+				case bytecode.IndexMethod:
+					m = methodMap
+				default:
+					continue
+				}
+				if m == nil {
+					continue // identity permutation: operand already final
+				}
+				at := int(fx.PC) + 1
+				if at >= len(code.Insns) {
+					return fmt.Errorf("dex: remap: fixup pc %d out of range", fx.PC)
+				}
+				old := uint32(code.Insns[at])
+				if int(old) >= len(m) {
+					return fmt.Errorf("dex: remap: index %d out of range at pc %d", old, fx.PC)
+				}
+				idx := m[old]
+				if idx > 0xffff {
+					return fmt.Errorf("dex: remap: index %d exceeds 16 bits at pc %d", idx, fx.PC)
+				}
+				code.Insns[at] = uint16(idx)
+			}
+			return nil
 		}
 		placed, err := bytecode.DecodeAll(code.Insns)
 		if err != nil {

@@ -9,6 +9,8 @@ package dex
 import (
 	"fmt"
 	"strings"
+
+	"dexlego/internal/bytecode"
 )
 
 // NoIndex is the sentinel for absent superclass or source-file references.
@@ -97,6 +99,13 @@ type Code struct {
 	OutsSize      uint16
 	Insns         []uint16
 	Tries         []Try
+	// IndexFixups lists the positions of constant-pool index operands inside
+	// Insns, recorded by the assembler at layout time. Builder.Finish patches
+	// those positions directly when remapping provisional indices instead of
+	// decoding and re-encoding the instruction stream; nil (code that did not
+	// come through the assembler, e.g. read from an existing DEX) selects the
+	// decode-based remap path. The writer ignores this field.
+	IndexFixups []bytecode.IndexFixup
 }
 
 // Try is one try_item and its resolved catch handlers.

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/adler32"
+	"io"
 	"sort"
 	"sync"
 )
@@ -16,6 +17,12 @@ const (
 	headerSize = 0x70
 	endianTag  = 0x12345678
 )
+
+// streamWindow bounds how many data-section bytes WriteStream buffers before
+// handing them to the sink. Flush points sit on item boundaries, so a single
+// oversized code item can exceed the window transiently; it is retired at the
+// next boundary.
+const streamWindow = 64 << 10
 
 // Map-list item type codes from the DEX specification.
 const (
@@ -34,8 +41,23 @@ const (
 	mapEncodedArray = 0x2005
 )
 
+// byteWriter accumulates little-endian DEX bytes. With a nil sink it is a
+// plain growing buffer (the buffered Write path). With a sink, flushWindow
+// retires the buffer to the sink whenever it exceeds streamWindow, so the
+// streaming path holds at most one window plus the current item; len()
+// accounts for flushed bytes either way.
 type byteWriter struct {
-	buf []byte
+	buf     []byte
+	sink    io.Writer
+	flushed int
+	err     error
+}
+
+func (w *byteWriter) reset(sink io.Writer) {
+	w.buf = w.buf[:0]
+	w.sink = sink
+	w.flushed = 0
+	w.err = nil
 }
 
 func (w *byteWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
@@ -45,58 +67,107 @@ func (w *byteWriter) u32(v uint32) {
 }
 func (w *byteWriter) uleb(v uint32) { w.buf = appendULEB128(w.buf, v) }
 func (w *byteWriter) sleb(v int32)  { w.buf = appendSLEB128(w.buf, v) }
-func (w *byteWriter) align4() {
-	for len(w.buf)%4 != 0 {
-		w.buf = append(w.buf, 0)
+func (w *byteWriter) len() int      { return w.flushed + len(w.buf) }
+
+func (w *byteWriter) flushWindow() {
+	if w.sink != nil && len(w.buf) >= streamWindow {
+		w.flush()
 	}
 }
-func (w *byteWriter) len() int { return len(w.buf) }
+
+func (w *byteWriter) flush() {
+	if w.sink == nil || len(w.buf) == 0 {
+		return
+	}
+	if w.err == nil {
+		_, w.err = w.sink.Write(w.buf)
+	}
+	// Count even failed flushes so len()-based offsets stay consistent; err
+	// short-circuits the final result.
+	w.flushed += len(w.buf)
+	w.buf = w.buf[:0]
+}
+
+func (w *byteWriter) finish() error {
+	w.flush()
+	return w.err
+}
 
 // scratchPool recycles the data-section and catch-handler scratch writers
 // across Write calls: a warm writer already holds a buffer sized by the
 // previous file, so the data section is built without growth reallocations.
 var scratchPool = sync.Pool{New: func() any { return new(byteWriter) }}
 
-// Write serializes the file to the DEX binary format, computing the header
-// checksum and SHA-1 signature.
-func (f *File) Write() ([]byte, error) {
-	if err := f.validate(); err != nil {
-		return nil, err
-	}
-	// Fixed-size index sections determine where data starts.
-	stringIDsOff := headerSize
-	typeIDsOff := stringIDsOff + 4*len(f.Strings)
-	protoIDsOff := typeIDsOff + 4*len(f.Types)
-	fieldIDsOff := protoIDsOff + 12*len(f.Protos)
-	methodIDsOff := fieldIDsOff + 8*len(f.Fields)
-	classDefsOff := methodIDsOff + 8*len(f.Methods)
-	dataOff := classDefsOff + 32*len(f.Classes)
+type mapEntry struct {
+	kind   uint16
+	size   uint32
+	offset uint32
+}
 
-	data := scratchPool.Get().(*byteWriter)
-	data.buf = data.buf[:0]
-	defer scratchPool.Put(data)
-	handlerScratch := scratchPool.Get().(*byteWriter)
-	defer scratchPool.Put(handlerScratch)
-	abs := func() uint32 { return uint32(dataOff + data.len()) }
+// sectionOffsets locates the fixed-size index sections; they depend only on
+// table lengths, so every pass computes them identically.
+type sectionOffsets struct {
+	stringIDs, typeIDs, protoIDs, fieldIDs, methodIDs, classDefs, data int
+}
 
-	type mapEntry struct {
-		kind   uint16
-		size   uint32
-		offset uint32
+func (f *File) sectionOffsets() sectionOffsets {
+	var o sectionOffsets
+	o.stringIDs = headerSize
+	o.typeIDs = o.stringIDs + 4*len(f.Strings)
+	o.protoIDs = o.typeIDs + 4*len(f.Types)
+	o.fieldIDs = o.protoIDs + 12*len(f.Protos)
+	o.methodIDs = o.fieldIDs + 8*len(f.Fields)
+	o.classDefs = o.methodIDs + 8*len(f.Methods)
+	o.data = o.classDefs + 32*len(f.Classes)
+	return o
+}
+
+// dataLayout records where every variable-length item landed inside the data
+// section. It is the only state a streaming pass carries over: once buildData
+// returns, all of its builder maps (type-list dedup, per-method code offsets)
+// are dead, and later passes emit the header and id tables from these arrays
+// alone.
+type dataLayout struct {
+	protoParamsOff []uint32
+	classIfaceOff  []uint32
+	classDataOff   []uint32
+	staticValsOff  []uint32
+	stringDataOff  []uint32
+	mapEntries     []mapEntry
+	mapOff         uint32
+	dataLen        int
+}
+
+// buildData serializes the data section into data, starting at file offset
+// dataOff, and returns the resulting layout. Offsets are tracked relative to
+// the writer position at entry, so the caller may stream the header and id
+// tables through the same writer first. The construction is deterministic:
+// repeated calls on the same file produce identical bytes, which is what lets
+// WriteStream run it once per pass instead of buffering the section.
+func (f *File) buildData(data *byteWriter, handlerScratch *byteWriter, dataOff int) (dataLayout, error) {
+	base := data.len()
+	rel := func() int { return data.len() - base }
+	abs := func() uint32 { return uint32(dataOff + rel()) }
+	align4 := func() {
+		for rel()%4 != 0 {
+			data.u8(0)
+		}
 	}
-	var mapEntries []mapEntry
+
+	var lay dataLayout
+	offs := f.sectionOffsets()
 	addMap := func(kind uint16, size int, offset uint32) {
 		if size > 0 {
-			mapEntries = append(mapEntries, mapEntry{kind, uint32(size), offset})
+			lay.mapEntries = append(lay.mapEntries, mapEntry{kind, uint32(size), offset})
 		}
 	}
 	addMap(mapHeader, 1, 0)
-	addMap(mapStringID, len(f.Strings), uint32(stringIDsOff))
-	addMap(mapTypeID, len(f.Types), uint32(typeIDsOff))
-	addMap(mapProtoID, len(f.Protos), uint32(protoIDsOff))
-	addMap(mapFieldID, len(f.Fields), uint32(fieldIDsOff))
-	addMap(mapMethodID, len(f.Methods), uint32(methodIDsOff))
-	addMap(mapClassDef, len(f.Classes), uint32(classDefsOff))
+	addMap(mapStringID, len(f.Strings), uint32(offs.stringIDs))
+	addMap(mapTypeID, len(f.Types), uint32(offs.typeIDs))
+	addMap(mapProtoID, len(f.Protos), uint32(offs.protoIDs))
+	addMap(mapFieldID, len(f.Fields), uint32(offs.fieldIDs))
+	addMap(mapMethodID, len(f.Methods), uint32(offs.methodIDs))
+	addMap(mapClassDef, len(f.Classes), uint32(offs.classDefs))
 
 	// Type lists (proto parameters and class interfaces), deduplicated. The
 	// dedup key is a varint encoding built in a reused scratch buffer and
@@ -117,7 +188,7 @@ func (f *File) Write() ([]byte, error) {
 			return off
 		}
 		key := string(listKeyBuf)
-		data.align4()
+		align4()
 		off := abs()
 		if typeListCount == 0 {
 			typeListFirst = off
@@ -130,15 +201,16 @@ func (f *File) Write() ([]byte, error) {
 		typeListOff[key] = off
 		return off
 	}
-	protoParamsOff := make([]uint32, len(f.Protos))
+	lay.protoParamsOff = make([]uint32, len(f.Protos))
 	for i := range f.Protos {
-		protoParamsOff[i] = writeTypeList(f.Protos[i].Params)
+		lay.protoParamsOff[i] = writeTypeList(f.Protos[i].Params)
 	}
-	classIfaceOff := make([]uint32, len(f.Classes))
+	lay.classIfaceOff = make([]uint32, len(f.Classes))
 	for i := range f.Classes {
-		classIfaceOff[i] = writeTypeList(f.Classes[i].Interfaces)
+		lay.classIfaceOff[i] = writeTypeList(f.Classes[i].Interfaces)
 	}
 	addMap(mapTypeList, typeListCount, typeListFirst)
+	data.flushWindow()
 
 	// Code items.
 	type methodKey struct{ class, list, idx int }
@@ -153,7 +225,7 @@ func (f *File) Write() ([]byte, error) {
 				if code == nil {
 					continue
 				}
-				data.align4()
+				align4()
 				off := abs()
 				if codeCount == 0 {
 					codeFirst = off
@@ -161,15 +233,16 @@ func (f *File) Write() ([]byte, error) {
 				codeCount++
 				codeOffs[methodKey{ci, li, mi}] = off
 				if err := writeCodeItem(data, code, handlerScratch); err != nil {
-					return nil, err
+					return lay, err
 				}
+				data.flushWindow()
 			}
 		}
 	}
 	addMap(mapCode, codeCount, codeFirst)
 
 	// Class data items.
-	classDataOff := make([]uint32, len(f.Classes))
+	lay.classDataOff = make([]uint32, len(f.Classes))
 	var classDataCount int
 	var classDataFirst uint32
 	for ci := range f.Classes {
@@ -183,7 +256,7 @@ func (f *File) Write() ([]byte, error) {
 			classDataFirst = off
 		}
 		classDataCount++
-		classDataOff[ci] = off
+		lay.classDataOff[ci] = off
 		data.uleb(uint32(len(cd.StaticFields)))
 		data.uleb(uint32(len(cd.InstFields)))
 		data.uleb(uint32(len(cd.DirectMeths)))
@@ -208,10 +281,10 @@ func (f *File) Write() ([]byte, error) {
 			return nil
 		}
 		if err := writeFields(cd.StaticFields); err != nil {
-			return nil, err
+			return lay, err
 		}
 		if err := writeFields(cd.InstFields); err != nil {
-			return nil, err
+			return lay, err
 		}
 		writeMethods := func(li int, meths []EncodedMethod) error {
 			if !sort.SliceIsSorted(meths, func(i, j int) bool {
@@ -234,16 +307,17 @@ func (f *File) Write() ([]byte, error) {
 			return nil
 		}
 		if err := writeMethods(0, cd.DirectMeths); err != nil {
-			return nil, err
+			return lay, err
 		}
 		if err := writeMethods(1, cd.VirtualMeths); err != nil {
-			return nil, err
+			return lay, err
 		}
+		data.flushWindow()
 	}
 	addMap(mapClassData, classDataCount, classDataFirst)
 
 	// Static value arrays.
-	staticValsOff := make([]uint32, len(f.Classes))
+	lay.staticValsOff = make([]uint32, len(f.Classes))
 	var arrCount int
 	var arrFirst uint32
 	for ci := range f.Classes {
@@ -256,27 +330,28 @@ func (f *File) Write() ([]byte, error) {
 			arrFirst = off
 		}
 		arrCount++
-		staticValsOff[ci] = off
+		lay.staticValsOff[ci] = off
 		data.uleb(uint32(len(vals)))
 		for _, v := range vals {
 			var err error
 			data.buf, err = appendEncodedValue(data.buf, v)
 			if err != nil {
-				return nil, err
+				return lay, err
 			}
 		}
+		data.flushWindow()
 	}
 	addMap(mapEncodedArray, arrCount, arrFirst)
 
 	// String data.
-	stringDataOff := make([]uint32, len(f.Strings))
+	lay.stringDataOff = make([]uint32, len(f.Strings))
 	var strFirst uint32
 	for i, s := range f.Strings {
 		off := abs()
 		if i == 0 {
 			strFirst = off
 		}
-		stringDataOff[i] = off
+		lay.stringDataOff[i] = off
 		if asciiNoNUL(s) {
 			// ASCII encodes as itself with UTF-16 length len(s): write the
 			// bytes straight into the data section, no scratch encoding.
@@ -288,83 +363,124 @@ func (f *File) Write() ([]byte, error) {
 			data.buf = append(data.buf, enc...)
 		}
 		data.u8(0)
+		data.flushWindow()
 	}
 	addMap(mapStringData, len(f.Strings), strFirst)
 
 	// Map list.
-	data.align4()
-	mapOff := abs()
-	addMap(mapMapList, 1, mapOff)
-	sort.SliceStable(mapEntries, func(i, j int) bool {
-		return mapEntries[i].offset < mapEntries[j].offset
+	align4()
+	lay.mapOff = abs()
+	addMap(mapMapList, 1, lay.mapOff)
+	sort.SliceStable(lay.mapEntries, func(i, j int) bool {
+		return lay.mapEntries[i].offset < lay.mapEntries[j].offset
 	})
-	data.u32(uint32(len(mapEntries)))
-	for _, e := range mapEntries {
+	data.u32(uint32(len(lay.mapEntries)))
+	for _, e := range lay.mapEntries {
 		data.u16(e.kind)
 		data.u16(0)
 		data.u32(e.size)
 		data.u32(e.offset)
 	}
+	lay.dataLen = rel()
+	return lay, nil
+}
 
-	// Assemble the final file.
-	total := dataOff + data.len()
-	out := &byteWriter{buf: make([]byte, 0, total)}
-	out.buf = append(out.buf, Magic...)
-	out.u32(0)                                     // checksum, patched below
-	out.buf = append(out.buf, make([]byte, 20)...) // signature, patched below
+// emitHeaderTail writes the header fields after the signature (file_size
+// through data_off).
+func (f *File) emitHeaderTail(out *byteWriter, lay *dataLayout, offs sectionOffsets, total int) {
 	out.u32(uint32(total))
 	out.u32(headerSize)
 	out.u32(endianTag)
 	out.u32(0) // link_size
 	out.u32(0) // link_off
-	out.u32(mapOff)
+	out.u32(lay.mapOff)
 	out.u32(uint32(len(f.Strings)))
-	out.u32(offOrZero(len(f.Strings), stringIDsOff))
+	out.u32(offOrZero(len(f.Strings), offs.stringIDs))
 	out.u32(uint32(len(f.Types)))
-	out.u32(offOrZero(len(f.Types), typeIDsOff))
+	out.u32(offOrZero(len(f.Types), offs.typeIDs))
 	out.u32(uint32(len(f.Protos)))
-	out.u32(offOrZero(len(f.Protos), protoIDsOff))
+	out.u32(offOrZero(len(f.Protos), offs.protoIDs))
 	out.u32(uint32(len(f.Fields)))
-	out.u32(offOrZero(len(f.Fields), fieldIDsOff))
+	out.u32(offOrZero(len(f.Fields), offs.fieldIDs))
 	out.u32(uint32(len(f.Methods)))
-	out.u32(offOrZero(len(f.Methods), methodIDsOff))
+	out.u32(offOrZero(len(f.Methods), offs.methodIDs))
 	out.u32(uint32(len(f.Classes)))
-	out.u32(offOrZero(len(f.Classes), classDefsOff))
-	out.u32(uint32(data.len()))
-	out.u32(uint32(dataOff))
+	out.u32(offOrZero(len(f.Classes), offs.classDefs))
+	out.u32(uint32(lay.dataLen))
+	out.u32(uint32(offs.data))
+}
 
-	for _, off := range stringDataOff {
+// emitIDTables writes the fixed-size index sections from the recorded layout.
+func (f *File) emitIDTables(out *byteWriter, lay *dataLayout) {
+	for _, off := range lay.stringDataOff {
 		out.u32(off)
 	}
+	out.flushWindow()
 	for _, t := range f.Types {
 		out.u32(t)
 	}
+	out.flushWindow()
 	for i, p := range f.Protos {
 		out.u32(p.Shorty)
 		out.u32(p.Return)
-		out.u32(protoParamsOff[i])
+		out.u32(lay.protoParamsOff[i])
 	}
+	out.flushWindow()
 	for _, fd := range f.Fields {
 		out.u16(uint16(fd.Class))
 		out.u16(uint16(fd.Type))
 		out.u32(fd.Name)
 	}
+	out.flushWindow()
 	for _, m := range f.Methods {
 		out.u16(uint16(m.Class))
 		out.u16(uint16(m.Proto))
 		out.u32(m.Name)
 	}
+	out.flushWindow()
 	for ci := range f.Classes {
 		cd := &f.Classes[ci]
 		out.u32(cd.Class)
 		out.u32(cd.AccessFlags)
 		out.u32(cd.Superclass)
-		out.u32(classIfaceOff[ci])
+		out.u32(lay.classIfaceOff[ci])
 		out.u32(cd.SourceFile)
 		out.u32(0) // annotations_off
-		out.u32(classDataOff[ci])
-		out.u32(staticValsOff[ci])
+		out.u32(lay.classDataOff[ci])
+		out.u32(lay.staticValsOff[ci])
+		out.flushWindow()
 	}
+}
+
+// Write serializes the file to the DEX binary format, computing the header
+// checksum and SHA-1 signature. The whole file is buffered; WriteStream is
+// the bounded-memory alternative.
+func (f *File) Write() ([]byte, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	offs := f.sectionOffsets()
+
+	data := scratchPool.Get().(*byteWriter)
+	data.reset(nil)
+	defer scratchPool.Put(data)
+	handlerScratch := scratchPool.Get().(*byteWriter)
+	handlerScratch.reset(nil)
+	defer scratchPool.Put(handlerScratch)
+
+	lay, err := f.buildData(data, handlerScratch, offs.data)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble the final file.
+	total := offs.data + data.len()
+	out := &byteWriter{buf: make([]byte, 0, total)}
+	out.buf = append(out.buf, Magic...)
+	out.u32(0)                                     // checksum, patched below
+	out.buf = append(out.buf, make([]byte, 20)...) // signature, patched below
+	f.emitHeaderTail(out, &lay, offs, total)
+	f.emitIDTables(out, &lay)
 	out.buf = append(out.buf, data.buf...)
 
 	// Signature over everything after it, checksum over everything after it.
@@ -376,6 +492,121 @@ func (f *File) Write() ([]byte, error) {
 	out.buf[10] = byte(sum >> 16)
 	out.buf[11] = byte(sum >> 24)
 	return out.buf, nil
+}
+
+// countWriter tracks how many bytes reached the underlying writer.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteStream serializes the file to w, byte-identical to Write, while
+// holding only a bounded window of the output in memory (plus the per-pass
+// layout arrays). The header checksum covers the signature, which in turn
+// covers every byte after it, so a single forward pass cannot emit the
+// header first; instead the file is produced in three deterministic passes:
+//
+//  1. measure — build the data section against a discarding sink to fix
+//     every item offset, the map list and the total size;
+//  2. digest — stream header tail, id tables and data section through the
+//     SHA-1 and adler32 hashes; the header checksum is then derived from
+//     the signature with an adler32 combine instead of a third hash sweep;
+//  3. emit — stream the completed header and the same sections to w.
+//
+// Each pass rebuilds the variable-length sections window-by-window and
+// retires the builder state when the pass ends, trading ~3x encode CPU for
+// an O(window) output footprint. Returns the number of bytes written to w.
+func (f *File) WriteStream(w io.Writer) (int64, error) {
+	if err := f.validate(); err != nil {
+		return 0, err
+	}
+	offs := f.sectionOffsets()
+
+	handlerScratch := scratchPool.Get().(*byteWriter)
+	handlerScratch.reset(nil)
+	defer scratchPool.Put(handlerScratch)
+	pass := scratchPool.Get().(*byteWriter)
+	defer scratchPool.Put(pass)
+
+	// Pass 1: measure.
+	pass.reset(io.Discard)
+	lay, err := f.buildData(pass, handlerScratch, offs.data)
+	if err != nil {
+		return 0, err
+	}
+	if err := pass.finish(); err != nil {
+		return 0, err
+	}
+	total := offs.data + lay.dataLen
+
+	// Pass 2: digest everything after the signature field.
+	sha := sha1.New()
+	adl := adler32.New()
+	pass.reset(io.MultiWriter(sha, adl))
+	f.emitHeaderTail(pass, &lay, offs, total)
+	f.emitIDTables(pass, &lay)
+	lay2, err := f.buildData(pass, handlerScratch, offs.data)
+	if err != nil {
+		return 0, err
+	}
+	if err := pass.finish(); err != nil {
+		return 0, err
+	}
+	if lay2.dataLen != lay.dataLen {
+		return 0, fmt.Errorf("dex: stream passes disagree on data length (%d != %d)",
+			lay2.dataLen, lay.dataLen)
+	}
+	var sig [20]byte
+	sha.Sum(sig[:0])
+	// checksum = adler32 over signature ++ body; splice the two partial sums.
+	sum := adler32Combine(adler32.Checksum(sig[:]), adl.Sum32(), int64(total-32))
+
+	// Pass 3: emit.
+	cw := &countWriter{w: w}
+	pass.reset(cw)
+	pass.buf = append(pass.buf, Magic...)
+	pass.u32(sum)
+	pass.buf = append(pass.buf, sig[:]...)
+	f.emitHeaderTail(pass, &lay, offs, total)
+	f.emitIDTables(pass, &lay)
+	if _, err := f.buildData(pass, handlerScratch, offs.data); err != nil {
+		return cw.n, err
+	}
+	if err := pass.finish(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// adler32Combine returns the adler32 of the concatenation A++B given
+// adler32(A), adler32(B) and len(B) (the standard zlib combine identity:
+// B's running sums are shifted by A's, minus the seed that B double-counts).
+func adler32Combine(adler1, adler2 uint32, len2 int64) uint32 {
+	const mod = 65521
+	rem := uint32(len2 % mod)
+	sum1 := adler1 & 0xffff
+	sum2 := (rem * sum1) % mod
+	sum1 += (adler2 & 0xffff) + mod - 1
+	sum2 += ((adler1 >> 16) & 0xffff) + ((adler2 >> 16) & 0xffff) + mod - rem
+	if sum1 >= mod {
+		sum1 -= mod
+	}
+	if sum1 >= mod {
+		sum1 -= mod
+	}
+	if sum2 >= mod<<1 {
+		sum2 -= mod << 1
+	}
+	if sum2 >= mod {
+		sum2 -= mod
+	}
+	return sum1 | sum2<<16
 }
 
 func offOrZero(n, off int) uint32 {

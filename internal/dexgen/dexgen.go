@@ -16,13 +16,27 @@ import (
 )
 
 // asmTask is one method body whose assembly has been deferred to Finish.
-// assemble is self-contained (it touches only the task's own Asm and Code)
+// Assembly is self-contained (it touches only the task's own Asm and Code)
 // and runs on a worker; tries may intern constants through the Builder and
 // therefore runs serially after every assemble completed.
 type asmTask struct {
-	assemble func() (map[string]int, error)
-	tries    func(labels map[string]int) error
-	labels   map[string]int
+	a          *Asm
+	code       *dex.Code
+	desc, name string
+	labels     bytecode.Labels
+	tries      func(labels *bytecode.Labels) error
+}
+
+// assemble runs the deferred assembly for this task; safe to fan out.
+func (t *asmTask) assemble() error {
+	res, err := t.a.asm.AssembleFull()
+	if err != nil {
+		return fmt.Errorf("dexgen: %s->%s: %v", t.desc, t.name, err)
+	}
+	t.code.Insns = res.Insns
+	t.code.IndexFixups = res.Fixups
+	t.labels = res.Labels
+	return nil
 }
 
 // Program accumulates classes and produces a dex.File or an APK.
@@ -30,7 +44,33 @@ type Program struct {
 	b       *dex.Builder
 	err     error
 	workers int
-	tasks   []*asmTask
+	tasks   []asmTask
+
+	codeArena []dex.Code // chunked allocator: pointers stay stable
+	asmArena  []Asm
+}
+
+// newCode returns a zeroed dex.Code from the chunk allocator. Codes are
+// handed to the Builder and retained, so they come from fixed-size chunks
+// whose element addresses never move.
+func (p *Program) newCode() *dex.Code {
+	if len(p.codeArena) == 0 {
+		p.codeArena = make([]dex.Code, 64)
+	}
+	c := &p.codeArena[0]
+	p.codeArena = p.codeArena[1:]
+	return c
+}
+
+// newAsm returns a zeroed Asm from the chunk allocator.
+func (p *Program) newAsm() *Asm {
+	if len(p.asmArena) == 0 {
+		p.asmArena = make([]Asm, 64)
+	}
+	a := &p.asmArena[0]
+	p.asmArena = p.asmArena[1:]
+	a.p = p
+	return a
 }
 
 // New returns an empty program.
@@ -78,19 +118,18 @@ func (p *Program) Finish() (*dex.File, error) {
 	tasks := p.tasks
 	p.tasks = nil
 	if err := pipeline.ParallelDo(p.workers, len(tasks), func(i int) error {
-		labels, err := tasks[i].assemble()
-		tasks[i].labels = labels
-		return err
+		return tasks[i].assemble()
 	}); err != nil {
 		p.err = err
 		return nil, err
 	}
 	// Try tables resolve serially: they intern catch types in the Builder.
-	for _, t := range tasks {
+	for i := range tasks {
+		t := &tasks[i]
 		if t.tries == nil {
 			continue
 		}
-		if err := t.tries(t.labels); err != nil {
+		if err := t.tries(&t.labels); err != nil {
 			p.err = err
 			return nil, err
 		}
@@ -197,37 +236,25 @@ func (c *Class) Method(spec MethodSpec, gen func(a *Asm)) *Class {
 	if !spec.Static {
 		ins++
 	}
-	a := &Asm{
-		p:      c.p,
-		locals: int32(locals),
-		static: spec.Static,
-		params: len(spec.Params),
-	}
+	a := c.p.newAsm()
+	a.locals = int32(locals)
+	a.static = spec.Static
+	a.params = len(spec.Params)
 	gen(a)
 	// The body was generated (interning every constant through the Builder);
 	// the pure assembly into code units is deferred so Finish can fan it out.
-	code := &dex.Code{
-		RegistersSize: uint16(locals + ins),
-		InsSize:       uint16(ins),
-		OutsSize:      uint16(a.outs),
-	}
-	desc, mname, tries := c.desc, spec.Name, a.tries
-	task := &asmTask{
-		assemble: func() (map[string]int, error) {
-			insns, labels, err := a.asm.AssembleWithLabels()
-			if err != nil {
-				return nil, fmt.Errorf("dexgen: %s->%s: %v", desc, mname, err)
-			}
-			code.Insns = insns
-			return labels, nil
-		},
-	}
-	if len(tries) > 0 {
-		task.tries = func(labels map[string]int) error {
+	code := c.p.newCode()
+	code.RegistersSize = uint16(locals + ins)
+	code.InsSize = uint16(ins)
+	code.OutsSize = uint16(a.outs)
+	task := asmTask{a: a, code: code, desc: c.desc, name: spec.Name}
+	if tries := a.tries; len(tries) > 0 {
+		desc, mname := c.desc, spec.Name
+		task.tries = func(labels *bytecode.Labels) error {
 			for _, tc := range tries {
-				start, ok1 := labels[tc.start]
-				end, ok2 := labels[tc.end]
-				handler, ok3 := labels[tc.handler]
+				start, ok1 := labels.Name(tc.start)
+				end, ok2 := labels.Name(tc.end)
+				handler, ok3 := labels.Name(tc.handler)
 				if !ok1 || !ok2 || !ok3 || end < start {
 					return fmt.Errorf("dexgen: %s->%s: bad try/catch labels %+v", desc, mname, tc)
 				}
@@ -634,39 +661,33 @@ type RawCode struct {
 	Tries     []dex.Try
 	// TriesFn computes the try table after assembly from resolved label
 	// positions; it overrides Tries when set.
-	TriesFn func(labels map[string]int) ([]dex.Try, error)
+	TriesFn func(labels *bytecode.Labels) ([]dex.Try, error)
 }
 
 // RawMethod emits a method whose register layout is fully caller-controlled.
+// The Asm handed to rc.Build must not be retained past the Build call.
 func (c *Class) RawMethod(name, ret string, params []string, flags uint32, rc RawCode) *Class {
 	if c.p.err != nil {
 		return c
 	}
-	a := &Asm{p: c.p, locals: int32(rc.Registers - rc.Ins), static: flags&dex.AccStatic != 0, params: len(params)}
+	a := c.p.newAsm()
+	a.locals = int32(rc.Registers - rc.Ins)
+	a.static = flags&dex.AccStatic != 0
+	a.params = len(params)
 	rc.Build(a)
 	outs := rc.Outs
 	if a.outs > outs {
 		outs = a.outs
 	}
-	code := &dex.Code{
-		RegistersSize: uint16(rc.Registers),
-		InsSize:       uint16(rc.Ins),
-		OutsSize:      uint16(outs),
-		Tries:         rc.Tries,
-	}
-	desc, mname, triesFn := c.desc, name, rc.TriesFn
-	task := &asmTask{
-		assemble: func() (map[string]int, error) {
-			insns, labels, err := a.asm.AssembleWithLabels()
-			if err != nil {
-				return nil, fmt.Errorf("dexgen: %s->%s: %v", desc, mname, err)
-			}
-			code.Insns = insns
-			return labels, nil
-		},
-	}
-	if triesFn != nil {
-		task.tries = func(labels map[string]int) error {
+	code := c.p.newCode()
+	code.RegistersSize = uint16(rc.Registers)
+	code.InsSize = uint16(rc.Ins)
+	code.OutsSize = uint16(outs)
+	code.Tries = rc.Tries
+	task := asmTask{a: a, code: code, desc: c.desc, name: name}
+	if triesFn := rc.TriesFn; triesFn != nil {
+		desc, mname := c.desc, name
+		task.tries = func(labels *bytecode.Labels) error {
 			tries, err := triesFn(labels)
 			if err != nil {
 				return fmt.Errorf("dexgen: %s->%s: tries: %v", desc, mname, err)

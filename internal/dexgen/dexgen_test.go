@@ -195,8 +195,8 @@ func TestRawMethodTriesFn(t *testing.T) {
 				a.Nop()
 				a.ReturnVoid()
 			},
-			TriesFn: func(labels map[string]int) ([]dex.Try, error) {
-				start, ok := labels["start"]
+			TriesFn: func(labels *bytecode.Labels) ([]dex.Try, error) {
+				start, ok := labels.Name("start")
 				if !ok {
 					t.Error("label positions not passed to TriesFn")
 				}

@@ -2,7 +2,7 @@
 // path: the per-APK pipeline DEX decode → JIT collection → reassembly →
 // DEX encode → structural verify that every job of the reveal service pays.
 // It measures ns/op, B/op and allocs/op per stage over a pinned corpus and
-// emits the machine-readable report (BENCH_7.json) that the CI bench-gate
+// emits the machine-readable report (BENCH_8.json) that the CI bench-gate
 // compares against the checked-in baseline.
 //
 // One op is one full pass over the corpus, so numbers are comparable only
@@ -28,6 +28,7 @@ import (
 	"dexlego/internal/droidbench"
 	"dexlego/internal/forceexec"
 	"dexlego/internal/obs"
+	"dexlego/internal/pipeline"
 	"dexlego/internal/reassembler"
 	"dexlego/internal/store"
 	"dexlego/internal/workload"
@@ -250,21 +251,28 @@ func measure(benchTime time.Duration, minIters int, op func() error) (StageBench
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
+	// The accountant's ticker observes live-heap residency while ops run,
+	// catching mid-stage balloons the boundary MemStats reads never see.
+	acct := pipeline.NewResourceAccountant()
+	stopSampling := acct.StartSampling(5 * time.Millisecond)
 	start := time.Now()
 	n := 0
 	for time.Since(start) < benchTime || n < minIters {
 		if err := op(); err != nil {
+			stopSampling()
 			return StageBench{}, err
 		}
 		n++
 	}
 	elapsed := time.Since(start)
+	stopSampling()
 	runtime.ReadMemStats(&after)
 	return StageBench{
-		NsPerOp:     elapsed.Nanoseconds() / int64(n),
-		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
-		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(n),
-		Iterations:  n,
+		NsPerOp:       elapsed.Nanoseconds() / int64(n),
+		BytesPerOp:    int64(after.TotalAlloc-before.TotalAlloc) / int64(n),
+		AllocsPerOp:   int64(after.Mallocs-before.Mallocs) / int64(n),
+		Iterations:    n,
+		HeapPeakBytes: acct.Finish(0, 0).HeapPeakBytes,
 	}, nil
 }
 

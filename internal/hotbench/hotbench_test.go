@@ -89,7 +89,7 @@ func TestRunEmitsAllStages(t *testing.T) {
 	if len(back.Stages) != len(rep.Stages) || back.Schema != Schema {
 		t.Fatalf("round trip lost data: %+v", back)
 	}
-	if msgs := Compare(back, rep, DefaultNsTolerance, DefaultAllocsTolerance); len(msgs) != 0 {
+	if msgs := Compare(back, rep, DefaultNsTolerance, DefaultAllocsTolerance, DefaultBytesTolerance); len(msgs) != 0 {
 		t.Fatalf("self-compare flagged regressions: %v", msgs)
 	}
 }
@@ -108,7 +108,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		Corpus: []string{"A", "B"},
 		Stages: []StageBench{{Stage: StageReveal, NsPerOp: 1100, BytesPerOp: 520, AllocsPerOp: 105, Iterations: 5}},
 	}
-	if msgs := Compare(base, ok, DefaultNsTolerance, DefaultAllocsTolerance); len(msgs) != 0 {
+	if msgs := Compare(base, ok, DefaultNsTolerance, DefaultAllocsTolerance, DefaultBytesTolerance); len(msgs) != 0 {
 		t.Fatalf("within-tolerance run flagged: %v", msgs)
 	}
 	slow := &Report{
@@ -116,7 +116,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		Corpus: []string{"A", "B"},
 		Stages: []StageBench{{Stage: StageReveal, NsPerOp: 1200, BytesPerOp: 500, AllocsPerOp: 100, Iterations: 5}},
 	}
-	if msgs := Compare(base, slow, DefaultNsTolerance, DefaultAllocsTolerance); len(msgs) != 1 {
+	if msgs := Compare(base, slow, DefaultNsTolerance, DefaultAllocsTolerance, DefaultBytesTolerance); len(msgs) != 1 {
 		t.Fatalf("ns/op regression not flagged exactly once: %v", msgs)
 	}
 	leaky := &Report{
@@ -124,7 +124,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		Corpus: []string{"A", "B"},
 		Stages: []StageBench{{Stage: StageReveal, NsPerOp: 1000, BytesPerOp: 500, AllocsPerOp: 120, Iterations: 5}},
 	}
-	if msgs := Compare(base, leaky, DefaultNsTolerance, DefaultAllocsTolerance); len(msgs) != 1 {
+	if msgs := Compare(base, leaky, DefaultNsTolerance, DefaultAllocsTolerance, DefaultBytesTolerance); len(msgs) != 1 {
 		t.Fatalf("allocs/op regression not flagged exactly once: %v", msgs)
 	}
 	otherCorpus := &Report{
@@ -132,7 +132,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		Corpus: []string{"A", "C"},
 		Stages: base.Stages,
 	}
-	if msgs := Compare(base, otherCorpus, DefaultNsTolerance, DefaultAllocsTolerance); len(msgs) == 0 {
+	if msgs := Compare(base, otherCorpus, DefaultNsTolerance, DefaultAllocsTolerance, DefaultBytesTolerance); len(msgs) == 0 {
 		t.Fatal("corpus mismatch not refused")
 	}
 }

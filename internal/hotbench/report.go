@@ -12,10 +12,12 @@ import (
 const Schema = "dexlego/hotbench/v1"
 
 // Default gate tolerances: a candidate fails the gate when a stage regresses
-// more than 15% in ns/op or more than 10% in allocs/op against the baseline.
+// more than 15% in ns/op, more than 10% in allocs/op, or — on the
+// memory-sensitive stages only — more than 15% in B/op against the baseline.
 const (
 	DefaultNsTolerance     = 0.15
 	DefaultAllocsTolerance = 0.10
+	DefaultBytesTolerance  = 0.15
 )
 
 // StageBench is the steady-state measurement of one hot-path stage, where
@@ -26,6 +28,14 @@ type StageBench struct {
 	BytesPerOp  int64  `json:"bytesPerOp"`
 	AllocsPerOp int64  `json:"allocsPerOp"`
 	Iterations  int    `json:"iterations"`
+
+	// HeapPeakBytes is the largest live-heap growth observed while the
+	// stage's measurement loop ran, sampled by a ResourceAccountant ticker.
+	// Unlike BytesPerOp (allocation volume) it captures residency — the
+	// number a memory budget actually has to cover. Informational, not
+	// gated: peak residency depends on GC timing and is too noisy for a
+	// hard tolerance.
+	HeapPeakBytes int64 `json:"heapPeakBytes,omitempty"`
 }
 
 // Report is the machine-readable benchmark output (the BENCH_4.json schema).
@@ -75,11 +85,21 @@ func DecodeReport(data []byte) (*Report, error) {
 	return &r, nil
 }
 
+// bytesGated reports whether a stage's B/op is part of the gate. Only the
+// memory-bound output stages are held to a bytes tolerance: reassembly and
+// encode are where the streaming/pooling work lives and where an allocation
+// regression silently undoes it. The decode/collect stages allocate
+// proportionally to corpus shape and stay gated on ns/op and allocs/op only.
+func bytesGated(stage string) bool {
+	return stage == "reassembly" || stage == "encode"
+}
+
 // Compare gates cur against base: every stage present in both must not
-// regress beyond the tolerances (fractions, e.g. 0.15 = +15%). It returns
+// regress beyond the tolerances (fractions, e.g. 0.15 = +15%). B/op is
+// additionally gated by bytesTol on the stages bytesGated selects. It returns
 // one violation string per breach; an empty slice means the gate passes.
 // Reports over different corpora are never comparable and fail outright.
-func Compare(base, cur *Report, nsTol, allocsTol float64) []string {
+func Compare(base, cur *Report, nsTol, allocsTol, bytesTol float64) []string {
 	if !equalCorpus(base.Corpus, cur.Corpus) {
 		return []string{fmt.Sprintf(
 			"corpus mismatch: baseline %v vs current %v (refresh the baseline)",
@@ -102,6 +122,11 @@ func Compare(base, cur *Report, nsTol, allocsTol float64) []string {
 			violations = append(violations, fmt.Sprintf(
 				"stage %s: allocs/op regressed %.1f%% (%d -> %d, tolerance %.0f%%)",
 				bs.Stage, pct(bs.AllocsPerOp, cs.AllocsPerOp), bs.AllocsPerOp, cs.AllocsPerOp, allocsTol*100))
+		}
+		if bytesGated(bs.Stage) && exceeded(bs.BytesPerOp, cs.BytesPerOp, bytesTol) {
+			violations = append(violations, fmt.Sprintf(
+				"stage %s: B/op regressed %.1f%% (%d -> %d, tolerance %.0f%%)",
+				bs.Stage, pct(bs.BytesPerOp, cs.BytesPerOp), bs.BytesPerOp, cs.BytesPerOp, bytesTol*100))
 		}
 	}
 	return violations

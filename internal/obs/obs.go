@@ -63,7 +63,11 @@ type EventType uint8
 // The incremental-reveal events cover the per-method collection cache:
 // method_cache_hit and method_cache_miss record one method's fingerprint
 // lookup against the method-tree keyspace, and tree_splice records a cached
-// collection tree grafted into the result in place of re-execution.
+// collection tree grafted into the result in place of re-execution. The
+// memory-budget events cover the budgeted output path: mem_spill records
+// one completed method record displaced from the in-memory result to the
+// spill tier mid-reveal, and mem_admit_wait records a job blocked in the
+// memory-budget admission gate before its reveal ran.
 const (
 	EventSpanStart EventType = iota
 	EventSpanEnd
@@ -96,6 +100,8 @@ const (
 	EventMethodCacheHit
 	EventMethodCacheMiss
 	EventTreeSplice
+	EventMemSpill
+	EventMemAdmitWait
 	numEventTypes // sentinel, keep last
 )
 
@@ -131,6 +137,8 @@ var eventNames = [numEventTypes]string{
 	EventMethodCacheHit:      "method_cache_hit",
 	EventMethodCacheMiss:     "method_cache_miss",
 	EventTreeSplice:          "tree_splice",
+	EventMemSpill:            "mem_spill",
+	EventMemAdmitWait:        "mem_admit_wait",
 }
 
 // EventTypes returns every known event type, in declaration order.
@@ -226,8 +234,8 @@ type Event struct {
 	From   int       `json:"from,omitempty"`   // merge_variant: raw tree count; worker_merge: trees offered; worker_clamp: requested workers
 	Count  int       `json:"count,omitempty"`  // merge_variant: arrays kept; method_collected: insns; worker_merge: trees kept; worker_clamp: granted workers; flight_dump: events dumped
 	Worker int       `json:"worker,omitempty"` // worker_merge: merged shard index
-	Detail string    `json:"detail,omitempty"` // verify_defect, concurrent_entry; service events: cache key or job id; worker_clamp: reason
-	Bytes  int64     `json:"bytes,omitempty"`  // resource_sample: heap bytes allocated during the stage
+	Detail string    `json:"detail,omitempty"` // verify_defect, concurrent_entry; service events: cache key or job id; worker_clamp: reason; mem_spill: spill-tier store key
+	Bytes  int64     `json:"bytes,omitempty"`  // resource_sample: heap bytes allocated during the stage; mem_spill: serialized record size; mem_admit_wait: requested estimate
 	Heap   int64     `json:"heap,omitempty"`   // resource_sample: live-heap delta vs run start after the stage
 	SLONS  int64     `json:"sloNS,omitempty"`  // slo_violation: the configured latency objective
 }
@@ -627,6 +635,27 @@ func (s *Span) TreeSplice(method string, trees int) {
 		return
 	}
 	s.emit(&Event{Type: EventTreeSplice, Span: s.id, Method: method, Count: trees})
+}
+
+// MemSpill records one completed method record displaced from the
+// in-memory collection result to the spill tier mid-reveal: `bytes` of
+// serialized trees stored under content address `key`, to be fetched back
+// one class at a time during reassembly.
+func (s *Span) MemSpill(method string, bytes int64, key string) {
+	if !s.Enabled() {
+		return
+	}
+	s.emit(&Event{Type: EventMemSpill, Span: s.id, Method: method, Bytes: bytes, Detail: key})
+}
+
+// MemAdmitWait records job `id` blocked in the memory-budget admission
+// gate for `wait` before its reveal ran, having requested an estimated
+// footprint of `bytes`.
+func (s *Span) MemAdmitWait(id string, wait time.Duration, bytes int64) {
+	if !s.Enabled() {
+		return
+	}
+	s.emit(&Event{Type: EventMemAdmitWait, Span: s.id, Detail: id, DurNS: int64(wait), Bytes: bytes})
 }
 
 // QueueWait records how long job `id` waited in the admission queue before

@@ -143,6 +143,19 @@ func (e *Event) Validate() error {
 			return fmt.Errorf("obs: tree_splice: spliced %d trees", e.Count)
 		}
 		return need(e.Method != "", "method")
+	case EventMemSpill:
+		if e.Bytes < 1 {
+			return fmt.Errorf("obs: mem_spill: spilled %d bytes", e.Bytes)
+		}
+		return need(e.Method != "" && e.Detail != "", "method or store key")
+	case EventMemAdmitWait:
+		if e.DurNS < 0 {
+			return fmt.Errorf("obs: mem_admit_wait: negative wait %d", e.DurNS)
+		}
+		if e.Bytes < 1 {
+			return fmt.Errorf("obs: mem_admit_wait: requested %d bytes", e.Bytes)
+		}
+		return need(e.Detail != "", "job id")
 	}
 	return nil
 }
@@ -255,7 +268,11 @@ type AppTrace struct {
 	PredecodeInvals  int
 	MethodCacheHits  int
 	MethodCacheMiss  int
-	TreesSpliced     int // trees adopted from the incremental method cache
+	TreesSpliced     int   // trees adopted from the incremental method cache
+	MemSpills        int   // method records displaced to the spill tier
+	SpilledBytes     int64 // serialized volume of the spilled records
+	AdmitWaits       int   // jobs blocked in the memory-budget admission gate
+	AdmitWaitNS      int64 // summed admission-gate blocking time
 	ResourceSamples  int
 	AllocBytes       int64 // summed resource_sample allocation
 	PeakHeapDelta    int64 // max live-heap growth observed at a stage boundary
@@ -372,6 +389,12 @@ func (t *Trace) Apps() []*AppTrace {
 			a.MethodCacheMiss++
 		case EventTreeSplice:
 			a.TreesSpliced += ev.Count
+		case EventMemSpill:
+			a.MemSpills++
+			a.SpilledBytes += ev.Bytes
+		case EventMemAdmitWait:
+			a.AdmitWaits++
+			a.AdmitWaitNS += ev.DurNS
 		case EventResourceSample:
 			a.ResourceSamples++
 			a.AllocBytes += ev.Bytes
@@ -457,6 +480,11 @@ func (t *Trace) ReportString() string {
 		if a.ResourceSamples > 0 {
 			fmt.Fprintf(&sb, "  resources: %d samples, %d bytes allocated, peak heap delta %d bytes\n",
 				a.ResourceSamples, a.AllocBytes, a.PeakHeapDelta)
+		}
+		if a.MemSpills > 0 || a.AdmitWaits > 0 {
+			fmt.Fprintf(&sb, "  memory budget: %d records spilled (%d bytes), %d admission waits (%v)\n",
+				a.MemSpills, a.SpilledBytes, a.AdmitWaits,
+				time.Duration(a.AdmitWaitNS).Round(time.Microsecond))
 		}
 		if a.SLOViolations > 0 || a.FlightDumps > 0 {
 			fmt.Fprintf(&sb, "  SLO violations: %d, flight dumps: %d\n",

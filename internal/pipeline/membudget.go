@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MemoryBudget is the admission gate for reveal heap footprint: the sum of
+// the estimated footprints of all admitted jobs never exceeds the limit.
+// It mirrors the worker clamp in internal/server (jobs × reveal workers ≤
+// GOMAXPROCS): job-level concurrency multiplies per-job heap just as it
+// multiplies per-job goroutines, and a bounded queue alone does not stop
+// three whale APKs from running their tree-heavy reassembly at once.
+//
+// Unlike the pool's TrySubmit (reject with 429), Acquire blocks: the job is
+// already admitted and owed an answer, so the budget trades latency for
+// peak heap rather than refusing work. A nil *MemoryBudget is the no-op
+// unlimited default; every method is nil-safe.
+type MemoryBudget struct {
+	limit int64
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	inUse int64
+
+	waits  atomic.Int64
+	waitNS atomic.Int64
+}
+
+// NewMemoryBudget returns a gate admitting at most limit estimated bytes of
+// concurrent reveal footprint. A non-positive limit returns nil — the
+// unlimited no-op budget — so callers can pass a raw flag value through.
+func NewMemoryBudget(limit int64) *MemoryBudget {
+	if limit <= 0 {
+		return nil
+	}
+	b := &MemoryBudget{limit: limit}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// MemReservation is one admitted footprint estimate; Release returns it to
+// the budget. A nil reservation (from a nil budget) is a valid no-op.
+type MemReservation struct {
+	b        *MemoryBudget
+	bytes    int64
+	released bool
+}
+
+// Acquire blocks until estimate bytes fit under the limit, then reserves
+// them, returning the reservation and the time spent blocked (0 when
+// admission was immediate). An estimate larger than the whole limit is
+// admitted once the budget is empty — the oversized job runs alone rather
+// than deadlocking — which keeps the gate a throttle, not a validator.
+func (b *MemoryBudget) Acquire(estimate int64) (*MemReservation, time.Duration) {
+	if b == nil {
+		return nil, 0
+	}
+	if estimate < 1 {
+		estimate = 1
+	}
+	var start time.Time
+	waited := false
+	b.mu.Lock()
+	for b.inUse > 0 && b.inUse+estimate > b.limit {
+		if !waited {
+			waited = true
+			start = time.Now()
+			b.waits.Add(1)
+		}
+		b.cond.Wait()
+	}
+	b.inUse += estimate
+	b.mu.Unlock()
+	var wait time.Duration
+	if waited {
+		wait = time.Since(start)
+		b.waitNS.Add(int64(wait))
+	}
+	return &MemReservation{b: b, bytes: estimate}, wait
+}
+
+// Release returns the reservation to the budget and wakes waiters. It is
+// idempotent and nil-safe, so a deferred Release composes with an explicit
+// one on the success path.
+func (r *MemReservation) Release() {
+	if r == nil {
+		return
+	}
+	b := r.b
+	b.mu.Lock()
+	if r.released {
+		b.mu.Unlock()
+		return
+	}
+	r.released = true
+	b.inUse -= r.bytes
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Limit returns the configured byte limit (0 on nil).
+func (b *MemoryBudget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}
+
+// InUse returns the currently reserved estimate bytes (0 on nil).
+func (b *MemoryBudget) InUse() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.inUse
+}
+
+// Waits counts Acquire calls that blocked at least once (0 on nil).
+func (b *MemoryBudget) Waits() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.waits.Load()
+}
+
+// WaitNS totals the time Acquire calls spent blocked (0 on nil).
+func (b *MemoryBudget) WaitNS() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.waitNS.Load()
+}

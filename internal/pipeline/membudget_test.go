@@ -1,0 +1,137 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMemoryBudgetNilIsUnlimited(t *testing.T) {
+	b := NewMemoryBudget(0)
+	if b != nil {
+		t.Fatalf("NewMemoryBudget(0) = %v, want nil", b)
+	}
+	resv, wait := b.Acquire(1 << 30)
+	if resv != nil || wait != 0 {
+		t.Fatalf("nil budget Acquire = (%v, %v), want (nil, 0)", resv, wait)
+	}
+	resv.Release() // must not panic
+	if b.Limit() != 0 || b.InUse() != 0 || b.Waits() != 0 || b.WaitNS() != 0 {
+		t.Fatalf("nil budget accessors not all zero")
+	}
+}
+
+func TestMemoryBudgetAdmitsWithinLimit(t *testing.T) {
+	b := NewMemoryBudget(100)
+	r1, w1 := b.Acquire(40)
+	r2, w2 := b.Acquire(60)
+	if w1 != 0 || w2 != 0 {
+		t.Fatalf("admissions within limit waited: %v, %v", w1, w2)
+	}
+	if got := b.InUse(); got != 100 {
+		t.Fatalf("InUse = %d, want 100", got)
+	}
+	r1.Release()
+	r2.Release()
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+	if b.Waits() != 0 {
+		t.Fatalf("Waits = %d, want 0", b.Waits())
+	}
+}
+
+func TestMemoryBudgetBlocksUntilRelease(t *testing.T) {
+	b := NewMemoryBudget(100)
+	r1, _ := b.Acquire(80)
+
+	admitted := make(chan time.Duration, 1)
+	go func() {
+		r2, wait := b.Acquire(50)
+		admitted <- wait
+		r2.Release()
+	}()
+
+	select {
+	case <-admitted:
+		t.Fatalf("second acquire admitted while budget was full")
+	case <-time.After(50 * time.Millisecond):
+	}
+	r1.Release()
+	select {
+	case wait := <-admitted:
+		if wait <= 0 {
+			t.Fatalf("blocked acquire reported zero wait")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("second acquire never admitted after release")
+	}
+	if b.Waits() != 1 {
+		t.Fatalf("Waits = %d, want 1", b.Waits())
+	}
+	if b.WaitNS() <= 0 {
+		t.Fatalf("WaitNS = %d, want > 0", b.WaitNS())
+	}
+}
+
+func TestMemoryBudgetOversizedRunsAlone(t *testing.T) {
+	b := NewMemoryBudget(100)
+	// An estimate above the whole limit is admitted when the budget is
+	// empty: the gate throttles, it does not validate.
+	r, wait := b.Acquire(1000)
+	if wait != 0 {
+		t.Fatalf("oversized acquire on empty budget waited %v", wait)
+	}
+	if got := b.InUse(); got != 1000 {
+		t.Fatalf("InUse = %d, want 1000", got)
+	}
+	// But while the whale holds the budget, everything else waits.
+	admitted := make(chan struct{})
+	go func() {
+		r2, _ := b.Acquire(1)
+		close(admitted)
+		r2.Release()
+	}()
+	select {
+	case <-admitted:
+		t.Fatalf("acquire admitted alongside an oversized reservation")
+	case <-time.After(50 * time.Millisecond):
+	}
+	r.Release()
+	select {
+	case <-admitted:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("waiter never admitted after oversized release")
+	}
+}
+
+func TestMemoryBudgetReleaseIdempotent(t *testing.T) {
+	b := NewMemoryBudget(100)
+	r, _ := b.Acquire(60)
+	r.Release()
+	r.Release()
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse after double release = %d, want 0", got)
+	}
+}
+
+func TestMemoryBudgetConcurrentChurn(t *testing.T) {
+	// Many goroutines churning acquire/release must never drive inUse
+	// negative or lose a waiter. Run with -race for the full value.
+	b := NewMemoryBudget(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				r, _ := b.Acquire(16)
+				r.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("InUse after churn = %d, want 0", got)
+	}
+}

@@ -117,6 +117,11 @@ type AppMetrics struct {
 	// incremental path was off.
 	MethodsCached   int `json:"methodsCached,omitempty"`
 	MethodsExecuted int `json:"methodsExecuted,omitempty"`
+	// MethodsSpilled counts completed method records displaced to the
+	// spill tier mid-reveal to cap the run's heap; SpilledBytes is their
+	// serialized volume. Both are zero without a spill cache.
+	MethodsSpilled int   `json:"methodsSpilled,omitempty"`
+	SpilledBytes   int64 `json:"spilledBytes,omitempty"`
 
 	// Obs carries the run's observability snapshot (event counts, tree
 	// depth, span histograms); nil when tracing was off.
@@ -279,8 +284,10 @@ type Report struct {
 	TotalStubs           int `json:"totalStubs"`
 	TotalVariants        int `json:"totalVariants"`
 	TotalDivergences     int `json:"totalDivergences"`
-	TotalMethodsCached   int `json:"totalMethodsCached,omitempty"`
-	TotalMethodsExecuted int `json:"totalMethodsExecuted,omitempty"`
+	TotalMethodsCached   int   `json:"totalMethodsCached,omitempty"`
+	TotalMethodsExecuted int   `json:"totalMethodsExecuted,omitempty"`
+	TotalMethodsSpilled  int   `json:"totalMethodsSpilled,omitempty"`
+	TotalSpilledBytes    int64 `json:"totalSpilledBytes,omitempty"`
 
 	// Obs merges the per-app observability snapshots (event counts add,
 	// tree depth maxes, span histograms combine); nil when tracing was off.
@@ -321,6 +328,8 @@ func BuildReport(workers int, wall time.Duration, apps []AppMetrics) *Report {
 		r.TotalDivergences += m.Divergences
 		r.TotalMethodsCached += m.MethodsCached
 		r.TotalMethodsExecuted += m.MethodsExecuted
+		r.TotalMethodsSpilled += m.MethodsSpilled
+		r.TotalSpilledBytes += m.SpilledBytes
 		r.Obs = obs.MergeSnapshots(r.Obs, m.Obs)
 		if ru := m.Resources; ru != nil {
 			if r.Resources == nil {

@@ -3,6 +3,9 @@ package pipeline
 import (
 	"fmt"
 	runtimemetrics "runtime/metrics"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // The two runtime/metrics series resource accounting is built on: a
@@ -81,12 +84,17 @@ func (r *ResourceUsage) Validate() error {
 }
 
 // ResourceAccountant samples the heap at stage boundaries and folds the
-// readings into a ResourceUsage. One accountant covers one Reveal; it is
-// not safe for concurrent use (stages run serially within a job).
+// readings into a ResourceUsage. One accountant covers one Reveal; stage
+// methods (StageDone, Finish) are not safe for concurrent use — stages run
+// serially within a job — but the peak is an atomic maximum, so a sampling
+// ticker started with StartSampling may fold in-stage readings into it
+// concurrently. Boundary-only sampling systematically under-reports: a
+// stage that balloons the heap and frees before returning (reassembly's
+// tree flattening is exactly that shape) leaves no trace at its boundary.
 type ResourceAccountant struct {
 	start MemSample
 	last  MemSample
-	peak  int64
+	peak  atomic.Int64
 }
 
 // NewResourceAccountant starts accounting at the current heap state.
@@ -106,11 +114,59 @@ func (a *ResourceAccountant) StageDone() (allocBytes, heapDelta int64) {
 		allocBytes = 0
 	}
 	heapDelta = now.HeapBytes - a.start.HeapBytes
-	if heapDelta > a.peak {
-		a.peak = heapDelta
-	}
+	a.maxPeak(heapDelta)
 	a.last = now
 	return allocBytes, heapDelta
+}
+
+// maxPeak raises the peak to delta if larger (atomic, so the sampling
+// ticker and the stage boundary path never lose an update to each other).
+func (a *ResourceAccountant) maxPeak(delta int64) {
+	for {
+		cur := a.peak.Load()
+		if delta <= cur || a.peak.CompareAndSwap(cur, delta) {
+			return
+		}
+	}
+}
+
+// SampleNow folds an immediate heap reading into the peak without closing a
+// stage window, and returns the live-heap delta versus the run start.
+func (a *ResourceAccountant) SampleNow() int64 {
+	delta := ReadMemSample().HeapBytes - a.start.HeapBytes
+	a.maxPeak(delta)
+	return delta
+}
+
+// StartSampling launches a background ticker folding in-stage heap readings
+// into the peak every interval (<= 0 selects 10ms), so HeapPeakBytes covers
+// transient in-stage growth that stage boundaries never see. The returned
+// stop function takes one final sample, ends the goroutine, and is safe to
+// call more than once.
+func (a *ResourceAccountant) StartSampling(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 10 * time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				a.SampleNow()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			a.SampleNow()
+		})
+	}
 }
 
 // Finish closes the accounting window and returns the job's resource bill.
@@ -122,7 +178,7 @@ func (a *ResourceAccountant) Finish(cpu, run int64) *ResourceUsage {
 	if alloc < 0 {
 		alloc = 0
 	}
-	peak := a.peak
+	peak := a.peak.Load()
 	if d := end.HeapBytes - a.start.HeapBytes; d > peak {
 		peak = d
 	}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -140,5 +141,54 @@ func TestReportRoundTripWithResources(t *testing.T) {
 	}
 	if back.Apps[0].Stages[0].AllocBytes != 64 {
 		t.Errorf("stage alloc did not round trip: %+v", back.Apps[0].Stages)
+	}
+}
+
+func TestStartSamplingCatchesInStageBalloon(t *testing.T) {
+	// A stage that balloons the heap and frees before returning leaves no
+	// trace at its boundary; the sampling ticker must catch it anyway.
+	a := NewResourceAccountant()
+	stop := a.StartSampling(time.Millisecond)
+	defer stop()
+
+	const balloon = 32 << 20
+	sink := make([]byte, balloon)
+	for i := 0; i < len(sink); i += 4096 {
+		sink[i] = byte(i)
+	}
+	// Hold the balloon across several ticker intervals.
+	deadline := time.Now().Add(50 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	runtime.KeepAlive(sink)
+	sink = nil
+	runtime.GC() // free before the boundary — the balloon is now invisible there
+	stop()
+	stop() // idempotent
+
+	ru := a.Finish(0, 0)
+	if ru.HeapPeakBytes < balloon/2 {
+		t.Errorf("in-stage %dMiB balloon invisible to sampling: peak %d bytes",
+			balloon>>20, ru.HeapPeakBytes)
+	}
+	if err := ru.Validate(); err != nil {
+		t.Errorf("sampled usage invalid: %v", err)
+	}
+}
+
+func TestSampleNowRaisesPeak(t *testing.T) {
+	a := NewResourceAccountant()
+	sink := make([]byte, 8<<20)
+	for i := 0; i < len(sink); i += 4096 {
+		sink[i] = 1
+	}
+	delta := a.SampleNow()
+	runtime.KeepAlive(sink)
+	if delta < 4<<20 {
+		t.Errorf("SampleNow delta %d below half the held allocation", delta)
+	}
+	if peak := a.Finish(0, 0).HeapPeakBytes; peak < delta {
+		t.Errorf("peak %d below observed sample %d", peak, delta)
 	}
 }

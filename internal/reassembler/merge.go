@@ -13,19 +13,44 @@ import (
 // collapse into a single tree. Only genuinely conflicting trees — different
 // bytecode at the same dex_pc, i.e. cross-execution self-modification —
 // remain separate and become method variants.
+//
+// The pass is single-pass over the input with two dedup keys: exact
+// duplicates are dropped by their canonical tree fingerprint (the same key
+// the collector and Result.Merge dedup on), and merge candidates are
+// bucketed by root SmStart — the first thing compatible() checks — so each
+// tree compares only against the few survivors it could possibly union
+// with. Survivors are copy-on-write: a tree is cloned only when another
+// tree actually merges into it, so the dominant single-tree method pays
+// nothing and callers must treat the returned trees as read-only.
 func mergeCompatibleTrees(trees []*collector.TreeNode) []*collector.TreeNode {
-	var out []*collector.TreeNode
+	if len(trees) <= 1 {
+		return trees
+	}
+	out := make([]*collector.TreeNode, 0, len(trees))
+	owned := make([]bool, len(trees))
+	seen := make(map[string]struct{}, len(trees))
+	byStart := make(map[int][]int, len(trees))
 	for _, t := range trees {
+		fp := t.Fingerprint()
+		if _, dup := seen[fp]; dup {
+			continue
+		}
+		seen[fp] = struct{}{}
 		merged := false
-		for _, existing := range out {
-			if compatible(existing, t) {
-				union(existing, t)
+		for _, oi := range byStart[t.SmStart] {
+			if compatible(out[oi], t) {
+				if !owned[oi] {
+					out[oi] = cloneTree(out[oi], nil)
+					owned[oi] = true
+				}
+				union(out[oi], t)
 				merged = true
 				break
 			}
 		}
 		if !merged {
-			out = append(out, cloneTree(t, nil))
+			byStart[t.SmStart] = append(byStart[t.SmStart], len(out))
+			out = append(out, t)
 		}
 	}
 	return out
@@ -54,7 +79,8 @@ func compatible(a, b *collector.TreeNode) bool {
 	return true
 }
 
-// union merges b's entries and children into a (which must be compatible).
+// union merges b's entries and children into a (which must be compatible
+// and owned by the caller; b is never mutated).
 func union(a, b *collector.TreeNode) {
 	for _, e := range b.IL {
 		if _, ok := a.IIM[e.DexPC]; ok {

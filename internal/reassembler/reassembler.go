@@ -16,6 +16,7 @@
 package reassembler
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strconv"
@@ -65,6 +66,20 @@ type Config struct {
 	// path. Serial and parallel reassembly produce byte-identical DEX
 	// output (pinned by TestSerialParallelByteIdentical).
 	Workers int
+
+	// Fetch resolves a method record spilled out of the result mid-reveal
+	// (keyed "Lclass;->name(sig)"). It is consulted only when the result
+	// map has no record for an executed method, so a nil Fetch reproduces
+	// the all-resident behavior exactly. Classes are emitted serially, so
+	// Fetch need not be safe for concurrent use.
+	Fetch func(key string) (*collector.MethodRecord, bool)
+
+	// Stream selects the windowed section-streaming DEX writer
+	// (dex.File.WriteStream) over the buffered one. Output is
+	// byte-identical either way (pinned by TestWriteStreamIdentity); the
+	// streaming path trades a second encode pass for never holding the
+	// whole image plus its sections in memory at once.
+	Stream bool
 }
 
 // ReassembleCfg is ReassembleWith with explicit parallelism configuration.
@@ -76,6 +91,7 @@ func ReassembleCfg(res *collector.Result, span *obs.Span, cfg Config) (*dex.File
 		res:   res,
 		stats: &Stats{},
 		span:  span,
+		fetch: cfg.Fetch,
 	}
 	if err := ra.run(); err != nil {
 		return nil, nil, err
@@ -105,9 +121,18 @@ func ReassembleAPKCfg(orig *apk.APK, res *collector.Result, span *obs.Span, cfg 
 	if err != nil {
 		return nil, nil, err
 	}
-	data, err := f.Write()
-	if err != nil {
-		return nil, nil, err
+	var data []byte
+	if cfg.Stream {
+		var buf bytes.Buffer
+		if _, err := f.WriteStream(&buf); err != nil {
+			return nil, nil, err
+		}
+		data = buf.Bytes()
+	} else {
+		data, err = f.Write()
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	out := orig.Clone()
 	out.SetDex(data)
@@ -119,21 +144,57 @@ type reassembler struct {
 	res   *collector.Result
 	stats *Stats
 	span  *obs.Span
+	fetch func(key string) (*collector.MethodRecord, bool)
 
 	instrCls      *dexgen.Class
 	bridgeCls     *dexgen.Class
 	bridgeCounter int
 	fieldCounter  map[string]int
+
+	// Pooled hot-path scratch, reused across every method and class of the
+	// run. flat is the shared flattener for methods without try tables (their
+	// state is fully consumed inside the synchronous Build call); methods
+	// that re-anchor tries get a fresh flattener because mapTries runs later,
+	// at Program.Finish. entryBuf/idBuf are sort and switch-target scratch,
+	// safe to share because each is dead before any reuse point.
+	flat      flattener
+	flatBuild func(a *dexgen.Asm)
+	entryBuf  []collector.Entry
+	idBuf     []bytecode.LabelID
+	stubBuild map[string]func(a *dexgen.Asm)
+	sigCache  map[string]sigParts
+}
+
+type sigParts struct {
+	params []string
+	ret    string
 }
 
 func (ra *reassembler) run() error {
 	ra.fieldCounter = make(map[string]int)
+	ra.stubBuild = make(map[string]func(a *dexgen.Asm))
+	ra.sigCache = make(map[string]sigParts)
+	ra.flatBuild = func(a *dexgen.Asm) { ra.flat.emit(a) }
 	for ci := range ra.res.Classes {
 		if err := ra.emitClass(&ra.res.Classes[ci]); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// parseSig memoizes dex.ParseSignature: a few distinct signatures cover most
+// methods of an app, and the parse allocates a params slice per call.
+func (ra *reassembler) parseSig(sig string) ([]string, string, error) {
+	if sp, ok := ra.sigCache[sig]; ok {
+		return sp.params, sp.ret, nil
+	}
+	params, ret, err := dex.ParseSignature(sig)
+	if err != nil {
+		return nil, "", err
+	}
+	ra.sigCache[sig] = sigParts{params: params, ret: ret}
+	return params, ret, nil
 }
 
 func (ra *reassembler) instrumentField(rec *collector.MethodRecord) string {
@@ -181,7 +242,12 @@ func (ra *reassembler) emitClass(cr *collector.ClassRecord) error {
 	for _, sh := range cr.Methods {
 		key := cr.Descriptor + "->" + sh.Name + sh.Signature
 		rec := ra.res.Methods[key]
-		params, ret, err := dex.ParseSignature(sh.Signature)
+		if rec == nil && ra.fetch != nil {
+			if fr, ok := ra.fetch(key); ok {
+				rec = fr
+			}
+		}
+		params, ret, err := ra.parseSig(sh.Signature)
 		if err != nil {
 			return fmt.Errorf("reassembler: %s: %w", key, err)
 		}
@@ -240,10 +306,20 @@ func (ra *reassembler) emitStub(cls *dexgen.Class, name, ret string, params []st
 	cls.RawMethod(name, ret, params, flags, dexgen.RawCode{
 		Registers: ins + 1,
 		Ins:       ins,
-		Build: func(a *dexgen.Asm) {
-			emitDefaultReturn(a, ret)
-		},
+		Build:     ra.stubBuilder(ret),
 	})
+}
+
+// stubBuilder returns the Build callback emitting a default-return body for
+// ret, cached per return type: stub bodies depend on nothing else, and large
+// apps emit thousands of them.
+func (ra *reassembler) stubBuilder(ret string) func(a *dexgen.Asm) {
+	if fn, ok := ra.stubBuild[ret]; ok {
+		return fn
+	}
+	fn := func(a *dexgen.Asm) { emitDefaultReturn(a, ret) }
+	ra.stubBuild[ret] = fn
+	return fn
 }
 
 func emitDefaultReturn(a *dexgen.Asm, ret string) {
@@ -347,21 +423,33 @@ func (ra *reassembler) emitVariantCall(a *dexgen.Asm, rec *collector.MethodRecor
 // (only for the primary, single-tree case; variants drop handlers that no
 // longer apply).
 func (ra *reassembler) emitTreeMethod(cls *dexgen.Class, rec *collector.MethodRecord, name string, flags uint32, ret string, params []string, tree *collector.TreeNode, withTries bool) error {
-	fl := &flattener{
+	withTries = withTries && len(rec.Tries) > 0
+	var fl *flattener
+	build := ra.flatBuild
+	if withTries {
+		// mapTries runs at Program.Finish, long after this call returns, so
+		// the flattener's label bases and root spans must outlive the method.
+		fl = &flattener{}
+		build = func(a *dexgen.Asm) { fl.emit(a) }
+	} else {
+		fl = &ra.flat
+	}
+	*fl = flattener{
 		ra:        ra,
 		rec:       rec,
 		tree:      tree,
 		retType:   ret,
 		grow:      len(tree.Children) > 0,
 		oldLocals: int32(rec.RegistersSize - rec.InsSize),
-		nodeID:    make(map[*collector.TreeNode]int),
+		unexecID:  -1,
+		spans:     withTries,
+		rootSpans: fl.rootSpans[:0],
 	}
 	if fl.oldLocals < 0 {
 		return fmt.Errorf("reassembler: %s: ins %d exceed registers %d",
 			rec.Key(), rec.InsSize, rec.RegistersSize)
 	}
 	fl.scratch = fl.oldLocals
-	fl.assignIDs(tree)
 	regs := rec.RegistersSize
 	if fl.grow {
 		regs++
@@ -369,9 +457,9 @@ func (ra *reassembler) emitTreeMethod(cls *dexgen.Class, rec *collector.MethodRe
 	rc := dexgen.RawCode{
 		Registers: regs,
 		Ins:       rec.InsSize,
-		Build:     func(a *dexgen.Asm) { fl.emit(a) },
+		Build:     build,
 	}
-	if withTries && len(rec.Tries) > 0 {
+	if withTries {
 		rc.TriesFn = fl.mapTries
 	}
 	cls.RawMethod(name, ret, params, flags, rc)
@@ -394,20 +482,27 @@ func countNodes(n *collector.TreeNode) int {
 	return total
 }
 
-// flattener converts one collection tree into assembler items.
+// flattener converts one collection tree into assembler items. It addresses
+// every (node, dex_pc) layout position by an integer label: each tree node
+// reserves a consecutive block of anonymous assembler labels, one per logged
+// instruction, so a position resolves with one IIM lookup plus arithmetic —
+// no label-name strings and no per-method label map.
 type flattener struct {
 	ra      *reassembler
 	rec     *collector.MethodRecord
 	tree    *collector.TreeNode
 	a       *dexgen.Asm
+	asm     *bytecode.Assembler
 	retType string
 
 	grow      bool
 	oldLocals int32
 	scratch   int32
-	nodeID    map[*collector.TreeNode]int
-	nextID    int
+	rootBase  bytecode.LabelID                       // label block of the root node
+	nodeBase  map[*collector.TreeNode]bytecode.LabelID // non-root blocks; nil until a child exists
 	unexec    bool
+	unexecID  bytecode.LabelID // -1 until the first unexecuted target
+	spans     bool             // record rootSpans (only try re-anchoring needs them)
 	err       error
 
 	rootSpans []rootSpan // for try-table re-anchoring
@@ -415,61 +510,109 @@ type flattener struct {
 
 type rootSpan struct {
 	origPC int
-	label  string
+	id     bytecode.LabelID
 	width  int
 }
 
-func (fl *flattener) assignIDs(n *collector.TreeNode) {
-	fl.nodeID[n] = fl.nextID
-	fl.nextID++
+func (fl *flattener) assignBases(n *collector.TreeNode) {
+	base := fl.asm.NewLabelBlock(len(n.IL))
+	if n == fl.tree {
+		fl.rootBase = base
+	} else {
+		if fl.nodeBase == nil {
+			fl.nodeBase = make(map[*collector.TreeNode]bytecode.LabelID, 4)
+		}
+		fl.nodeBase[n] = base
+	}
 	for _, c := range n.Children {
-		fl.assignIDs(c)
+		fl.assignBases(c)
 	}
 }
 
-func (fl *flattener) label(n *collector.TreeNode, pc int) string {
-	// Built ~3x per instruction; strconv-append keeps it to one allocation.
-	buf := make([]byte, 0, 16)
-	buf = append(buf, 'n')
-	buf = strconv.AppendInt(buf, int64(fl.nodeID[n]), 10)
-	buf = append(buf, "_pc"...)
-	buf = strconv.AppendInt(buf, int64(pc), 10)
-	return string(buf)
+// labelAt returns the label for the instruction n logged at pc.
+func (fl *flattener) labelAt(n *collector.TreeNode, pc int) bytecode.LabelID {
+	idx, ok := n.IIM[pc]
+	if !ok {
+		// No instruction at pc: a fresh label that is never bound, so
+		// assembly reports it undefined (same diagnostic as named labels).
+		return fl.asm.NewLabel()
+	}
+	if n == fl.tree {
+		return fl.rootBase + bytecode.LabelID(idx)
+	}
+	return fl.nodeBase[n] + bytecode.LabelID(idx)
 }
 
 // resolve maps an original dex_pc reference from node n to a layout label,
 // walking ancestors; unexecuted targets go to the shared trailer.
-func (fl *flattener) resolve(n *collector.TreeNode, pc int) string {
+func (fl *flattener) resolve(n *collector.TreeNode, pc int) bytecode.LabelID {
 	for k := n; k != nil; k = k.Parent {
 		if _, ok := k.IIM[pc]; ok {
-			return fl.label(k, pc)
+			return fl.labelAt(k, pc)
 		}
 	}
+	if fl.unexecID < 0 {
+		fl.unexecID = fl.asm.NewLabel()
+	}
 	fl.unexec = true
-	return "unexec"
+	return fl.unexecID
 }
 
 func (fl *flattener) emit(a *dexgen.Asm) {
 	fl.a = a
+	fl.asm = a.Raw()
+	fl.assignBases(fl.tree)
 	fl.emitNode(fl.tree)
 	if fl.unexec {
-		a.Label("unexec")
+		fl.asm.BindLabel(fl.unexecID)
 		emitDefaultReturn(a, fl.retType)
 	}
 }
 
+func entriesSorted(il []collector.Entry) bool {
+	for i := 1; i < len(il); i++ {
+		if il[i].DexPC < il[i-1].DexPC {
+			return false
+		}
+	}
+	return true
+}
+
+func childrenSorted(cs []*collector.TreeNode) bool {
+	for i := 1; i < len(cs); i++ {
+		if cs[i].SmStart < cs[i-1].SmStart {
+			return false
+		}
+	}
+	return true
+}
+
 func (fl *flattener) emitNode(n *collector.TreeNode) {
-	entries := append([]collector.Entry(nil), n.IL...)
-	sort.Slice(entries, func(i, j int) bool { return entries[i].DexPC < entries[j].DexPC })
-	children := append([]*collector.TreeNode(nil), n.Children...)
-	sort.Slice(children, func(i, j int) bool { return children[i].SmStart < children[j].SmStart })
+	// The collection tree is shared (merge is copy-on-write), so sorting
+	// never touches n.IL/n.Children: already-ordered nodes are used in
+	// place, out-of-order entries sort in pooled scratch. The scratch is
+	// free to reuse during child recursion because the entry loop below
+	// completes before the first recursive call.
+	entries := n.IL
+	if !entriesSorted(entries) {
+		buf := append(fl.ra.entryBuf[:0], entries...)
+		sort.Slice(buf, func(i, j int) bool { return buf[i].DexPC < buf[j].DexPC })
+		fl.ra.entryBuf = buf
+		entries = buf
+	}
+	children := n.Children
+	if !childrenSorted(children) {
+		children = append([]*collector.TreeNode(nil), n.Children...)
+		sort.Slice(children, func(i, j int) bool { return children[i].SmStart < children[j].SmStart })
+	}
 
 	for i, e := range entries {
-		fl.a.Label(fl.label(n, e.DexPC))
-		if n == fl.tree {
+		id := fl.labelAt(n, e.DexPC)
+		fl.asm.BindLabel(id)
+		if fl.spans && n == fl.tree {
 			fl.rootSpans = append(fl.rootSpans, rootSpan{
 				origPC: e.DexPC,
-				label:  fl.label(n, e.DexPC),
+				id:     id,
 				width:  e.Inst.Width(),
 			})
 		}
@@ -481,8 +624,8 @@ func (fl *flattener) emitNode(n *collector.TreeNode) {
 			}
 			field := fl.ra.instrumentField(fl.rec)
 			fl.a.SGetBool(fl.scratch, InstrumentClass, field)
-			fl.a.Raw().RawBranch(bytecode.Inst{Op: bytecode.OpIfNez, A: fl.scratch},
-				fl.label(c, c.SmStart))
+			fl.asm.RawBranchID(bytecode.Inst{Op: bytecode.OpIfNez, A: fl.scratch},
+				fl.labelAt(c, c.SmStart))
 		}
 		fl.emitEntry(n, e)
 		// Fall-through repair: collected code lays out sparsely, so an
@@ -492,7 +635,7 @@ func (fl *flattener) emitNode(n *collector.TreeNode) {
 			nextPC := e.DexPC + e.Inst.Width()
 			natural := i+1 < len(entries) && entries[i+1].DexPC == nextPC
 			if !natural {
-				fl.a.Goto(fl.resolve(n, nextPC))
+				fl.asm.GotoID(fl.resolve(n, nextPC))
 			}
 		}
 	}
@@ -502,7 +645,9 @@ func (fl *flattener) emitNode(n *collector.TreeNode) {
 }
 
 func (fl *flattener) emitEntry(n *collector.TreeNode, e collector.Entry) {
-	in := e.Inst.Clone()
+	// Value copy: every mutation below either reassigns a scalar field or
+	// replaces a slice header, so the tree's entry is never written through.
+	in := e.Inst
 	sym := e.Sym
 
 	// Reflection-to-direct-call rewriting.
@@ -551,17 +696,18 @@ func (fl *flattener) emitEntry(n *collector.TreeNode, e collector.Entry) {
 		if in.Op == bytecode.OpGoto {
 			in.Op = bytecode.OpGoto16 // uniform reach after relayout
 		}
-		fl.a.Raw().RawBranch(in, fl.resolve(n, target))
+		fl.asm.RawBranchID(in, fl.resolve(n, target))
 	case in.Op.IsSwitch():
-		labels := make([]string, len(e.Inst.Targets))
-		for i, t := range e.Inst.Targets {
-			labels[i] = fl.resolve(n, e.DexPC+int(t))
+		ids := fl.ra.idBuf[:0]
+		for _, t := range e.Inst.Targets {
+			ids = append(ids, fl.resolve(n, e.DexPC+int(t)))
 		}
+		fl.ra.idBuf = ids
 		in.Targets = nil
 		in.Off = 0
-		fl.a.Raw().RawSwitch(in, labels)
+		fl.asm.RawSwitchID(in, ids)
 	default:
-		fl.a.Raw().Raw(in)
+		fl.asm.Raw(in)
 	}
 }
 
@@ -598,10 +744,21 @@ func (fl *flattener) setIndex(in *bytecode.Inst, sym *collector.Symbol) error {
 
 // mapTries re-anchors the original try table onto the flattened root-node
 // layout: each original range becomes one try per contiguous run of emitted
-// root instructions inside it.
-func (fl *flattener) mapTries(labels map[string]int) ([]dex.Try, error) {
-	spans := append([]rootSpan(nil), fl.rootSpans...)
-	sort.Slice(spans, func(i, j int) bool { return spans[i].origPC < spans[j].origPC })
+// root instructions inside it. It runs at Program.Finish, after assembly
+// resolved every label position.
+func (fl *flattener) mapTries(labels *bytecode.Labels) ([]dex.Try, error) {
+	spans := fl.rootSpans
+	if !sort.SliceIsSorted(spans, func(i, j int) bool { return spans[i].origPC < spans[j].origPC }) {
+		spans = append([]rootSpan(nil), spans...)
+		sort.Slice(spans, func(i, j int) bool { return spans[i].origPC < spans[j].origPC })
+	}
+	// Root-span labels are always bound, so the missing-label case of
+	// pcOf never fires for them; handlers go through resolveHandler,
+	// which keeps the ok bit.
+	pcOf := func(id bytecode.LabelID) int {
+		pc, _ := labels.PC(id)
+		return pc
+	}
 	var out []dex.Try
 	for _, tr := range fl.rec.Tries {
 		inRange := make([]rootSpan, 0, len(spans))
@@ -614,21 +771,20 @@ func (fl *flattener) mapTries(labels map[string]int) ([]dex.Try, error) {
 			continue
 		}
 		resolveHandler := func(pc int) (uint32, bool) {
-			lbl := fl.resolve(fl.tree, pc)
-			newPC, ok := labels[lbl]
+			newPC, ok := labels.PC(fl.resolve(fl.tree, pc))
 			return uint32(newPC), ok
 		}
 		// Split into runs contiguous in the NEW layout.
 		runStart := 0
 		for i := 1; i <= len(inRange); i++ {
 			contiguous := i < len(inRange) &&
-				labels[inRange[i].label] == labels[inRange[i-1].label]+inRange[i-1].width
+				pcOf(inRange[i].id) == pcOf(inRange[i-1].id)+inRange[i-1].width
 			if contiguous {
 				continue
 			}
 			first, last := inRange[runStart], inRange[i-1]
-			start := labels[first.label]
-			end := labels[last.label] + last.width
+			start := pcOf(first.id)
+			end := pcOf(last.id) + last.width
 			t := dex.Try{Start: uint32(start), Count: uint32(end - start), CatchAll: -1}
 			for _, h := range tr.Handlers {
 				if addr, ok := resolveHandler(h.HandlerPC); ok {

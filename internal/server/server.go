@@ -110,6 +110,17 @@ type Config struct {
 	// job: reveals skip methods whose fingerprinted collection trees are
 	// already cached and splice them instead (see dexlego.Options).
 	MethodCache *store.MethodCache
+	// MemBudget, when set, gates fresh reveals on estimated heap footprint:
+	// a reveal whose estimate does not fit under the budget blocks until
+	// running reveals release theirs (emitting mem_admit_wait). Cache hits
+	// never wait — the gate sits inside the reveal closure. Nil admits
+	// everything immediately.
+	MemBudget *pipeline.MemoryBudget
+	// SpillCache, when set, enables the memory-budgeted output path for
+	// every job (see dexlego.Options.SpillCache): collection results are
+	// displaced to this cache between execution and reassembly and the DEX
+	// is emitted through the streaming writer.
+	SpillCache *store.MethodCache
 }
 
 // maxFinishedJobs bounds the completed-job history the server retains for
@@ -598,6 +609,26 @@ func (s *Server) trimLocked() {
 	s.order = kept
 }
 
+// estimateFootprint predicts a fresh reveal's peak heap from its input.
+// Collection trees, the method map, and reassembly scratch all scale with
+// the bytecode — not the package — so the primary dex payload drives the
+// estimate. The multiplier is deliberately generous (decoded tree graphs
+// run several times their serialized size and the budget is an admission
+// gate, not an allocator), with a floor covering the runtime substrate's
+// fixed overhead.
+func estimateFootprint(pkg *apk.APK) int64 {
+	const floor = 8 << 20
+	data, err := pkg.Dex()
+	if err != nil {
+		return floor
+	}
+	est := int64(len(data)) * 24
+	if est < floor {
+		est = floor
+	}
+	return est
+}
+
 // runJob executes one admitted job on a pool worker. The job's whole span
 // tree — lifecycle span and reveal spans alike — flows through a per-job
 // tracer pair sharing one flight-recorder ring and one trace ID, so an
@@ -631,6 +662,17 @@ func (s *Server) runJob(j *job, submitTime time.Time, pkg *apk.APK, opts dexlego
 
 	runStart := time.Now()
 	art, hit, err := s.cfg.Store.GetOrReveal(j.key, func() (*store.Artifact, error) {
+		// The memory gate sits inside the reveal closure so cache hits are
+		// served without ever waiting on it; only fresh reveals carry the
+		// heap footprint the budget meters.
+		if s.cfg.MemBudget != nil {
+			est := estimateFootprint(pkg)
+			resv, waited := s.cfg.MemBudget.Acquire(est)
+			defer resv.Release()
+			if waited > 0 {
+				span.MemAdmitWait(j.id, waited, est)
+			}
+		}
 		o := opts
 		o.Tracer = revealTracer
 		o.TraceLabel = j.name
@@ -644,6 +686,9 @@ func (s *Server) runJob(j *job, submitTime time.Time, pkg *apk.APK, opts dexlego
 			o.Incremental = true
 			o.MethodCache = s.cfg.MethodCache
 		}
+		// The spill tier is likewise an execution strategy with
+		// byte-identical output, outside the fingerprint.
+		o.SpillCache = s.cfg.SpillCache
 		var res *dexlego.Result
 		revealErr := pipeline.Isolate(func() error {
 			r, err := s.reveal(pkg, o)

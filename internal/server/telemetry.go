@@ -36,6 +36,9 @@ type telemetry struct {
 
 	methodsCached   obs.Counter
 	methodsExecuted obs.Counter
+
+	memSpills       obs.Counter
+	memSpilledBytes obs.Counter
 }
 
 // newTelemetry builds the registry over the server's live state.
@@ -118,6 +121,26 @@ func newTelemetry(s *Server) *telemetry {
 			"Methods executed fresh across completed incremental reveals.",
 			t.methodsExecuted.Load)
 	}
+
+	// The memory-budget family exists whenever the server gates admissions
+	// on heap footprint: budget occupancy as lazy funcs over the gate, the
+	// spill counters fed per job by observeJob.
+	if b := s.cfg.MemBudget; b != nil {
+		r.GaugeFunc("mem_budget_bytes",
+			"Configured reveal heap-footprint budget.", b.Limit)
+		r.GaugeFunc("mem_inuse_bytes",
+			"Estimated heap footprint of currently admitted reveals.", b.InUse)
+		r.CounterFunc("mem_admit_waits",
+			"Reveals that blocked on the memory budget before running.", b.Waits)
+		r.CounterFunc("mem_admit_wait_nanoseconds",
+			"Total time reveals spent blocked on the memory budget.", b.WaitNS)
+		r.CounterFunc("mem_spills",
+			"Method records displaced to the spill tier across completed reveals.",
+			t.memSpills.Load)
+		r.CounterFunc("mem_spilled_bytes",
+			"Serialized volume displaced to the spill tier across completed reveals.",
+			t.memSpilledBytes.Load)
+	}
 	return t
 }
 
@@ -143,6 +166,8 @@ func (t *telemetry) observeJob(queue, run, total time.Duration, m *pipeline.AppM
 	}
 	t.methodsCached.Add(int64(m.MethodsCached))
 	t.methodsExecuted.Add(int64(m.MethodsExecuted))
+	t.memSpills.Add(int64(m.MethodsSpilled))
+	t.memSpilledBytes.Add(m.SpilledBytes)
 }
 
 // droppedEvents totals trace events lost anywhere in the plane: the live

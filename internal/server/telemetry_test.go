@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
@@ -15,6 +16,9 @@ import (
 	dexlego "dexlego"
 	"dexlego/internal/apk"
 	"dexlego/internal/obs"
+	"dexlego/internal/pipeline"
+	"dexlego/internal/store"
+	"dexlego/internal/workload"
 )
 
 // lockedBuffer is a concurrency-safe obs.Sink capturing the full trace.
@@ -291,5 +295,135 @@ func TestJobResourceAccounting(t *testing.T) {
 	}
 	if hit.Resources.AllocBytes != 0 || hit.Resources.TotalNS <= 0 {
 		t.Errorf("cache hit resources = %+v, want latency only", hit.Resources)
+	}
+}
+
+// TestMemBudgetMetricsExposed checks the memory-budget plane end to end: a
+// whale submitted to a budget-gated server spills records mid-reveal, and
+// the scrape carries the whole dexlego_mem_* family.
+func TestMemBudgetMetricsExposed(t *testing.T) {
+	sc, err := store.OpenMethodCache("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newTestServer(t, func(c *Config) {
+		c.MemBudget = pipeline.NewMemoryBudget(512 << 20)
+		c.SpillCache = sc
+	})
+	app, err := workload.Whale(workload.WhaleConfig{
+		Classes: 4, MethodsPerClass: 2, InsnsPerMethod: 64,
+		GiantMethods: 1, GiantInsns: 4000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := app.APK.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := postReveal(t, hs.URL, "?wait=1", body); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reveal = %d", resp.StatusCode)
+	}
+	code, scrape := getBody(t, hs.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	e, err := obs.ParseExposition(bytes.NewReader(scrape))
+	if err != nil {
+		t.Fatalf("scrape does not lint: %v\n%s", err, scrape)
+	}
+	if v, ok := e.Value("dexlego_mem_budget_bytes"); !ok || v != 512<<20 {
+		t.Errorf("mem_budget_bytes = %v,%t want %d", v, ok, 512<<20)
+	}
+	if v, ok := e.Value("dexlego_mem_inuse_bytes"); !ok || v != 0 {
+		t.Errorf("mem_inuse_bytes after completion = %v,%t want 0", v, ok)
+	}
+	if v, ok := e.Value("dexlego_mem_admit_waits_total"); !ok || v != 0 {
+		t.Errorf("mem_admit_waits_total = %v,%t want 0 (single job never waits)", v, ok)
+	}
+	if _, ok := e.Value("dexlego_mem_admit_wait_nanoseconds_total"); !ok {
+		t.Errorf("mem_admit_wait_nanoseconds_total missing")
+	}
+	if v, ok := e.Value("dexlego_mem_spills_total"); !ok || v <= 0 {
+		t.Errorf("mem_spills_total = %v,%t want > 0", v, ok)
+	}
+	if v, ok := e.Value("dexlego_mem_spilled_bytes_total"); !ok || v <= 0 {
+		t.Errorf("mem_spilled_bytes_total = %v,%t want > 0", v, ok)
+	}
+}
+
+// TestMemBudgetGatesConcurrentReveals pins the admission behavior: with a
+// budget that fits one estimate, two concurrent fresh reveals serialize and
+// the second records an admission wait.
+func TestMemBudgetGatesConcurrentReveals(t *testing.T) {
+	budget := pipeline.NewMemoryBudget(10 << 20) // one 8 MiB floor estimate at a time
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	srv, hs := newTestServer(t, func(c *Config) {
+		c.MemBudget = budget
+		c.Reveal = func(pkg *apk.APK, opts dexlego.Options) (*dexlego.Result, error) {
+			started <- struct{}{}
+			<-release
+			return dexlego.Reveal(pkg, opts)
+		}
+	})
+	resp1, st1 := postReveal(t, hs.URL, "?sample=SelfModifying1", nil)
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 1 = %d", resp1.StatusCode)
+	}
+	<-started // job 1 is inside the reveal closure holding the budget
+	resp2, st2 := postReveal(t, hs.URL, "?sample=DirectLeak1", nil)
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit 2 = %d", resp2.StatusCode)
+	}
+	// Job 2 must be blocked in Acquire, not inside the reveal.
+	deadline := time.Now().Add(2 * time.Second)
+	for budget.Waits() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if budget.Waits() != 1 {
+		t.Fatalf("Waits = %d, want 1", budget.Waits())
+	}
+	select {
+	case <-started:
+		t.Fatalf("second reveal entered while the budget was held")
+	default:
+	}
+	close(release)
+	_ = srv
+	for _, id := range []string{st1.ID, st2.ID} {
+		st := pollJob(t, hs.URL, id, 10*time.Second)
+		if st.State != StateDone {
+			t.Fatalf("job %s = %s (%s)", id, st.State, st.Err)
+		}
+	}
+	if budget.InUse() != 0 {
+		t.Fatalf("InUse after completion = %d, want 0", budget.InUse())
+	}
+	if budget.WaitNS() <= 0 {
+		t.Fatalf("WaitNS = %d, want > 0", budget.WaitNS())
+	}
+}
+
+// pollJob polls GET /v1/jobs/{id} until the job leaves the active states.
+func pollJob(t *testing.T, base, id string, timeout time.Duration) *JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		code, data := getBody(t, base+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("GET job %s = %d", id, code)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("job status does not parse: %v: %s", err, data)
+		}
+		if st.State == StateDone || st.State == StateFailed {
+			return &st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -41,6 +41,20 @@ func MethodKeyFor(optionsFingerprint, methodFingerprint string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// SpillKeyFor derives the content address of a mid-reveal spilled method
+// record from the serialized bytes themselves. Unlike MethodKeyFor it needs
+// no fingerprint pair: the spill tier holds records displaced from a live
+// result to cap the reveal's heap, including methods outside the
+// fingerprint map (dynamically loaded DEX), and content addressing makes
+// every entry immutable — an evicted-then-refetched key can never observe
+// different bytes.
+func SpillKeyFor(data []byte) string {
+	h := sha256.New()
+	h.Write([]byte("spill/v1|"))
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // methodEntry is one resident method tree; data is immutable once inserted.
 type methodEntry struct {
 	key  string

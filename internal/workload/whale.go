@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"fmt"
+
+	"dexlego/internal/bytecode"
+	"dexlego/internal/dex"
+	"dexlego/internal/dexgen"
+)
+
+// The whale is the memory-budget workload: an application whose collection
+// result is deliberately heap-heavy. Many mid-sized filler methods make the
+// result map wide, and a few giant methods (tens of thousands of
+// instructions each) make individual collection trees deep enough that
+// keeping every decoded tree resident through reassembly dominates the
+// reveal's heap peak. The launch path executes every method, so the whole
+// body is collected — nothing reassembles as a stub.
+
+// WhaleConfig sizes a whale application. Zero fields select the defaults.
+type WhaleConfig struct {
+	// Classes × MethodsPerClass mid-sized filler methods of InsnsPerMethod
+	// instructions each (defaults 40 × 8 × 64).
+	Classes         int
+	MethodsPerClass int
+	InsnsPerMethod  int
+	// GiantMethods giant static methods of GiantInsns instructions each
+	// (defaults 3 × 60000) — each collects one tree whose serialized record
+	// runs to megabytes.
+	GiantMethods int
+	GiantInsns   int
+	// Seed varies the generated arithmetic deterministically.
+	Seed uint32
+}
+
+func (c *WhaleConfig) defaults() {
+	if c.Classes == 0 {
+		c.Classes = 40
+	}
+	if c.MethodsPerClass == 0 {
+		c.MethodsPerClass = 8
+	}
+	if c.InsnsPerMethod == 0 {
+		c.InsnsPerMethod = 64
+	}
+	if c.GiantMethods == 0 {
+		c.GiantMethods = 3
+	}
+	if c.GiantInsns == 0 {
+		c.GiantInsns = 60000
+	}
+}
+
+// Whale builds the memory-budget workload application.
+func Whale(cfg WhaleConfig) (App, error) {
+	cfg.defaults()
+	p := dexgen.New()
+	for c := 0; c < cfg.Classes; c++ {
+		fillerClass(p, fmt.Sprintf("Lwhale/Mod%d;", c),
+			cfg.MethodsPerClass, cfg.InsnsPerMethod, cfg.Seed+uint32(c)*31+7)
+	}
+	giant := p.Class("Lwhale/Giant;", "")
+	for g := 0; g < cfg.GiantMethods; g++ {
+		g := g
+		giant.Static(fmt.Sprintf("huge%d", g), "I", nil, func(a *dexgen.Asm) {
+			fillerBody(a, cfg.GiantInsns, cfg.Seed+uint32(g)*104729+13)
+		})
+	}
+	main := p.Class("Lwhale/Main;", "Landroid/app/Activity;")
+	main.Source("Whale.java")
+	main.Ctor("Landroid/app/Activity;", nil)
+	main.Virtual("onCreate", "V", []string{"Landroid/os/Bundle;"}, func(a *dexgen.Asm) {
+		// Fold every method's result into a checksum so the launch executes
+		// the entire body.
+		a.Const(0, 0)
+		for c := 0; c < cfg.Classes; c++ {
+			for m := 0; m < cfg.MethodsPerClass; m++ {
+				a.InvokeStatic(fmt.Sprintf("Lwhale/Mod%d;", c), fmt.Sprintf("calc%d", m), "()I")
+				a.MoveResult(1)
+				a.Binop(bytecode.OpXorInt, 0, 0, 1)
+			}
+		}
+		for g := 0; g < cfg.GiantMethods; g++ {
+			a.InvokeStatic("Lwhale/Giant;", fmt.Sprintf("huge%d", g), "()I")
+			a.MoveResult(1)
+			a.Binop(bytecode.OpXorInt, 0, 0, 1)
+		}
+		a.ReturnVoid()
+	})
+	pkg, err := p.BuildAPK("whale.app", "1.0", "Lwhale/Main;")
+	if err != nil {
+		return App{}, fmt.Errorf("workload: whale: %w", err)
+	}
+	data, err := pkg.Dex()
+	if err != nil {
+		return App{}, err
+	}
+	f, err := dex.Read(data)
+	if err != nil {
+		return App{}, err
+	}
+	return App{
+		Name:    "Whale",
+		Package: "whale.app",
+		Version: "1.0",
+		APK:     pkg,
+		Insns:   f.InstructionCount(),
+	}, nil
+}

@@ -1,0 +1,148 @@
+package dexlego
+
+import (
+	"sort"
+
+	"dexlego/internal/collector"
+	"dexlego/internal/obs"
+	"dexlego/internal/store"
+)
+
+// The mid-reveal spill tier: after collection finishes, completed method
+// records are displaced from the live result into a store.MethodCache and
+// fetched back one class at a time during reassembly. A decoded tree graph
+// occupies several times its JSON encoding (pointers, parent links, the
+// fingerprint dedup index), so converting the bulk of the result to flat
+// bytes between the two phases is what caps a whale reveal's heap peak —
+// the reassembler re-inflates only the class it is currently emitting.
+//
+// Spilled entries are content-addressed (store.SpillKeyFor), so the tier
+// needs no invalidation and tolerates any sharing. Eviction is harmless by
+// construction: every spillEntry retains the serialized bytes it was built
+// from, and fetch falls back to them when the cache no longer answers — the
+// spill can slow a reveal down, never fail it.
+
+// spillMinBytes is the smallest encoded record worth displacing: below this
+// the bookkeeping (map entry, store key, cache slot) rivals the record
+// itself, and small methods are exactly the ones whose decoded form is
+// cheap to keep resident.
+const spillMinBytes = 2048
+
+// spillEntry is one displaced method record.
+type spillEntry struct {
+	storeKey string
+	data     []byte // serialized record; fetch fallback when the cache evicted it
+	insns    int    // executed-instruction count the record carried
+}
+
+// spillSet tracks every record displaced from one reveal's result.
+type spillSet struct {
+	cache   *store.MethodCache
+	entries map[string]*spillEntry // method key -> entry
+	insns   int                    // summed instruction counts of spilled records
+	bytes   int64                  // summed serialized sizes
+}
+
+// spillResult displaces every executed method record whose encoding reaches
+// spillMinBytes from res into cache, emitting one mem_spill event per
+// record. Records that fail to encode or to enter the cache simply stay
+// resident. Returns nil when nothing was spilled.
+func spillResult(res *collector.Result, cache *store.MethodCache, span *obs.Span) *spillSet {
+	if res == nil || cache == nil {
+		return nil
+	}
+	keys := make([]string, 0, len(res.Methods))
+	for k := range res.Methods {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic spill (and event) order
+	sp := &spillSet{cache: cache, entries: make(map[string]*spillEntry)}
+	for _, key := range keys {
+		rec := res.Methods[key]
+		if rec == nil || !rec.Executed() {
+			continue
+		}
+		data, err := collector.EncodeRecord(rec)
+		if err != nil || len(data) < spillMinBytes {
+			continue
+		}
+		storeKey := store.SpillKeyFor(data)
+		if cache.Put(storeKey, data) != nil {
+			continue
+		}
+		insns := 0
+		for _, tr := range rec.Trees {
+			insns += tr.Size()
+		}
+		sp.entries[key] = &spillEntry{storeKey: storeKey, data: data, insns: insns}
+		sp.insns += insns
+		sp.bytes += int64(len(data))
+		delete(res.Methods, key)
+		span.MemSpill(key, int64(len(data)), storeKey)
+	}
+	if len(sp.entries) == 0 {
+		return nil
+	}
+	return sp
+}
+
+// count returns the number of displaced records (0 on nil).
+func (sp *spillSet) count() int {
+	if sp == nil {
+		return 0
+	}
+	return len(sp.entries)
+}
+
+// fetch re-inflates the record spilled under a method key, serving the
+// reassembler's Config.Fetch hook. A cache miss (a memory-only tier evicted
+// the entry) falls back to the retained bytes, so a spilled method is
+// always recoverable. Nil-safe.
+func (sp *spillSet) fetch(key string) (*collector.MethodRecord, bool) {
+	if sp == nil {
+		return nil, false
+	}
+	e, ok := sp.entries[key]
+	if !ok {
+		return nil, false
+	}
+	data, ok := sp.cache.Get(e.storeKey)
+	if !ok {
+		data = e.data
+	}
+	rec, err := collector.DecodeRecord(data)
+	if err != nil {
+		// The cache tier returned bytes that no longer decode (it should be
+		// impossible under content addressing); the retained copy cannot
+		// fail the same way — it round-tripped through EncodeRecord.
+		if rec, err = collector.DecodeRecord(e.data); err != nil {
+			return nil, false
+		}
+	}
+	return rec, true
+}
+
+// storeBack admits spilled records into the incremental method cache,
+// mirroring incPlan.storeBack for the records it can no longer see in the
+// result: fingerprintable, not skip-listed, cacheable. The serialized bytes
+// are reused as-is — they are exactly what EncodeRecord would produce.
+// Nil-safe on every operand.
+func (sp *spillSet) storeBack(p *incPlan, mc *store.MethodCache) {
+	if sp == nil || p == nil || mc == nil {
+		return
+	}
+	for key, e := range sp.entries {
+		if p.skip[key] {
+			continue
+		}
+		fp, ok := p.fps[key]
+		if !ok {
+			continue
+		}
+		rec, err := collector.DecodeRecord(e.data)
+		if err != nil || !rec.Cacheable() {
+			continue
+		}
+		_ = mc.Put(store.MethodKeyFor(p.optionsFP, fp), e.data)
+	}
+}
